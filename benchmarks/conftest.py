@@ -1,0 +1,108 @@
+"""Shared fixtures for the benchmark suite.
+
+Every paper table and figure has a benchmark target in this directory.  By
+default the benchmarks run a *reduced* configuration (fewer tuples, smaller
+optimisation budgets) that reproduces the qualitative shape of each result in
+a few minutes total.  Set the environment variable ``REPRO_BENCH_FULL=1`` to
+run the faithful paper-scale configuration (1000/1000 tuples, full budgets),
+which takes on the order of a minute per benchmark function.
+
+Heavy artefacts (trained/pruned Function 2 and Function 4 pipelines) are
+computed once per session and shared across benchmarks; the timed portion of
+each benchmark is the specific pipeline stage it is named after.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.neurorule import NeuroRuleClassifier
+from repro.core.pruning import NetworkPruner
+from repro.core.training import NetworkTrainer
+from repro.data.agrawal import AgrawalGenerator
+from repro.experiments.config import ExperimentConfig
+from repro.preprocessing.encoder import agrawal_encoder
+
+
+def full_scale() -> bool:
+    """Whether the faithful paper-scale configuration was requested."""
+    return os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "False")
+
+
+@pytest.fixture(scope="session")
+def bench_config() -> ExperimentConfig:
+    """The experiment configuration used by all benchmarks."""
+    if full_scale():
+        return ExperimentConfig.paper()
+    return ExperimentConfig.quick(
+        n_train=400,
+        n_test=400,
+        training_iterations=250,
+        retrain_iterations=80,
+        pruning_rounds=100,
+        label="bench-quick",
+    )
+
+
+@pytest.fixture(scope="session")
+def encoder():
+    return agrawal_encoder()
+
+
+@pytest.fixture(scope="session")
+def function2_training_data(bench_config, encoder):
+    """Encoded Function 2 training data plus targets."""
+    train = AgrawalGenerator(
+        function=2, perturbation=bench_config.perturbation, seed=bench_config.data_seed
+    ).generate(bench_config.n_train)
+    return {
+        "dataset": train,
+        "inputs": encoder.encode_dataset(train),
+        "targets": train.label_targets(),
+    }
+
+
+@pytest.fixture(scope="session")
+def function2_trained(bench_config, function2_training_data):
+    """A trained (unpruned) Function 2 network, shared across benchmarks."""
+    trainer = NetworkTrainer(bench_config.trainer_config())
+    training = trainer.train(
+        function2_training_data["inputs"], function2_training_data["targets"]
+    )
+    return {"trainer": trainer, "training": training, **function2_training_data}
+
+
+@pytest.fixture(scope="session")
+def function2_pruned(bench_config, function2_trained):
+    """A pruned Function 2 network, shared across benchmarks."""
+    pruner = NetworkPruner(bench_config.pruning_config())
+    pruning = pruner.prune(
+        function2_trained["training"].network,
+        function2_trained["inputs"],
+        function2_trained["targets"],
+        function2_trained["trainer"],
+    )
+    return {"pruning": pruning, **function2_trained}
+
+
+@pytest.fixture(scope="session")
+def function2_classifier(bench_config, encoder):
+    """A fully fitted NeuroRule classifier for Function 2 (E2–E5)."""
+    train = AgrawalGenerator(
+        function=2, perturbation=bench_config.perturbation, seed=bench_config.data_seed
+    ).generate(bench_config.n_train)
+    classifier = NeuroRuleClassifier(bench_config.neurorule_config(), encoder=encoder)
+    classifier.fit(train)
+    return {"classifier": classifier, "train": train}
+
+
+@pytest.fixture()
+def run_once():
+    """Helper running a heavy benchmark body exactly once (no warm-up reps)."""
+
+    def _run(benchmark, function, *args, **kwargs):
+        return benchmark.pedantic(function, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+    return _run

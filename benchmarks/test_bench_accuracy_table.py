@@ -1,0 +1,47 @@
+"""Benchmark E6 — the Section 4.1 classification-accuracy table.
+
+Runs the full NeuroRule-vs-C4.5 comparison for every function the paper
+evaluates (1–7 and 9) and prints the same four-column table (pruned-network
+train/test accuracy, C4.5 train/test accuracy) side by side with the paper's
+reported numbers.
+
+The qualitative shape expected from the paper: both methods stay above ~85 %
+on every function, the two are within a few points of each other, and the
+nested functions (4–7, 9) are harder than the simple band functions (1–3).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.functions import EVALUATED_FUNCTIONS
+from repro.experiments.accuracy_table import build_accuracy_table
+from repro.experiments.paper_values import PAPER_ACCURACY_TABLE
+
+
+def test_bench_accuracy_table(benchmark, run_once, bench_config):
+    """E6: regenerate the accuracy table for all eight evaluated functions."""
+    table = run_once(benchmark, build_accuracy_table, EVALUATED_FUNCTIONS, bench_config)
+
+    print("\n[E6] " + table.describe(include_paper=True))
+    gap = table.mean_absolute_gap()
+    if gap is not None:
+        print(f"[E6] mean absolute accuracy gap vs paper: {gap:.1f} points")
+
+    rows = {r.function: r.accuracy_row() for r in table.results}
+    # Every cell clearly above chance; at paper scale the paper's own floor
+    # (89.7 %) applies, the reduced default configuration gets a looser bound
+    # because the harder nested functions need the full training budget.
+    floor = 85.0 if bench_config.label == "paper" else 60.0
+    for function, row in rows.items():
+        for key in ("nn_train", "nn_test", "c45_train", "c45_test"):
+            assert row[key] >= floor, (function, key, row[key])
+    # The two classifiers are comparable on average, as in the paper.
+    nn_test = np.array([rows[f]["nn_test"] for f in rows])
+    c45_test = np.array([rows[f]["c45_test"] for f in rows])
+    assert abs(float(np.mean(nn_test - c45_test))) <= 12.0
+    # The easy band functions are not harder than the hardest nested ones.
+    easy = min(rows[f]["nn_test"] for f in (1, 2, 3) if f in rows)
+    assert easy >= min(rows[f]["nn_test"] for f in rows) - 1e-9
+    # Every paper row exists for comparison.
+    assert set(rows) == set(PAPER_ACCURACY_TABLE)

@@ -1,0 +1,121 @@
+"""Benchmarks E2–E5 — the Function 2 case study.
+
+* E2 (Figure 3): training and pruning the Function 2 network; the paper
+  reports a pruned network with 17 connections, 3 hidden units and ~96 %
+  training accuracy.
+* E3 (Section 3.1): activation clustering and rule extraction from the
+  pruned network.
+* E4 (Figure 5): the extracted attribute-level rules — few, concise, and
+  referencing only salary / commission / age.
+* E5 (Figure 6): the C4.5rules rule set for the same data — several times
+  larger than NeuroRule's.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.c45 import C45Rules
+from repro.core.extraction import RuleExtractor
+from repro.core.pruning import NetworkPruner
+from repro.core.training import NetworkTrainer
+from repro.data.functions import RELEVANT_ATTRIBUTES
+from repro.experiments.paper_values import PAPER_FUNCTION2_PRUNED_NETWORK, PAPER_RULE_COUNTS
+from repro.metrics.comparison import semantic_agreement
+from repro.rules.pretty import format_ruleset_paper_style
+
+def test_bench_train_function2(benchmark, run_once, bench_config, function2_training_data):
+    """E2a: BFGS training of the fully connected Function 2 network."""
+    def train():
+        trainer = NetworkTrainer(bench_config.trainer_config())
+        return trainer.train(
+            function2_training_data["inputs"], function2_training_data["targets"]
+        )
+
+    result = run_once(benchmark, train)
+    assert result.accuracy >= 0.9
+    print(f"\n[E2a] trained network accuracy {result.accuracy:.3f} "
+          f"({result.optimization.iterations} BFGS iterations)")
+
+
+def test_bench_prune_function2(benchmark, run_once, bench_config, function2_trained):
+    """E2b (Figure 3): pruning the trained network with algorithm NP."""
+    def prune():
+        pruner = NetworkPruner(bench_config.pruning_config())
+        return pruner.prune(
+            function2_trained["training"].network,
+            function2_trained["inputs"],
+            function2_trained["targets"],
+            function2_trained["trainer"],
+        )
+
+    pruning = run_once(benchmark, prune)
+    assert pruning.final_connections < pruning.initial_connections / 4
+    assert pruning.final_accuracy >= bench_config.pruning_threshold
+    print(f"\n[E2b] Figure 3: paper {PAPER_FUNCTION2_PRUNED_NETWORK['connections']:.0f} connections, "
+          f"measured {pruning.final_connections} "
+          f"(accuracy {100 * pruning.final_accuracy:.1f}%, "
+          f"paper {PAPER_FUNCTION2_PRUNED_NETWORK['training_accuracy_percent']}%)")
+
+
+def test_bench_extract_function2(benchmark, run_once, function2_pruned, encoder):
+    """E3: activation clustering + rule extraction (algorithm RX)."""
+    network = function2_pruned["pruning"].network
+
+    def extract():
+        return RuleExtractor().extract(
+            network,
+            function2_pruned["inputs"],
+            function2_pruned["targets"],
+            class_labels=["A", "B"],
+            encoder=encoder,
+        )
+
+    extraction = run_once(benchmark, extract)
+    assert extraction.fidelity >= 0.95
+    clusters = extraction.clustering.n_clusters_per_unit()
+    print(f"\n[E3] clusters per hidden unit {clusters} at epsilon {extraction.clustering.epsilon:.2f}; "
+          f"fidelity {extraction.fidelity:.3f}")
+
+
+def test_bench_function2_rules(benchmark, run_once, function2_classifier, bench_config):
+    """E4 (Figure 5): the extracted rule set and its quality."""
+    classifier = function2_classifier["classifier"]
+    rules = classifier.extraction_result_.rules
+
+    agreement = run_once(
+        benchmark, semantic_agreement, rules, 2, 2000, bench_config.test_seed
+    )
+    paper_rules = PAPER_RULE_COUNTS["function2_neurorule_rules"]
+    relevant = set(RELEVANT_ATTRIBUTES[2])
+    spurious = [a for a in rules.referenced_attributes() if a not in relevant and a != "commission"]
+    print(f"\n[E4] Figure 5: paper {paper_rules} rules, measured {rules.n_rules}; "
+          f"agreement with true Function 2: {100 * agreement:.1f}%; "
+          f"spurious attributes: {spurious or 'none'}")
+    print(format_ruleset_paper_style(rules))
+    assert rules.n_rules >= 1
+    if bench_config.label == "paper":
+        # The concise Figure 5 rule set needs the paper-scale training and
+        # pruning budget; the reduced configuration only checks accuracy.
+        assert rules.n_rules <= 4 * paper_rules
+    assert agreement >= 0.80
+
+
+def test_bench_c45rules_function2(benchmark, run_once, function2_classifier, bench_config):
+    """E5 (Figure 6): C4.5rules on the same training data."""
+    train = function2_classifier["train"]
+
+    def fit_rules():
+        return C45Rules().fit(train)
+
+    model = run_once(benchmark, fit_rules)
+    neurorule_count = function2_classifier["classifier"].extraction_result_.rules.n_rules
+    c45_count = model.ruleset.n_rules
+    group_a = len(model.ruleset.rules_for_class("A"))
+    print(f"\n[E5] Figure 6: paper {PAPER_RULE_COUNTS['function2_c45rules_total']} C4.5rules "
+          f"({PAPER_RULE_COUNTS['function2_c45rules_group_a']} for Group A); "
+          f"measured {c45_count} ({group_a} for Group A); NeuroRule needs {neurorule_count}")
+    assert c45_count >= 2
+    if bench_config.label == "paper":
+        # The qualitative claim of the paper: NeuroRule's rule set is smaller.
+        # At reduced training budgets the extracted rule set can be larger, so
+        # the comparison is only asserted for the faithful configuration.
+        assert neurorule_count < c45_count

@@ -1,0 +1,81 @@
+"""Benchmarks E7 and E8 — the Function 4 case study.
+
+* E7 (Figure 7): NeuroRule extracts a handful of rules for Function 4 where
+  C4.5rules needs markedly more; the extracted rules are applied to a fresh
+  clean test set.
+* E8 (Table 3): each extracted rule is evaluated independently on test sets
+  of increasing size; coverage grows with the test-set size while the
+  per-rule correctness stays roughly constant.
+
+The end-to-end Function 4 pipeline is fitted once per session (its run time
+is covered by the E6 accuracy-table benchmark); these benchmarks time the
+rule-application and per-rule evaluation stages that define Figure 7 and
+Table 3.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.function4 import run_function4_case_study, table3_test_sets
+from repro.experiments.paper_values import PAPER_RULE_COUNTS
+from repro.metrics.rules_metrics import per_rule_accuracy_table
+
+
+def _test_sizes(bench_config: ExperimentConfig):
+    if bench_config.label == "paper":
+        return (1000, 5000, 10000)
+    return (500, 1000, 2000)
+
+
+@pytest.fixture(scope="module")
+def function4_study(bench_config):
+    """The fitted Function 4 case study, shared by E7 and E8."""
+    return run_function4_case_study(bench_config, _test_sizes(bench_config))
+
+
+def test_bench_function4_rules(benchmark, function4_study, bench_config):
+    """E7 (Figure 7): rule counts and rule application to a clean test set."""
+    study = function4_study
+    rules = study.result.classifier.extraction_result_.rules
+    test_set = table3_test_sets([_test_sizes(bench_config)[0]], bench_config)[0]
+
+    predictions = benchmark(rules.predict, test_set)
+    assert len(predictions) == len(test_set)
+
+    print("\n[E7] " + study.describe())
+    assert study.neurorule_rule_count >= 1
+    assert study.neurorule_rule_count <= study.c45rules_count
+    assert study.result.rule_test_accuracy >= 0.75
+    assert PAPER_RULE_COUNTS["function4_neurorule_rules"] == 5
+
+
+def test_bench_table3(benchmark, run_once, function4_study, bench_config):
+    """E8 (Table 3): per-rule coverage/correctness over growing test sets."""
+    study = function4_study
+    rules = study.result.classifier.extraction_result_.rules
+    datasets = table3_test_sets(_test_sizes(bench_config), bench_config)
+
+    table = run_once(benchmark, per_rule_accuracy_table, rules, datasets)
+
+    print("\n[E8] Table 3 reproduction")
+    print(table.describe())
+
+    # Coverage of each rule grows with the test-set size.
+    for rule_index in range(rules.n_rules):
+        totals = [stats[rule_index].total for stats in table.statistics]
+        assert totals == sorted(totals)
+    # Rules that cover a meaningful number of tuples keep a decent precision,
+    # mirroring the 78-100 % range of the paper's Table 3.  At reduced budgets
+    # a few noise-fitting rules can fall below that band, so the bound is only
+    # asserted for the faithful configuration; the well-covered rules must
+    # still average out reasonably in either mode.
+    largest = table.statistics[-1]
+    well_covered = [stats for stats in largest if stats.total >= 50]
+    if well_covered:
+        mean_precision = sum(s.correct_percent for s in well_covered) / len(well_covered)
+        assert mean_precision >= 50.0
+        if bench_config.label == "paper":
+            for stats in well_covered:
+                assert stats.correct_percent >= 60.0

@@ -1,0 +1,66 @@
+"""Compare NeuroRule with C4.5 across several benchmark functions.
+
+Reproduces (a reduced version of) the Section 4.1 accuracy table: for each
+requested Agrawal function the script trains the NeuroRule pipeline and the
+C4.5 baselines on the same data, then prints accuracy, rule-set sizes and the
+attributes each rule set references.
+
+Run with::
+
+    python examples/compare_with_c45.py                 # functions 1 2 3, reduced sizes
+    python examples/compare_with_c45.py -f 1 2 3 4 5    # choose functions
+    python examples/compare_with_c45.py --paper         # paper-scale sizes (slow)
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.data.functions import RELEVANT_ATTRIBUTES
+from repro.experiments.accuracy_table import build_accuracy_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.reporting import format_table
+
+
+def main(functions, paper_scale: bool) -> None:
+    config = ExperimentConfig.paper() if paper_scale else ExperimentConfig.quick()
+    print(f"Running functions {functions} with the {config.label!r} configuration\n")
+
+    table = build_accuracy_table(functions, config)
+    print(table.describe(include_paper=True))
+    gap = table.mean_absolute_gap()
+    if gap is not None:
+        print(f"\nMean absolute accuracy gap vs the paper's table: {gap:.1f} points")
+
+    rows = []
+    for result in table.results:
+        rows.append(
+            [
+                result.function,
+                result.n_rules,
+                result.c45rules_count,
+                result.pruned_connections,
+                ", ".join(result.spurious_attributes) or "-",
+                ", ".join(RELEVANT_ATTRIBUTES[result.function]),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            ["Func", "NeuroRule rules", "C4.5rules rules", "pruned links",
+             "spurious attrs", "relevant attrs"],
+            rows,
+            title="Rule conciseness and attribute relevance",
+        )
+    )
+
+
+if __name__ == "__main__":
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "-f", "--functions", type=int, nargs="+", default=[1, 2, 3],
+        help="Agrawal function numbers to run (default: 1 2 3)",
+    )
+    parser.add_argument("--paper", action="store_true", help="run at paper scale (slow)")
+    arguments = parser.parse_args()
+    main(arguments.functions, paper_scale=arguments.paper)

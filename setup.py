@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pyproject.toml carries the project metadata; this file exists so that
+editable installs work in offline environments whose setuptools/pip versions
+predate PEP 660 editable wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,20 @@
+"""Symbolic baselines the paper compares against: C4.5, C4.5rules and ID3."""
+
+from repro.baselines.c45 import (
+    C45Classifier,
+    C45Config,
+    C45Rules,
+    C45RulesConfig,
+    TreeConfig,
+)
+from repro.baselines.id3 import ID3Classifier, ID3Config
+
+__all__ = [
+    "C45Classifier",
+    "C45Config",
+    "C45Rules",
+    "C45RulesConfig",
+    "ID3Classifier",
+    "ID3Config",
+    "TreeConfig",
+]

@@ -1,0 +1,42 @@
+"""C4.5-style decision tree, pessimistic pruning and rule generation."""
+
+from repro.baselines.c45.classifier import C45Classifier, C45Config
+from repro.baselines.c45.criteria import (
+    entropy,
+    entropy_from_counts,
+    gain_ratio,
+    information_gain,
+    split_information,
+)
+from repro.baselines.c45.prune import pessimistic_errors, prune_tree
+from repro.baselines.c45.rules import C45Rules, C45RulesConfig
+from repro.baselines.c45.splitter import CandidateSplit, best_split, candidate_thresholds
+from repro.baselines.c45.tree import (
+    DecisionNode,
+    Leaf,
+    TreeConfig,
+    build_tree,
+    tree_paths,
+)
+
+__all__ = [
+    "C45Classifier",
+    "C45Config",
+    "C45Rules",
+    "C45RulesConfig",
+    "CandidateSplit",
+    "DecisionNode",
+    "Leaf",
+    "TreeConfig",
+    "best_split",
+    "build_tree",
+    "candidate_thresholds",
+    "entropy",
+    "entropy_from_counts",
+    "gain_ratio",
+    "information_gain",
+    "pessimistic_errors",
+    "prune_tree",
+    "split_information",
+    "tree_paths",
+]

@@ -1,0 +1,81 @@
+"""Split-selection criteria for the C4.5-style decision tree.
+
+C4.5 selects the attribute test that maximises the *gain ratio*: information
+gain normalised by the split information (the entropy of the partition
+itself), subject to Quinlan's guard that the gain must be at least the mean
+gain of all candidate tests.  This module contains the entropy arithmetic;
+the search over candidate tests lives in :mod:`repro.baselines.c45.splitter`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Sequence
+
+import numpy as np
+
+from repro.exceptions import BaselineError
+
+
+def class_counts(labels: Sequence[str]) -> Dict[str, int]:
+    """Occurrences of each label (omitting labels with zero count)."""
+    counts: Dict[str, int] = {}
+    for label in labels:
+        counts[label] = counts.get(label, 0) + 1
+    return counts
+
+
+def entropy(labels: Sequence[str]) -> float:
+    """Shannon entropy (bits) of a label multiset."""
+    n = len(labels)
+    if n == 0:
+        return 0.0
+    counts = np.asarray(list(class_counts(labels).values()), dtype=float)
+    probabilities = counts / n
+    return float(-np.sum(probabilities * np.log2(probabilities)))
+
+
+def entropy_from_counts(counts: Iterable[int]) -> float:
+    """Entropy computed directly from per-class counts."""
+    counts = np.asarray([c for c in counts if c > 0], dtype=float)
+    total = counts.sum()
+    if total == 0:
+        return 0.0
+    probabilities = counts / total
+    return float(-np.sum(probabilities * np.log2(probabilities)))
+
+
+def information_gain(parent_labels: Sequence[str], partitions: Sequence[Sequence[str]]) -> float:
+    """Information gain of splitting ``parent_labels`` into ``partitions``."""
+    n = len(parent_labels)
+    if n == 0:
+        raise BaselineError("cannot compute information gain of an empty node")
+    weighted_child_entropy = 0.0
+    total_children = 0
+    for partition in partitions:
+        total_children += len(partition)
+        weighted_child_entropy += len(partition) / n * entropy(partition)
+    if total_children != n:
+        raise BaselineError(
+            f"partitions contain {total_children} labels but the parent has {n}"
+        )
+    return entropy(parent_labels) - weighted_child_entropy
+
+
+def split_information(partitions: Sequence[Sequence[str]], total: int) -> float:
+    """Entropy of the partition sizes themselves (C4.5's split info)."""
+    if total <= 0:
+        raise BaselineError("total must be positive for split information")
+    sizes = np.asarray([len(p) for p in partitions if len(p) > 0], dtype=float)
+    if sizes.size == 0:
+        return 0.0
+    proportions = sizes / total
+    return float(-np.sum(proportions * np.log2(proportions)))
+
+
+def gain_ratio(parent_labels: Sequence[str], partitions: Sequence[Sequence[str]]) -> float:
+    """C4.5's gain ratio; zero when the split information vanishes."""
+    gain = information_gain(parent_labels, partitions)
+    split_info = split_information(partitions, len(parent_labels))
+    if split_info <= 1e-12:
+        return 0.0
+    return gain / split_info

@@ -1,0 +1,133 @@
+"""Pessimistic (error-based) pruning of a decision tree.
+
+C4.5 prunes its trees without a separate validation set by estimating the
+true error rate of each node from its training error using the upper limit
+of a binomial confidence interval (default confidence 25 %).  A subtree is
+replaced by a leaf when the estimated error of the leaf is no worse than the
+combined estimated error of its children.
+
+The same error estimate (``pessimistic_errors``) is reused by the C4.5rules
+generator when it decides whether dropping a rule condition hurts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.baselines.c45.tree import DecisionNode, Leaf, TreeNode
+from repro.exceptions import BaselineError
+
+
+def _normal_quantile(probability: float) -> float:
+    """Inverse standard-normal CDF via the Acklam rational approximation.
+
+    Only needed for the confidence levels used by error-based pruning, so a
+    closed-form approximation (max error ~1e-9) avoids a SciPy dependency.
+    """
+    if not (0.0 < probability < 1.0):
+        raise BaselineError(f"probability must be in (0, 1), got {probability}")
+    # Coefficients of the Acklam approximation.
+    a = [-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00]
+    b = [-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01]
+    c = [-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00]
+    d = [7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00]
+    p_low, p_high = 0.02425, 1.0 - 0.02425
+    p = probability
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    if p > p_high:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / (
+            (((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0
+        )
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / (
+        ((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0
+    )
+
+
+def pessimistic_errors(n_records: int, n_errors: int, confidence: float = 0.25) -> float:
+    """Upper confidence bound on the number of errors among ``n_records``.
+
+    This is C4.5's ``UCF``-based estimate: the observed error rate is replaced
+    by the upper limit of a one-sided binomial confidence interval at the
+    given confidence level, then multiplied by the record count.  Returns 0
+    for an empty node.
+    """
+    if n_records <= 0:
+        return 0.0
+    if not (0.0 < confidence < 1.0):
+        raise BaselineError(f"confidence must be in (0, 1), got {confidence}")
+    if n_errors < 0 or n_errors > n_records:
+        raise BaselineError(
+            f"n_errors must lie in [0, n_records]; got {n_errors} of {n_records}"
+        )
+    z = _normal_quantile(1.0 - confidence)
+    f = n_errors / n_records
+    # Wilson-style upper bound, as used by C4.5.
+    numerator = (
+        f
+        + z * z / (2.0 * n_records)
+        + z * math.sqrt(f / n_records - f * f / n_records + z * z / (4.0 * n_records * n_records))
+    )
+    denominator = 1.0 + z * z / n_records
+    upper_rate = min(numerator / denominator, 1.0)
+    return upper_rate * n_records
+
+
+@dataclass
+class PruneReport:
+    """Counts of subtree-to-leaf replacements performed."""
+
+    replaced_subtrees: int = 0
+    leaves_before: int = 0
+    leaves_after: int = 0
+
+
+def prune_tree(node: TreeNode, confidence: float = 0.25) -> TreeNode:
+    """Return a pessimistically pruned copy of ``node``."""
+    report = PruneReport()
+    report.leaves_before = node.n_leaves()
+    pruned = _prune(node, confidence, report)
+    report.leaves_after = pruned.n_leaves()
+    return pruned
+
+
+def _subtree_estimated_errors(node: TreeNode, confidence: float) -> float:
+    if isinstance(node, Leaf):
+        return pessimistic_errors(node.n_records, node.n_errors, confidence)
+    return sum(_subtree_estimated_errors(child, confidence) for child in node.children.values())
+
+
+def _prune(node: TreeNode, confidence: float, report: PruneReport) -> TreeNode:
+    if isinstance(node, Leaf):
+        return Leaf(prediction=node.prediction, counts=dict(node.counts))
+
+    pruned_children: Dict = {
+        key: _prune(child, confidence, report) for key, child in node.children.items()
+    }
+    candidate = DecisionNode(
+        attribute=node.attribute,
+        threshold=node.threshold,
+        children=pruned_children,
+        counts=dict(node.counts),
+        majority=node.majority,
+    )
+    n_records = candidate.n_records
+    n_errors_as_leaf = n_records - candidate.counts.get(candidate.majority, 0)
+    leaf_estimate = pessimistic_errors(n_records, n_errors_as_leaf, confidence)
+    subtree_estimate = _subtree_estimated_errors(candidate, confidence)
+    if leaf_estimate <= subtree_estimate + 0.1:
+        report.replaced_subtrees += 1
+        return Leaf(prediction=candidate.majority, counts=dict(candidate.counts))
+    return candidate

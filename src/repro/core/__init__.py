@@ -1,0 +1,56 @@
+"""NeuroRule core: training, pruning (NP), rule extraction (RX), splitting."""
+
+from repro.core.clustering import (
+    ActivationDiscretizer,
+    ActivationDiscretizerConfig,
+    ClusteringResult,
+    HiddenUnitClustering,
+    cluster_activation_values,
+)
+from repro.core.extraction import (
+    ExtractionConfig,
+    ExtractionResult,
+    RuleExtractor,
+    generic_binary_features,
+)
+from repro.core.neurorule import NeuroRuleClassifier, NeuroRuleConfig
+from repro.core.pruning import NetworkPruner, PruningConfig, PruningResult, PruningRound
+from repro.core.splitting import HiddenUnitSplitter, SplitterConfig
+from repro.core.tabulation import (
+    HiddenOutputTabulation,
+    tabulate_hidden_to_output,
+    tabulate_inputs_to_hidden,
+)
+from repro.core.training import (
+    NetworkTrainer,
+    TrainerConfig,
+    TrainingResult,
+    classification_accuracy,
+)
+
+__all__ = [
+    "ActivationDiscretizer",
+    "ActivationDiscretizerConfig",
+    "ClusteringResult",
+    "ExtractionConfig",
+    "ExtractionResult",
+    "HiddenOutputTabulation",
+    "HiddenUnitClustering",
+    "HiddenUnitSplitter",
+    "NetworkPruner",
+    "NetworkTrainer",
+    "NeuroRuleClassifier",
+    "NeuroRuleConfig",
+    "PruningConfig",
+    "PruningResult",
+    "PruningRound",
+    "RuleExtractor",
+    "SplitterConfig",
+    "TrainerConfig",
+    "TrainingResult",
+    "classification_accuracy",
+    "cluster_activation_values",
+    "generic_binary_features",
+    "tabulate_hidden_to_output",
+    "tabulate_inputs_to_hidden",
+]

@@ -1,0 +1,214 @@
+"""Activation-value discretisation (algorithm RX, step 1).
+
+Hidden-unit activations are continuous in ``[-1, 1]``; to enumerate the
+network's behaviour the extraction algorithm first clusters each hidden
+unit's activation values with a greedy one-pass procedure controlled by a
+tolerance ``epsilon``:
+
+* the first activation value starts the first cluster;
+* each subsequent value joins the nearest existing cluster if the distance is
+  at most ``epsilon``, otherwise it starts a new cluster;
+* cluster representatives are then replaced by the mean of their members.
+
+The network's accuracy is re-checked with every activation replaced by its
+cluster representative; if it fell below the required level, ``epsilon`` is
+decreased and clustering repeats (Figure 4, steps 1d–1e).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import ExtractionError
+from repro.nn.network import ThreeLayerNetwork
+
+
+def cluster_activation_values(
+    values: Sequence[float], epsilon: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """One-pass greedy clustering of a single hidden unit's activations.
+
+    Returns ``(centers, assignments)`` where ``centers`` are the cluster
+    means (in creation order) and ``assignments`` maps every input value to
+    its cluster index.
+    """
+    if not (0.0 < epsilon <= 2.0):
+        raise ExtractionError(f"epsilon must be in (0, 2], got {epsilon}")
+    values = np.asarray(list(values), dtype=float)
+    if values.size == 0:
+        raise ExtractionError("cannot cluster an empty activation column")
+
+    representatives: List[float] = [float(values[0])]
+    counts: List[int] = [1]
+    sums: List[float] = [float(values[0])]
+    assignments = np.zeros(values.size, dtype=int)
+
+    for i in range(1, values.size):
+        value = float(values[i])
+        distances = [abs(value - r) for r in representatives]
+        best = int(np.argmin(distances))
+        if distances[best] <= epsilon:
+            counts[best] += 1
+            sums[best] += value
+            assignments[i] = best
+        else:
+            representatives.append(value)
+            counts.append(1)
+            sums.append(value)
+            assignments[i] = len(representatives) - 1
+
+    centers = np.asarray([s / c for s, c in zip(sums, counts)], dtype=float)
+    return centers, assignments
+
+
+@dataclass
+class HiddenUnitClustering:
+    """Clustering of one hidden unit's activation values."""
+
+    hidden_index: int
+    centers: np.ndarray
+    assignments: np.ndarray
+
+    @property
+    def n_clusters(self) -> int:
+        return int(self.centers.shape[0])
+
+    def discretized_column(self) -> np.ndarray:
+        """The activation column with every value replaced by its center."""
+        return self.centers[self.assignments]
+
+    def nearest_center_index(self, value: float) -> int:
+        """Index of the closest cluster center to ``value``."""
+        return int(np.argmin(np.abs(self.centers - float(value))))
+
+
+@dataclass
+class ClusteringResult:
+    """Discretisation of all (active) hidden units of a network."""
+
+    clusterings: List[HiddenUnitClustering]
+    epsilon: float
+    accuracy: float
+    hidden_indices: List[int] = field(default_factory=list)
+
+    def n_clusters_per_unit(self) -> List[int]:
+        return [c.n_clusters for c in self.clusterings]
+
+    def total_combinations(self) -> int:
+        """Number of joint discrete activation vectors (the paper's 3·2·3 = 18)."""
+        total = 1
+        for clustering in self.clusterings:
+            total *= clustering.n_clusters
+        return total
+
+    def clustering_for(self, hidden_index: int) -> HiddenUnitClustering:
+        for clustering in self.clusterings:
+            if clustering.hidden_index == hidden_index:
+                return clustering
+        raise ExtractionError(f"no clustering recorded for hidden unit {hidden_index}")
+
+    def discretized_hidden_matrix(self, network: ThreeLayerNetwork, inputs: np.ndarray) -> np.ndarray:
+        """Hidden activation matrix with all clustered columns discretised.
+
+        Columns of inactive hidden units are passed through unchanged (they
+        have no output connections, so their value is irrelevant).
+        """
+        hidden = network.hidden_activations(inputs)
+        out = hidden.copy()
+        for clustering in self.clusterings:
+            column = hidden[:, clustering.hidden_index]
+            indices = np.asarray(
+                [clustering.nearest_center_index(v) for v in column], dtype=int
+            )
+            out[:, clustering.hidden_index] = clustering.centers[indices]
+        return out
+
+
+@dataclass
+class ActivationDiscretizerConfig:
+    """Configuration of the epsilon search loop."""
+
+    epsilon: float = 0.6
+    min_epsilon: float = 0.02
+    decay: float = 0.5
+    max_attempts: int = 12
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.epsilon <= 2.0):
+            raise ExtractionError(f"epsilon must be in (0, 2], got {self.epsilon}")
+        if not (0.0 < self.decay < 1.0):
+            raise ExtractionError(f"decay must be in (0, 1), got {self.decay}")
+        if self.min_epsilon <= 0:
+            raise ExtractionError(f"min_epsilon must be positive, got {self.min_epsilon}")
+
+
+class ActivationDiscretizer:
+    """Runs RX step 1 for a trained (and usually pruned) network."""
+
+    def __init__(self, config: Optional[ActivationDiscretizerConfig] = None) -> None:
+        self.config = config or ActivationDiscretizerConfig()
+
+    def discretize(
+        self,
+        network: ThreeLayerNetwork,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        required_accuracy: float,
+    ) -> ClusteringResult:
+        """Cluster activations of all active hidden units.
+
+        The tolerance starts at ``config.epsilon`` and is decreased by the
+        ``decay`` factor until the discretised network's accuracy reaches
+        ``required_accuracy`` (or ``min_epsilon`` is hit, in which case the
+        best result so far is returned if it exists, otherwise an
+        :class:`~repro.exceptions.ExtractionError` is raised).
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        if not (0.0 < required_accuracy <= 1.0):
+            raise ExtractionError(
+                f"required_accuracy must be in (0, 1], got {required_accuracy}"
+            )
+        active = network.active_hidden_units()
+        if not active:
+            raise ExtractionError(
+                "the network has no active hidden units; cannot discretise activations"
+            )
+        hidden = network.hidden_activations(inputs)
+        truth = np.argmax(targets, axis=1)
+
+        epsilon = self.config.epsilon
+        best: Optional[ClusteringResult] = None
+        for _ in range(self.config.max_attempts):
+            clusterings = [
+                HiddenUnitClustering(m, *cluster_activation_values(hidden[:, m], epsilon))
+                for m in active
+            ]
+            result = ClusteringResult(
+                clusterings=clusterings,
+                epsilon=epsilon,
+                accuracy=0.0,
+                hidden_indices=list(active),
+            )
+            discretized = result.discretized_hidden_matrix(network, inputs)
+            outputs = network.outputs_from_hidden(discretized)
+            accuracy = float(np.mean(np.argmax(outputs, axis=1) == truth))
+            result.accuracy = accuracy
+            if best is None or accuracy > best.accuracy:
+                best = result
+            if accuracy >= required_accuracy:
+                return result
+            epsilon *= self.config.decay
+            if epsilon < self.config.min_epsilon:
+                break
+        if best is None:
+            raise ExtractionError("activation discretisation produced no result")
+        if best.accuracy < required_accuracy:
+            raise ExtractionError(
+                f"could not discretise activations without dropping accuracy below "
+                f"{required_accuracy:.3f} (best achieved: {best.accuracy:.3f})"
+            )
+        return best

@@ -1,0 +1,422 @@
+"""Phase 3: rule extraction — algorithm RX (Figure 4 of the paper).
+
+Given a pruned network and the encoded training data, the extractor
+
+1. discretises the hidden activation values by clustering
+   (:mod:`repro.core.clustering`),
+2. enumerates the discretised hidden values, computes the network output for
+   each combination and generates *perfect rules* from hidden values to
+   predicted classes (:mod:`repro.core.tabulation` +
+   :mod:`repro.rules.covering`),
+3. for every hidden unit/cluster appearing in those rules, enumerates the
+   binary inputs feeding that unit and generates perfect rules from inputs to
+   the cluster, and
+4. substitutes step-3 rules into step-2 rules, yielding classification rules
+   that relate the original binary inputs to the predicted class, which are
+   then simplified and translated to attribute-level conditions.
+
+Hidden units with too many remaining input connections are handed to a
+*splitter* (Section 3.2; :mod:`repro.core.splitting`) which trains a
+subnetwork to describe that unit and extracts rules from it recursively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.clustering import (
+    ActivationDiscretizer,
+    ActivationDiscretizerConfig,
+    ClusteringResult,
+)
+from repro.core.tabulation import (
+    HiddenOutputTabulation,
+    hidden_column_name,
+    input_column_name,
+    tabulate_hidden_to_output,
+    tabulate_inputs_to_hidden,
+)
+from repro.exceptions import ExtractionError
+from repro.nn.network import ThreeLayerNetwork
+from repro.preprocessing.encoder import TupleEncoder
+from repro.preprocessing.features import KIND_ORDINAL_THRESHOLD, InputFeature
+from repro.rules.covering import Conjunction, generate_perfect_rules
+from repro.rules.rule import AttributeRule, BinaryRule
+from repro.rules.ruleset import RuleSet
+from repro.rules.conditions import InputLiteral
+from repro.rules.simplify import remove_subsumed, remove_uncovered_rules
+from repro.rules.translate import translate_ruleset
+
+
+@dataclass
+class ExtractionConfig:
+    """Configuration of algorithm RX.
+
+    Attributes
+    ----------
+    epsilon / min_epsilon / epsilon_decay:
+        Activation-clustering tolerance schedule (the paper starts Function 2
+        at 0.6 and decreases it when accuracy is not preserved).
+    required_accuracy:
+        Accuracy the discretised network must retain.  ``None`` (default)
+        means "the continuous network's own training accuracy minus
+        ``accuracy_slack``", which preserves fidelity; the paper's experiments
+        effectively use the pruning threshold (0.9).
+    max_enumeration_inputs:
+        Hidden units with more connected inputs than this are not enumerated
+        exhaustively; they are delegated to the splitter (if present) or to
+        the observed input patterns.
+    drop_uncovered:
+        Remove substituted rules that fire on no training tuple.
+    drop_unsatisfiable:
+        Remove translated rules whose attribute conditions contradict each
+        other (the paper's rule R'1).
+    max_substituted_rules:
+        Safety bound on the substitution cross-product.
+    """
+
+    epsilon: float = 0.6
+    min_epsilon: float = 0.02
+    epsilon_decay: float = 0.5
+    required_accuracy: Optional[float] = None
+    accuracy_slack: float = 0.005
+    max_enumeration_inputs: int = 12
+    drop_uncovered: bool = True
+    drop_unsatisfiable: bool = True
+    max_substituted_rules: int = 5000
+
+    def discretizer_config(self) -> ActivationDiscretizerConfig:
+        return ActivationDiscretizerConfig(
+            epsilon=self.epsilon,
+            min_epsilon=self.min_epsilon,
+            decay=self.epsilon_decay,
+        )
+
+
+@dataclass
+class ExtractionResult:
+    """Everything algorithm RX produces for one network."""
+
+    binary_rules: RuleSet[BinaryRule]
+    attribute_rules: Optional[RuleSet[AttributeRule]]
+    clustering: ClusteringResult
+    tabulation: HiddenOutputTabulation
+    hidden_rules: Dict[Tuple[int, int], List[Conjunction]]
+    default_class: str
+    fidelity: float
+    training_accuracy: float
+    dropped_unsatisfiable: int = 0
+    dropped_uncovered: int = 0
+
+    @property
+    def rules(self) -> RuleSet:
+        """The preferred final rule set: attribute rules when a coding was
+        available, the binary rules otherwise."""
+        return self.attribute_rules if self.attribute_rules is not None else self.binary_rules
+
+    def __repr__(self) -> str:
+        return (
+            f"ExtractionResult(rules={self.rules.n_rules}, default={self.default_class!r}, "
+            f"fidelity={self.fidelity:.3f}, accuracy={self.training_accuracy:.3f})"
+        )
+
+
+def generic_binary_features(n_inputs: int) -> List[InputFeature]:
+    """Feature descriptors for plain binary inputs without an encoder.
+
+    Each input ``I{l}`` is treated as an ordered 0/1 attribute of the same
+    name, so extracted rules read ``I3 = 1`` and can still be translated to
+    membership conditions if desired.
+    """
+    return [
+        InputFeature(
+            index=index,
+            name=input_column_name(index),
+            attribute=input_column_name(index),
+            kind=KIND_ORDINAL_THRESHOLD,
+            rank=1,
+            domain=(0, 1),
+        )
+        for index in range(n_inputs)
+    ]
+
+
+class RuleExtractor:
+    """Implements algorithm RX.
+
+    Parameters
+    ----------
+    config:
+        Extraction parameters.
+    splitter:
+        Optional object with a method
+        ``input_rules(network, clustering_unit, inputs, needed_clusters)``
+        returning ``{cluster_index: [conjunction, ...]}`` for hidden units
+        whose fan-in exceeds the enumeration limit
+        (see :class:`repro.core.splitting.HiddenUnitSplitter`).
+    """
+
+    def __init__(self, config: Optional[ExtractionConfig] = None, splitter=None) -> None:
+        self.config = config or ExtractionConfig()
+        self.splitter = splitter
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _required_accuracy(
+        self, network: ThreeLayerNetwork, inputs: np.ndarray, targets: np.ndarray
+    ) -> float:
+        if self.config.required_accuracy is not None:
+            return self.config.required_accuracy
+        truth = np.argmax(targets, axis=1)
+        accuracy = float(np.mean(network.predict_indices(inputs) == truth))
+        return max(min(accuracy - self.config.accuracy_slack, 1.0), 0.5)
+
+    def _hidden_rules_for(
+        self,
+        network: ThreeLayerNetwork,
+        clustering: ClusteringResult,
+        hidden_index: int,
+        needed_clusters: Sequence[int],
+        inputs: np.ndarray,
+    ) -> Dict[int, List[Conjunction]]:
+        """Perfect input→cluster rules for one hidden unit (RX step 3)."""
+        clustering_unit = clustering.clustering_for(hidden_index)
+        connected = network.connected_inputs(hidden_index)
+        use_splitter = (
+            self.splitter is not None and len(connected) > self.config.max_enumeration_inputs
+        )
+        if use_splitter:
+            try:
+                return self.splitter.input_rules(
+                    network=network,
+                    clustering_unit=clustering_unit,
+                    inputs=inputs,
+                    needed_clusters=list(needed_clusters),
+                )
+            except ExtractionError:
+                # The subnetwork could not describe this unit faithfully; fall
+                # back to the input patterns observed in the training data.
+                pass
+        table = tabulate_inputs_to_hidden(
+            network,
+            clustering_unit,
+            observed_inputs=inputs,
+            max_enumeration_inputs=self.config.max_enumeration_inputs,
+        )
+        return {
+            cluster: generate_perfect_rules(table, cluster) for cluster in needed_clusters
+        }
+
+    # -- the main algorithm ---------------------------------------------------
+
+    def extract(
+        self,
+        network: ThreeLayerNetwork,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        class_labels: Sequence[str],
+        encoder: Optional[TupleEncoder] = None,
+        rule_classes: Optional[Sequence[str]] = None,
+    ) -> ExtractionResult:
+        """Run RX on a trained/pruned network.
+
+        Parameters
+        ----------
+        network:
+            The (pruned) network to articulate.
+        inputs:
+            Encoded 0/1 training inputs, shape ``(n, n_inputs)``.
+        targets:
+            One-hot training targets, shape ``(n, n_classes)``.
+        class_labels:
+            Class label strings in output-unit order.
+        encoder:
+            The tuple encoder used to produce ``inputs``; enables translation
+            of the extracted rules to attribute-level conditions.
+        rule_classes:
+            Classes for which explicit rules must be generated.  By default
+            rules are generated for every class except the default (majority)
+            class; the hidden-unit splitter passes an explicit list because it
+            needs rules even for the majority cluster.
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        class_labels = list(class_labels)
+        if len(class_labels) != network.n_outputs:
+            raise ExtractionError(
+                f"{len(class_labels)} class labels for a network with "
+                f"{network.n_outputs} outputs"
+            )
+        if encoder is not None and encoder.n_inputs != network.n_inputs:
+            raise ExtractionError(
+                f"encoder produces {encoder.n_inputs} inputs but the network has "
+                f"{network.n_inputs}"
+            )
+
+        features = (
+            list(encoder.features) if encoder is not None else generic_binary_features(network.n_inputs)
+        )
+        feature_by_index = {f.index: f for f in features}
+
+        # Step 1: discretise hidden activations.
+        required_accuracy = self._required_accuracy(network, inputs, targets)
+        discretizer = ActivationDiscretizer(self.config.discretizer_config())
+        clustering = discretizer.discretize(network, inputs, targets, required_accuracy)
+
+        # Step 2: hidden -> output rules.
+        tabulation = tabulate_hidden_to_output(network, clustering, class_labels)
+        network_predictions = np.asarray(
+            [class_labels[int(i)] for i in network.predict_indices(inputs)]
+        )
+        default_class = _majority_label(network_predictions, class_labels)
+        if rule_classes is None:
+            rule_targets = [label for label in class_labels if label != default_class]
+        else:
+            unknown = [label for label in rule_classes if label not in class_labels]
+            if unknown:
+                raise ExtractionError(f"rule_classes contains unknown labels: {unknown}")
+            rule_targets = list(rule_classes)
+        hidden_level_rules: Dict[str, List[Conjunction]] = {}
+        for label in rule_targets:
+            hidden_level_rules[label] = generate_perfect_rules(tabulation.table, label)
+
+        # Step 3: input -> hidden-cluster rules, only for the clusters that
+        # actually appear in the step-2 rules.
+        needed: Dict[int, set] = {}
+        for conjunctions in hidden_level_rules.values():
+            for conjunction in conjunctions:
+                for column, cluster in conjunction.items():
+                    hidden_index = _hidden_index_from_column(column)
+                    needed.setdefault(hidden_index, set()).add(int(cluster))
+        hidden_rules: Dict[Tuple[int, int], List[Conjunction]] = {}
+        for hidden_index, clusters in needed.items():
+            per_cluster = self._hidden_rules_for(
+                network, clustering, hidden_index, sorted(clusters), inputs
+            )
+            for cluster, conjunctions in per_cluster.items():
+                hidden_rules[(hidden_index, int(cluster))] = conjunctions
+
+        # Step 4: substitution.
+        binary_rules: List[BinaryRule] = []
+        for label, conjunctions in hidden_level_rules.items():
+            for conjunction in conjunctions:
+                binary_rules.extend(
+                    self._substitute(conjunction, label, hidden_rules, feature_by_index)
+                )
+                if len(binary_rules) > self.config.max_substituted_rules:
+                    raise ExtractionError(
+                        "rule substitution exceeded the configured bound of "
+                        f"{self.config.max_substituted_rules} rules; increase the bound "
+                        "or prune the network further"
+                    )
+
+        binary_rules = remove_subsumed(binary_rules)
+        binary_ruleset: RuleSet[BinaryRule] = RuleSet(
+            rules=binary_rules,
+            default_class=default_class,
+            classes=class_labels,
+            name="NeuroRule (binary inputs)",
+        )
+        dropped_uncovered = 0
+        if self.config.drop_uncovered and len(binary_ruleset.rules) > 0:
+            before = binary_ruleset.n_rules
+            binary_ruleset = remove_uncovered_rules(binary_ruleset, inputs)
+            dropped_uncovered = before - binary_ruleset.n_rules
+
+        # Translation to attribute conditions.
+        attribute_ruleset: Optional[RuleSet[AttributeRule]] = None
+        dropped_unsatisfiable = 0
+        if encoder is not None:
+            before = binary_ruleset.n_rules
+            attribute_ruleset = translate_ruleset(
+                binary_ruleset,
+                schema=encoder.schema,
+                drop_unsatisfiable=self.config.drop_unsatisfiable,
+            )
+            attribute_ruleset.name = "NeuroRule"
+            dropped_unsatisfiable = before - attribute_ruleset.n_rules
+
+        # Fidelity (agreement with the network) and accuracy on training data.
+        rule_predictions = np.asarray(binary_ruleset.predict(inputs))
+        fidelity = float(np.mean(rule_predictions == network_predictions))
+        truth = np.asarray([class_labels[int(i)] for i in np.argmax(targets, axis=1)])
+        training_accuracy = float(np.mean(rule_predictions == truth))
+
+        return ExtractionResult(
+            binary_rules=binary_ruleset,
+            attribute_rules=attribute_ruleset,
+            clustering=clustering,
+            tabulation=tabulation,
+            hidden_rules=hidden_rules,
+            default_class=default_class,
+            fidelity=fidelity,
+            training_accuracy=training_accuracy,
+            dropped_unsatisfiable=dropped_unsatisfiable,
+            dropped_uncovered=dropped_uncovered,
+        )
+
+    # -- substitution ------------------------------------------------------------
+
+    def _substitute(
+        self,
+        hidden_conjunction: Conjunction,
+        label: str,
+        hidden_rules: Dict[Tuple[int, int], List[Conjunction]],
+        feature_by_index: Dict[int, InputFeature],
+    ) -> List[BinaryRule]:
+        """Cross-product substitution of input-level rules into one step-2 rule."""
+        alternatives: List[List[Conjunction]] = []
+        for column, cluster in hidden_conjunction.items():
+            hidden_index = _hidden_index_from_column(column)
+            input_conjunctions = hidden_rules.get((hidden_index, int(cluster)), [])
+            if not input_conjunctions:
+                # No input pattern produces this cluster: the step-2 rule can
+                # never fire and is silently dropped.
+                return []
+            alternatives.append(input_conjunctions)
+
+        out: List[BinaryRule] = []
+        for combination in product(*alternatives):
+            merged: Dict[str, int] = {}
+            contradiction = False
+            for conjunction in combination:
+                for input_name, bit in conjunction.items():
+                    existing = merged.get(input_name)
+                    if existing is not None and existing != int(bit):
+                        contradiction = True
+                        break
+                    merged[input_name] = int(bit)
+                if contradiction:
+                    break
+            if contradiction:
+                continue
+            literals = tuple(
+                InputLiteral(feature_by_index[_input_index_from_column(name)], bit)
+                for name, bit in merged.items()
+            )
+            out.append(BinaryRule(literals, label))
+        return out
+
+
+def _hidden_index_from_column(column: str) -> int:
+    """Inverse of :func:`repro.core.tabulation.hidden_column_name`."""
+    if not column.startswith("H"):
+        raise ExtractionError(f"not a hidden-unit column name: {column!r}")
+    return int(column[1:]) - 1
+
+
+def _input_index_from_column(column: str) -> int:
+    """Inverse of :func:`repro.core.tabulation.input_column_name`."""
+    if not column.startswith("I"):
+        raise ExtractionError(f"not an input column name: {column!r}")
+    return int(column[1:]) - 1
+
+
+def _majority_label(predictions: np.ndarray, class_labels: Sequence[str]) -> str:
+    """The class the network predicts most often (ties break on label order)."""
+    counts = {label: int(np.sum(predictions == label)) for label in class_labels}
+    return max(class_labels, key=lambda label: counts[label])

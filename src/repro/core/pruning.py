@@ -1,0 +1,290 @@
+"""Phase 2: network pruning — algorithm NP (Figure 2 of the paper).
+
+The pruning conditions come from the paper's analysis of a fully trained
+network satisfying the correct-classification condition (1):
+
+* an input→hidden weight ``w_l^m`` can be removed when
+  ``max_p |v_p^m · w_l^m| <= 4·eta2``   (condition 4);
+* a hidden→output weight ``v_p^m`` can be removed when
+  ``|v_p^m| <= 4·eta2``                 (condition 5);
+
+with ``eta1 + eta2 < 0.5``.  When no weight satisfies either condition, the
+input weight with the smallest product ``max_p |v_p^m · w_l^m|`` is removed
+(step 5).  After each removal batch the network is retrained; pruning stops
+when retraining can no longer keep the accuracy above the acceptance
+threshold, and the last acceptable network is returned.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.training import NetworkTrainer, classification_accuracy
+from repro.exceptions import PruningError
+from repro.nn.network import ThreeLayerNetwork
+
+
+@dataclass
+class PruningConfig:
+    """Parameters of algorithm NP.
+
+    Attributes
+    ----------
+    eta1, eta2:
+        The scalars of the pruning conditions; their sum must stay below 0.5
+        (Figure 2, step 1).
+    accuracy_threshold:
+        The "acceptable level" of step 6.  The paper prunes while accuracy
+        stays above 90 %.
+    max_rounds:
+        Safety bound on prune/retrain rounds.
+    retrain_iterations:
+        Optimiser budget for each retraining round (the initial training run
+        keeps its own, larger budget).
+    min_connections:
+        Stop when at most this many connections remain (a fully disconnected
+        network cannot classify anything).
+    """
+
+    eta1: float = 0.35
+    eta2: float = 0.1
+    accuracy_threshold: float = 0.9
+    max_rounds: int = 120
+    retrain_iterations: int = 100
+    min_connections: int = 2
+
+    def __post_init__(self) -> None:
+        if not (0.0 < self.eta1 < 0.5):
+            raise PruningError(f"eta1 must be in (0, 0.5), got {self.eta1}")
+        if not (0.0 < self.eta2 < 0.5):
+            raise PruningError(f"eta2 must be in (0, 0.5), got {self.eta2}")
+        if self.eta1 + self.eta2 >= 0.5:
+            raise PruningError(
+                f"eta1 + eta2 must be < 0.5, got {self.eta1} + {self.eta2}"
+            )
+        if not (0.0 < self.accuracy_threshold <= 1.0):
+            raise PruningError(
+                f"accuracy_threshold must be in (0, 1], got {self.accuracy_threshold}"
+            )
+        if self.max_rounds < 1:
+            raise PruningError(f"max_rounds must be >= 1, got {self.max_rounds}")
+
+
+@dataclass
+class PruningRound:
+    """Book-keeping for one prune/retrain round."""
+
+    round_index: int
+    removed_input_connections: int
+    removed_output_connections: int
+    forced_removal: bool
+    accuracy_after_retraining: float
+    active_connections: int
+
+
+@dataclass
+class PruningResult:
+    """Outcome of algorithm NP."""
+
+    network: ThreeLayerNetwork
+    initial_connections: int
+    final_connections: int
+    initial_accuracy: float
+    final_accuracy: float
+    rounds: List[PruningRound] = field(default_factory=list)
+    stop_reason: str = ""
+
+    @property
+    def n_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def removed_connections(self) -> int:
+        return self.initial_connections - self.final_connections
+
+    def __repr__(self) -> str:
+        return (
+            f"PruningResult(connections {self.initial_connections} -> {self.final_connections}, "
+            f"accuracy {self.initial_accuracy:.3f} -> {self.final_accuracy:.3f}, "
+            f"rounds={self.n_rounds})"
+        )
+
+
+class NetworkPruner:
+    """Implements algorithm NP against a trained :class:`ThreeLayerNetwork`."""
+
+    def __init__(self, config: Optional[PruningConfig] = None) -> None:
+        self.config = config or PruningConfig()
+
+    # -- pruning-condition evaluation ------------------------------------------
+
+    def input_weight_products(self, network: ThreeLayerNetwork) -> np.ndarray:
+        """The matrix of products ``max_p |v_p^m · w_l^m|``, shape ``(h, n_eff)``.
+
+        Entries of pruned connections are set to +inf so they are never
+        selected again.
+        """
+        w = network.masked_input_weights()
+        v = network.masked_output_weights()
+        max_v_per_hidden = np.max(np.abs(v), axis=0)  # (h,)
+        products = np.abs(w) * max_v_per_hidden[:, None]
+        products = np.where(network.input_mask, products, np.inf)
+        return products
+
+    def prunable_connections(
+        self, network: ThreeLayerNetwork
+    ) -> Tuple[List[Tuple[int, int]], List[Tuple[int, int]]]:
+        """Connections satisfying conditions (4) and (5).
+
+        Returns ``(input_connections, output_connections)`` as lists of
+        ``(hidden, input)`` and ``(output, hidden)`` index pairs.
+        """
+        threshold = 4.0 * self.config.eta2
+        products = self.input_weight_products(network)
+        input_pairs = [
+            (int(m), int(l))
+            for m, l in zip(*np.where((products <= threshold) & network.input_mask))
+        ]
+        v = network.masked_output_weights()
+        output_pairs = [
+            (int(p), int(m))
+            for p, m in zip(*np.where((np.abs(v) <= threshold) & network.output_mask))
+        ]
+        return input_pairs, output_pairs
+
+    def smallest_product_connection(self, network: ThreeLayerNetwork) -> Optional[Tuple[int, int]]:
+        """The (hidden, input) pair with the smallest pruning product (step 5)."""
+        products = self.input_weight_products(network)
+        if not np.isfinite(products).any():
+            return None
+        m, l = np.unravel_index(int(np.argmin(products)), products.shape)
+        return int(m), int(l)
+
+    # -- the main loop ------------------------------------------------------------
+
+    def prune(
+        self,
+        network: ThreeLayerNetwork,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        trainer: Optional[NetworkTrainer] = None,
+    ) -> PruningResult:
+        """Run algorithm NP and return the most-pruned acceptable network.
+
+        ``network`` is not modified; the result holds a pruned copy.  The
+        supplied ``trainer`` is used for the retraining rounds (a default
+        trainer is created when omitted).
+        """
+        trainer = trainer or NetworkTrainer()
+        config = self.config
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+
+        current = network.copy()
+        initial_connections = current.n_active_connections()
+        initial_accuracy = classification_accuracy(current, inputs, targets)
+        result = PruningResult(
+            network=current,
+            initial_connections=initial_connections,
+            final_connections=initial_connections,
+            initial_accuracy=initial_accuracy,
+            final_accuracy=initial_accuracy,
+        )
+        if initial_accuracy < config.accuracy_threshold:
+            result.stop_reason = (
+                "initial network accuracy below the acceptance threshold; nothing pruned"
+            )
+            return result
+
+        best = current.copy()
+        best_accuracy = initial_accuracy
+
+        for round_index in range(1, config.max_rounds + 1):
+            if current.n_active_connections() <= config.min_connections:
+                result.stop_reason = "minimum connection count reached"
+                break
+
+            candidates, forced = self._removal_candidates(current)
+            if not candidates:
+                result.stop_reason = "no remaining prunable connection"
+                break
+
+            # Try the whole candidate batch first; when retraining cannot keep
+            # the accuracy above the threshold, back off to the half with the
+            # smallest products, down to a single connection.  Pruning stops
+            # only when even a single removal is unacceptable.
+            accepted = None
+            batch = candidates
+            while batch:
+                candidate = current.copy()
+                for kind, pair in batch:
+                    if kind == "input":
+                        candidate.prune_input_connection(*pair)
+                    else:
+                        candidate.prune_output_connection(*pair)
+                if candidate.n_active_connections() < config.min_connections:
+                    batch = batch[: max(len(batch) // 2, 1)] if len(batch) > 1 else []
+                    continue
+                retrain = trainer.retrain(
+                    candidate, inputs, targets, max_iterations=config.retrain_iterations
+                )
+                if retrain.accuracy >= config.accuracy_threshold:
+                    accepted = (candidate, retrain.accuracy, batch)
+                    break
+                if len(batch) == 1:
+                    break
+                batch = batch[: len(batch) // 2]
+
+            if accepted is None:
+                result.stop_reason = (
+                    "accuracy fell below the acceptance threshold; keeping the last "
+                    "acceptable network"
+                )
+                break
+
+            candidate, accuracy, batch = accepted
+            result.rounds.append(
+                PruningRound(
+                    round_index=round_index,
+                    removed_input_connections=sum(1 for kind, _ in batch if kind == "input"),
+                    removed_output_connections=sum(1 for kind, _ in batch if kind == "output"),
+                    forced_removal=forced,
+                    accuracy_after_retraining=accuracy,
+                    active_connections=candidate.n_active_connections(),
+                )
+            )
+            current = candidate
+            best = candidate.copy()
+            best_accuracy = accuracy
+        else:
+            result.stop_reason = "round budget exhausted"
+
+        result.network = best
+        result.final_connections = best.n_active_connections()
+        result.final_accuracy = best_accuracy
+        return result
+
+    def _removal_candidates(self, network: ThreeLayerNetwork):
+        """Connections to try removing this round, smallest products first.
+
+        Returns ``(candidates, forced)`` where each candidate is a pair
+        ``("input", (hidden, input))`` or ``("output", (output, hidden))``.
+        ``forced`` is ``True`` when no connection satisfied condition (4) or
+        (5) and the single smallest-product connection is proposed instead
+        (Figure 2, step 5).
+        """
+        input_pairs, output_pairs = self.prunable_connections(network)
+        if not input_pairs and not output_pairs:
+            forced_pair = self.smallest_product_connection(network)
+            if forced_pair is None:
+                return [], False
+            return [("input", forced_pair)], True
+        products = self.input_weight_products(network)
+        v = np.abs(network.masked_output_weights())
+        scored = [("input", pair, float(products[pair])) for pair in input_pairs]
+        scored.extend(("output", pair, float(v[pair])) for pair in output_pairs)
+        scored.sort(key=lambda item: item[2])
+        return [(kind, pair) for kind, pair, _ in scored], False

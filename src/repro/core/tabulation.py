@@ -1,0 +1,173 @@
+"""Enumeration of network behaviour over discretised values (RX steps 2–3).
+
+Two tabulations feed the rule generator:
+
+* :func:`tabulate_hidden_to_output` — enumerate every combination of the
+  discretised hidden activation values and record the class the network
+  predicts for it (the paper's 18-row table in Section 3.1);
+* :func:`tabulate_inputs_to_hidden` — for one hidden unit, enumerate the
+  values of the binary inputs it is still connected to and record which
+  activation cluster each combination lands in.
+
+Both produce :class:`~repro.rules.covering.DiscreteTable` instances so the
+same perfect-cover rule generator can be applied to either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.clustering import ClusteringResult, HiddenUnitClustering
+from repro.exceptions import ExtractionError
+from repro.nn.network import ThreeLayerNetwork
+from repro.rules.covering import DiscreteTable
+
+
+def hidden_column_name(hidden_index: int) -> str:
+    """Display name of a hidden unit column (1-based, ``"H1"`` style)."""
+    return f"H{hidden_index + 1}"
+
+
+def input_column_name(input_index: int) -> str:
+    """Display name of an input column (1-based, ``"I1"`` style, matching the
+    paper's input numbering)."""
+    return f"I{input_index + 1}"
+
+
+@dataclass
+class HiddenOutputTabulation:
+    """The enumerated hidden-activation → output behaviour of a network."""
+
+    table: DiscreteTable
+    centers: Dict[str, np.ndarray]
+    output_activations: np.ndarray
+    class_labels: List[str]
+
+    @property
+    def n_combinations(self) -> int:
+        return self.table.n_rows
+
+    def describe(self) -> str:
+        """Multi-line rendering similar to the paper's Section 3.1 table."""
+        header = list(self.table.columns) + [f"C{j + 1}" for j in range(self.output_activations.shape[1])]
+        lines = ["  ".join(f"{h:>8}" for h in header)]
+        for row, outputs in zip(self.table.rows, self.output_activations):
+            cells = [
+                f"{self.centers[name][value]:+.2f}"
+                for name, value in zip(self.table.columns, row)
+            ]
+            cells.extend(f"{o:.2f}" for o in outputs)
+            lines.append("  ".join(f"{c:>8}" for c in cells))
+        return "\n".join(lines)
+
+
+def tabulate_hidden_to_output(
+    network: ThreeLayerNetwork,
+    clustering: ClusteringResult,
+    class_labels: Sequence[str],
+) -> HiddenOutputTabulation:
+    """Enumerate all joint discretised hidden activations and classify each.
+
+    Rows are tuples of *cluster indices* (one per active hidden unit, in
+    ``clustering.hidden_indices`` order); the outcome of each row is the class
+    label the network predicts when the hidden activations equal the
+    corresponding cluster centers.  Hidden units that are not part of the
+    clustering (inactive units) contribute activation 0, which is also what
+    they contribute inside the network once their connections are gone.
+    """
+    class_labels = list(class_labels)
+    if len(class_labels) != network.n_outputs:
+        raise ExtractionError(
+            f"{len(class_labels)} class labels supplied for a network with "
+            f"{network.n_outputs} outputs"
+        )
+    if not clustering.clusterings:
+        raise ExtractionError("clustering result contains no hidden units")
+
+    columns = [hidden_column_name(c.hidden_index) for c in clustering.clusterings]
+    centers = {
+        hidden_column_name(c.hidden_index): np.asarray(c.centers, dtype=float)
+        for c in clustering.clusterings
+    }
+    index_ranges = [range(c.n_clusters) for c in clustering.clusterings]
+
+    rows: List[Tuple[int, ...]] = []
+    hidden_vectors: List[np.ndarray] = []
+    for combination in product(*index_ranges):
+        hidden = np.zeros(network.n_hidden, dtype=float)
+        for clustering_unit, cluster_index in zip(clustering.clusterings, combination):
+            hidden[clustering_unit.hidden_index] = clustering_unit.centers[cluster_index]
+        rows.append(tuple(int(i) for i in combination))
+        hidden_vectors.append(hidden)
+
+    hidden_matrix = np.vstack(hidden_vectors)
+    outputs = network.outputs_from_hidden(hidden_matrix)
+    predicted = [class_labels[int(i)] for i in np.argmax(outputs, axis=1)]
+
+    table = DiscreteTable(columns=columns, rows=rows, outcomes=list(predicted))
+    return HiddenOutputTabulation(
+        table=table,
+        centers=centers,
+        output_activations=outputs,
+        class_labels=class_labels,
+    )
+
+
+def tabulate_inputs_to_hidden(
+    network: ThreeLayerNetwork,
+    clustering_unit: HiddenUnitClustering,
+    observed_inputs: Optional[np.ndarray] = None,
+    max_enumeration_inputs: int = 12,
+) -> DiscreteTable:
+    """Enumerate the binary inputs feeding one hidden unit.
+
+    Each row assigns 0/1 values to the inputs still connected to the hidden
+    unit (the bias input, when connected, always contributes its weight and is
+    not enumerated); the outcome is the index of the activation cluster the
+    resulting activation value falls into (nearest center).
+
+    When the unit has more than ``max_enumeration_inputs`` connected inputs,
+    full enumeration is replaced by the distinct input patterns observed in
+    ``observed_inputs`` (the encoded training set).  If neither enumeration
+    nor observation is possible an :class:`ExtractionError` is raised — that
+    is the situation Section 3.2 resolves with hidden-unit splitting.
+    """
+    hidden_index = clustering_unit.hidden_index
+    connected = network.connected_inputs(hidden_index)
+    if not connected:
+        raise ExtractionError(
+            f"hidden unit {hidden_index} has no connected data inputs to enumerate"
+        )
+    weights = network.masked_input_weights()[hidden_index]
+    bias_contribution = 0.0
+    if network.architecture.bias_as_input and network.input_mask[hidden_index, -1]:
+        bias_contribution = float(weights[-1])
+
+    columns = [input_column_name(l) for l in connected]
+
+    if len(connected) <= max_enumeration_inputs:
+        combos = [tuple(bits) for bits in product((0, 1), repeat=len(connected))]
+    else:
+        if observed_inputs is None:
+            raise ExtractionError(
+                f"hidden unit {hidden_index} has {len(connected)} connected inputs, "
+                f"more than the enumeration limit {max_enumeration_inputs}, and no "
+                "observed input patterns were supplied; use hidden-unit splitting"
+            )
+        observed = np.atleast_2d(np.asarray(observed_inputs, dtype=float))
+        patterns = observed[:, connected]
+        combos = sorted({tuple(int(round(v)) for v in row) for row in patterns})
+
+    rows: List[Tuple[int, ...]] = []
+    outcomes: List[int] = []
+    for bits in combos:
+        activation = float(
+            np.tanh(sum(w * b for w, b in zip(weights[connected], bits)) + bias_contribution)
+        )
+        rows.append(bits)
+        outcomes.append(clustering_unit.nearest_center_index(activation))
+    return DiscreteTable(columns=columns, rows=rows, outcomes=outcomes)

@@ -1,0 +1,190 @@
+"""Phase 1: network training (Section 2.1).
+
+:class:`NetworkTrainer` wires together the network, the training objective
+(cross-entropy + penalty) and an unconstrained minimiser (BFGS by default, as
+in the paper; gradient descent as the backprop baseline).  The same trainer is
+reused by the pruning phase for retraining after connections are removed and
+by the hidden-node-splitting step for training subnetworks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.nn.network import ThreeLayerNetwork, new_network
+from repro.nn.objective import TrainingObjective
+from repro.nn.penalty import PenaltyConfig
+from repro.optim.bfgs import BFGSConfig, BFGSMinimizer
+from repro.optim.gradient_descent import GradientDescentConfig, GradientDescentMinimizer
+from repro.optim.result import OptimizationResult
+
+#: Optimiser identifiers accepted by :class:`TrainerConfig`.
+OPTIMIZER_BFGS = "bfgs"
+OPTIMIZER_GRADIENT_DESCENT = "gradient_descent"
+
+
+@dataclass
+class TrainerConfig:
+    """Configuration of the training phase.
+
+    Attributes
+    ----------
+    n_hidden:
+        Number of hidden units of a freshly created network (the paper starts
+        Function 2 with four).
+    bias_as_input:
+        Use the paper's constant 87th input instead of explicit thresholds.
+    penalty:
+        Weight-decay penalty parameters (equation 3).
+    optimizer:
+        ``"bfgs"`` (paper's choice) or ``"gradient_descent"``.
+    bfgs / gradient_descent:
+        Minimiser hyper-parameters.
+    weight_scale:
+        Half-width of the uniform weight initialisation interval; the paper
+        uses 1.0.
+    seed:
+        Seed for weight initialisation.
+    """
+
+    n_hidden: int = 4
+    bias_as_input: bool = True
+    penalty: PenaltyConfig = field(default_factory=PenaltyConfig)
+    optimizer: str = OPTIMIZER_BFGS
+    bfgs: BFGSConfig = field(default_factory=BFGSConfig)
+    gradient_descent: GradientDescentConfig = field(default_factory=GradientDescentConfig)
+    weight_scale: float = 1.0
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.optimizer not in (OPTIMIZER_BFGS, OPTIMIZER_GRADIENT_DESCENT):
+            raise TrainingError(
+                f"unknown optimizer {self.optimizer!r}; "
+                f"choose {OPTIMIZER_BFGS!r} or {OPTIMIZER_GRADIENT_DESCENT!r}"
+            )
+        if self.n_hidden < 1:
+            raise TrainingError(f"n_hidden must be >= 1, got {self.n_hidden}")
+
+    def with_max_iterations(self, max_iterations: int) -> "TrainerConfig":
+        """A copy of this config with the optimiser's iteration budget changed.
+
+        The pruning phase retrains repeatedly and typically wants a smaller
+        budget per retraining round than the initial training run.
+        """
+        if self.optimizer == OPTIMIZER_BFGS:
+            return replace(self, bfgs=replace(self.bfgs, max_iterations=max_iterations))
+        return replace(
+            self,
+            gradient_descent=replace(self.gradient_descent, max_iterations=max_iterations),
+        )
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of one training (or retraining) run."""
+
+    network: ThreeLayerNetwork
+    optimization: OptimizationResult
+    accuracy: float
+    objective_value: float
+
+    def __repr__(self) -> str:
+        return (
+            f"TrainingResult(accuracy={self.accuracy:.4f}, "
+            f"objective={self.objective_value:.4g}, "
+            f"iterations={self.optimization.iterations})"
+        )
+
+
+def classification_accuracy(network: ThreeLayerNetwork, inputs: np.ndarray, targets: np.ndarray) -> float:
+    """Fraction of patterns whose arg-max output matches the target class."""
+    targets = np.atleast_2d(np.asarray(targets, dtype=float))
+    if targets.shape[0] == 0:
+        raise TrainingError("cannot compute accuracy on an empty data set")
+    predictions = network.predict_indices(inputs)
+    truth = np.argmax(targets, axis=1)
+    return float(np.mean(predictions == truth))
+
+
+class NetworkTrainer:
+    """Trains (and retrains) three-layer networks on encoded data."""
+
+    def __init__(self, config: Optional[TrainerConfig] = None) -> None:
+        self.config = config or TrainerConfig()
+
+    # -- minimiser selection --------------------------------------------------
+
+    def _minimizer(self):
+        if self.config.optimizer == OPTIMIZER_BFGS:
+            return BFGSMinimizer(self.config.bfgs)
+        return GradientDescentMinimizer(self.config.gradient_descent)
+
+    # -- public API -------------------------------------------------------------
+
+    def create_network(self, n_inputs: int, n_outputs: int) -> ThreeLayerNetwork:
+        """A fresh, fully connected, randomly initialised network."""
+        return new_network(
+            n_inputs=n_inputs,
+            n_hidden=self.config.n_hidden,
+            n_outputs=n_outputs,
+            bias_as_input=self.config.bias_as_input,
+            seed=self.config.seed,
+            scale=self.config.weight_scale,
+        )
+
+    def train(
+        self,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        network: Optional[ThreeLayerNetwork] = None,
+    ) -> TrainingResult:
+        """Train a network on encoded inputs and one-hot targets.
+
+        When ``network`` is ``None`` a new fully connected network is created
+        whose input/output sizes are inferred from the data.  When a network
+        is supplied its current weights are the starting point and its
+        connection masks are respected — this is exactly what retraining
+        inside the pruning loop needs.
+        """
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        targets = np.atleast_2d(np.asarray(targets, dtype=float))
+        if inputs.shape[0] != targets.shape[0]:
+            raise TrainingError(
+                f"inputs have {inputs.shape[0]} rows but targets have {targets.shape[0]}"
+            )
+        if network is None:
+            network = self.create_network(inputs.shape[1], targets.shape[1])
+        objective = TrainingObjective(
+            network=network, inputs=inputs, targets=targets, penalty=self.config.penalty
+        )
+        result = self._minimizer().minimize(objective.value_and_gradient, objective.initial_vector())
+        objective.apply(result.x)
+        accuracy = classification_accuracy(network, inputs, targets)
+        return TrainingResult(
+            network=network,
+            optimization=result,
+            accuracy=accuracy,
+            objective_value=result.value,
+        )
+
+    def retrain(
+        self,
+        network: ThreeLayerNetwork,
+        inputs: np.ndarray,
+        targets: np.ndarray,
+        max_iterations: Optional[int] = None,
+    ) -> TrainingResult:
+        """Retrain an existing (possibly pruned) network in place.
+
+        ``max_iterations`` optionally caps the minimiser's budget for this
+        call only, which keeps the many retraining rounds of the pruning
+        phase affordable.
+        """
+        trainer = self
+        if max_iterations is not None:
+            trainer = NetworkTrainer(self.config.with_max_iterations(max_iterations))
+        return trainer.train(inputs, targets, network=network)

@@ -1,0 +1,64 @@
+"""Data substrate: attribute schemas, datasets and synthetic generators."""
+
+from repro.data.agrawal import (
+    AgrawalGenerator,
+    agrawal_schema,
+    class_balance_report,
+    generate_function_dataset,
+)
+from repro.data.dataset import Dataset, from_arrays
+from repro.data.io import (
+    infer_schema,
+    load_csv,
+    load_csv_with_inferred_schema,
+    save_csv,
+)
+from repro.data.functions import (
+    EVALUATED_FUNCTIONS,
+    FUNCTIONS,
+    GROUND_TRUTH_RULES,
+    RELEVANT_ATTRIBUTES,
+    SKEWED_FUNCTIONS,
+    get_function,
+    ground_truth_label,
+)
+from repro.data.schema import (
+    CategoricalAttribute,
+    ContinuousAttribute,
+    Schema,
+    make_schema,
+)
+from repro.data.synthetic import (
+    binary_schema,
+    boolean_function_dataset,
+    wide_binary_dataset,
+    xor_dataset,
+)
+
+__all__ = [
+    "AgrawalGenerator",
+    "CategoricalAttribute",
+    "ContinuousAttribute",
+    "Dataset",
+    "EVALUATED_FUNCTIONS",
+    "FUNCTIONS",
+    "GROUND_TRUTH_RULES",
+    "RELEVANT_ATTRIBUTES",
+    "SKEWED_FUNCTIONS",
+    "Schema",
+    "agrawal_schema",
+    "binary_schema",
+    "boolean_function_dataset",
+    "class_balance_report",
+    "from_arrays",
+    "generate_function_dataset",
+    "get_function",
+    "ground_truth_label",
+    "infer_schema",
+    "load_csv",
+    "load_csv_with_inferred_schema",
+    "make_schema",
+    "save_csv",
+    "wide_binary_dataset",
+    "xor_dataset",
+]

@@ -1,0 +1,354 @@
+"""The ten classification functions of the Agrawal et al. benchmark.
+
+The NeuroRule paper evaluates on the synthetic classification benchmark of
+Agrawal, Imielinski and Swami (IEEE TKDE 1993).  Each benchmark *function*
+assigns one of two groups (``"A"`` or ``"B"``) to a tuple of the nine
+attributes listed in Table 1 of the paper.
+
+Functions 2 and 4 are restated verbatim in the NeuroRule paper and are
+implemented here exactly as printed.  The remaining functions follow the
+published 1993 definitions (also used by later re-implementations of the same
+generator); the constants are documented inline.  Functions 8 and 10 produce
+heavily skewed class distributions, which is why the paper excludes them —
+we implement them anyway so the skew exclusion can itself be reproduced.
+
+Every function is exposed both as
+
+* a plain predicate ``label(record) -> "A" | "B"`` usable by the data
+  generator, and
+* where the function is expressible as interval rules over single attributes
+  (functions 1–4), the *ground-truth rule set* used by the experiment
+  harness to check that the extracted rules recover the generating function.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional
+
+from repro.exceptions import DataGenerationError
+
+Record = Mapping[str, object]
+Labeller = Callable[[Record], str]
+
+GROUP_A = "A"
+GROUP_B = "B"
+
+
+def _num(record: Record, name: str) -> float:
+    """Read a numeric attribute, raising a library error on absence."""
+    try:
+        return float(record[name])  # type: ignore[arg-type]
+    except KeyError as exc:
+        raise DataGenerationError(f"record is missing attribute {name!r}") from exc
+
+
+def _group(condition: bool) -> str:
+    return GROUP_A if condition else GROUP_B
+
+
+# ---------------------------------------------------------------------------
+# Function definitions
+# ---------------------------------------------------------------------------
+
+def function_1(record: Record) -> str:
+    """Group A iff ``age < 40`` or ``age >= 60``."""
+    age = _num(record, "age")
+    return _group(age < 40 or age >= 60)
+
+
+def function_2(record: Record) -> str:
+    """Function 2 exactly as printed in the NeuroRule paper (Section 2.3).
+
+    Group A iff::
+
+        (age < 40      and 50000 <= salary <= 100000) or
+        (40 <= age < 60 and 75000 <= salary <= 125000) or
+        (age >= 60     and 25000 <= salary <=  75000)
+    """
+    age = _num(record, "age")
+    salary = _num(record, "salary")
+    if age < 40:
+        return _group(50_000 <= salary <= 100_000)
+    if age < 60:
+        return _group(75_000 <= salary <= 125_000)
+    return _group(25_000 <= salary <= 75_000)
+
+
+def function_3(record: Record) -> str:
+    """Group membership depends on ``age`` and ``elevel``.
+
+    Group A iff::
+
+        (age < 40      and elevel in [0, 1]) or
+        (40 <= age < 60 and elevel in [1, 2, 3]) or
+        (age >= 60     and elevel in [2, 3, 4])
+    """
+    age = _num(record, "age")
+    elevel = int(_num(record, "elevel"))
+    if age < 40:
+        return _group(elevel in (0, 1))
+    if age < 60:
+        return _group(elevel in (1, 2, 3))
+    return _group(elevel in (2, 3, 4))
+
+
+def function_4(record: Record) -> str:
+    """Function 4 exactly as printed in the NeuroRule paper (Figure 7a).
+
+    Group A iff::
+
+        (age < 40)       and (elevel in [0,1] ? 25K <= salary <= 75K
+                                               : 50K <= salary <= 100K)  or
+        (40 <= age < 60) and (elevel in [1,2,3] ? 50K <= salary <= 100K
+                                               : 75K <= salary <= 125K)  or
+        (age >= 60)      and (elevel in [2,3,4] ? 50K <= salary <= 100K
+                                               : 25K <= salary <= 75K)
+    """
+    age = _num(record, "age")
+    salary = _num(record, "salary")
+    elevel = int(_num(record, "elevel"))
+    if age < 40:
+        if elevel in (0, 1):
+            return _group(25_000 <= salary <= 75_000)
+        return _group(50_000 <= salary <= 100_000)
+    if age < 60:
+        if elevel in (1, 2, 3):
+            return _group(50_000 <= salary <= 100_000)
+        return _group(75_000 <= salary <= 125_000)
+    if elevel in (2, 3, 4):
+        return _group(50_000 <= salary <= 100_000)
+    return _group(25_000 <= salary <= 75_000)
+
+
+def function_5(record: Record) -> str:
+    """Age/salary bands select a loan band (Agrawal et al. function 5)."""
+    age = _num(record, "age")
+    salary = _num(record, "salary")
+    loan = _num(record, "loan")
+    if age < 40:
+        if 50_000 <= salary <= 100_000:
+            return _group(100_000 <= loan <= 300_000)
+        return _group(200_000 <= loan <= 400_000)
+    if age < 60:
+        if 75_000 <= salary <= 125_000:
+            return _group(200_000 <= loan <= 400_000)
+        return _group(300_000 <= loan <= 500_000)
+    if 25_000 <= salary <= 75_000:
+        return _group(300_000 <= loan <= 500_000)
+    return _group(100_000 <= loan <= 300_000)
+
+
+def function_6(record: Record) -> str:
+    """Age bands on total income (``salary + commission``)."""
+    age = _num(record, "age")
+    total = _num(record, "salary") + _num(record, "commission")
+    if age < 40:
+        return _group(50_000 <= total <= 100_000)
+    if age < 60:
+        return _group(75_000 <= total <= 125_000)
+    return _group(25_000 <= total <= 75_000)
+
+
+def function_7(record: Record) -> str:
+    """Linear disposable-income rule.
+
+    ``disposable = (2/3)·(salary + commission) − loan/5 − 20000``;
+    Group A iff ``disposable > 0``.
+    """
+    disposable = (
+        2.0 * (_num(record, "salary") + _num(record, "commission")) / 3.0
+        - _num(record, "loan") / 5.0
+        - 20_000.0
+    )
+    return _group(disposable > 0)
+
+
+def function_8(record: Record) -> str:
+    """Linear rule on salary and education (skewed; excluded by the paper).
+
+    ``disposable = (2/3)·salary − 5000·elevel − 20000``; Group A iff > 0.
+    """
+    disposable = (
+        2.0 * _num(record, "salary") / 3.0
+        - 5_000.0 * _num(record, "elevel")
+        - 20_000.0
+    )
+    return _group(disposable > 0)
+
+
+def function_9(record: Record) -> str:
+    """Linear rule on income, education and loan.
+
+    ``disposable = (2/3)·(salary + commission) − 5000·elevel − loan/5 − 10000``;
+    Group A iff > 0.
+    """
+    disposable = (
+        2.0 * (_num(record, "salary") + _num(record, "commission")) / 3.0
+        - 5_000.0 * _num(record, "elevel")
+        - _num(record, "loan") / 5.0
+        - 10_000.0
+    )
+    return _group(disposable > 0)
+
+
+def function_10(record: Record) -> str:
+    """Linear rule including home equity (skewed; excluded by the paper).
+
+    ``equity = 0.1·hvalue·max(hyears − 20, 0)``;
+    ``disposable = (2/3)·(salary + commission) − 5000·elevel + equity/5 − 10000``;
+    Group A iff > 0.
+    """
+    hyears = _num(record, "hyears")
+    equity = 0.0
+    if hyears >= 20:
+        equity = 0.1 * _num(record, "hvalue") * (hyears - 20.0)
+    disposable = (
+        2.0 * (_num(record, "salary") + _num(record, "commission")) / 3.0
+        - 5_000.0 * _num(record, "elevel")
+        + equity / 5.0
+        - 10_000.0
+    )
+    return _group(disposable > 0)
+
+
+#: All ten benchmark functions, keyed by their paper number.
+FUNCTIONS: Dict[int, Labeller] = {
+    1: function_1,
+    2: function_2,
+    3: function_3,
+    4: function_4,
+    5: function_5,
+    6: function_6,
+    7: function_7,
+    8: function_8,
+    9: function_9,
+    10: function_10,
+}
+
+#: Functions the paper evaluates (8 and 10 excluded for class skew).
+EVALUATED_FUNCTIONS: List[int] = [1, 2, 3, 4, 5, 6, 7, 9]
+
+#: Functions the paper reports as excluded.
+SKEWED_FUNCTIONS: List[int] = [8, 10]
+
+#: Attributes that actually appear in each function definition.  Used by the
+#: experiment harness to check that extracted rules reference only relevant
+#: attributes (Section 4.2 criticises C4.5rules for picking ``car``).
+RELEVANT_ATTRIBUTES: Dict[int, List[str]] = {
+    1: ["age"],
+    2: ["age", "salary"],
+    3: ["age", "elevel"],
+    4: ["age", "elevel", "salary"],
+    5: ["age", "salary", "loan"],
+    6: ["age", "salary", "commission"],
+    7: ["salary", "commission", "loan"],
+    8: ["salary", "elevel"],
+    9: ["salary", "commission", "elevel", "loan"],
+    10: ["salary", "commission", "elevel", "hvalue", "hyears"],
+}
+
+
+def get_function(number: int) -> Labeller:
+    """Return benchmark function ``number`` (1-based, as in the paper)."""
+    try:
+        return FUNCTIONS[number]
+    except KeyError as exc:
+        raise DataGenerationError(
+            f"unknown Agrawal function number {number}; valid: 1..10"
+        ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Ground-truth rule descriptions (for functions expressible as interval rules)
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class GroundTruthRule:
+    """A single disjunct of a benchmark function, as attribute conditions.
+
+    ``conditions`` maps an attribute name to either
+
+    * a 2-tuple ``(low, high)`` interpreted as the half-open numeric interval
+      ``low <= value < high`` (``None`` means unbounded on that side), or
+    * a ``frozenset`` of admissible categorical values.
+
+    Salary bands in the benchmark functions are closed intervals
+    (``50K <= salary <= 100K``); they are represented here with a high bound
+    nudged up by ``_CLOSED_EPS`` so that the half-open convention still
+    includes the boundary value.
+    """
+
+    conditions: Mapping[str, object]
+    group: str = GROUP_A
+
+    def matches(self, record: Record) -> bool:
+        for name, spec in self.conditions.items():
+            value = record[name]
+            if isinstance(spec, frozenset):
+                if value not in spec and int(value) not in spec:  # type: ignore[arg-type]
+                    return False
+            else:
+                low, high = spec  # type: ignore[misc]
+                v = float(value)  # type: ignore[arg-type]
+                if low is not None and v < low:
+                    return False
+                if high is not None and v >= high:
+                    return False
+        return True
+
+
+#: Offset used to turn the benchmark's closed salary intervals into the
+#: half-open convention used by :class:`GroundTruthRule`.
+_CLOSED_EPS = 1e-6
+
+
+#: Disjunctive ground-truth descriptions for the functions the paper discusses
+#: in rule form.  Intervals are [low, high) with ``None`` for "unbounded".
+GROUND_TRUTH_RULES: Dict[int, List[GroundTruthRule]] = {
+    1: [
+        GroundTruthRule({"age": (None, 40.0)}),
+        GroundTruthRule({"age": (60.0, None)}),
+    ],
+    2: [
+        GroundTruthRule({"age": (None, 40.0), "salary": (50_000.0, 100_000.0 + _CLOSED_EPS)}),
+        GroundTruthRule({"age": (40.0, 60.0), "salary": (75_000.0, 125_000.0 + _CLOSED_EPS)}),
+        GroundTruthRule({"age": (60.0, None), "salary": (25_000.0, 75_000.0 + _CLOSED_EPS)}),
+    ],
+    3: [
+        GroundTruthRule({"age": (None, 40.0), "elevel": frozenset({0, 1})}),
+        GroundTruthRule({"age": (40.0, 60.0), "elevel": frozenset({1, 2, 3})}),
+        GroundTruthRule({"age": (60.0, None), "elevel": frozenset({2, 3, 4})}),
+    ],
+    4: [
+        GroundTruthRule({"age": (None, 40.0), "elevel": frozenset({0, 1}),
+                         "salary": (25_000.0, 75_000.0 + _CLOSED_EPS)}),
+        GroundTruthRule({"age": (None, 40.0), "elevel": frozenset({2, 3, 4}),
+                         "salary": (50_000.0, 100_000.0 + _CLOSED_EPS)}),
+        GroundTruthRule({"age": (40.0, 60.0), "elevel": frozenset({1, 2, 3}),
+                         "salary": (50_000.0, 100_000.0 + _CLOSED_EPS)}),
+        GroundTruthRule({"age": (40.0, 60.0), "elevel": frozenset({0, 4}),
+                         "salary": (75_000.0, 125_000.0 + _CLOSED_EPS)}),
+        GroundTruthRule({"age": (60.0, None), "elevel": frozenset({2, 3, 4}),
+                         "salary": (50_000.0, 100_000.0 + _CLOSED_EPS)}),
+        GroundTruthRule({"age": (60.0, None), "elevel": frozenset({0, 1}),
+                         "salary": (25_000.0, 75_000.0 + _CLOSED_EPS)}),
+    ],
+}
+
+
+def ground_truth_label(function_number: int, record: Record) -> str:
+    """Label a record using the disjunctive ground-truth rules.
+
+    Only available for functions listed in :data:`GROUND_TRUTH_RULES`; used by
+    property tests to check that the rule descriptions agree with the
+    executable function definitions.
+    """
+    if function_number not in GROUND_TRUTH_RULES:
+        raise DataGenerationError(
+            f"no ground-truth rule description for function {function_number}"
+        )
+    for rule in GROUND_TRUTH_RULES[function_number]:
+        if rule.matches(record):
+            return rule.group
+    return GROUP_B

@@ -1,0 +1,183 @@
+"""Loading and saving datasets as CSV files.
+
+The paper mines rules from relations stored in a database; the practical
+equivalent for a library user is a CSV export.  This module provides
+
+* :func:`save_csv` / :func:`load_csv` — round-trip a :class:`Dataset` with an
+  explicit schema;
+* :func:`infer_schema` — build a schema from raw CSV columns (numeric columns
+  become continuous attributes over their observed range, low-cardinality or
+  non-numeric columns become categorical attributes);
+* :func:`load_csv_with_inferred_schema` — the one-call convenience wrapper.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.data.dataset import Dataset, Record
+from repro.data.schema import (
+    AttributeValue,
+    CategoricalAttribute,
+    ContinuousAttribute,
+    Schema,
+)
+from repro.exceptions import DataGenerationError, SchemaError
+
+PathLike = Union[str, Path]
+
+
+def save_csv(dataset: Dataset, path: PathLike, class_column: str = "class") -> None:
+    """Write a dataset to ``path`` with one column per attribute plus the class."""
+    if class_column in dataset.schema:
+        raise SchemaError(
+            f"class column name {class_column!r} collides with an attribute name"
+        )
+    path = Path(path)
+    fieldnames = dataset.schema.attribute_names + [class_column]
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for record, label in dataset:
+            row = dict(record)
+            row[class_column] = label
+            writer.writerow(row)
+
+
+def _read_rows(path: PathLike) -> List[Dict[str, str]]:
+    path = Path(path)
+    if not path.exists():
+        raise DataGenerationError(f"CSV file not found: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DataGenerationError(f"CSV file has no header row: {path}")
+        return [dict(row) for row in reader]
+
+
+def _parse_value(attribute, raw: str) -> AttributeValue:
+    if isinstance(attribute, ContinuousAttribute):
+        return float(raw)
+    # Categorical: prefer the original domain value type (int where possible).
+    for value in attribute.values:
+        if str(value) == raw:
+            return value
+    try:
+        numeric = float(raw)
+    except ValueError:
+        numeric = None
+    if numeric is not None:
+        for value in attribute.values:
+            if isinstance(value, (int, float)) and float(value) == numeric:
+                return value
+    raise SchemaError(
+        f"attribute {attribute.name!r}: value {raw!r} not in domain {attribute.values!r}"
+    )
+
+
+def load_csv(path: PathLike, schema: Schema, class_column: str = "class") -> Dataset:
+    """Load a CSV written by :func:`save_csv` (or compatible) with a known schema."""
+    rows = _read_rows(path)
+    if not rows:
+        raise DataGenerationError(f"CSV file contains no data rows: {path}")
+    missing = [name for name in schema.attribute_names + [class_column] if name not in rows[0]]
+    if missing:
+        raise DataGenerationError(f"CSV file is missing columns: {missing}")
+    records: List[Record] = []
+    labels: List[str] = []
+    for row in rows:
+        record = {
+            attribute.name: _parse_value(attribute, row[attribute.name])
+            for attribute in schema.attributes
+        }
+        records.append(record)
+        labels.append(row[class_column])
+    return Dataset(schema, records, labels)
+
+
+def infer_schema(
+    rows: Sequence[Dict[str, str]],
+    class_column: str = "class",
+    max_categorical_cardinality: int = 20,
+    ordered_columns: Optional[Sequence[str]] = None,
+) -> Schema:
+    """Infer a schema from raw string-valued CSV rows.
+
+    A column is treated as continuous when every value parses as a float and
+    it has more than ``max_categorical_cardinality`` distinct values;
+    otherwise it becomes a categorical attribute (numeric domains are kept as
+    numbers, sorted).  Columns named in ``ordered_columns`` are marked as
+    ordered categoricals so they receive thermometer coding.
+    """
+    if not rows:
+        raise DataGenerationError("cannot infer a schema from an empty row list")
+    ordered = set(ordered_columns or [])
+    columns = [name for name in rows[0] if name != class_column]
+    if class_column not in rows[0]:
+        raise DataGenerationError(f"class column {class_column!r} not found in CSV header")
+
+    attributes = []
+    for name in columns:
+        raw_values = [row[name] for row in rows]
+        distinct = sorted(set(raw_values))
+        numeric = True
+        parsed: List[float] = []
+        for value in raw_values:
+            try:
+                parsed.append(float(value))
+            except ValueError:
+                numeric = False
+                break
+        if numeric and len(distinct) > max_categorical_cardinality:
+            low, high = min(parsed), max(parsed)
+            if low == high:
+                high = low + 1.0
+            integer = all(float(v).is_integer() for v in parsed)
+            attributes.append(ContinuousAttribute(name, low, high, integer=integer))
+        else:
+            if numeric:
+                domain = tuple(sorted({int(v) if float(v).is_integer() else float(v) for v in parsed}))
+            else:
+                domain = tuple(distinct)
+            if len(domain) < 2:
+                domain = tuple(list(domain) + [f"__other_{name}__"])
+            attributes.append(
+                CategoricalAttribute(name, domain, ordered=(name in ordered or numeric))
+            )
+
+    classes = tuple(sorted({row[class_column] for row in rows}))
+    if len(classes) < 2:
+        raise DataGenerationError(
+            f"the class column {class_column!r} must contain at least two distinct labels"
+        )
+    return Schema(attributes=attributes, classes=classes)
+
+
+def load_csv_with_inferred_schema(
+    path: PathLike,
+    class_column: str = "class",
+    max_categorical_cardinality: int = 20,
+    ordered_columns: Optional[Sequence[str]] = None,
+) -> Dataset:
+    """Load a CSV file, inferring the schema from its contents."""
+    rows = _read_rows(path)
+    if not rows:
+        raise DataGenerationError(f"CSV file contains no data rows: {path}")
+    schema = infer_schema(
+        rows,
+        class_column=class_column,
+        max_categorical_cardinality=max_categorical_cardinality,
+        ordered_columns=ordered_columns,
+    )
+    records: List[Record] = []
+    labels: List[str] = []
+    for row in rows:
+        record = {
+            attribute.name: _parse_value(attribute, row[attribute.name])
+            for attribute in schema.attributes
+        }
+        records.append(record)
+        labels.append(row[class_column])
+    return Dataset(schema, records, labels)

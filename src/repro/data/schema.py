@@ -1,0 +1,293 @@
+"""Attribute schemas for tabular classification data.
+
+The paper mines rules from relational tuples whose attributes are either
+numeric (``salary``, ``age``, ...) or categorical (``car``, ``zipcode``).
+This module provides a small, explicit schema layer used throughout the
+library:
+
+* :class:`ContinuousAttribute` — a numeric attribute with a known value range.
+* :class:`CategoricalAttribute` — an attribute over a finite set of values.
+* :class:`Schema` — an ordered collection of attributes plus the class labels.
+
+Schemas are deliberately lightweight (plain data classes) but validate their
+inputs aggressively: almost every downstream bug in an end-to-end rule-mining
+pipeline shows up first as a value outside its declared domain, so catching
+those early with a clear :class:`~repro.exceptions.SchemaError` pays off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple, Union
+
+from repro.exceptions import SchemaError
+
+AttributeValue = Union[int, float, str]
+
+
+@dataclass(frozen=True)
+class ContinuousAttribute:
+    """A numeric attribute with an inclusive value range.
+
+    Parameters
+    ----------
+    name:
+        Attribute name, unique within a schema.
+    low, high:
+        Inclusive bounds of the values this attribute can take.  The bounds
+        are used by discretisers to build interval partitions and by the data
+        generator to validate produced values.
+    integer:
+        Whether values are conceptually integers (``age``, ``hyears``);
+        purely informational but used by pretty-printers.
+    """
+
+    name: str
+    low: float
+    high: float
+    integer: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be a non-empty string")
+        if not (float(self.low) < float(self.high)):
+            raise SchemaError(
+                f"attribute {self.name!r}: low ({self.low}) must be < high ({self.high})"
+            )
+
+    @property
+    def is_continuous(self) -> bool:
+        return True
+
+    @property
+    def is_categorical(self) -> bool:
+        return False
+
+    @property
+    def span(self) -> float:
+        """Width of the value range."""
+        return float(self.high) - float(self.low)
+
+    def contains(self, value: AttributeValue) -> bool:
+        """Return ``True`` when ``value`` lies inside ``[low, high]``."""
+        try:
+            v = float(value)
+        except (TypeError, ValueError):
+            return False
+        return self.low <= v <= self.high
+
+    def validate(self, value: AttributeValue) -> float:
+        """Return ``value`` as a float, raising :class:`SchemaError` when it
+        falls outside the declared range."""
+        try:
+            v = float(value)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"attribute {self.name!r}: value {value!r} is not numeric"
+            ) from exc
+        if not (self.low <= v <= self.high):
+            raise SchemaError(
+                f"attribute {self.name!r}: value {v} outside [{self.low}, {self.high}]"
+            )
+        return v
+
+
+@dataclass(frozen=True)
+class CategoricalAttribute:
+    """An attribute over a finite, ordered set of values.
+
+    The order of ``values`` matters: ordinal attributes such as ``elevel``
+    (education level 0..4) rely on it for thermometer coding, and one-hot
+    coding uses it to assign stable input positions.
+    """
+
+    name: str
+    values: Tuple[AttributeValue, ...]
+    ordered: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("attribute name must be a non-empty string")
+        values = tuple(self.values)
+        if len(values) < 2:
+            raise SchemaError(
+                f"attribute {self.name!r}: needs at least two values, got {values!r}"
+            )
+        if len(set(values)) != len(values):
+            raise SchemaError(f"attribute {self.name!r}: duplicate values in domain")
+        object.__setattr__(self, "values", values)
+
+    @property
+    def is_continuous(self) -> bool:
+        return False
+
+    @property
+    def is_categorical(self) -> bool:
+        return True
+
+    @property
+    def cardinality(self) -> int:
+        """Number of distinct values in the domain."""
+        return len(self.values)
+
+    def contains(self, value: AttributeValue) -> bool:
+        return value in self.values
+
+    def index_of(self, value: AttributeValue) -> int:
+        """Return the position of ``value`` within the domain.
+
+        Raises
+        ------
+        SchemaError
+            If ``value`` is not part of the domain.
+        """
+        try:
+            return self.values.index(value)
+        except ValueError as exc:
+            raise SchemaError(
+                f"attribute {self.name!r}: value {value!r} not in domain {self.values!r}"
+            ) from exc
+
+    def validate(self, value: AttributeValue) -> AttributeValue:
+        """Return ``value`` unchanged, raising when it is outside the domain."""
+        if value not in self.values:
+            raise SchemaError(
+                f"attribute {self.name!r}: value {value!r} not in domain {self.values!r}"
+            )
+        return value
+
+
+Attribute = Union[ContinuousAttribute, CategoricalAttribute]
+
+
+@dataclass
+class Schema:
+    """An ordered attribute schema plus the set of class labels.
+
+    The schema is the single source of truth for attribute names, their order
+    (which fixes the column order of every array representation) and the list
+    of class labels (which fixes the output-unit order of the network).
+    """
+
+    attributes: List[Attribute]
+    classes: Tuple[str, ...]
+    _index: Dict[str, int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not self.attributes:
+            raise SchemaError("schema needs at least one attribute")
+        names = [a.name for a in self.attributes]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate attribute names in schema: {names}")
+        classes = tuple(self.classes)
+        if len(classes) < 2:
+            raise SchemaError("schema needs at least two class labels")
+        if len(set(classes)) != len(classes):
+            raise SchemaError(f"duplicate class labels: {classes}")
+        self.classes = classes
+        self._index = {name: i for i, name in enumerate(names)}
+
+    # -- look-ups ---------------------------------------------------------
+
+    @property
+    def attribute_names(self) -> List[str]:
+        """Attribute names in schema order."""
+        return [a.name for a in self.attributes]
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def n_classes(self) -> int:
+        return len(self.classes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self.attributes)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def attribute(self, name: str) -> Attribute:
+        """Return the attribute called ``name``.
+
+        Raises
+        ------
+        SchemaError
+            If no attribute with that name exists.
+        """
+        try:
+            return self.attributes[self._index[name]]
+        except KeyError as exc:
+            raise SchemaError(
+                f"unknown attribute {name!r}; known: {self.attribute_names}"
+            ) from exc
+
+    def index(self, name: str) -> int:
+        """Return the column index of attribute ``name``."""
+        try:
+            return self._index[name]
+        except KeyError as exc:
+            raise SchemaError(
+                f"unknown attribute {name!r}; known: {self.attribute_names}"
+            ) from exc
+
+    def class_index(self, label: str) -> int:
+        """Return the output-unit index of class ``label``."""
+        try:
+            return self.classes.index(label)
+        except ValueError as exc:
+            raise SchemaError(
+                f"unknown class label {label!r}; known: {list(self.classes)}"
+            ) from exc
+
+    # -- validation -------------------------------------------------------
+
+    def validate_record(self, record: Mapping[str, AttributeValue]) -> Dict[str, AttributeValue]:
+        """Validate a mapping from attribute name to value.
+
+        Every schema attribute must be present and every value must belong to
+        its attribute's domain.  Extra keys are rejected to surface typos.
+
+        Returns a plain dict with values normalised (floats for continuous
+        attributes).
+        """
+        unknown = set(record) - set(self._index)
+        if unknown:
+            raise SchemaError(f"record has unknown attributes: {sorted(unknown)}")
+        out: Dict[str, AttributeValue] = {}
+        for attr in self.attributes:
+            if attr.name not in record:
+                raise SchemaError(f"record missing attribute {attr.name!r}")
+            out[attr.name] = attr.validate(record[attr.name])
+        return out
+
+    def validate_label(self, label: str) -> str:
+        if label not in self.classes:
+            raise SchemaError(
+                f"unknown class label {label!r}; known: {list(self.classes)}"
+            )
+        return label
+
+    # -- helpers ----------------------------------------------------------
+
+    def continuous_attributes(self) -> List[ContinuousAttribute]:
+        """All continuous attributes, in schema order."""
+        return [a for a in self.attributes if a.is_continuous]  # type: ignore[list-item]
+
+    def categorical_attributes(self) -> List[CategoricalAttribute]:
+        """All categorical attributes, in schema order."""
+        return [a for a in self.attributes if a.is_categorical]  # type: ignore[list-item]
+
+    def subset(self, names: Sequence[str]) -> "Schema":
+        """Return a new schema restricted to ``names`` (keeping classes)."""
+        attrs = [self.attribute(n) for n in names]
+        return Schema(attributes=attrs, classes=self.classes)
+
+
+def make_schema(attributes: Iterable[Attribute], classes: Sequence[str]) -> Schema:
+    """Convenience constructor accepting any iterables."""
+    return Schema(attributes=list(attributes), classes=tuple(classes))

@@ -1,0 +1,67 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All exceptions raised deliberately by the library derive from
+:class:`ReproError` so that callers can catch library-specific failures with a
+single ``except`` clause while letting programming errors (``TypeError``,
+``ValueError`` raised by NumPy, ...) propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SchemaError(ReproError):
+    """Raised when an attribute schema is inconsistent or misused.
+
+    Examples include duplicate attribute names, values outside a categorical
+    domain, or asking for an attribute that does not exist.
+    """
+
+
+class DataGenerationError(ReproError):
+    """Raised when a synthetic data set cannot be generated as requested."""
+
+
+class EncodingError(ReproError):
+    """Raised when a tuple cannot be encoded into (or decoded from) the
+    binary input representation."""
+
+
+class TrainingError(ReproError):
+    """Raised when network training cannot be carried out.
+
+    Typical causes are inconsistent array shapes, an empty training set, or a
+    training configuration that is internally contradictory.
+    """
+
+
+class PruningError(ReproError):
+    """Raised when the pruning algorithm (NP) is misconfigured or cannot make
+    progress (for instance when the accuracy threshold is unattainable even by
+    the unpruned network)."""
+
+
+class ExtractionError(ReproError):
+    """Raised when the rule-extraction algorithm (RX) fails.
+
+    The most common cause is an activation-clustering tolerance that cannot
+    preserve the required accuracy even at its smallest value.
+    """
+
+
+class RuleError(ReproError):
+    """Raised for malformed rules or rule sets (contradictory conditions on
+    construction, unknown attributes, missing default class, ...)."""
+
+
+class BaselineError(ReproError):
+    """Raised by the symbolic baselines (C4.5, ID3) for invalid inputs such
+    as empty training data or unknown attribute types."""
+
+
+class ExperimentError(ReproError):
+    """Raised by the experiment harness when an experiment specification is
+    invalid or an experiment produces internally inconsistent results."""

@@ -1,0 +1,49 @@
+"""Experiment harness reproducing the paper's tables and figures."""
+
+from repro.experiments.accuracy_table import AccuracyTable, build_accuracy_table
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.function2 import (
+    Function2CaseStudy,
+    function2_summary_metrics,
+    run_function2_case_study,
+)
+from repro.experiments.function4 import (
+    Function4CaseStudy,
+    function4_summary_metrics,
+    run_function4_case_study,
+)
+from repro.experiments.paper_values import (
+    PAPER_ACCURACY_TABLE,
+    PAPER_FUNCTION2_PRUNED_NETWORK,
+    PAPER_RULE_COUNTS,
+    PAPER_TABLE3,
+)
+from repro.experiments.reporting import format_paper_vs_measured, format_table
+from repro.experiments.runner import (
+    FunctionExperimentResult,
+    generate_experiment_data,
+    run_function_experiment,
+    run_functions,
+)
+
+__all__ = [
+    "AccuracyTable",
+    "ExperimentConfig",
+    "Function2CaseStudy",
+    "Function4CaseStudy",
+    "FunctionExperimentResult",
+    "PAPER_ACCURACY_TABLE",
+    "PAPER_FUNCTION2_PRUNED_NETWORK",
+    "PAPER_RULE_COUNTS",
+    "PAPER_TABLE3",
+    "build_accuracy_table",
+    "format_paper_vs_measured",
+    "format_table",
+    "function2_summary_metrics",
+    "function4_summary_metrics",
+    "generate_experiment_data",
+    "run_function2_case_study",
+    "run_function4_case_study",
+    "run_function_experiment",
+    "run_functions",
+]

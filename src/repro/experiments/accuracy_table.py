@@ -1,0 +1,92 @@
+"""Reproduction of the Section 4.1 classification-accuracy table (E6).
+
+The paper reports, for the eight usable benchmark functions, the training and
+testing accuracy of the pruned networks and of C4.5.  :func:`build_accuracy_table`
+runs the experiment for a list of functions and renders the same four-column
+table, optionally side by side with the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.data.functions import EVALUATED_FUNCTIONS
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.paper_values import PAPER_ACCURACY_TABLE
+from repro.experiments.reporting import format_table
+from repro.experiments.runner import FunctionExperimentResult, run_functions
+
+
+@dataclass
+class AccuracyTable:
+    """The measured accuracy table plus the underlying per-function results."""
+
+    results: List[FunctionExperimentResult]
+
+    @property
+    def functions(self) -> List[int]:
+        return [r.function for r in self.results]
+
+    def rows(self) -> List[Dict[str, float]]:
+        return [r.accuracy_row() for r in self.results]
+
+    def describe(self, include_paper: bool = True) -> str:
+        """Render the table (percentages, one row per function)."""
+        if include_paper:
+            headers = [
+                "Func", "NN train", "NN test", "C4.5 train", "C4.5 test",
+                "paper NN train", "paper NN test", "paper C4.5 train", "paper C4.5 test",
+            ]
+            rows = []
+            for r in self.results:
+                row = r.accuracy_row()
+                paper = PAPER_ACCURACY_TABLE.get(r.function, {})
+                rows.append(
+                    [
+                        r.function,
+                        row["nn_train"], row["nn_test"], row["c45_train"], row["c45_test"],
+                        paper.get("nn_train", float("nan")),
+                        paper.get("nn_test", float("nan")),
+                        paper.get("c45_train", float("nan")),
+                        paper.get("c45_test", float("nan")),
+                    ]
+                )
+        else:
+            headers = ["Func", "NN train", "NN test", "C4.5 train", "C4.5 test"]
+            rows = [
+                [r.function] + [r.accuracy_row()[k] for k in ("nn_train", "nn_test", "c45_train", "c45_test")]
+                for r in self.results
+            ]
+        return format_table(headers, rows, title="Classification accuracy (percent)")
+
+    def mean_absolute_gap(self) -> Optional[float]:
+        """Mean |measured - paper| over all cells with a paper value, in points."""
+        gaps: List[float] = []
+        for r in self.results:
+            paper = PAPER_ACCURACY_TABLE.get(r.function)
+            if not paper:
+                continue
+            row = r.accuracy_row()
+            for key in ("nn_train", "nn_test", "c45_train", "c45_test"):
+                gaps.append(abs(row[key] - paper[key]))
+        if not gaps:
+            return None
+        return sum(gaps) / len(gaps)
+
+
+def build_accuracy_table(
+    functions: Optional[Sequence[int]] = None,
+    config: Optional[ExperimentConfig] = None,
+) -> AccuracyTable:
+    """Run the accuracy-table experiment for the given functions.
+
+    Defaults to the paper's eight evaluated functions (1–7 and 9) and the
+    quick configuration.
+    """
+    functions = list(functions) if functions is not None else list(EVALUATED_FUNCTIONS)
+    if not functions:
+        raise ExperimentError("no functions requested for the accuracy table")
+    results = run_functions(functions, config or ExperimentConfig.quick())
+    return AccuracyTable(results=results)

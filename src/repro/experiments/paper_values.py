@@ -1,0 +1,68 @@
+"""The numbers the paper reports, for side-by-side comparison.
+
+These are transcribed from the paper (Section 4.1 accuracy table, the rule
+counts discussed in Section 4.2, and Table 3) so the experiment harness and
+EXPERIMENTS.md can print "paper vs measured" without re-reading the PDF.
+They are reference values only — nothing in the library fits to them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+#: Section 4.1 accuracy table: function -> (pruned-network train accuracy,
+#: pruned-network test accuracy, C4.5 train accuracy, C4.5 test accuracy),
+#: all in percent.
+PAPER_ACCURACY_TABLE: Dict[int, Dict[str, float]] = {
+    1: {"nn_train": 98.1, "nn_test": 100.0, "c45_train": 98.3, "c45_test": 100.0},
+    2: {"nn_train": 96.3, "nn_test": 100.0, "c45_train": 98.7, "c45_test": 96.0},
+    3: {"nn_train": 98.5, "nn_test": 100.0, "c45_train": 99.5, "c45_test": 99.1},
+    4: {"nn_train": 90.6, "nn_test": 92.9, "c45_train": 94.0, "c45_test": 89.7},
+    5: {"nn_train": 90.4, "nn_test": 93.1, "c45_train": 96.8, "c45_test": 94.4},
+    6: {"nn_train": 90.1, "nn_test": 90.9, "c45_train": 94.0, "c45_test": 91.7},
+    7: {"nn_train": 91.9, "nn_test": 91.4, "c45_train": 98.1, "c45_test": 93.6},
+    9: {"nn_train": 90.1, "nn_test": 90.9, "c45_train": 94.4, "c45_test": 91.8},
+}
+
+#: Section 4.2 / Figures 5–7 rule-set sizes.
+PAPER_RULE_COUNTS: Dict[str, int] = {
+    "function2_neurorule_rules": 4,           # Figure 5 (plus the default rule)
+    "function2_c45rules_total": 18,           # Figure 6 discussion
+    "function2_c45rules_group_a": 8,
+    "function4_neurorule_rules": 5,           # Figure 7(b)
+    "function4_c45rules_group_a": 10,         # Figure 7(c)
+    "function4_c45rules_total": 20,
+}
+
+#: Figure 3: the pruned network for Function 2.
+PAPER_FUNCTION2_PRUNED_NETWORK: Dict[str, float] = {
+    "connections": 17,
+    "hidden_units": 3,
+    "input_units": 7,
+    "training_accuracy_percent": 96.3,
+}
+
+#: Table 3: per-rule accuracy of the Function 4 rules on three test sizes.
+#: rule -> {size -> (total covered, correct percent)}.
+PAPER_TABLE3: Dict[str, Dict[int, tuple]] = {
+    "R1": {1000: (22, 100.0), 5000: (111, 100.0), 10000: (239, 100.0)},
+    "R2": {1000: (165, 93.9), 5000: (753, 92.6), 10000: (1463, 92.3)},
+    "R3": {1000: (46, 82.6), 5000: (247, 78.4), 10000: (503, 78.3)},
+    "R4": {1000: (51, 82.4), 5000: (305, 87.9), 10000: (597, 89.4)},
+    "R5": {1000: (71, 100.0), 5000: (385, 100.0), 10000: (802, 100.0)},
+}
+
+
+@dataclass(frozen=True)
+class PaperComparison:
+    """A single measured value next to the paper's reported value."""
+
+    experiment: str
+    quantity: str
+    paper: Optional[float]
+    measured: float
+
+    def describe(self) -> str:
+        paper_text = f"{self.paper:g}" if self.paper is not None else "n/a"
+        return f"{self.experiment:<28} {self.quantity:<28} paper={paper_text:<8} measured={self.measured:g}"

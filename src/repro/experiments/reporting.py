@@ -1,0 +1,58 @@
+"""Plain-text report rendering for the experiment harness."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ExperimentError
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.1f}",
+) -> str:
+    """Render a fixed-width text table.
+
+    Floats are formatted with ``float_format``; everything else with ``str``.
+    Column widths adapt to the longest cell.
+    """
+    if not headers:
+        raise ExperimentError("a table needs at least one column")
+
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_format.format(cell)
+        return str(cell)
+
+    rendered_rows = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        if len(row) != len(headers):
+            raise ExperimentError(
+                f"row has {len(row)} cells but the table has {len(headers)} columns"
+            )
+        widths = [max(w, len(cell)) for w, cell in zip(widths, row)]
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def format_paper_vs_measured(
+    title: str,
+    entries: Sequence[Sequence[object]],
+) -> str:
+    """Render (quantity, paper value, measured value) triples."""
+    return format_table(
+        headers=["quantity", "paper", "measured"],
+        rows=entries,
+        title=title,
+        float_format="{:.2f}",
+    )

@@ -1,0 +1,165 @@
+"""End-to-end experiment runner for one benchmark function.
+
+:func:`run_function_experiment` executes the full comparison of the paper for
+one Agrawal function: generate training/testing data, run the NeuroRule
+pipeline (train, prune, extract), run the C4.5 / C4.5rules baselines on the
+same data, and collect accuracies, rule counts and timings into a single
+result object.  The accuracy-table, Function 2 and Function 4 experiments are
+thin layers on top of this runner.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.baselines.c45 import C45Classifier, C45Rules
+from repro.core.neurorule import NeuroRuleClassifier
+from repro.data.agrawal import AgrawalGenerator
+from repro.data.dataset import Dataset
+from repro.data.functions import RELEVANT_ATTRIBUTES, SKEWED_FUNCTIONS
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.metrics.rules_metrics import RuleSetComplexity, referenced_attribute_report
+from repro.preprocessing.encoder import agrawal_encoder
+
+
+@dataclass
+class FunctionExperimentResult:
+    """Everything measured for one benchmark function."""
+
+    function: int
+    config_label: str
+    n_train: int
+    n_test: int
+    class_skew: float
+    # NeuroRule pipeline.
+    nn_train_accuracy: float
+    nn_test_accuracy: float
+    rule_train_accuracy: float
+    rule_test_accuracy: float
+    rule_fidelity: float
+    n_rules: int
+    rule_complexity: RuleSetComplexity
+    initial_connections: int
+    pruned_connections: int
+    active_hidden_units: int
+    relevant_inputs: int
+    spurious_attributes: List[str]
+    neurorule_seconds: float
+    # C4.5 / C4.5rules baselines.
+    c45_train_accuracy: float
+    c45_test_accuracy: float
+    c45_leaves: int
+    c45rules_count: int
+    c45rules_test_accuracy: float
+    c45_seconds: float
+    # The fitted classifier, for case studies that need the rules themselves.
+    classifier: Optional[NeuroRuleClassifier] = field(default=None, repr=False)
+    c45rules: Optional[C45Rules] = field(default=None, repr=False)
+
+    def accuracy_row(self) -> Dict[str, float]:
+        """One row of the Section 4.1 accuracy table, in percent."""
+        return {
+            "function": self.function,
+            "nn_train": 100.0 * self.nn_train_accuracy,
+            "nn_test": 100.0 * self.nn_test_accuracy,
+            "c45_train": 100.0 * self.c45_train_accuracy,
+            "c45_test": 100.0 * self.c45_test_accuracy,
+        }
+
+
+def generate_experiment_data(
+    function: int, config: ExperimentConfig
+) -> Dict[str, Dataset]:
+    """Training (perturbed) and testing (clean) data for one function."""
+    train = AgrawalGenerator(
+        function=function, perturbation=config.perturbation, seed=config.data_seed
+    ).generate(config.n_train)
+    test = AgrawalGenerator(
+        function=function, perturbation=config.test_perturbation, seed=config.test_seed
+    ).generate(config.n_test)
+    return {"train": train, "test": test}
+
+
+def run_function_experiment(
+    function: int,
+    config: Optional[ExperimentConfig] = None,
+    keep_models: bool = False,
+) -> FunctionExperimentResult:
+    """Run the full NeuroRule-vs-C4.5 comparison for one benchmark function."""
+    config = config or ExperimentConfig.quick()
+    if function in SKEWED_FUNCTIONS:
+        # The paper excludes these functions; running them is allowed (for the
+        # skew analysis itself) but the caller should know what they asked for.
+        pass
+    data = generate_experiment_data(function, config)
+    train, test = data["train"], data["test"]
+
+    # NeuroRule pipeline.
+    started = time.perf_counter()
+    classifier = NeuroRuleClassifier(config.neurorule_config(), encoder=agrawal_encoder())
+    classifier.fit(train)
+    neurorule_seconds = time.perf_counter() - started
+
+    assert classifier.extraction_result_ is not None
+    assert classifier.pruning_result_ is not None
+    extraction = classifier.extraction_result_
+    pruning = classifier.pruning_result_
+    rules = extraction.rules
+    network = classifier.network_
+    assert network is not None
+
+    relevant = RELEVANT_ATTRIBUTES.get(function, [])
+    attribute_report = (
+        referenced_attribute_report(extraction.attribute_rules, relevant)
+        if extraction.attribute_rules is not None
+        else {"spurious": []}
+    )
+
+    # C4.5 / C4.5rules baselines on exactly the same data.
+    started = time.perf_counter()
+    c45 = C45Classifier().fit(train)
+    c45rules = C45Rules().fit(train)
+    c45_seconds = time.perf_counter() - started
+
+    result = FunctionExperimentResult(
+        function=function,
+        config_label=config.label,
+        n_train=len(train),
+        n_test=len(test),
+        class_skew=train.class_skew(),
+        nn_train_accuracy=pruning.final_accuracy,
+        nn_test_accuracy=classifier.score_network(test),
+        rule_train_accuracy=extraction.training_accuracy,
+        rule_test_accuracy=classifier.score(test),
+        rule_fidelity=extraction.fidelity,
+        n_rules=rules.n_rules,
+        rule_complexity=RuleSetComplexity.of(rules),
+        initial_connections=pruning.initial_connections,
+        pruned_connections=pruning.final_connections,
+        active_hidden_units=len(network.active_hidden_units()),
+        relevant_inputs=len(network.relevant_inputs()),
+        spurious_attributes=list(attribute_report["spurious"]),
+        neurorule_seconds=neurorule_seconds,
+        c45_train_accuracy=c45.score(train),
+        c45_test_accuracy=c45.score(test),
+        c45_leaves=c45.n_leaves,
+        c45rules_count=c45rules.ruleset.n_rules,
+        c45rules_test_accuracy=c45rules.score(test),
+        c45_seconds=c45_seconds,
+        classifier=classifier if keep_models else None,
+        c45rules=c45rules if keep_models else None,
+    )
+    return result
+
+
+def run_functions(
+    functions: List[int],
+    config: Optional[ExperimentConfig] = None,
+) -> List[FunctionExperimentResult]:
+    """Run :func:`run_function_experiment` for several functions."""
+    if not functions:
+        raise ExperimentError("no functions requested")
+    return [run_function_experiment(function, config) for function in functions]

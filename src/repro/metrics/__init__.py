@@ -1,0 +1,37 @@
+"""Evaluation metrics: accuracy, confusion matrices, rule-set quality."""
+
+from repro.metrics.classification import (
+    ConfusionMatrix,
+    accuracy,
+    agreement,
+    error_rate,
+)
+from repro.metrics.comparison import (
+    RuleSetComparison,
+    accuracy_by_class,
+    compare_rulesets,
+    semantic_agreement,
+)
+from repro.metrics.rules_metrics import (
+    PerRuleAccuracyTable,
+    RuleSetComplexity,
+    conciseness_ratio,
+    per_rule_accuracy_table,
+    referenced_attribute_report,
+)
+
+__all__ = [
+    "ConfusionMatrix",
+    "PerRuleAccuracyTable",
+    "RuleSetComparison",
+    "RuleSetComplexity",
+    "accuracy",
+    "accuracy_by_class",
+    "agreement",
+    "compare_rulesets",
+    "conciseness_ratio",
+    "error_rate",
+    "per_rule_accuracy_table",
+    "referenced_attribute_report",
+    "semantic_agreement",
+]

@@ -1,0 +1,100 @@
+"""Classification metrics.
+
+The paper's single evaluation metric is classification accuracy (equation 6):
+the fraction of tuples whose predicted class equals their true class.  A
+confusion matrix and per-class breakdown are provided as well because the
+skew analysis (functions 8 and 10) needs them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+def accuracy(predictions: Sequence[str], truth: Sequence[str]) -> float:
+    """Fraction of predictions equal to the true labels (equation 6)."""
+    if len(predictions) != len(truth):
+        raise ReproError(
+            f"predictions ({len(predictions)}) and truth ({len(truth)}) differ in length"
+        )
+    if not truth:
+        raise ReproError("cannot compute accuracy of an empty prediction list")
+    correct = sum(1 for p, t in zip(predictions, truth) if p == t)
+    return correct / len(truth)
+
+
+def error_rate(predictions: Sequence[str], truth: Sequence[str]) -> float:
+    """``1 - accuracy``; the quantity the paper's related work discusses."""
+    return 1.0 - accuracy(predictions, truth)
+
+
+@dataclass
+class ConfusionMatrix:
+    """Counts of (true class, predicted class) pairs."""
+
+    classes: List[str]
+    matrix: np.ndarray
+
+    @classmethod
+    def from_predictions(
+        cls, predictions: Sequence[str], truth: Sequence[str], classes: Sequence[str]
+    ) -> "ConfusionMatrix":
+        classes = list(classes)
+        index = {c: i for i, c in enumerate(classes)}
+        matrix = np.zeros((len(classes), len(classes)), dtype=int)
+        for p, t in zip(predictions, truth):
+            if t not in index or p not in index:
+                raise ReproError(f"label outside the declared classes: {t!r} / {p!r}")
+            matrix[index[t], index[p]] += 1
+        return cls(classes=classes, matrix=matrix)
+
+    @property
+    def total(self) -> int:
+        return int(self.matrix.sum())
+
+    def accuracy(self) -> float:
+        if self.total == 0:
+            raise ReproError("empty confusion matrix")
+        return float(np.trace(self.matrix)) / self.total
+
+    def per_class_recall(self) -> Dict[str, float]:
+        """Recall (true-positive rate) for each class; 1.0 for absent classes."""
+        out: Dict[str, float] = {}
+        for i, label in enumerate(self.classes):
+            row_total = int(self.matrix[i].sum())
+            out[label] = float(self.matrix[i, i]) / row_total if row_total else 1.0
+        return out
+
+    def per_class_precision(self) -> Dict[str, float]:
+        """Precision for each class; 1.0 for classes never predicted."""
+        out: Dict[str, float] = {}
+        for i, label in enumerate(self.classes):
+            column_total = int(self.matrix[:, i].sum())
+            out[label] = float(self.matrix[i, i]) / column_total if column_total else 1.0
+        return out
+
+    def describe(self) -> str:
+        header = "true\\pred  " + "  ".join(f"{c:>8}" for c in self.classes)
+        lines = [header]
+        for i, label in enumerate(self.classes):
+            cells = "  ".join(f"{int(v):>8}" for v in self.matrix[i])
+            lines.append(f"{label:>9}  {cells}")
+        return "\n".join(lines)
+
+
+def agreement(first: Sequence[str], second: Sequence[str]) -> float:
+    """Fraction of positions where two prediction vectors agree.
+
+    Used as the *fidelity* metric: how faithfully the extracted rules mimic
+    the pruned network they came from.
+    """
+    if len(first) != len(second):
+        raise ReproError(f"prediction vectors differ in length: {len(first)} vs {len(second)}")
+    if not first:
+        raise ReproError("cannot compute agreement of empty prediction lists")
+    return sum(1 for a, b in zip(first, second) if a == b) / len(first)

@@ -1,0 +1,122 @@
+"""Rule-set quality metrics: conciseness, coverage, per-rule correctness.
+
+The paper's qualitative claims are about rule *conciseness* ("more compact",
+"easier to verify") and rule *relevance* ("only references attributes that
+appear in the original function").  These helpers quantify both, and build
+the per-rule accuracy table of Table 3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ReproError
+from repro.rules.rule import AttributeRule
+from repro.rules.ruleset import RuleSet, RuleStatistics
+
+
+@dataclass
+class RuleSetComplexity:
+    """Size metrics of a rule set (the paper's conciseness comparison)."""
+
+    name: str
+    n_rules: int
+    n_rules_per_class: Dict[str, int]
+    total_conditions: int
+    mean_conditions_per_rule: float
+
+    @classmethod
+    def of(cls, ruleset: RuleSet) -> "RuleSetComplexity":
+        per_class = {
+            label: len(ruleset.rules_for_class(label)) for label in ruleset.classes
+        }
+        return cls(
+            name=ruleset.name,
+            n_rules=ruleset.n_rules,
+            n_rules_per_class=per_class,
+            total_conditions=ruleset.total_conditions,
+            mean_conditions_per_rule=ruleset.mean_conditions_per_rule,
+        )
+
+    def describe(self) -> str:
+        per_class = ", ".join(f"{label}: {count}" for label, count in self.n_rules_per_class.items())
+        return (
+            f"{self.name}: {self.n_rules} rules ({per_class}), "
+            f"{self.total_conditions} conditions, "
+            f"{self.mean_conditions_per_rule:.2f} conditions/rule"
+        )
+
+
+def conciseness_ratio(reference: RuleSetComplexity, other: RuleSetComplexity) -> float:
+    """How many times more rules ``other`` needs than ``reference``.
+
+    The paper's headline comparison: C4.5rules needs 18 rules for Function 2
+    where NeuroRule needs 4, a ratio of 4.5.
+    """
+    if reference.n_rules == 0:
+        raise ReproError("reference rule set is empty; conciseness ratio undefined")
+    return other.n_rules / reference.n_rules
+
+
+def referenced_attribute_report(
+    ruleset: RuleSet[AttributeRule], relevant_attributes: Sequence[str]
+) -> Dict[str, List[str]]:
+    """Split the attributes a rule set references into relevant and spurious.
+
+    ``relevant_attributes`` are those appearing in the generating function
+    (:data:`repro.data.functions.RELEVANT_ATTRIBUTES`); anything else a rule
+    references is "spurious" — the paper points out that C4.5rules picks up
+    ``car`` for Function 4 while NeuroRule does not.
+    """
+    referenced = ruleset.referenced_attributes()
+    relevant = [name for name in referenced if name in set(relevant_attributes)]
+    spurious = [name for name in referenced if name not in set(relevant_attributes)]
+    return {"referenced": referenced, "relevant": relevant, "spurious": spurious}
+
+
+@dataclass
+class PerRuleAccuracyTable:
+    """Per-rule coverage/correctness over several test sets (Table 3)."""
+
+    rule_names: List[str]
+    sizes: List[int]
+    statistics: List[List[RuleStatistics]]
+
+    def row(self, rule_index: int) -> Dict[int, RuleStatistics]:
+        """Statistics of one rule keyed by test-set size."""
+        return {size: stats[rule_index] for size, stats in zip(self.sizes, self.statistics)}
+
+    def describe(self) -> str:
+        from repro.rules.pretty import format_rule_statistics_table
+
+        return format_rule_statistics_table(self.statistics, self.sizes, self.rule_names)
+
+
+def per_rule_accuracy_table(
+    ruleset: RuleSet,
+    datasets: Sequence[Dataset],
+    rule_names: Optional[Sequence[str]] = None,
+) -> PerRuleAccuracyTable:
+    """Evaluate every rule independently on several test sets.
+
+    Reproduces Table 3 of the paper: for each extracted rule and each test-set
+    size, the number of tuples the rule covers and the percentage of those
+    that truly belong to the rule's class.
+    """
+    if not datasets:
+        raise ReproError("at least one evaluation dataset is required")
+    names = list(rule_names) if rule_names is not None else [
+        f"R{i + 1}" for i in range(ruleset.n_rules)
+    ]
+    if len(names) != ruleset.n_rules:
+        raise ReproError(
+            f"{len(names)} rule names supplied for {ruleset.n_rules} rules"
+        )
+    statistics = [ruleset.rule_statistics(dataset) for dataset in datasets]
+    return PerRuleAccuracyTable(
+        rule_names=names,
+        sizes=[len(dataset) for dataset in datasets],
+        statistics=statistics,
+    )

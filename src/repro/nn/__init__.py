@@ -1,0 +1,41 @@
+"""Neural-network substrate: the three-layer perceptron of Section 2."""
+
+from repro.nn.activations import (
+    sigmoid,
+    sigmoid_derivative_from_activation,
+    tanh,
+    tanh_derivative_from_activation,
+)
+from repro.nn.loss import (
+    condition_one_satisfied,
+    cross_entropy,
+    cross_entropy_output_delta,
+    max_output_error,
+)
+from repro.nn.network import (
+    NetworkArchitecture,
+    ThreeLayerNetwork,
+    initialize_weights,
+    new_network,
+)
+from repro.nn.objective import TrainingObjective
+from repro.nn.penalty import PenaltyConfig, penalty_gradients, penalty_value
+
+__all__ = [
+    "NetworkArchitecture",
+    "PenaltyConfig",
+    "ThreeLayerNetwork",
+    "TrainingObjective",
+    "condition_one_satisfied",
+    "cross_entropy",
+    "cross_entropy_output_delta",
+    "initialize_weights",
+    "max_output_error",
+    "new_network",
+    "penalty_gradients",
+    "penalty_value",
+    "sigmoid",
+    "sigmoid_derivative_from_activation",
+    "tanh",
+    "tanh_derivative_from_activation",
+]

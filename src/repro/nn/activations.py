@@ -1,0 +1,50 @@
+"""Activation functions used by the paper's network.
+
+The hidden layer uses the hyperbolic tangent (range ``[-1, 1]``), the output
+layer uses the logistic sigmoid (range ``[0, 1]``); both are stated explicitly
+in Section 2.1.  Each function comes with its derivative expressed in terms of
+the *activation value* (not the pre-activation), which is what the analytic
+backward pass needs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Clip bound applied to sigmoid outputs before taking logs in the
+#: cross-entropy; keeps the objective finite for saturated units.
+SIGMOID_EPS = 1e-12
+
+
+def tanh(z: np.ndarray) -> np.ndarray:
+    """Hyperbolic tangent activation, elementwise."""
+    return np.tanh(z)
+
+
+def tanh_derivative_from_activation(a: np.ndarray) -> np.ndarray:
+    """Derivative of ``tanh`` expressed via its output: ``1 - a**2``."""
+    return 1.0 - np.square(a)
+
+
+def sigmoid(z: np.ndarray) -> np.ndarray:
+    """Numerically stable logistic sigmoid, elementwise.
+
+    Uses the standard two-branch formulation so neither branch exponentiates
+    a large positive number.
+    """
+    out = np.empty_like(z, dtype=float)
+    positive = z >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-z[positive]))
+    exp_z = np.exp(z[~positive])
+    out[~positive] = exp_z / (1.0 + exp_z)
+    return out
+
+
+def sigmoid_derivative_from_activation(s: np.ndarray) -> np.ndarray:
+    """Derivative of the sigmoid expressed via its output: ``s (1 - s)``."""
+    return s * (1.0 - s)
+
+
+def clip_probabilities(s: np.ndarray, eps: float = SIGMOID_EPS) -> np.ndarray:
+    """Clip probabilities away from 0 and 1 before log-loss evaluation."""
+    return np.clip(s, eps, 1.0 - eps)

@@ -1,0 +1,81 @@
+"""Error function: the cross-entropy of equation (2).
+
+The paper minimises
+
+.. math::
+
+    E(w, v) = - \\sum_i \\sum_p \\left( t^i_p \\log S^i_p
+               + (1 - t^i_p) \\log (1 - S^i_p) \\right)
+
+(a sum of per-output binary cross-entropies) rather than the squared error,
+because it converges faster with sigmoid outputs.  Combined with the sigmoid
+output activation, the gradient with respect to the output pre-activation is
+simply ``S - T``, which is what the backward pass uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.nn.activations import clip_probabilities
+
+
+def cross_entropy(outputs: np.ndarray, targets: np.ndarray) -> float:
+    """Total cross-entropy error (eq. 2) over a batch.
+
+    Parameters
+    ----------
+    outputs:
+        Network output activations ``S``, shape ``(n, o)``, values in (0, 1).
+    targets:
+        0/1 target matrix ``T`` of the same shape.
+    """
+    outputs = np.asarray(outputs, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if outputs.shape != targets.shape:
+        raise TrainingError(
+            f"outputs shape {outputs.shape} does not match targets shape {targets.shape}"
+        )
+    s = clip_probabilities(outputs)
+    return float(-np.sum(targets * np.log(s) + (1.0 - targets) * np.log(1.0 - s)))
+
+
+def cross_entropy_output_delta(outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Gradient of eq. (2) w.r.t. the output *pre-activations*.
+
+    With sigmoid outputs this collapses to ``S - T`` — the standard
+    "generalised delta" simplification.
+    """
+    outputs = np.asarray(outputs, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if outputs.shape != targets.shape:
+        raise TrainingError(
+            f"outputs shape {outputs.shape} does not match targets shape {targets.shape}"
+        )
+    return outputs - targets
+
+
+def max_output_error(outputs: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Per-pattern maximum absolute output error ``max_p |S_p - t_p|``.
+
+    This is the quantity bounded by ``eta_1`` in the paper's correct-
+    classification condition (1); the pruning algorithm checks it to decide
+    whether a pattern is "correctly classified with condition (1) satisfied".
+    """
+    outputs = np.asarray(outputs, dtype=float)
+    targets = np.asarray(targets, dtype=float)
+    if outputs.shape != targets.shape:
+        raise TrainingError(
+            f"outputs shape {outputs.shape} does not match targets shape {targets.shape}"
+        )
+    return np.max(np.abs(outputs - targets), axis=1)
+
+
+def condition_one_satisfied(
+    outputs: np.ndarray, targets: np.ndarray, eta1: float
+) -> np.ndarray:
+    """Boolean vector: which patterns satisfy the paper's condition (1)."""
+    if not (0.0 < eta1 < 0.5):
+        raise TrainingError(f"eta1 must lie in (0, 0.5), got {eta1}")
+    return max_output_error(outputs, targets) <= eta1

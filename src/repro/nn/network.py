@@ -1,0 +1,291 @@
+"""The three-layer feed-forward network of Section 2.1.
+
+The network has
+
+* ``n_inputs`` binary inputs (plus, by default, a constant bias input — the
+  paper's "87th input ... set to one"),
+* ``n_hidden`` hidden units with hyperbolic-tangent activations,
+* ``n_outputs`` output units (one per class) with sigmoid activations.
+
+Connections are stored as two dense weight matrices together with two boolean
+*connection masks*.  Pruning never reshapes the matrices; it clears mask
+entries (and zeroes the corresponding weights), which keeps every index stable
+across the repeated prune/retrain rounds of algorithm NP and makes questions
+such as "which inputs is hidden node 2 still connected to?" trivial to answer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.nn.activations import sigmoid, tanh
+
+
+@dataclass
+class NetworkArchitecture:
+    """Shape of a three-layer network.
+
+    ``bias_as_input`` selects the paper's convention of appending a constant
+    1-valued input instead of giving each hidden unit an explicit threshold
+    parameter; the extra column is counted in ``n_effective_inputs`` but not
+    in ``n_inputs``.
+    """
+
+    n_inputs: int
+    n_hidden: int
+    n_outputs: int
+    bias_as_input: bool = True
+
+    def __post_init__(self) -> None:
+        if self.n_inputs < 1:
+            raise TrainingError(f"n_inputs must be >= 1, got {self.n_inputs}")
+        if self.n_hidden < 1:
+            raise TrainingError(f"n_hidden must be >= 1, got {self.n_hidden}")
+        if self.n_outputs < 2:
+            raise TrainingError(f"n_outputs must be >= 2, got {self.n_outputs}")
+
+    @property
+    def n_effective_inputs(self) -> int:
+        """Number of input columns including the optional bias input."""
+        return self.n_inputs + (1 if self.bias_as_input else 0)
+
+    @property
+    def n_weights(self) -> int:
+        """Total number of (potential) connections in the network."""
+        return self.n_hidden * self.n_effective_inputs + self.n_outputs * self.n_hidden
+
+
+class ThreeLayerNetwork:
+    """Weights, masks and forward pass of the paper's network.
+
+    Parameters
+    ----------
+    architecture:
+        The network shape.
+    input_weights:
+        ``(n_hidden, n_effective_inputs)`` matrix ``w`` of input→hidden
+        weights; initialised to zero when omitted.
+    output_weights:
+        ``(n_outputs, n_hidden)`` matrix ``v`` of hidden→output weights.
+    """
+
+    def __init__(
+        self,
+        architecture: NetworkArchitecture,
+        input_weights: Optional[np.ndarray] = None,
+        output_weights: Optional[np.ndarray] = None,
+    ) -> None:
+        self.architecture = architecture
+        h, n_eff, o = architecture.n_hidden, architecture.n_effective_inputs, architecture.n_outputs
+        self.input_weights = np.zeros((h, n_eff)) if input_weights is None else np.array(input_weights, dtype=float)
+        self.output_weights = np.zeros((o, h)) if output_weights is None else np.array(output_weights, dtype=float)
+        if self.input_weights.shape != (h, n_eff):
+            raise TrainingError(
+                f"input_weights shape {self.input_weights.shape} != {(h, n_eff)}"
+            )
+        if self.output_weights.shape != (o, h):
+            raise TrainingError(
+                f"output_weights shape {self.output_weights.shape} != {(o, h)}"
+            )
+        self.input_mask = np.ones((h, n_eff), dtype=bool)
+        self.output_mask = np.ones((o, h), dtype=bool)
+
+    # -- convenience shape properties ----------------------------------------
+
+    @property
+    def n_inputs(self) -> int:
+        return self.architecture.n_inputs
+
+    @property
+    def n_hidden(self) -> int:
+        return self.architecture.n_hidden
+
+    @property
+    def n_outputs(self) -> int:
+        return self.architecture.n_outputs
+
+    # -- weight vector (optimizer) interface ----------------------------------
+
+    def masked_input_weights(self) -> np.ndarray:
+        """Input→hidden weights with pruned connections forced to zero."""
+        return self.input_weights * self.input_mask
+
+    def masked_output_weights(self) -> np.ndarray:
+        """Hidden→output weights with pruned connections forced to zero."""
+        return self.output_weights * self.output_mask
+
+    def get_weight_vector(self) -> np.ndarray:
+        """Flatten all weights into a single parameter vector.
+
+        Pruned positions are included (as zeros) so the vector length never
+        changes; the training objective multiplies gradients by the masks so
+        those positions stay at zero during optimisation.
+        """
+        return np.concatenate(
+            [self.masked_input_weights().ravel(), self.masked_output_weights().ravel()]
+        )
+
+    def set_weight_vector(self, theta: np.ndarray) -> None:
+        """Inverse of :meth:`get_weight_vector`."""
+        h, n_eff, o = self.n_hidden, self.architecture.n_effective_inputs, self.n_outputs
+        expected = h * n_eff + o * h
+        theta = np.asarray(theta, dtype=float)
+        if theta.shape != (expected,):
+            raise TrainingError(f"weight vector has shape {theta.shape}, expected ({expected},)")
+        self.input_weights = theta[: h * n_eff].reshape(h, n_eff) * self.input_mask
+        self.output_weights = theta[h * n_eff:].reshape(o, h) * self.output_mask
+
+    # -- forward pass ---------------------------------------------------------
+
+    def _with_bias(self, inputs: np.ndarray) -> np.ndarray:
+        """Append the constant bias column when the architecture uses one."""
+        inputs = np.atleast_2d(np.asarray(inputs, dtype=float))
+        if inputs.shape[1] == self.architecture.n_effective_inputs:
+            return inputs
+        if inputs.shape[1] != self.n_inputs:
+            raise TrainingError(
+                f"input matrix has {inputs.shape[1]} columns, expected {self.n_inputs}"
+            )
+        if not self.architecture.bias_as_input:
+            return inputs
+        bias = np.ones((inputs.shape[0], 1), dtype=float)
+        return np.hstack([inputs, bias])
+
+    def hidden_activations(self, inputs: np.ndarray) -> np.ndarray:
+        """Activation values ``alpha`` of the hidden units, shape ``(n, h)``."""
+        x = self._with_bias(inputs)
+        return tanh(x @ self.masked_input_weights().T)
+
+    def output_activations(self, inputs: np.ndarray) -> np.ndarray:
+        """Activation values ``S`` of the output units, shape ``(n, o)``."""
+        return self.outputs_from_hidden(self.hidden_activations(inputs))
+
+    def outputs_from_hidden(self, hidden: np.ndarray) -> np.ndarray:
+        """Output activations computed from given hidden activations.
+
+        Rule extraction uses this directly: after discretising the hidden
+        activations it re-evaluates only the top half of the network.
+        """
+        hidden = np.atleast_2d(np.asarray(hidden, dtype=float))
+        if hidden.shape[1] != self.n_hidden:
+            raise TrainingError(
+                f"hidden activation matrix has {hidden.shape[1]} columns, expected {self.n_hidden}"
+            )
+        return sigmoid(hidden @ self.masked_output_weights().T)
+
+    def predict_indices(self, inputs: np.ndarray) -> np.ndarray:
+        """Predicted class indices (arg-max over output activations)."""
+        return np.argmax(self.output_activations(inputs), axis=1)
+
+    # -- connection bookkeeping ------------------------------------------------
+
+    def prune_input_connection(self, hidden: int, input_index: int) -> None:
+        """Remove the connection from ``input_index`` to hidden unit ``hidden``."""
+        self.input_mask[hidden, input_index] = False
+        self.input_weights[hidden, input_index] = 0.0
+
+    def prune_output_connection(self, output: int, hidden: int) -> None:
+        """Remove the connection from hidden unit ``hidden`` to output ``output``."""
+        self.output_mask[output, hidden] = False
+        self.output_weights[output, hidden] = 0.0
+
+    def n_active_connections(self) -> int:
+        """Number of connections still present (both layers)."""
+        return int(self.input_mask.sum() + self.output_mask.sum())
+
+    def active_hidden_units(self) -> List[int]:
+        """Hidden units that still have at least one input *and* one output link.
+
+        A hidden unit that lost all its input links computes a constant and a
+        unit that lost all its output links cannot influence the prediction;
+        both count as removed, which is how the paper reports "one of the four
+        hidden nodes was removed".
+        """
+        units = []
+        for m in range(self.n_hidden):
+            has_input = bool(self.input_mask[m].any())
+            has_output = bool(self.output_mask[:, m].any())
+            if has_input and has_output:
+                units.append(m)
+        return units
+
+    def connected_inputs(self, hidden: int) -> List[int]:
+        """Indices of inputs still connected to hidden unit ``hidden``.
+
+        The bias column (if any) is excluded: it does not correspond to a
+        data attribute and never appears in extracted rules.
+        """
+        indices = np.flatnonzero(self.input_mask[hidden])
+        return [int(i) for i in indices if i < self.n_inputs]
+
+    def relevant_inputs(self) -> List[int]:
+        """Inputs connected to at least one *active* hidden unit."""
+        active = self.active_hidden_units()
+        used: set = set()
+        for m in active:
+            used.update(self.connected_inputs(m))
+        return sorted(used)
+
+    # -- copying ----------------------------------------------------------------
+
+    def copy(self) -> "ThreeLayerNetwork":
+        """Deep copy of weights and masks (architecture objects are shared)."""
+        clone = ThreeLayerNetwork(
+            self.architecture,
+            input_weights=self.input_weights.copy(),
+            output_weights=self.output_weights.copy(),
+        )
+        clone.input_mask = self.input_mask.copy()
+        clone.output_mask = self.output_mask.copy()
+        return clone
+
+    def __repr__(self) -> str:
+        return (
+            f"ThreeLayerNetwork(inputs={self.n_inputs}, hidden={self.n_hidden}, "
+            f"outputs={self.n_outputs}, active_connections={self.n_active_connections()})"
+        )
+
+
+def initialize_weights(
+    architecture: NetworkArchitecture,
+    seed: Optional[int] = None,
+    scale: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random initial weights, uniform in ``[-scale, scale]``.
+
+    The paper initialises all weights uniformly in ``[-1, 1]``; ``scale``
+    allows tests to start closer to the origin for faster convergence.
+    """
+    if scale <= 0:
+        raise TrainingError(f"scale must be positive, got {scale}")
+    rng = np.random.default_rng(seed)
+    input_weights = rng.uniform(
+        -scale, scale, size=(architecture.n_hidden, architecture.n_effective_inputs)
+    )
+    output_weights = rng.uniform(
+        -scale, scale, size=(architecture.n_outputs, architecture.n_hidden)
+    )
+    return input_weights, output_weights
+
+
+def new_network(
+    n_inputs: int,
+    n_hidden: int,
+    n_outputs: int,
+    bias_as_input: bool = True,
+    seed: Optional[int] = None,
+    scale: float = 1.0,
+) -> ThreeLayerNetwork:
+    """Construct a randomly initialised, fully connected network."""
+    architecture = NetworkArchitecture(
+        n_inputs=n_inputs,
+        n_hidden=n_hidden,
+        n_outputs=n_outputs,
+        bias_as_input=bias_as_input,
+    )
+    input_weights, output_weights = initialize_weights(architecture, seed=seed, scale=scale)
+    return ThreeLayerNetwork(architecture, input_weights, output_weights)

@@ -1,0 +1,129 @@
+"""The training objective E(w, v) + P(w, v) and its analytic gradient.
+
+This module packages the forward pass, cross-entropy error (eq. 2), penalty
+term (eq. 3) and the full backward pass into a single callable suitable for a
+generic unconstrained minimiser (the paper uses BFGS; Section 2.1).  The
+gradient respects the network's connection masks so pruned connections stay
+at exactly zero during retraining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.nn.activations import tanh_derivative_from_activation
+from repro.nn.loss import cross_entropy, cross_entropy_output_delta
+from repro.nn.network import ThreeLayerNetwork
+from repro.nn.penalty import PenaltyConfig, penalty_gradients, penalty_value
+
+
+@dataclass
+class TrainingObjective:
+    """Objective function object bound to a network, data and penalty config.
+
+    The optimiser works on a flat parameter vector (the network's
+    :meth:`~repro.nn.network.ThreeLayerNetwork.get_weight_vector` layout); the
+    objective reshapes it, runs the forward and backward pass with NumPy
+    matrix products and returns ``(value, gradient)``.
+    """
+
+    network: ThreeLayerNetwork
+    inputs: np.ndarray
+    targets: np.ndarray
+    penalty: PenaltyConfig
+
+    def __post_init__(self) -> None:
+        self.inputs = np.atleast_2d(np.asarray(self.inputs, dtype=float))
+        self.targets = np.atleast_2d(np.asarray(self.targets, dtype=float))
+        if self.inputs.shape[0] != self.targets.shape[0]:
+            raise TrainingError(
+                f"inputs ({self.inputs.shape[0]} rows) and targets "
+                f"({self.targets.shape[0]} rows) must have the same number of patterns"
+            )
+        if self.inputs.shape[0] == 0:
+            raise TrainingError("cannot build a training objective from an empty data set")
+        if self.targets.shape[1] != self.network.n_outputs:
+            raise TrainingError(
+                f"targets have {self.targets.shape[1]} columns but the network has "
+                f"{self.network.n_outputs} outputs"
+            )
+        # Pre-compute the bias-augmented input matrix once.
+        self._x = self.network._with_bias(self.inputs)
+
+    @property
+    def n_parameters(self) -> int:
+        return self.network.get_weight_vector().shape[0]
+
+    def initial_vector(self) -> np.ndarray:
+        """Current network weights as the optimiser's starting point."""
+        return self.network.get_weight_vector()
+
+    # -- evaluation -----------------------------------------------------------
+
+    def _unpack(self, theta: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        h = self.network.n_hidden
+        n_eff = self.network.architecture.n_effective_inputs
+        o = self.network.n_outputs
+        theta = np.asarray(theta, dtype=float)
+        expected = h * n_eff + o * h
+        if theta.shape != (expected,):
+            raise TrainingError(
+                f"parameter vector has shape {theta.shape}, expected ({expected},)"
+            )
+        w = theta[: h * n_eff].reshape(h, n_eff) * self.network.input_mask
+        v = theta[h * n_eff:].reshape(o, h) * self.network.output_mask
+        return w, v
+
+    def value(self, theta: np.ndarray) -> float:
+        """Objective value E + P at ``theta``."""
+        return self.value_and_gradient(theta)[0]
+
+    def gradient(self, theta: np.ndarray) -> np.ndarray:
+        """Objective gradient at ``theta``."""
+        return self.value_and_gradient(theta)[1]
+
+    def value_and_gradient(self, theta: np.ndarray) -> Tuple[float, np.ndarray]:
+        """Evaluate the objective and its gradient in one pass."""
+        w, v = self._unpack(theta)
+        x = self._x
+
+        # Forward pass.
+        hidden = np.tanh(x @ w.T)                         # (n, h)
+        logits = hidden @ v.T                             # (n, o)
+        outputs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
+
+        error = cross_entropy(outputs, self.targets)
+        value = error + penalty_value(w, v, self.penalty)
+
+        # Backward pass.
+        delta_out = cross_entropy_output_delta(outputs, self.targets)    # (n, o)
+        grad_v = delta_out.T @ hidden                                    # (o, h)
+        delta_hidden = (delta_out @ v) * tanh_derivative_from_activation(hidden)  # (n, h)
+        grad_w = delta_hidden.T @ x                                      # (h, n_eff)
+
+        pen_w, pen_v = penalty_gradients(w, v, self.penalty)
+        grad_w = (grad_w + pen_w) * self.network.input_mask
+        grad_v = (grad_v + pen_v) * self.network.output_mask
+
+        gradient = np.concatenate([grad_w.ravel(), grad_v.ravel()])
+        return float(value), gradient
+
+    def error_only(self, theta: np.ndarray) -> float:
+        """Cross-entropy error alone (without the penalty) at ``theta``.
+
+        Used for reporting: the paper quotes classification accuracy and
+        error, never the penalised objective.
+        """
+        w, v = self._unpack(theta)
+        hidden = np.tanh(self._x @ w.T)
+        logits = hidden @ v.T
+        outputs = 1.0 / (1.0 + np.exp(-np.clip(logits, -60.0, 60.0)))
+        return cross_entropy(outputs, self.targets)
+
+    def apply(self, theta: np.ndarray) -> None:
+        """Write ``theta`` back into the bound network."""
+        self.network.set_weight_vector(theta)

@@ -1,0 +1,77 @@
+"""Weight-decay penalty of equation (3).
+
+The penalty has two parts.  The first (weighted by ``epsilon1``) is a sum of
+saturating terms ``beta w^2 / (1 + beta w^2)``: it pushes *small* weights
+towards zero hard but barely affects large ones, which is what makes whole
+connections prunable.  The second (weighted by ``epsilon2``) is classic
+quadratic weight decay that keeps the surviving weights from growing without
+bound — a precondition for the pruning conditions (4) and (5), which reason
+about weight magnitudes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+
+
+@dataclass(frozen=True)
+class PenaltyConfig:
+    """Parameters of the penalty term P(w, v).
+
+    Defaults follow the magnitudes used in the authors' related penalty-
+    pruning work: a saturating term with ``beta = 10`` and small decay
+    coefficients.  Larger ``epsilon1``/``epsilon2`` remove more weights at
+    some cost in accuracy, as discussed below equation (3) in the paper.
+    """
+
+    epsilon1: float = 0.5
+    epsilon2: float = 1e-3
+    beta: float = 10.0
+
+    def __post_init__(self) -> None:
+        if self.epsilon1 < 0 or self.epsilon2 < 0:
+            raise TrainingError(
+                f"penalty coefficients must be non-negative, got "
+                f"epsilon1={self.epsilon1}, epsilon2={self.epsilon2}"
+            )
+        if self.beta <= 0:
+            raise TrainingError(f"beta must be positive, got {self.beta}")
+
+
+def penalty_value(
+    input_weights: np.ndarray, output_weights: np.ndarray, config: PenaltyConfig
+) -> float:
+    """Evaluate P(w, v) of equation (3)."""
+    def saturating(w: np.ndarray) -> float:
+        squared = config.beta * np.square(w)
+        return float(np.sum(squared / (1.0 + squared)))
+
+    def quadratic(w: np.ndarray) -> float:
+        return float(np.sum(np.square(w)))
+
+    return config.epsilon1 * (
+        saturating(input_weights) + saturating(output_weights)
+    ) + config.epsilon2 * (quadratic(input_weights) + quadratic(output_weights))
+
+
+def penalty_gradients(
+    input_weights: np.ndarray, output_weights: np.ndarray, config: PenaltyConfig
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Gradients of P(w, v) with respect to both weight matrices.
+
+    The saturating term's derivative is ``2 beta w / (1 + beta w^2)^2`` and
+    the quadratic term's is ``2 w``.
+    """
+    def gradient(w: np.ndarray) -> np.ndarray:
+        squared = config.beta * np.square(w)
+        saturating = 2.0 * config.beta * w / np.square(1.0 + squared)
+        return config.epsilon1 * saturating + config.epsilon2 * 2.0 * w
+
+    return gradient(np.asarray(input_weights, dtype=float)), gradient(
+        np.asarray(output_weights, dtype=float)
+    )

@@ -1,0 +1,21 @@
+"""Unconstrained minimisers used for network training."""
+
+from repro.optim.bfgs import BFGSConfig, BFGSMinimizer
+from repro.optim.gradient_descent import GradientDescentConfig, GradientDescentMinimizer
+from repro.optim.line_search import (
+    LineSearchResult,
+    backtracking_line_search,
+    wolfe_line_search,
+)
+from repro.optim.result import OptimizationResult
+
+__all__ = [
+    "BFGSConfig",
+    "BFGSMinimizer",
+    "GradientDescentConfig",
+    "GradientDescentMinimizer",
+    "LineSearchResult",
+    "OptimizationResult",
+    "backtracking_line_search",
+    "wolfe_line_search",
+]

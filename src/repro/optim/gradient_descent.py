@@ -1,0 +1,102 @@
+"""Gradient descent with momentum — the classic backpropagation baseline.
+
+The paper motivates BFGS by contrasting its superlinear convergence with the
+linear rate of gradient descent ("the backpropagation algorithm").  This
+module provides that baseline so the optimiser ablation benchmark can
+reproduce the comparison: same objective, same budget, different minimiser.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.optim.result import OptimizationResult
+
+Objective = Callable[[np.ndarray], Tuple[float, np.ndarray]]
+
+
+@dataclass
+class GradientDescentConfig:
+    """Hyper-parameters of the gradient-descent run."""
+
+    learning_rate: float = 0.01
+    momentum: float = 0.9
+    max_iterations: int = 2000
+    gradient_tolerance: float = 1e-4
+    adaptive: bool = True
+    record_history: bool = False
+
+    def __post_init__(self) -> None:
+        if self.learning_rate <= 0:
+            raise TrainingError(f"learning_rate must be positive, got {self.learning_rate}")
+        if not (0.0 <= self.momentum < 1.0):
+            raise TrainingError(f"momentum must be in [0, 1), got {self.momentum}")
+        if self.max_iterations < 1:
+            raise TrainingError(f"max_iterations must be >= 1, got {self.max_iterations}")
+
+
+class GradientDescentMinimizer:
+    """Full-batch gradient descent with momentum and optional step adaptation.
+
+    With ``adaptive=True`` the step size is halved whenever an update would
+    increase the objective (and the momentum buffer is cleared), and gently
+    increased after successful steps — the classic "bold driver" heuristic.
+    """
+
+    def __init__(self, config: Optional[GradientDescentConfig] = None) -> None:
+        self.config = config or GradientDescentConfig()
+
+    def minimize(self, objective: Objective, x0: np.ndarray) -> OptimizationResult:
+        config = self.config
+        x = np.asarray(x0, dtype=float).copy()
+        value, gradient = objective(x)
+        evaluations = 1
+        velocity = np.zeros_like(x)
+        learning_rate = config.learning_rate
+        history = [value] if config.record_history else []
+        converged = False
+        message = "iteration budget exhausted"
+        iteration = 0
+
+        for iteration in range(1, config.max_iterations + 1):
+            gradient_norm = float(np.max(np.abs(gradient)))
+            if gradient_norm <= config.gradient_tolerance:
+                converged = True
+                message = "gradient norm below tolerance"
+                iteration -= 1
+                break
+            velocity = config.momentum * velocity - learning_rate * gradient
+            candidate = x + velocity
+            candidate_value, candidate_gradient = objective(candidate)
+            evaluations += 1
+            if config.adaptive and candidate_value > value:
+                learning_rate *= 0.5
+                velocity = np.zeros_like(x)
+                if learning_rate < 1e-12:
+                    message = "learning rate underflow"
+                    break
+                continue
+            if config.adaptive:
+                learning_rate *= 1.05
+            x, value, gradient = candidate, candidate_value, candidate_gradient
+            if config.record_history:
+                history.append(value)
+
+        gradient_norm = float(np.max(np.abs(gradient)))
+        if not converged and gradient_norm <= config.gradient_tolerance:
+            converged = True
+            message = "gradient norm below tolerance"
+        return OptimizationResult(
+            x=x,
+            value=float(value),
+            gradient_norm=gradient_norm,
+            iterations=iteration,
+            function_evaluations=evaluations,
+            converged=converged,
+            message=message,
+            history=history,
+        )

@@ -1,0 +1,121 @@
+"""Line searches used by the minimisers.
+
+Quasi-Newton methods need a step length that satisfies the (strong) Wolfe
+conditions to guarantee a positive-curvature update of the inverse-Hessian
+approximation.  :func:`wolfe_line_search` implements the standard
+bracket-and-zoom scheme (Nocedal & Wright, Algorithm 3.5/3.6);
+:func:`backtracking_line_search` is the simpler Armijo backtracking used by
+the gradient-descent baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+import numpy as np
+
+Objective = Callable[[np.ndarray], Tuple[float, np.ndarray]]
+
+
+@dataclass
+class LineSearchResult:
+    """Step length, new point data, and evaluation count of a line search."""
+
+    alpha: float
+    value: float
+    gradient: np.ndarray
+    evaluations: int
+    success: bool
+
+
+def backtracking_line_search(
+    objective: Objective,
+    x: np.ndarray,
+    direction: np.ndarray,
+    value: float,
+    gradient: np.ndarray,
+    initial_step: float = 1.0,
+    shrink: float = 0.5,
+    c1: float = 1e-4,
+    max_steps: int = 30,
+) -> LineSearchResult:
+    """Armijo backtracking: shrink the step until sufficient decrease holds."""
+    directional = float(gradient @ direction)
+    alpha = initial_step
+    evaluations = 0
+    best = LineSearchResult(0.0, value, gradient, 0, False)
+    for _ in range(max_steps):
+        candidate_value, candidate_gradient = objective(x + alpha * direction)
+        evaluations += 1
+        if candidate_value <= value + c1 * alpha * directional:
+            return LineSearchResult(alpha, candidate_value, candidate_gradient, evaluations, True)
+        alpha *= shrink
+    best.evaluations = evaluations
+    return best
+
+
+def wolfe_line_search(
+    objective: Objective,
+    x: np.ndarray,
+    direction: np.ndarray,
+    value: float,
+    gradient: np.ndarray,
+    c1: float = 1e-4,
+    c2: float = 0.9,
+    max_iterations: int = 25,
+    max_step: float = 1e3,
+) -> LineSearchResult:
+    """Strong-Wolfe line search (bracket and zoom).
+
+    Parameters follow the conventional quasi-Newton choices ``c1 = 1e-4`` and
+    ``c2 = 0.9``.  Returns ``success=False`` when no acceptable step was found
+    within the evaluation budget; the caller then falls back to a simple
+    backtracking step (or restarts the Hessian approximation).
+    """
+    phi0 = value
+    dphi0 = float(gradient @ direction)
+    evaluations = 0
+    if dphi0 >= 0:
+        # Not a descent direction; signal failure so the caller can reset.
+        return LineSearchResult(0.0, value, gradient, 0, False)
+
+    def phi(alpha: float) -> Tuple[float, np.ndarray, float]:
+        nonlocal evaluations
+        candidate_value, candidate_gradient = objective(x + alpha * direction)
+        evaluations += 1
+        return candidate_value, candidate_gradient, float(candidate_gradient @ direction)
+
+    def zoom(alpha_lo: float, alpha_hi: float, value_lo: float) -> LineSearchResult:
+        for _ in range(max_iterations):
+            alpha = 0.5 * (alpha_lo + alpha_hi)
+            candidate_value, candidate_gradient, slope = phi(alpha)
+            if candidate_value > phi0 + c1 * alpha * dphi0 or candidate_value >= value_lo:
+                alpha_hi = alpha
+            else:
+                if abs(slope) <= -c2 * dphi0:
+                    return LineSearchResult(alpha, candidate_value, candidate_gradient, evaluations, True)
+                if slope * (alpha_hi - alpha_lo) >= 0:
+                    alpha_hi = alpha_lo
+                alpha_lo, value_lo = alpha, candidate_value
+            if abs(alpha_hi - alpha_lo) < 1e-14:
+                break
+        candidate_value, candidate_gradient, _ = phi(alpha_lo) if alpha_lo > 0 else (phi0, gradient, dphi0)
+        success = candidate_value < phi0
+        return LineSearchResult(alpha_lo, candidate_value, candidate_gradient, evaluations, success)
+
+    alpha_prev, value_prev = 0.0, phi0
+    alpha = 1.0
+    for iteration in range(1, max_iterations + 1):
+        candidate_value, candidate_gradient, slope = phi(alpha)
+        if candidate_value > phi0 + c1 * alpha * dphi0 or (
+            iteration > 1 and candidate_value >= value_prev
+        ):
+            return zoom(alpha_prev, alpha, value_prev)
+        if abs(slope) <= -c2 * dphi0:
+            return LineSearchResult(alpha, candidate_value, candidate_gradient, evaluations, True)
+        if slope >= 0:
+            return zoom(alpha, alpha_prev, candidate_value)
+        alpha_prev, value_prev = alpha, candidate_value
+        alpha = min(2.0 * alpha, max_step)
+    return LineSearchResult(0.0, value, gradient, evaluations, False)

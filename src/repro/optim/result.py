@@ -1,0 +1,50 @@
+"""Shared result type for the unconstrained minimisers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+
+@dataclass
+class OptimizationResult:
+    """Outcome of an unconstrained minimisation run.
+
+    Attributes
+    ----------
+    x:
+        Final parameter vector.
+    value:
+        Objective value at ``x``.
+    gradient_norm:
+        Infinity norm of the gradient at ``x``.
+    iterations:
+        Number of outer iterations performed.
+    function_evaluations:
+        Number of objective (value+gradient) evaluations.
+    converged:
+        ``True`` when the gradient-norm stopping criterion was met (as opposed
+        to hitting the iteration budget or stalling in the line search).
+    message:
+        Human-readable explanation of why the run stopped.
+    history:
+        Objective value at the start of every iteration; useful for the
+        optimiser-comparison ablation benchmark.
+    """
+
+    x: np.ndarray
+    value: float
+    gradient_norm: float
+    iterations: int
+    function_evaluations: int
+    converged: bool
+    message: str
+    history: List[float] = field(default_factory=list)
+
+    def __repr__(self) -> str:
+        return (
+            f"OptimizationResult(value={self.value:.6g}, grad_norm={self.gradient_norm:.3g}, "
+            f"iterations={self.iterations}, converged={self.converged})"
+        )

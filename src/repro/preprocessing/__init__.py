@@ -1,0 +1,39 @@
+"""Preprocessing: discretisation and binary coding of relational tuples."""
+
+from repro.preprocessing.discretization import (
+    Discretizer,
+    EqualFrequencyDiscretizer,
+    EqualWidthDiscretizer,
+    ExplicitCutsDiscretizer,
+)
+from repro.preprocessing.encoder import TupleEncoder, agrawal_encoder, default_encoder
+from repro.preprocessing.features import (
+    KIND_EQUALS,
+    KIND_ORDINAL_THRESHOLD,
+    KIND_THRESHOLD,
+    InputFeature,
+)
+from repro.preprocessing.intervals import Interval, IntervalPartition, at_least, less_than
+from repro.preprocessing.onehot import OneHotEncoder
+from repro.preprocessing.thermometer import OrdinalThermometerEncoder, ThermometerEncoder
+
+__all__ = [
+    "Discretizer",
+    "EqualFrequencyDiscretizer",
+    "EqualWidthDiscretizer",
+    "ExplicitCutsDiscretizer",
+    "InputFeature",
+    "Interval",
+    "IntervalPartition",
+    "KIND_EQUALS",
+    "KIND_ORDINAL_THRESHOLD",
+    "KIND_THRESHOLD",
+    "OneHotEncoder",
+    "OrdinalThermometerEncoder",
+    "ThermometerEncoder",
+    "TupleEncoder",
+    "agrawal_encoder",
+    "at_least",
+    "default_encoder",
+    "less_than",
+]

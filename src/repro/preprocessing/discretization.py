@@ -1,0 +1,151 @@
+"""Discretisers: strategies for choosing the cut points of numeric attributes.
+
+The paper discretises each numeric attribute "by dividing its range into
+subintervals" of fixed width (Table 2).  That corresponds to
+:class:`EqualWidthDiscretizer`.  Two further strategies are provided because
+they are natural extensions used when applying NeuroRule to data sets whose
+attribute ranges are not known a priori:
+
+* :class:`ExplicitCutsDiscretizer` — user-specified boundaries (this is what
+  the Agrawal encoder uses so the cuts match Table 2 exactly);
+* :class:`EqualFrequencyDiscretizer` — quantile-based cuts estimated from a
+  data sample.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.schema import ContinuousAttribute
+from repro.exceptions import EncodingError
+from repro.preprocessing.intervals import IntervalPartition
+
+
+class Discretizer:
+    """Strategy interface: build an :class:`IntervalPartition` for an attribute."""
+
+    def partition(
+        self,
+        attribute: ContinuousAttribute,
+        values: Optional[Sequence[float]] = None,
+    ) -> IntervalPartition:
+        """Return the partition of ``attribute``'s range.
+
+        ``values`` is an optional data sample; data-driven discretisers
+        (equal frequency) require it, range-driven ones ignore it.
+        """
+        raise NotImplementedError
+
+
+@dataclass
+class ExplicitCutsDiscretizer(Discretizer):
+    """Discretiser with user-provided interior cut points."""
+
+    cuts: Sequence[float]
+
+    def partition(
+        self,
+        attribute: ContinuousAttribute,
+        values: Optional[Sequence[float]] = None,
+    ) -> IntervalPartition:
+        cuts = [float(c) for c in self.cuts]
+        out_of_range = [c for c in cuts if not (attribute.low < c <= attribute.high)]
+        # Cuts are allowed to sit at or outside the upper bound (they simply
+        # produce an empty last sub-interval) but must exceed the lower bound,
+        # otherwise the corresponding thermometer bit would be constant zero.
+        if any(c <= attribute.low for c in out_of_range):
+            raise EncodingError(
+                f"attribute {attribute.name!r}: cuts {out_of_range} do not exceed "
+                f"the lower bound {attribute.low}"
+            )
+        return IntervalPartition(cuts, low=attribute.low, high=attribute.high)
+
+
+@dataclass
+class EqualWidthDiscretizer(Discretizer):
+    """Fixed-width sub-intervals, as in Table 2 of the paper.
+
+    Exactly one of ``width`` or ``n_subintervals`` must be provided.  When
+    ``width`` is given the number of sub-intervals is
+    ``ceil(range / width)``; the last sub-interval may be narrower, mirroring
+    the paper's treatment of the commission attribute.
+    """
+
+    width: Optional[float] = None
+    n_subintervals: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if (self.width is None) == (self.n_subintervals is None):
+            raise EncodingError(
+                "provide exactly one of width or n_subintervals to EqualWidthDiscretizer"
+            )
+        if self.width is not None and self.width <= 0:
+            raise EncodingError(f"width must be positive, got {self.width}")
+        if self.n_subintervals is not None and self.n_subintervals < 2:
+            raise EncodingError(
+                f"n_subintervals must be at least 2, got {self.n_subintervals}"
+            )
+
+    def partition(
+        self,
+        attribute: ContinuousAttribute,
+        values: Optional[Sequence[float]] = None,
+    ) -> IntervalPartition:
+        span = attribute.span
+        if self.width is not None:
+            count = int(math.ceil(span / self.width))
+            count = max(count, 2)
+            width = self.width
+        else:
+            count = int(self.n_subintervals)  # type: ignore[arg-type]
+            width = span / count
+        cuts = [attribute.low + width * i for i in range(1, count)]
+        cuts = [c for c in cuts if c < attribute.high]
+        if not cuts:
+            raise EncodingError(
+                f"attribute {attribute.name!r}: width {width} produces no interior cuts"
+            )
+        return IntervalPartition(cuts, low=attribute.low, high=attribute.high)
+
+
+@dataclass
+class EqualFrequencyDiscretizer(Discretizer):
+    """Quantile-based cuts estimated from an observed sample."""
+
+    n_subintervals: int = 4
+
+    def __post_init__(self) -> None:
+        if self.n_subintervals < 2:
+            raise EncodingError(
+                f"n_subintervals must be at least 2, got {self.n_subintervals}"
+            )
+
+    def partition(
+        self,
+        attribute: ContinuousAttribute,
+        values: Optional[Sequence[float]] = None,
+    ) -> IntervalPartition:
+        if values is None or len(values) == 0:
+            raise EncodingError(
+                f"EqualFrequencyDiscretizer needs a data sample for {attribute.name!r}"
+            )
+        data = np.asarray(list(values), dtype=float)
+        quantiles = np.linspace(0.0, 1.0, self.n_subintervals + 1)[1:-1]
+        cuts_array = np.quantile(data, quantiles)
+        cuts: List[float] = []
+        for cut in cuts_array:
+            value = float(cut)
+            if cuts and value <= cuts[-1]:
+                continue
+            if value <= attribute.low or value >= attribute.high:
+                continue
+            cuts.append(value)
+        if not cuts:
+            # Degenerate sample (all values identical): fall back to the
+            # mid-point so a partition always exists.
+            cuts = [attribute.low + attribute.span / 2.0]
+        return IntervalPartition(cuts, low=attribute.low, high=attribute.high)

@@ -1,0 +1,113 @@
+"""Descriptors for the binary input features produced by the encoders.
+
+Every binary input fed to the network carries a semantic meaning in terms of
+the original attribute it was derived from ("``salary >= 100000``",
+"``car = 4``", "``elevel >= 2``").  The rule-extraction phase produces rules
+over these binary inputs first, and the final translation step
+(:mod:`repro.rules.translate`) relies on the descriptors defined here to turn
+literals such as ``I2 = 0`` back into attribute conditions such as
+``salary < 100000``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.data.schema import AttributeValue
+from repro.exceptions import EncodingError
+from repro.preprocessing.intervals import Interval, at_least, less_than
+
+#: Feature kinds.
+KIND_THRESHOLD = "threshold"          #: numeric: bit = 1 iff value >= threshold
+KIND_ORDINAL_THRESHOLD = "ordinal"    #: ordered categorical: bit = 1 iff rank(value) >= rank
+KIND_EQUALS = "equals"                #: categorical: bit = 1 iff value == category
+
+
+@dataclass(frozen=True)
+class InputFeature:
+    """Description of one binary network input.
+
+    Attributes
+    ----------
+    index:
+        0-based position of the feature in the encoded input vector.
+    name:
+        Paper-style input name, ``"I1"`` for index 0 and so on.
+    attribute:
+        Name of the original attribute this feature was derived from.
+    kind:
+        One of :data:`KIND_THRESHOLD`, :data:`KIND_ORDINAL_THRESHOLD`,
+        :data:`KIND_EQUALS`.
+    threshold:
+        For numeric thresholds: the bit is 1 iff ``value >= threshold``.
+    rank:
+        For ordinal thresholds: the bit is 1 iff the value's position in the
+        attribute's ordered domain is ``>= rank``.
+    category:
+        For equality features: the bit is 1 iff ``value == category``.
+    domain:
+        For ordinal/equality features: the attribute's ordered domain, kept
+        here so literals can be decoded without a schema lookup.
+    """
+
+    index: int
+    name: str
+    attribute: str
+    kind: str
+    threshold: Optional[float] = None
+    rank: Optional[int] = None
+    category: Optional[AttributeValue] = None
+    domain: Optional[Tuple[AttributeValue, ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in (KIND_THRESHOLD, KIND_ORDINAL_THRESHOLD, KIND_EQUALS):
+            raise EncodingError(f"unknown feature kind {self.kind!r}")
+        if self.kind == KIND_THRESHOLD and self.threshold is None:
+            raise EncodingError(f"feature {self.name}: threshold kind needs a threshold")
+        if self.kind == KIND_ORDINAL_THRESHOLD and (self.rank is None or self.domain is None):
+            raise EncodingError(f"feature {self.name}: ordinal kind needs rank and domain")
+        if self.kind == KIND_EQUALS and (self.category is None or self.domain is None):
+            raise EncodingError(f"feature {self.name}: equals kind needs category and domain")
+
+    # -- semantics -----------------------------------------------------------
+
+    def describe_literal(self, value: int) -> str:
+        """Human-readable meaning of ``feature = value`` (value in {0, 1})."""
+        if self.kind == KIND_THRESHOLD:
+            assert self.threshold is not None
+            if value:
+                return at_least(self.threshold).describe(self.attribute)
+            return less_than(self.threshold).describe(self.attribute)
+        if self.kind == KIND_ORDINAL_THRESHOLD:
+            assert self.domain is not None and self.rank is not None
+            allowed = self.domain[self.rank:] if value else self.domain[: self.rank]
+            rendered = ", ".join(str(v) for v in allowed)
+            return f"{self.attribute} in {{{rendered}}}"
+        assert self.category is not None
+        op = "=" if value else "!="
+        return f"{self.attribute} {op} {self.category}"
+
+    def numeric_interval(self, value: int) -> Interval:
+        """Interval implied by ``feature = value`` for threshold features."""
+        if self.kind != KIND_THRESHOLD:
+            raise EncodingError(
+                f"feature {self.name} ({self.kind}) has no numeric interval semantics"
+            )
+        assert self.threshold is not None
+        return at_least(self.threshold) if value else less_than(self.threshold)
+
+    def allowed_values(self, value: int) -> Tuple[AttributeValue, ...]:
+        """Admissible original values implied by ``feature = value`` for
+        ordinal and equality features."""
+        if self.kind == KIND_ORDINAL_THRESHOLD:
+            assert self.domain is not None and self.rank is not None
+            return self.domain[self.rank:] if value else self.domain[: self.rank]
+        if self.kind == KIND_EQUALS:
+            assert self.domain is not None and self.category is not None
+            if value:
+                return (self.category,)
+            return tuple(v for v in self.domain if v != self.category)
+        raise EncodingError(
+            f"feature {self.name} ({self.kind}) has no categorical semantics"
+        )

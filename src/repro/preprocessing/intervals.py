@@ -1,0 +1,201 @@
+"""Numeric intervals and interval partitions.
+
+Intervals appear twice in the reproduction:
+
+* discretisation of the numeric attributes before thermometer coding
+  (Section 2.3 / Table 2 of the paper), and
+* the attribute-level conditions of extracted rules
+  (``50000 <= salary < 100000``), which are built by intersecting the
+  half-space literals decoded from binary inputs.
+
+Intervals are half-open by default (``low <= x < high``), matching the
+sub-interval convention of the paper's coding scheme, but both bounds can be
+marked inclusive to express conditions such as ``salary <= 75000``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.exceptions import EncodingError
+
+
+@dataclass(frozen=True)
+class Interval:
+    """A numeric interval with optional open bounds.
+
+    ``low is None`` means unbounded below; ``high is None`` means unbounded
+    above.  ``low_inclusive`` / ``high_inclusive`` control whether the finite
+    bounds belong to the interval (defaults give ``[low, high)``).
+    """
+
+    low: Optional[float] = None
+    high: Optional[float] = None
+    low_inclusive: bool = True
+    high_inclusive: bool = False
+
+    def __post_init__(self) -> None:
+        if self.low is not None and self.high is not None:
+            if self.low > self.high:
+                raise EncodingError(
+                    f"interval low ({self.low}) must not exceed high ({self.high})"
+                )
+
+    # -- predicates --------------------------------------------------------
+
+    @property
+    def unbounded(self) -> bool:
+        """True when neither bound is finite (the interval matches anything)."""
+        return self.low is None and self.high is None
+
+    def is_empty(self) -> bool:
+        """True when no value can satisfy the interval."""
+        if self.low is None or self.high is None:
+            return False
+        if self.low < self.high:
+            return False
+        # low == high: non-empty only if both ends are inclusive.
+        return not (self.low_inclusive and self.high_inclusive)
+
+    def contains(self, value: float) -> bool:
+        """Membership test respecting bound inclusivity."""
+        v = float(value)
+        if self.low is not None:
+            if self.low_inclusive:
+                if v < self.low:
+                    return False
+            elif v <= self.low:
+                return False
+        if self.high is not None:
+            if self.high_inclusive:
+                if v > self.high:
+                    return False
+            elif v >= self.high:
+                return False
+        return True
+
+    def __contains__(self, value: object) -> bool:
+        return isinstance(value, (int, float)) and self.contains(float(value))
+
+    # -- algebra -----------------------------------------------------------
+
+    def intersect(self, other: "Interval") -> "Interval":
+        """Intersection of two intervals (may be empty)."""
+        if other.low is None:
+            low, low_inc = self.low, self.low_inclusive
+        elif self.low is None or other.low > self.low:
+            low, low_inc = other.low, other.low_inclusive
+        elif other.low < self.low:
+            low, low_inc = self.low, self.low_inclusive
+        else:  # equal bounds: exclusive wins
+            low, low_inc = self.low, self.low_inclusive and other.low_inclusive
+
+        if other.high is None:
+            high, high_inc = self.high, self.high_inclusive
+        elif self.high is None or other.high < self.high:
+            high, high_inc = other.high, other.high_inclusive
+        elif other.high > self.high:
+            high, high_inc = self.high, self.high_inclusive
+        else:
+            high, high_inc = self.high, self.high_inclusive and other.high_inclusive
+
+        if low is not None and high is not None and low > high:
+            # Normalise an impossible pair into a canonical empty interval.
+            return Interval(low=low, high=low, low_inclusive=False, high_inclusive=False)
+        return Interval(low=low, high=high, low_inclusive=low_inc, high_inclusive=high_inc)
+
+    # -- formatting ----------------------------------------------------------
+
+    def describe(self, name: str, integer: bool = False) -> str:
+        """Render the interval as a readable condition on ``name``.
+
+        >>> Interval(50000.0, 100000.0).describe("salary")
+        '50000 <= salary < 100000'
+        >>> Interval(None, 40.0).describe("age")
+        'age < 40'
+        """
+        def fmt(x: float) -> str:
+            if integer or float(x).is_integer():
+                return str(int(round(x)))
+            return f"{x:g}"
+
+        if self.is_empty():
+            return f"{name} in (empty)"
+        if self.unbounded:
+            return f"{name} unconstrained"
+        if self.low is not None and self.high is not None:
+            if math.isclose(self.low, self.high):
+                return f"{name} = {fmt(self.low)}"
+            low_op = "<=" if self.low_inclusive else "<"
+            high_op = "<=" if self.high_inclusive else "<"
+            return f"{fmt(self.low)} {low_op} {name} {high_op} {fmt(self.high)}"
+        if self.low is not None:
+            op = ">=" if self.low_inclusive else ">"
+            return f"{name} {op} {fmt(self.low)}"
+        op = "<=" if self.high_inclusive else "<"
+        return f"{name} {op} {fmt(self.high)}"
+
+
+def at_least(threshold: float) -> Interval:
+    """Interval ``value >= threshold``."""
+    return Interval(low=threshold, high=None, low_inclusive=True)
+
+
+def less_than(threshold: float) -> Interval:
+    """Interval ``value < threshold``."""
+    return Interval(low=None, high=threshold, high_inclusive=False)
+
+
+class IntervalPartition:
+    """A partition of a numeric range into consecutive sub-intervals.
+
+    The partition is defined by its ``cuts``: the interior boundaries between
+    sub-intervals, in strictly increasing order.  With ``c`` cuts there are
+    ``c + 1`` sub-intervals; sub-interval ``j`` (0-based) covers
+    ``[cuts[j-1], cuts[j])`` with the outermost sub-intervals unbounded.
+    """
+
+    def __init__(self, cuts: Sequence[float], low: Optional[float] = None,
+                 high: Optional[float] = None) -> None:
+        cuts = [float(c) for c in cuts]
+        if any(b <= a for a, b in zip(cuts, cuts[1:])):
+            raise EncodingError(f"cuts must be strictly increasing, got {cuts}")
+        if not cuts:
+            raise EncodingError("an interval partition needs at least one cut")
+        self.cuts: List[float] = cuts
+        self.low = low
+        self.high = high
+
+    @property
+    def n_subintervals(self) -> int:
+        return len(self.cuts) + 1
+
+    def subinterval_index(self, value: float) -> int:
+        """Return the 0-based index of the sub-interval containing ``value``."""
+        v = float(value)
+        index = 0
+        for cut in self.cuts:
+            if v >= cut:
+                index += 1
+            else:
+                break
+        return index
+
+    def subinterval(self, index: int) -> Interval:
+        """Return sub-interval ``index`` as an :class:`Interval`."""
+        if not (0 <= index < self.n_subintervals):
+            raise EncodingError(
+                f"sub-interval index {index} out of range 0..{self.n_subintervals - 1}"
+            )
+        low = self.low if index == 0 else self.cuts[index - 1]
+        high = self.high if index == len(self.cuts) else self.cuts[index]
+        return Interval(low=low, high=high)
+
+    def subintervals(self) -> List[Interval]:
+        """All sub-intervals in increasing order."""
+        return [self.subinterval(i) for i in range(self.n_subintervals)]
+
+    def __repr__(self) -> str:
+        return f"IntervalPartition(cuts={self.cuts}, low={self.low}, high={self.high})"

@@ -1,0 +1,68 @@
+"""One-hot coding of unordered categorical attributes.
+
+The paper codes ``car`` (20 makes) and ``zipcode`` (9 codes) with one input
+per category (Table 2, inputs I24–I43 and I44–I52).  Each input is 1 exactly
+when the attribute takes the corresponding value.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.data.schema import AttributeValue, CategoricalAttribute
+from repro.exceptions import EncodingError
+from repro.preprocessing.features import KIND_EQUALS, InputFeature
+
+
+class OneHotEncoder:
+    """One-hot encoder for a single categorical attribute."""
+
+    def __init__(self, attribute: CategoricalAttribute) -> None:
+        self.attribute = attribute
+
+    @property
+    def width(self) -> int:
+        """Number of binary inputs produced (the domain cardinality)."""
+        return self.attribute.cardinality
+
+    def _position(self, value: AttributeValue) -> int:
+        if value in self.attribute.values:
+            return self.attribute.index_of(value)
+        if isinstance(value, float) and value.is_integer() and int(value) in self.attribute.values:
+            return self.attribute.index_of(int(value))
+        raise EncodingError(
+            f"attribute {self.attribute.name!r}: value {value!r} not in domain "
+            f"{self.attribute.values!r}"
+        )
+
+    def encode_value(self, value: AttributeValue) -> np.ndarray:
+        """Encode one value as a one-hot row vector."""
+        out = np.zeros(self.width, dtype=float)
+        out[self._position(value)] = 1.0
+        return out
+
+    def encode_column(self, values: Sequence[AttributeValue]) -> np.ndarray:
+        """Encode a column of values into an ``(n, width)`` 0/1 matrix."""
+        out = np.zeros((len(values), self.width), dtype=float)
+        for row, value in enumerate(values):
+            out[row, self._position(value)] = 1.0
+        return out
+
+    def features(self, start_index: int) -> List[InputFeature]:
+        """Feature descriptors (``attribute == value``) for this group."""
+        out: List[InputFeature] = []
+        for offset, category in enumerate(self.attribute.values):
+            index = start_index + offset
+            out.append(
+                InputFeature(
+                    index=index,
+                    name=f"I{index + 1}",
+                    attribute=self.attribute.name,
+                    kind=KIND_EQUALS,
+                    category=category,
+                    domain=self.attribute.values,
+                )
+            )
+        return out

@@ -1,0 +1,157 @@
+"""Thermometer coding of numeric and ordered categorical attributes.
+
+The paper codes each discretised numeric attribute with the *thermometer*
+scheme: a value falling in sub-interval ``j`` (counting from the lowest) sets
+the ``j`` lowest bits of the attribute's input group.  Equivalently, each bit
+asserts "the value is at least this threshold".  Consistent with the paper's
+worked example (where ``I2 = 0`` means ``salary < 100000`` and ``I15 = 1``
+means ``age >= 60``), the *first* input of a group corresponds to the highest
+threshold and the *last* input to the lowest.
+
+Two encoders are provided:
+
+* :class:`ThermometerEncoder` for numeric attributes, driven by an
+  :class:`~repro.preprocessing.intervals.IntervalPartition`;
+* :class:`OrdinalThermometerEncoder` for ordered categorical attributes such
+  as ``elevel``, driven by the attribute's ordered domain (an attribute with
+  ``k`` values uses ``k - 1`` bits).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.data.schema import AttributeValue, CategoricalAttribute, ContinuousAttribute
+from repro.exceptions import EncodingError
+from repro.preprocessing.features import (
+    KIND_ORDINAL_THRESHOLD,
+    KIND_THRESHOLD,
+    InputFeature,
+)
+from repro.preprocessing.intervals import IntervalPartition
+
+
+class ThermometerEncoder:
+    """Thermometer encoder for one numeric attribute.
+
+    Parameters
+    ----------
+    attribute:
+        The continuous attribute being encoded.
+    partition:
+        Partition of the attribute's range into sub-intervals.  The encoder
+        produces ``partition.n_subintervals`` bits: one per interior cut plus
+        the "base" bit whose threshold is the partition's lower bound (this
+        matches the paper's input counts in Table 2, e.g. six inputs for the
+        six salary sub-intervals).
+    """
+
+    def __init__(self, attribute: ContinuousAttribute, partition: IntervalPartition) -> None:
+        self.attribute = attribute
+        self.partition = partition
+        low = partition.low if partition.low is not None else attribute.low
+        # Highest threshold first, base bit (lowest threshold) last.
+        self.thresholds: List[float] = list(reversed(partition.cuts)) + [float(low)]
+
+    @property
+    def width(self) -> int:
+        """Number of binary inputs produced for this attribute."""
+        return len(self.thresholds)
+
+    def encode_value(self, value: AttributeValue) -> np.ndarray:
+        """Encode one attribute value into its thermometer bits."""
+        try:
+            v = float(value)  # type: ignore[arg-type]
+        except (TypeError, ValueError) as exc:
+            raise EncodingError(
+                f"attribute {self.attribute.name!r}: cannot encode non-numeric value {value!r}"
+            ) from exc
+        return np.asarray([1.0 if v >= t else 0.0 for t in self.thresholds], dtype=float)
+
+    def encode_column(self, values: Sequence[AttributeValue]) -> np.ndarray:
+        """Encode a column of values into an ``(n, width)`` 0/1 matrix."""
+        column = np.asarray([float(v) for v in values], dtype=float)[:, None]
+        thresholds = np.asarray(self.thresholds, dtype=float)[None, :]
+        return (column >= thresholds).astype(float)
+
+    def features(self, start_index: int) -> List[InputFeature]:
+        """Feature descriptors for this attribute's inputs.
+
+        ``start_index`` is the 0-based position of the group's first input in
+        the full encoded vector.
+        """
+        out: List[InputFeature] = []
+        for offset, threshold in enumerate(self.thresholds):
+            index = start_index + offset
+            out.append(
+                InputFeature(
+                    index=index,
+                    name=f"I{index + 1}",
+                    attribute=self.attribute.name,
+                    kind=KIND_THRESHOLD,
+                    threshold=float(threshold),
+                )
+            )
+        return out
+
+
+class OrdinalThermometerEncoder:
+    """Thermometer encoder for an ordered categorical attribute.
+
+    An attribute with ordered domain ``(v_0, ..., v_{k-1})`` is encoded with
+    ``k - 1`` bits; the bit for rank ``r`` (``r = k-1 .. 1``, highest first)
+    is 1 iff the value's position in the domain is at least ``r``.  For the
+    paper's ``elevel`` attribute (five levels) this yields the four inputs
+    I20–I23 of Table 2.
+    """
+
+    def __init__(self, attribute: CategoricalAttribute) -> None:
+        if not attribute.ordered:
+            raise EncodingError(
+                f"attribute {attribute.name!r} is not ordered; use one-hot coding instead"
+            )
+        self.attribute = attribute
+        self.ranks: List[int] = list(range(attribute.cardinality - 1, 0, -1))
+
+    @property
+    def width(self) -> int:
+        return len(self.ranks)
+
+    def encode_value(self, value: AttributeValue) -> np.ndarray:
+        position = self.attribute.index_of(self._normalise(value))
+        return np.asarray([1.0 if position >= r else 0.0 for r in self.ranks], dtype=float)
+
+    def encode_column(self, values: Sequence[AttributeValue]) -> np.ndarray:
+        positions = np.asarray(
+            [self.attribute.index_of(self._normalise(v)) for v in values], dtype=float
+        )[:, None]
+        ranks = np.asarray(self.ranks, dtype=float)[None, :]
+        return (positions >= ranks).astype(float)
+
+    def _normalise(self, value: AttributeValue) -> AttributeValue:
+        """Accept floats for integer-coded ordinal domains (e.g. 2.0 for 2)."""
+        if value in self.attribute.values:
+            return value
+        if isinstance(value, float) and value.is_integer() and int(value) in self.attribute.values:
+            return int(value)
+        raise EncodingError(
+            f"attribute {self.attribute.name!r}: value {value!r} not in ordered domain"
+        )
+
+    def features(self, start_index: int) -> List[InputFeature]:
+        out: List[InputFeature] = []
+        for offset, rank in enumerate(self.ranks):
+            index = start_index + offset
+            out.append(
+                InputFeature(
+                    index=index,
+                    name=f"I{index + 1}",
+                    attribute=self.attribute.name,
+                    kind=KIND_ORDINAL_THRESHOLD,
+                    rank=rank,
+                    domain=self.attribute.values,
+                )
+            )
+        return out

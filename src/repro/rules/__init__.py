@@ -1,0 +1,68 @@
+"""Rule representation, generation, simplification and translation."""
+
+from repro.rules.conditions import (
+    InputLiteral,
+    IntervalCondition,
+    MembershipCondition,
+)
+from repro.rules.covering import (
+    DiscreteTable,
+    check_perfect_cover,
+    generate_perfect_rules,
+    generate_rules_for_all_outcomes,
+)
+from repro.rules.pretty import (
+    format_attribute_rule,
+    format_rule_statistics_table,
+    format_ruleset_paper_style,
+)
+from repro.rules.rule import AttributeRule, BinaryRule
+from repro.rules.ruleset import RuleSet, RuleStatistics
+from repro.rules.serialization import (
+    condition_to_sql,
+    rule_to_sql,
+    ruleset_from_json,
+    ruleset_to_case_expression,
+    ruleset_to_json,
+    ruleset_to_sql,
+)
+from repro.rules.simplify import (
+    deduplicate_rules,
+    prune_redundant_attribute_rules,
+    remove_subsumed,
+    remove_uncovered_rules,
+    remove_unsatisfiable,
+    simplify_binary_ruleset,
+)
+from repro.rules.translate import translate_rule, translate_ruleset
+
+__all__ = [
+    "AttributeRule",
+    "BinaryRule",
+    "DiscreteTable",
+    "InputLiteral",
+    "IntervalCondition",
+    "MembershipCondition",
+    "RuleSet",
+    "RuleStatistics",
+    "check_perfect_cover",
+    "condition_to_sql",
+    "deduplicate_rules",
+    "format_attribute_rule",
+    "format_rule_statistics_table",
+    "format_ruleset_paper_style",
+    "generate_perfect_rules",
+    "generate_rules_for_all_outcomes",
+    "prune_redundant_attribute_rules",
+    "remove_subsumed",
+    "remove_uncovered_rules",
+    "remove_unsatisfiable",
+    "rule_to_sql",
+    "ruleset_from_json",
+    "ruleset_to_case_expression",
+    "ruleset_to_json",
+    "ruleset_to_sql",
+    "simplify_binary_ruleset",
+    "translate_rule",
+    "translate_ruleset",
+]

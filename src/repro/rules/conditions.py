@@ -1,0 +1,172 @@
+"""Conditions: the atomic building blocks of classification rules.
+
+Two families of conditions exist in the pipeline:
+
+* :class:`InputLiteral` — a condition on one *binary network input*
+  (``I13 = 0``).  These appear in the intermediate rules produced by
+  algorithm RX (the paper's R1–R4, R11–R29).
+* :class:`IntervalCondition` / :class:`MembershipCondition` — conditions on
+  the *original attributes* (``salary < 100000``, ``elevel in {0, 1}``).
+  These appear in the final, human-readable rules (the paper's Figure 5).
+
+Both families expose ``describe()`` for printing and a satisfaction test; the
+rule and rule-set classes are generic over them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Tuple
+
+import numpy as np
+
+from repro.data.schema import AttributeValue
+from repro.exceptions import RuleError
+from repro.preprocessing.features import InputFeature
+from repro.preprocessing.intervals import Interval
+
+
+@dataclass(frozen=True)
+class InputLiteral:
+    """A condition requiring binary input ``feature`` to equal ``value``."""
+
+    feature: InputFeature
+    value: int
+
+    def __post_init__(self) -> None:
+        if self.value not in (0, 1):
+            raise RuleError(f"input literal value must be 0 or 1, got {self.value}")
+
+    @property
+    def input_index(self) -> int:
+        """Index of the constrained input in the encoded vector."""
+        return self.feature.index
+
+    @property
+    def input_name(self) -> str:
+        return self.feature.name
+
+    def negated(self) -> "InputLiteral":
+        """The literal with the opposite required value."""
+        return InputLiteral(self.feature, 1 - self.value)
+
+    def contradicts(self, other: "InputLiteral") -> bool:
+        """True when the two literals constrain the same input differently."""
+        return self.input_index == other.input_index and self.value != other.value
+
+    def holds(self, encoded: np.ndarray) -> bool:
+        """Evaluate the literal on one encoded input vector."""
+        return int(round(float(encoded[self.input_index]))) == self.value
+
+    def holds_batch(self, encoded: np.ndarray) -> np.ndarray:
+        """Vectorised evaluation over an ``(n, n_inputs)`` matrix."""
+        column = np.asarray(encoded)[:, self.input_index]
+        return np.isclose(column, float(self.value))
+
+    def describe(self, symbolic: bool = False) -> str:
+        """``"I13 = 0"`` by default, or the attribute-level meaning when
+        ``symbolic`` is requested."""
+        if symbolic:
+            return self.feature.describe_literal(self.value)
+        return f"{self.input_name} = {self.value}"
+
+    def __str__(self) -> str:  # pragma: no cover - thin delegation
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class IntervalCondition:
+    """A numeric condition ``attribute in interval``."""
+
+    attribute: str
+    interval: Interval
+    integer: bool = False
+
+    def is_satisfiable(self) -> bool:
+        return not self.interval.is_empty()
+
+    def is_trivial(self) -> bool:
+        """True when the condition does not constrain anything."""
+        return self.interval.unbounded
+
+    def matches(self, record: Mapping[str, AttributeValue]) -> bool:
+        if self.attribute not in record:
+            raise RuleError(f"record is missing attribute {self.attribute!r}")
+        return self.interval.contains(float(record[self.attribute]))  # type: ignore[arg-type]
+
+    def intersect(self, other: "IntervalCondition") -> "IntervalCondition":
+        if other.attribute != self.attribute:
+            raise RuleError(
+                f"cannot intersect conditions on {self.attribute!r} and {other.attribute!r}"
+            )
+        return IntervalCondition(
+            self.attribute,
+            self.interval.intersect(other.interval),
+            integer=self.integer or other.integer,
+        )
+
+    def describe(self) -> str:
+        return self.interval.describe(self.attribute, integer=self.integer)
+
+    def __str__(self) -> str:  # pragma: no cover - thin delegation
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class MembershipCondition:
+    """A categorical condition ``attribute in allowed``."""
+
+    attribute: str
+    allowed: Tuple[AttributeValue, ...]
+    domain: Tuple[AttributeValue, ...]
+
+    def __post_init__(self) -> None:
+        unknown = [v for v in self.allowed if v not in self.domain]
+        if unknown:
+            raise RuleError(
+                f"condition on {self.attribute!r}: values {unknown} are outside the domain"
+            )
+        # Canonicalise order to the domain order so equality is structural.
+        ordered = tuple(v for v in self.domain if v in set(self.allowed))
+        object.__setattr__(self, "allowed", ordered)
+
+    def is_satisfiable(self) -> bool:
+        return len(self.allowed) > 0
+
+    def is_trivial(self) -> bool:
+        return len(self.allowed) == len(self.domain)
+
+    def matches(self, record: Mapping[str, AttributeValue]) -> bool:
+        if self.attribute not in record:
+            raise RuleError(f"record is missing attribute {self.attribute!r}")
+        value = record[self.attribute]
+        if value in self.allowed:
+            return True
+        if isinstance(value, float) and value.is_integer():
+            return int(value) in self.allowed
+        return False
+
+    def intersect(self, other: "MembershipCondition") -> "MembershipCondition":
+        if other.attribute != self.attribute:
+            raise RuleError(
+                f"cannot intersect conditions on {self.attribute!r} and {other.attribute!r}"
+            )
+        allowed = tuple(v for v in self.allowed if v in set(other.allowed))
+        return MembershipCondition(self.attribute, allowed, self.domain)
+
+    def describe(self) -> str:
+        if not self.allowed:
+            return f"{self.attribute} in {{}} (unsatisfiable)"
+        if len(self.allowed) == 1:
+            return f"{self.attribute} = {self.allowed[0]}"
+        # Contiguous runs of an ordered domain read better as ranges.
+        positions = [self.domain.index(v) for v in self.allowed]
+        if positions == list(range(positions[0], positions[0] + len(positions))) and all(
+            isinstance(v, (int, float)) for v in self.domain
+        ):
+            return f"{self.allowed[0]} <= {self.attribute} <= {self.allowed[-1]}"
+        rendered = ", ".join(str(v) for v in self.allowed)
+        return f"{self.attribute} in {{{rendered}}}"
+
+    def __str__(self) -> str:  # pragma: no cover - thin delegation
+        return self.describe()

@@ -1,0 +1,68 @@
+"""Pretty-printing helpers for rules and rule sets.
+
+These produce text close to the paper's figures: Figure 5's numbered
+``Rule n. If ... then Group A`` list and the per-rule statistics layout of
+Table 3.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.rules.rule import AttributeRule
+from repro.rules.ruleset import RuleSet, RuleStatistics
+
+
+def format_attribute_rule(rule: AttributeRule, index: int) -> str:
+    """One line in the style of Figure 5: ``Rule 1. If (...) ∧ (...), then A.``"""
+    meaningful = [c for c in rule.conditions if not c.is_trivial()]
+    if meaningful:
+        conditions = " and ".join(f"({c.describe()})" for c in meaningful)
+    else:
+        conditions = "(always)"
+    return f"Rule {index}. If {conditions}, then Group {rule.consequent}."
+
+
+def format_ruleset_paper_style(ruleset: RuleSet[AttributeRule]) -> str:
+    """Render a full rule set like the paper's Figure 5, including the
+    trailing default rule."""
+    lines: List[str] = []
+    for i, rule in enumerate(ruleset.rules, start=1):
+        lines.append(format_attribute_rule(rule, i))
+    lines.append(f"Default Rule. Group {ruleset.default_class}.")
+    return "\n".join(lines)
+
+
+def format_rule_statistics_table(
+    statistics_by_size: Sequence[Sequence[RuleStatistics]],
+    sizes: Sequence[int],
+    rule_names: Sequence[str],
+) -> str:
+    """Render per-rule coverage/correctness for several test sizes (Table 3).
+
+    Parameters
+    ----------
+    statistics_by_size:
+        One list of :class:`RuleStatistics` (all rules, in order) per test
+        set, aligned with ``sizes``.
+    sizes:
+        The test-set sizes, e.g. ``[1000, 5000, 10000]``.
+    rule_names:
+        Display names of the rules (``R1``, ``R2``, ...).
+    """
+    if len(statistics_by_size) != len(sizes):
+        raise ValueError(
+            f"got {len(statistics_by_size)} statistics lists for {len(sizes)} sizes"
+        )
+    header_cells = ["Rule"]
+    for size in sizes:
+        header_cells.extend([f"Total@{size}", f"Correct%@{size}"])
+    lines = ["  ".join(f"{cell:>14}" for cell in header_cells)]
+    for row_index, name in enumerate(rule_names):
+        cells = [name]
+        for stats in statistics_by_size:
+            entry = stats[row_index]
+            cells.append(str(entry.total))
+            cells.append(f"{entry.correct_percent:.1f}")
+        lines.append("  ".join(f"{cell:>14}" for cell in cells))
+    return "\n".join(lines)

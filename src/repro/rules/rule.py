@@ -1,0 +1,196 @@
+"""Rules: conjunctions of conditions with a class-label consequent.
+
+Two concrete rule types mirror the two condition families:
+
+* :class:`BinaryRule` — a conjunction of :class:`~repro.rules.conditions.InputLiteral`
+  over the binary network inputs (e.g. the paper's
+  ``R1 : C1 = 1 <= I2 = I17 = 0, I13 = 0``);
+* :class:`AttributeRule` — a conjunction of attribute-level conditions
+  (e.g. Figure 5's ``If salary < 100000 and commission = 0 and age <= 40 then
+  Group A``).
+
+Both are immutable value objects; rule sets own ordering and default-class
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.data.schema import AttributeValue
+from repro.exceptions import RuleError
+from repro.rules.conditions import (
+    InputLiteral,
+    IntervalCondition,
+    MembershipCondition,
+)
+
+AttributeCondition = Union[IntervalCondition, MembershipCondition]
+
+
+@dataclass(frozen=True)
+class BinaryRule:
+    """``IF <literals over binary inputs> THEN class``.
+
+    Literals are stored sorted by input index so two rules with the same
+    logical content compare equal; contradictory literal pairs are rejected
+    at construction time.
+    """
+
+    literals: Tuple[InputLiteral, ...]
+    consequent: str
+
+    def __post_init__(self) -> None:
+        by_index: Dict[int, int] = {}
+        for literal in self.literals:
+            previous = by_index.get(literal.input_index)
+            if previous is not None and previous != literal.value:
+                raise RuleError(
+                    f"contradictory literals on input {literal.input_name}: "
+                    f"{previous} and {literal.value}"
+                )
+            by_index[literal.input_index] = literal.value
+        unique = {l.input_index: l for l in self.literals}
+        ordered = tuple(sorted(unique.values(), key=lambda l: l.input_index))
+        object.__setattr__(self, "literals", ordered)
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def n_conditions(self) -> int:
+        return len(self.literals)
+
+    def literal_map(self) -> Dict[int, int]:
+        """Mapping from input index to required value."""
+        return {l.input_index: l.value for l in self.literals}
+
+    def input_indices(self) -> List[int]:
+        return [l.input_index for l in self.literals]
+
+    def subsumes(self, other: "BinaryRule") -> bool:
+        """True when this rule is more general than (or equal to) ``other``.
+
+        A rule subsumes another when it predicts the same class and its
+        literals are a subset of the other's: everything the more specific
+        rule covers, the general one covers too.
+        """
+        if self.consequent != other.consequent:
+            return False
+        mine = self.literal_map()
+        theirs = other.literal_map()
+        return all(theirs.get(i) == v for i, v in mine.items())
+
+    def merge(self, other: "BinaryRule") -> "BinaryRule":
+        """Conjunction of two rules' antecedents (same consequent required).
+
+        Raises :class:`RuleError` if the antecedents contradict each other.
+        """
+        if other.consequent != self.consequent:
+            raise RuleError(
+                f"cannot merge rules with different consequents: "
+                f"{self.consequent!r} vs {other.consequent!r}"
+            )
+        return BinaryRule(self.literals + other.literals, self.consequent)
+
+    # -- evaluation ---------------------------------------------------------
+
+    def covers(self, encoded: np.ndarray) -> bool:
+        """Evaluate the rule's antecedent on one encoded input vector."""
+        return all(l.holds(encoded) for l in self.literals)
+
+    def covers_batch(self, encoded: np.ndarray) -> np.ndarray:
+        """Vectorised antecedent evaluation over ``(n, n_inputs)``."""
+        encoded = np.atleast_2d(np.asarray(encoded))
+        if not self.literals:
+            return np.ones(encoded.shape[0], dtype=bool)
+        mask = np.ones(encoded.shape[0], dtype=bool)
+        for literal in self.literals:
+            mask &= literal.holds_batch(encoded)
+        return mask
+
+    # -- formatting -----------------------------------------------------------
+
+    def describe(self, symbolic: bool = False) -> str:
+        if not self.literals:
+            return f"IF (always) THEN {self.consequent}"
+        antecedent = " AND ".join(l.describe(symbolic=symbolic) for l in self.literals)
+        return f"IF {antecedent} THEN {self.consequent}"
+
+    def __str__(self) -> str:  # pragma: no cover - thin delegation
+        return self.describe()
+
+
+@dataclass(frozen=True)
+class AttributeRule:
+    """``IF <conditions on original attributes> THEN class``.
+
+    At most one condition per attribute is stored (conditions on the same
+    attribute are intersected at construction), so ``n_conditions`` counts
+    distinct attributes — the same way the paper counts rule complexity.
+    """
+
+    conditions: Tuple[AttributeCondition, ...]
+    consequent: str
+
+    def __post_init__(self) -> None:
+        merged: Dict[str, AttributeCondition] = {}
+        for condition in self.conditions:
+            existing = merged.get(condition.attribute)
+            if existing is None:
+                merged[condition.attribute] = condition
+            else:
+                if isinstance(existing, IntervalCondition) != isinstance(condition, IntervalCondition):
+                    raise RuleError(
+                        f"mixed interval and membership conditions on {condition.attribute!r}"
+                    )
+                merged[condition.attribute] = existing.intersect(condition)  # type: ignore[arg-type]
+        ordered = tuple(merged[name] for name in sorted(merged))
+        object.__setattr__(self, "conditions", ordered)
+
+    # -- structure -------------------------------------------------------------
+
+    @property
+    def n_conditions(self) -> int:
+        return len([c for c in self.conditions if not c.is_trivial()])
+
+    @property
+    def attributes(self) -> List[str]:
+        """Attributes referenced by non-trivial conditions."""
+        return [c.attribute for c in self.conditions if not c.is_trivial()]
+
+    def condition_for(self, attribute: str) -> Optional[AttributeCondition]:
+        for condition in self.conditions:
+            if condition.attribute == attribute:
+                return condition
+        return None
+
+    def is_satisfiable(self) -> bool:
+        """False when any condition is self-contradictory (empty interval or
+        empty membership set) — the paper's redundant rule R'1 is the
+        canonical example."""
+        return all(c.is_satisfiable() for c in self.conditions)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def covers(self, record: Mapping[str, AttributeValue]) -> bool:
+        """Antecedent evaluation on one record."""
+        return all(c.matches(record) for c in self.conditions)
+
+    def covers_dataset(self, records: Iterable[Mapping[str, AttributeValue]]) -> np.ndarray:
+        """Antecedent evaluation over an iterable of records."""
+        return np.asarray([self.covers(r) for r in records], dtype=bool)
+
+    # -- formatting ----------------------------------------------------------------
+
+    def describe(self) -> str:
+        meaningful = [c for c in self.conditions if not c.is_trivial()]
+        if not meaningful:
+            return f"IF (always) THEN {self.consequent}"
+        antecedent = " AND ".join(c.describe() for c in meaningful)
+        return f"IF {antecedent} THEN {self.consequent}"
+
+    def __str__(self) -> str:  # pragma: no cover - thin delegation
+        return self.describe()

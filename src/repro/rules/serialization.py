@@ -1,0 +1,194 @@
+"""Exporting extracted rules: SQL predicates and JSON documents.
+
+A central motivation of the paper is that *explicit* rules can be used
+directly against the database: "with explicit rules, tuples of a certain
+pattern can be easily retrieved using a database query language" (Section 1).
+This module makes that concrete:
+
+* :func:`rule_to_sql` / :func:`ruleset_to_sql` render attribute rules as SQL
+  ``WHERE`` predicates (and full ``SELECT`` statements) so the mined rules can
+  be executed against the relation they were mined from;
+* :func:`ruleset_to_json` / :func:`ruleset_from_json` provide a lossless
+  round-trip for persisting rule sets.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.exceptions import RuleError
+from repro.preprocessing.intervals import Interval
+from repro.rules.conditions import IntervalCondition, MembershipCondition
+from repro.rules.rule import AttributeCondition, AttributeRule
+from repro.rules.ruleset import RuleSet
+
+
+# ---------------------------------------------------------------------------
+# SQL rendering
+# ---------------------------------------------------------------------------
+
+def _sql_literal(value: object) -> str:
+    """Render a Python value as a SQL literal (strings quoted, numbers bare)."""
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    if isinstance(value, float) and float(value).is_integer():
+        return str(int(value))
+    return str(value)
+
+
+def condition_to_sql(condition: AttributeCondition) -> str:
+    """Render one attribute condition as a SQL predicate."""
+    if isinstance(condition, IntervalCondition):
+        interval = condition.interval
+        parts: List[str] = []
+        if interval.low is not None:
+            op = ">=" if interval.low_inclusive else ">"
+            parts.append(f"{condition.attribute} {op} {_sql_literal(interval.low)}")
+        if interval.high is not None:
+            op = "<=" if interval.high_inclusive else "<"
+            parts.append(f"{condition.attribute} {op} {_sql_literal(interval.high)}")
+        if not parts:
+            return "TRUE"
+        return " AND ".join(parts)
+    if isinstance(condition, MembershipCondition):
+        if not condition.allowed:
+            return "FALSE"
+        if len(condition.allowed) == 1:
+            return f"{condition.attribute} = {_sql_literal(condition.allowed[0])}"
+        values = ", ".join(_sql_literal(v) for v in condition.allowed)
+        return f"{condition.attribute} IN ({values})"
+    raise RuleError(f"cannot render condition of type {type(condition).__name__} as SQL")
+
+
+def rule_to_sql(rule: AttributeRule) -> str:
+    """Render a rule's antecedent as a SQL ``WHERE`` predicate."""
+    meaningful = [c for c in rule.conditions if not c.is_trivial()]
+    if not meaningful:
+        return "TRUE"
+    return " AND ".join(f"({condition_to_sql(c)})" for c in meaningful)
+
+
+def ruleset_to_sql(
+    ruleset: RuleSet[AttributeRule],
+    table: str,
+    class_label: Optional[str] = None,
+) -> List[str]:
+    """Render a rule set as ``SELECT`` statements against ``table``.
+
+    One statement per rule (optionally restricted to rules predicting
+    ``class_label``): each retrieves exactly the tuples the rule covers, which
+    is the retrieval use-case the paper motivates.
+    """
+    statements: List[str] = []
+    for rule in ruleset.rules:
+        if class_label is not None and rule.consequent != class_label:
+            continue
+        statements.append(
+            f"SELECT * FROM {table} WHERE {rule_to_sql(rule)};  -- class {rule.consequent}"
+        )
+    return statements
+
+
+def ruleset_to_case_expression(ruleset: RuleSet[AttributeRule], column: str = "predicted_class") -> str:
+    """Render the whole classifier as a single SQL ``CASE`` expression.
+
+    First-match semantics map directly onto ``CASE WHEN ... THEN ... ELSE``,
+    so the expression labels every tuple exactly as :meth:`RuleSet.predict`
+    would.
+    """
+    lines = ["CASE"]
+    for rule in ruleset.rules:
+        lines.append(f"  WHEN {rule_to_sql(rule)} THEN {_sql_literal(rule.consequent)}")
+    lines.append(f"  ELSE {_sql_literal(ruleset.default_class)}")
+    lines.append(f"END AS {column}")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# JSON round trip
+# ---------------------------------------------------------------------------
+
+def _condition_to_dict(condition: AttributeCondition) -> Dict:
+    if isinstance(condition, IntervalCondition):
+        return {
+            "type": "interval",
+            "attribute": condition.attribute,
+            "low": condition.interval.low,
+            "high": condition.interval.high,
+            "low_inclusive": condition.interval.low_inclusive,
+            "high_inclusive": condition.interval.high_inclusive,
+            "integer": condition.integer,
+        }
+    if isinstance(condition, MembershipCondition):
+        return {
+            "type": "membership",
+            "attribute": condition.attribute,
+            "allowed": list(condition.allowed),
+            "domain": list(condition.domain),
+        }
+    raise RuleError(f"cannot serialise condition of type {type(condition).__name__}")
+
+
+def _condition_from_dict(payload: Dict) -> AttributeCondition:
+    kind = payload.get("type")
+    if kind == "interval":
+        return IntervalCondition(
+            payload["attribute"],
+            Interval(
+                low=payload.get("low"),
+                high=payload.get("high"),
+                low_inclusive=payload.get("low_inclusive", True),
+                high_inclusive=payload.get("high_inclusive", False),
+            ),
+            integer=payload.get("integer", False),
+        )
+    if kind == "membership":
+        return MembershipCondition(
+            payload["attribute"],
+            tuple(payload["allowed"]),
+            tuple(payload["domain"]),
+        )
+    raise RuleError(f"unknown condition type in JSON payload: {kind!r}")
+
+
+def ruleset_to_json(ruleset: RuleSet[AttributeRule], indent: int = 2) -> str:
+    """Serialise an attribute rule set to a JSON document."""
+    payload = {
+        "name": ruleset.name,
+        "classes": list(ruleset.classes),
+        "default_class": ruleset.default_class,
+        "rules": [
+            {
+                "consequent": rule.consequent,
+                "conditions": [_condition_to_dict(c) for c in rule.conditions],
+            }
+            for rule in ruleset.rules
+        ],
+    }
+    return json.dumps(payload, indent=indent)
+
+
+def ruleset_from_json(document: str) -> RuleSet[AttributeRule]:
+    """Reconstruct an attribute rule set from :func:`ruleset_to_json` output."""
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise RuleError(f"invalid rule-set JSON: {exc}") from exc
+    try:
+        rules = [
+            AttributeRule(
+                tuple(_condition_from_dict(c) for c in entry["conditions"]),
+                entry["consequent"],
+            )
+            for entry in payload["rules"]
+        ]
+        return RuleSet(
+            rules=rules,
+            default_class=payload["default_class"],
+            classes=tuple(payload["classes"]),
+            name=payload.get("name", "ruleset"),
+        )
+    except (KeyError, TypeError) as exc:
+        raise RuleError(f"rule-set JSON is missing required fields: {exc}") from exc

@@ -1,0 +1,118 @@
+"""Rule-set simplification.
+
+The raw result of the substitution step of algorithm RX is a disjunction of
+literal conjunctions that usually contains (a) duplicate rules, (b) rules
+subsumed by more general ones, (c) rules that contradict the coding scheme
+and can never fire, and (d) rules that never fire on the training data.  The
+paper removes (c) explicitly (rule R'1) and reports only the surviving
+rules; this module implements those clean-ups plus a data-driven redundancy
+filter used when a perfect simplification is not possible.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.rules.rule import AttributeRule, BinaryRule
+from repro.rules.ruleset import RuleSet
+
+
+def deduplicate_rules(rules: Sequence[BinaryRule]) -> List[BinaryRule]:
+    """Remove structurally identical rules, keeping first occurrences."""
+    seen = set()
+    out: List[BinaryRule] = []
+    for rule in rules:
+        key = (tuple((l.input_index, l.value) for l in rule.literals), rule.consequent)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(rule)
+    return out
+
+
+def remove_subsumed(rules: Sequence[BinaryRule]) -> List[BinaryRule]:
+    """Remove rules that are special cases of other rules in the list.
+
+    A rule is dropped when another rule with the same consequent has a subset
+    of its literals (the more general rule fires whenever the specific one
+    would).
+    """
+    rules = deduplicate_rules(rules)
+    kept: List[BinaryRule] = []
+    for i, rule in enumerate(rules):
+        subsumed = False
+        for j, other in enumerate(rules):
+            if i == j:
+                continue
+            if other.subsumes(rule) and not (rule.subsumes(other) and i < j):
+                subsumed = True
+                break
+        if not subsumed:
+            kept.append(rule)
+    return kept
+
+
+def remove_unsatisfiable(rules: Sequence[AttributeRule]) -> List[AttributeRule]:
+    """Drop attribute rules whose conditions contradict each other."""
+    return [rule for rule in rules if rule.is_satisfiable()]
+
+
+def remove_uncovered_rules(
+    ruleset: RuleSet[BinaryRule], encoded: np.ndarray
+) -> RuleSet[BinaryRule]:
+    """Drop binary rules that fire on no row of ``encoded``.
+
+    This mirrors the paper's observation that some substituted rules "can
+    never be satisfied by any tuple": combinations of thermometer bits that
+    no real attribute value produces simply never occur in the encoded data.
+    """
+    kept = [rule for rule in ruleset.rules if bool(rule.covers_batch(encoded).any())]
+    return RuleSet(kept, ruleset.default_class, list(ruleset.classes), name=ruleset.name)
+
+
+def simplify_binary_ruleset(
+    ruleset: RuleSet[BinaryRule], encoded: Optional[np.ndarray] = None
+) -> RuleSet[BinaryRule]:
+    """Deduplicate, drop subsumed rules and (optionally) drop never-firing rules."""
+    rules = remove_subsumed(ruleset.rules)
+    simplified = RuleSet(rules, ruleset.default_class, list(ruleset.classes), name=ruleset.name)
+    if encoded is not None:
+        simplified = remove_uncovered_rules(simplified, encoded)
+    return simplified
+
+
+def prune_redundant_attribute_rules(
+    ruleset: RuleSet[AttributeRule], dataset: Dataset
+) -> RuleSet[AttributeRule]:
+    """Greedily drop attribute rules whose removal does not lower accuracy.
+
+    Rules are considered in order of increasing coverage so the most specific
+    rules are the first candidates for removal.  The default class is left
+    untouched.
+    """
+    current = RuleSet(
+        remove_unsatisfiable(ruleset.rules),
+        ruleset.default_class,
+        list(ruleset.classes),
+        name=ruleset.name,
+    )
+    if not current.rules:
+        return current
+    baseline = current.accuracy(dataset)
+    coverage = [int(rule.covers_dataset(dataset.records).sum()) for rule in current.rules]
+    order = sorted(range(len(current.rules)), key=lambda i: coverage[i])
+    removable: List[int] = []
+    for index in order:
+        candidate_rules = [
+            r for i, r in enumerate(current.rules) if i != index and i not in removable
+        ]
+        candidate = RuleSet(
+            candidate_rules, current.default_class, list(current.classes), name=current.name
+        )
+        if candidate.accuracy(dataset) >= baseline:
+            removable.append(index)
+    kept = [r for i, r in enumerate(current.rules) if i not in removable]
+    return RuleSet(kept, current.default_class, list(current.classes), name=current.name)

@@ -1,0 +1,118 @@
+"""Translation of binary-input rules into attribute-level rules.
+
+The last step of algorithm RX rewrites rules over the coded inputs
+(``I2 = 0 AND I13 = 0 AND I17 = 0``) into conditions on the original
+attributes (``salary < 100000 AND commission = 0 AND age < 40``), using the
+meaning of each input recorded by the encoder
+(:class:`~repro.preprocessing.features.InputFeature`).
+
+Grouping literals by attribute does three useful things:
+
+* thermometer literals on the same attribute collapse into a single interval
+  (``I1 = 0`` and ``I2 = 1`` become ``100000 <= salary < 125000``);
+* ordinal/one-hot literals collapse into a membership set;
+* contradictory combinations produce an unsatisfiable condition, which is how
+  the paper discards its redundant rule R'1 ("can never be satisfied by any
+  tuple").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Sequence
+
+from repro.data.schema import Schema
+from repro.exceptions import RuleError
+from repro.preprocessing.features import (
+    KIND_EQUALS,
+    KIND_ORDINAL_THRESHOLD,
+    KIND_THRESHOLD,
+    InputFeature,
+)
+from repro.preprocessing.intervals import Interval
+from repro.rules.conditions import IntervalCondition, MembershipCondition
+from repro.rules.rule import AttributeRule, BinaryRule
+from repro.rules.ruleset import RuleSet
+
+
+def translate_rule(
+    rule: BinaryRule, schema: Optional[Schema] = None
+) -> AttributeRule:
+    """Translate one binary rule into an attribute rule.
+
+    The result may be unsatisfiable (check
+    :meth:`~repro.rules.rule.AttributeRule.is_satisfiable`); callers decide
+    whether to keep or drop such rules.
+    """
+    literals_by_attribute: Dict[str, List] = defaultdict(list)
+    for literal in rule.literals:
+        literals_by_attribute[literal.feature.attribute].append(literal)
+
+    conditions = []
+    for attribute, literals in literals_by_attribute.items():
+        kinds = {l.feature.kind for l in literals}
+        if kinds <= {KIND_THRESHOLD}:
+            conditions.append(_interval_condition(attribute, literals, schema))
+        elif kinds <= {KIND_ORDINAL_THRESHOLD, KIND_EQUALS}:
+            conditions.append(_membership_condition(attribute, literals))
+        else:
+            raise RuleError(
+                f"attribute {attribute!r} mixes numeric and categorical input features"
+            )
+    return AttributeRule(tuple(conditions), rule.consequent)
+
+
+def _interval_condition(
+    attribute: str, literals: Sequence, schema: Optional[Schema]
+) -> IntervalCondition:
+    """Intersect threshold literals into a single interval condition."""
+    interval = Interval()
+    for literal in literals:
+        feature: InputFeature = literal.feature
+        interval = interval.intersect(feature.numeric_interval(literal.value))
+    integer = False
+    if schema is not None and attribute in schema:
+        integer = bool(getattr(schema.attribute(attribute), "integer", False))
+    return IntervalCondition(attribute, interval, integer=integer)
+
+
+def _membership_condition(attribute: str, literals: Sequence) -> MembershipCondition:
+    """Intersect ordinal / equality literals into a membership condition."""
+    domain = literals[0].feature.domain
+    if domain is None:
+        raise RuleError(f"feature {literals[0].feature.name} lacks a domain")
+    allowed = set(domain)
+    for literal in literals:
+        allowed &= set(literal.feature.allowed_values(literal.value))
+    return MembershipCondition(attribute, tuple(v for v in domain if v in allowed), tuple(domain))
+
+
+def translate_ruleset(
+    ruleset: RuleSet[BinaryRule],
+    schema: Optional[Schema] = None,
+    drop_unsatisfiable: bool = True,
+) -> RuleSet[AttributeRule]:
+    """Translate a whole binary rule set into attribute rules.
+
+    Parameters
+    ----------
+    ruleset:
+        Binary rule set produced by the extraction step.
+    schema:
+        Optional schema, used only to format integer attributes nicely.
+    drop_unsatisfiable:
+        When ``True`` (default) rules whose translated conditions contradict
+        each other are removed — the paper drops such rules explicitly.
+    """
+    translated: List[AttributeRule] = []
+    for rule in ruleset.rules:
+        attribute_rule = translate_rule(rule, schema)
+        if drop_unsatisfiable and not attribute_rule.is_satisfiable():
+            continue
+        translated.append(attribute_rule)
+    return RuleSet(
+        rules=translated,
+        default_class=ruleset.default_class,
+        classes=list(ruleset.classes),
+        name=f"{ruleset.name} (attribute form)",
+    )

@@ -1,0 +1,60 @@
+"""Tests of the C4.5 classifier facade."""
+
+import pytest
+
+from repro.baselines.c45 import C45Classifier, C45Config, TreeConfig
+from repro.data.agrawal import AgrawalGenerator
+from repro.exceptions import BaselineError
+
+
+@pytest.fixture(scope="module")
+def function2_data():
+    train = AgrawalGenerator(function=2, perturbation=0.05, seed=3).generate(400)
+    test = AgrawalGenerator(function=2, perturbation=0.0, seed=13).generate(400)
+    return train, test
+
+
+class TestC45Classifier:
+    def test_unfitted_usage_rejected(self):
+        classifier = C45Classifier()
+        with pytest.raises(BaselineError):
+            classifier.predict_record({})
+
+    def test_empty_dataset_rejected(self, small_dataset):
+        with pytest.raises(BaselineError):
+            C45Classifier().fit(small_dataset.subset([]))
+
+    def test_reasonable_accuracy_on_function2(self, function2_data):
+        train, test = function2_data
+        classifier = C45Classifier().fit(train)
+        assert classifier.score(train) >= 0.9
+        assert classifier.score(test) >= 0.85
+
+    def test_predict_matches_dataset_interface(self, function2_data):
+        train, _ = function2_data
+        classifier = C45Classifier().fit(train)
+        from_dataset = classifier.predict(train)
+        from_records = classifier.predict(train.records)
+        assert from_dataset == from_records
+
+    def test_pruned_tree_is_smaller(self, function2_data):
+        train, _ = function2_data
+        unpruned = C45Classifier(C45Config(prune=False)).fit(train)
+        pruned = C45Classifier(C45Config(prune=True)).fit(train)
+        assert pruned.n_leaves <= unpruned.n_leaves
+
+    def test_depth_and_leaves_reported(self, function2_data):
+        train, _ = function2_data
+        classifier = C45Classifier().fit(train)
+        assert classifier.depth >= 1
+        assert classifier.n_leaves >= 2
+
+    def test_tree_config_passed_through(self, function2_data):
+        train, _ = function2_data
+        classifier = C45Classifier(C45Config(tree=TreeConfig(max_depth=2))).fit(train)
+        assert classifier.depth <= 2
+
+    def test_describe_mentions_salary(self, function2_data):
+        train, _ = function2_data
+        classifier = C45Classifier().fit(train)
+        assert "salary" in classifier.describe() or "age" in classifier.describe()

@@ -1,0 +1,67 @@
+"""Tests of the C4.5rules-style rule generator."""
+
+import pytest
+
+from repro.baselines.c45 import C45Rules, C45RulesConfig
+from repro.data.agrawal import AgrawalGenerator
+from repro.exceptions import BaselineError
+
+
+@pytest.fixture(scope="module")
+def function2_rules():
+    train = AgrawalGenerator(function=2, perturbation=0.05, seed=3).generate(400)
+    test = AgrawalGenerator(function=2, perturbation=0.0, seed=13).generate(400)
+    model = C45Rules().fit(train)
+    return model, train, test
+
+
+class TestC45Rules:
+    def test_unfitted_usage_rejected(self):
+        with pytest.raises(BaselineError):
+            C45Rules().predict([])
+
+    def test_empty_dataset_rejected(self, small_dataset):
+        with pytest.raises(BaselineError):
+            C45Rules().fit(small_dataset.subset([]))
+
+    def test_produces_rules_for_both_classes_or_default(self, function2_rules):
+        model, _, _ = function2_rules
+        ruleset = model.ruleset
+        assert ruleset.n_rules >= 2
+        assert ruleset.default_class in ("A", "B")
+
+    def test_accuracy_comparable_to_tree(self, function2_rules):
+        model, train, test = function2_rules
+        assert model.score(train) >= 0.85
+        assert model.score(test) >= 0.85
+
+    def test_rules_reference_function_attributes(self, function2_rules):
+        model, _, _ = function2_rules
+        referenced = model.ruleset.referenced_attributes()
+        assert "salary" in referenced
+        assert "age" in referenced
+
+    def test_generalisation_reduces_conditions(self):
+        train = AgrawalGenerator(function=2, perturbation=0.05, seed=7).generate(400)
+        generalised = C45Rules(C45RulesConfig(generalise=True)).fit(train)
+        raw = C45Rules(C45RulesConfig(generalise=False, select_subset=False)).fit(train)
+        assert (
+            generalised.ruleset.mean_conditions_per_rule
+            <= raw.ruleset.mean_conditions_per_rule + 1e-9
+        )
+
+    def test_subset_selection_reduces_rule_count(self):
+        train = AgrawalGenerator(function=2, perturbation=0.05, seed=7).generate(400)
+        selected = C45Rules(C45RulesConfig(select_subset=True)).fit(train)
+        unselected = C45Rules(C45RulesConfig(select_subset=False)).fit(train)
+        assert selected.ruleset.n_rules <= unselected.ruleset.n_rules
+
+    def test_rules_for_class_helper(self, function2_rules):
+        model, _, _ = function2_rules
+        group_a = model.rules_for_class("A")
+        assert all(rule.consequent == "A" for rule in group_a)
+
+    def test_every_rule_covers_training_tuples(self, function2_rules):
+        model, train, _ = function2_rules
+        for rule in model.ruleset.rules:
+            assert rule.covers_dataset(train.records).sum() >= 1

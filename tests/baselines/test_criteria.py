@@ -1,0 +1,77 @@
+"""Tests of the entropy / gain-ratio criteria."""
+
+import math
+
+import pytest
+
+from repro.baselines.c45.criteria import (
+    class_counts,
+    entropy,
+    entropy_from_counts,
+    gain_ratio,
+    information_gain,
+    split_information,
+)
+from repro.exceptions import BaselineError
+
+
+class TestEntropy:
+    def test_pure_set_zero_entropy(self):
+        assert entropy(["A", "A", "A"]) == 0.0
+
+    def test_balanced_binary_is_one_bit(self):
+        assert entropy(["A", "B", "A", "B"]) == pytest.approx(1.0)
+
+    def test_empty_set_zero(self):
+        assert entropy([]) == 0.0
+
+    def test_matches_counts_version(self):
+        labels = ["A"] * 3 + ["B"] * 5 + ["C"] * 2
+        assert entropy(labels) == pytest.approx(entropy_from_counts([3, 5, 2]))
+
+    def test_uniform_k_classes(self):
+        labels = ["A", "B", "C", "D"]
+        assert entropy(labels) == pytest.approx(2.0)
+
+    def test_class_counts(self):
+        assert class_counts(["A", "B", "A"]) == {"A": 2, "B": 1}
+
+
+class TestInformationGain:
+    def test_perfect_split_gains_full_entropy(self):
+        parent = ["A", "A", "B", "B"]
+        gain = information_gain(parent, [["A", "A"], ["B", "B"]])
+        assert gain == pytest.approx(1.0)
+
+    def test_useless_split_gains_nothing(self):
+        parent = ["A", "B", "A", "B"]
+        gain = information_gain(parent, [["A", "B"], ["A", "B"]])
+        assert gain == pytest.approx(0.0)
+
+    def test_partition_must_cover_parent(self):
+        with pytest.raises(BaselineError):
+            information_gain(["A", "B"], [["A"]])
+
+    def test_empty_parent_rejected(self):
+        with pytest.raises(BaselineError):
+            information_gain([], [[]])
+
+
+class TestGainRatio:
+    def test_split_information_of_even_split(self):
+        assert split_information([["A"], ["B"]], 2) == pytest.approx(1.0)
+
+    def test_gain_ratio_normalises_gain(self):
+        parent = ["A", "A", "B", "B"]
+        ratio = gain_ratio(parent, [["A", "A"], ["B", "B"]])
+        assert ratio == pytest.approx(1.0)
+
+    def test_many_way_split_penalised(self):
+        parent = ["A", "A", "B", "B"]
+        two_way = gain_ratio(parent, [["A", "A"], ["B", "B"]])
+        four_way = gain_ratio(parent, [["A"], ["A"], ["B"], ["B"]])
+        assert two_way > four_way
+
+    def test_zero_split_information_guard(self):
+        parent = ["A", "B"]
+        assert gain_ratio(parent, [["A", "B"], []]) == 0.0

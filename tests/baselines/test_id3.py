@@ -1,0 +1,45 @@
+"""Tests of the ID3 baseline."""
+
+import pytest
+
+from repro.baselines.id3 import ID3Classifier, ID3Config
+from repro.data.agrawal import AgrawalGenerator
+from repro.data.synthetic import boolean_function_dataset
+from repro.exceptions import BaselineError
+
+
+class TestID3:
+    def test_empty_dataset_rejected(self, small_dataset):
+        with pytest.raises(BaselineError):
+            ID3Classifier().fit(small_dataset.subset([]))
+
+    def test_unfitted_usage_rejected(self):
+        with pytest.raises(BaselineError):
+            ID3Classifier().predict_record({})
+
+    def test_learns_boolean_concept_exactly(self):
+        dataset = boolean_function_dataset(4, lambda bits: bool(bits[0]) and bool(bits[1]))
+        classifier = ID3Classifier().fit(dataset)
+        assert classifier.score(dataset) == 1.0
+
+    def test_discretises_numeric_attributes(self):
+        train = AgrawalGenerator(function=1, perturbation=0.0, seed=1).generate(300)
+        classifier = ID3Classifier(ID3Config(n_subintervals=6)).fit(train)
+        assert classifier.score(train) >= 0.85
+
+    def test_handles_unseen_discretised_value(self):
+        dataset = boolean_function_dataset(3, lambda bits: bool(bits[0]))
+        classifier = ID3Classifier().fit(dataset)
+        # A record identical in schema but outside the training combinations
+        # still gets a prediction (falls back to the node majority).
+        assert classifier.predict_record({"x1": 1, "x2": 0, "x3": 1}) in ("A", "B")
+
+    def test_tends_to_overfit_more_than_needed(self):
+        """The paper's observation: ID3 produces many more 'strings' (leaves)."""
+        train = AgrawalGenerator(function=2, perturbation=0.05, seed=3).generate(400)
+        classifier = ID3Classifier().fit(train)
+        assert classifier.n_leaves > 20
+
+    def test_config_validation(self):
+        with pytest.raises(BaselineError):
+            ID3Config(max_depth=0)

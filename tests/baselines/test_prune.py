@@ -1,0 +1,56 @@
+"""Tests of pessimistic error estimation and tree pruning."""
+
+import pytest
+
+from repro.baselines.c45.prune import pessimistic_errors, prune_tree
+from repro.baselines.c45.tree import TreeConfig, build_tree
+from repro.data.agrawal import AgrawalGenerator
+from repro.exceptions import BaselineError
+
+
+class TestPessimisticErrors:
+    def test_zero_records(self):
+        assert pessimistic_errors(0, 0) == 0.0
+
+    def test_upper_bound_exceeds_observed(self):
+        assert pessimistic_errors(10, 2) > 2.0
+
+    def test_monotone_in_observed_errors(self):
+        assert pessimistic_errors(20, 5) > pessimistic_errors(20, 1)
+
+    def test_bounded_by_record_count(self):
+        assert pessimistic_errors(10, 10) <= 10.0
+
+    def test_lower_confidence_is_more_pessimistic(self):
+        assert pessimistic_errors(10, 1, confidence=0.1) > pessimistic_errors(10, 1, confidence=0.4)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(BaselineError):
+            pessimistic_errors(10, 11)
+        with pytest.raises(BaselineError):
+            pessimistic_errors(10, 1, confidence=1.5)
+
+
+class TestPruneTree:
+    @pytest.fixture(scope="class")
+    def noisy_tree(self):
+        dataset = AgrawalGenerator(function=1, perturbation=0.08, seed=5).generate(400)
+        tree = build_tree(dataset, TreeConfig(min_split_size=4, min_leaf_size=2))
+        return dataset, tree
+
+    def test_pruning_never_grows_the_tree(self, noisy_tree):
+        _, tree = noisy_tree
+        pruned = prune_tree(tree)
+        assert pruned.n_leaves() <= tree.n_leaves()
+
+    def test_pruning_keeps_training_accuracy_reasonable(self, noisy_tree):
+        dataset, tree = noisy_tree
+        pruned = prune_tree(tree)
+        correct = sum(1 for record, label in dataset if pruned.predict(record) == label)
+        assert correct / len(dataset) >= 0.85
+
+    def test_original_tree_not_modified(self, noisy_tree):
+        _, tree = noisy_tree
+        leaves_before = tree.n_leaves()
+        prune_tree(tree)
+        assert tree.n_leaves() == leaves_before

@@ -1,0 +1,140 @@
+"""Tests of hidden-activation clustering (RX step 1)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.clustering import (
+    ActivationDiscretizer,
+    ActivationDiscretizerConfig,
+    HiddenUnitClustering,
+    cluster_activation_values,
+)
+from repro.exceptions import ExtractionError
+
+
+class TestClusterActivationValues:
+    def test_well_separated_groups(self):
+        values = [-0.95, -0.9, -1.0, 0.9, 1.0, 0.95]
+        centers, assignments = cluster_activation_values(values, epsilon=0.3)
+        assert len(centers) == 2
+        assert len(set(assignments[:3])) == 1
+        assert len(set(assignments[3:])) == 1
+
+    def test_single_cluster_for_tight_values(self):
+        centers, _ = cluster_activation_values([0.5, 0.52, 0.48], epsilon=0.2)
+        assert len(centers) == 1
+        assert centers[0] == pytest.approx(0.5, abs=0.02)
+
+    def test_small_epsilon_many_clusters(self):
+        values = [0.0, 0.2, 0.4, 0.6]
+        centers, _ = cluster_activation_values(values, epsilon=0.05)
+        assert len(centers) == 4
+
+    def test_centers_are_cluster_means(self):
+        values = [0.0, 0.1, 1.0]
+        centers, assignments = cluster_activation_values(values, epsilon=0.2)
+        assert centers[0] == pytest.approx(0.05)
+        assert centers[1] == pytest.approx(1.0)
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ExtractionError):
+            cluster_activation_values([], epsilon=0.5)
+
+    def test_invalid_epsilon_rejected(self):
+        with pytest.raises(ExtractionError):
+            cluster_activation_values([0.1], epsilon=0.0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        values=st.lists(st.floats(min_value=-1.0, max_value=1.0), min_size=1, max_size=40),
+        epsilon=st.floats(min_value=0.05, max_value=1.0),
+    )
+    def test_every_value_is_assigned_and_counts_add_up(self, values, epsilon):
+        centers, assignments = cluster_activation_values(values, epsilon)
+        assert len(assignments) == len(values)
+        assert assignments.max() < len(centers)
+        # Every cluster mean lies within the range of the original values.
+        assert np.all(centers >= min(values) - 1e-9)
+        assert np.all(centers <= max(values) + 1e-9)
+
+
+class TestHiddenUnitClustering:
+    def test_discretized_column_uses_centers(self):
+        clustering = HiddenUnitClustering(
+            hidden_index=0,
+            centers=np.array([-1.0, 1.0]),
+            assignments=np.array([0, 1, 0]),
+        )
+        assert clustering.discretized_column().tolist() == [-1.0, 1.0, -1.0]
+
+    def test_nearest_center_index(self):
+        clustering = HiddenUnitClustering(
+            hidden_index=0, centers=np.array([-1.0, 0.2, 1.0]), assignments=np.array([0])
+        )
+        assert clustering.nearest_center_index(0.9) == 2
+        assert clustering.nearest_center_index(0.0) == 1
+
+
+class TestActivationDiscretizer:
+    def test_preserves_accuracy_on_boolean_network(self, pruned_boolean_network):
+        network = pruned_boolean_network["pruning"].network
+        inputs = pruned_boolean_network["inputs"]
+        targets = pruned_boolean_network["targets"]
+        discretizer = ActivationDiscretizer()
+        result = discretizer.discretize(network, inputs, targets, required_accuracy=0.95)
+        assert result.accuracy >= 0.95
+        assert result.clusterings
+        assert result.total_combinations() >= 1
+
+    def test_epsilon_decreases_until_accuracy_met(self, pruned_boolean_network):
+        network = pruned_boolean_network["pruning"].network
+        inputs = pruned_boolean_network["inputs"]
+        targets = pruned_boolean_network["targets"]
+        config = ActivationDiscretizerConfig(epsilon=2.0, min_epsilon=0.01, decay=0.5)
+        result = ActivationDiscretizer(config).discretize(
+            network, inputs, targets, required_accuracy=0.95
+        )
+        assert result.accuracy >= 0.95
+
+    def test_impossible_accuracy_raises(self, pruned_boolean_network):
+        network = pruned_boolean_network["pruning"].network
+        inputs = pruned_boolean_network["inputs"]
+        targets = np.zeros_like(pruned_boolean_network["targets"])
+        targets[:, 0] = 1.0  # demand a constant class the network cannot deliver
+        discretizer = ActivationDiscretizer(
+            ActivationDiscretizerConfig(epsilon=0.5, min_epsilon=0.2, decay=0.5, max_attempts=3)
+        )
+        if pruned_boolean_network["pruning"].final_accuracy < 0.999:
+            with pytest.raises(ExtractionError):
+                discretizer.discretize(network, inputs, targets, required_accuracy=1.0)
+
+    def test_invalid_required_accuracy(self, pruned_boolean_network):
+        network = pruned_boolean_network["pruning"].network
+        with pytest.raises(ExtractionError):
+            ActivationDiscretizer().discretize(
+                network,
+                pruned_boolean_network["inputs"],
+                pruned_boolean_network["targets"],
+                required_accuracy=1.5,
+            )
+
+    def test_invalid_config(self):
+        with pytest.raises(ExtractionError):
+            ActivationDiscretizerConfig(epsilon=3.0)
+        with pytest.raises(ExtractionError):
+            ActivationDiscretizerConfig(decay=1.5)
+
+    def test_clustering_lookup(self, pruned_boolean_network):
+        network = pruned_boolean_network["pruning"].network
+        result = ActivationDiscretizer().discretize(
+            network,
+            pruned_boolean_network["inputs"],
+            pruned_boolean_network["targets"],
+            required_accuracy=0.9,
+        )
+        first = result.clusterings[0]
+        assert result.clustering_for(first.hidden_index) is first
+        with pytest.raises(ExtractionError):
+            result.clustering_for(99)

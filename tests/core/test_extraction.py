@@ -1,0 +1,170 @@
+"""Tests of the rule-extraction algorithm RX on small boolean problems."""
+
+import numpy as np
+import pytest
+
+from repro.core.extraction import (
+    ExtractionConfig,
+    RuleExtractor,
+    generic_binary_features,
+)
+from repro.core.pruning import NetworkPruner, PruningConfig
+from repro.core.training import NetworkTrainer, TrainerConfig
+from repro.data.synthetic import boolean_function_dataset
+from repro.exceptions import ExtractionError
+from repro.nn.penalty import PenaltyConfig
+from repro.optim.bfgs import BFGSConfig
+from repro.preprocessing.encoder import default_encoder
+
+
+def fit_boolean(function, n_inputs=4, seed=9, prune=True):
+    """Train (and optionally prune) a small network on a boolean concept."""
+    dataset = boolean_function_dataset(n_inputs, function)
+    replicated = dataset
+    for _ in range(7):
+        replicated = replicated.concat(dataset)
+    encoder = default_encoder(replicated.schema, replicated)
+    inputs = encoder.encode_dataset(replicated)
+    targets = replicated.label_targets()
+    trainer = NetworkTrainer(
+        TrainerConfig(
+            n_hidden=3,
+            seed=seed,
+            penalty=PenaltyConfig(epsilon1=0.2, epsilon2=1e-3),
+            bfgs=BFGSConfig(max_iterations=200, gradient_tolerance=1e-3),
+        )
+    )
+    training = trainer.train(inputs, targets)
+    network = training.network
+    if prune:
+        pruner = NetworkPruner(
+            PruningConfig(accuracy_threshold=0.98, max_rounds=40, retrain_iterations=40)
+        )
+        network = pruner.prune(network, inputs, targets, trainer).network
+    return {
+        "dataset": replicated,
+        "encoder": encoder,
+        "inputs": inputs,
+        "targets": targets,
+        "network": network,
+        "classes": list(replicated.schema.classes),
+    }
+
+
+class TestGenericFeatures:
+    def test_names_and_kinds(self):
+        features = generic_binary_features(3)
+        assert [f.name for f in features] == ["I1", "I2", "I3"]
+        assert all(f.domain == (0, 1) for f in features)
+
+
+class TestExtractionOnBooleanConcepts:
+    def test_conjunction_concept(self):
+        fitted = fit_boolean(lambda bits: bool(bits[0]) and bool(bits[1]))
+        extractor = RuleExtractor()
+        result = extractor.extract(
+            fitted["network"], fitted["inputs"], fitted["targets"], fitted["classes"]
+        )
+        # The extracted rules must reproduce the network's behaviour exactly.
+        assert result.fidelity == 1.0
+        assert result.training_accuracy >= 0.98
+        assert result.binary_rules.n_rules >= 1
+
+    def test_disjunction_concept(self):
+        fitted = fit_boolean(lambda bits: bool(bits[0]) or bool(bits[1]))
+        result = RuleExtractor().extract(
+            fitted["network"], fitted["inputs"], fitted["targets"], fitted["classes"]
+        )
+        assert result.fidelity == 1.0
+        assert result.training_accuracy >= 0.98
+
+    def test_rules_predict_like_the_function(self):
+        fitted = fit_boolean(lambda bits: bool(bits[0]) and (bool(bits[1]) or bool(bits[2])))
+        result = RuleExtractor().extract(
+            fitted["network"], fitted["inputs"], fitted["targets"], fitted["classes"]
+        )
+        predictions = result.binary_rules.predict(fitted["inputs"])
+        assert predictions == fitted["dataset"].labels
+
+    def test_extraction_with_encoder_translates_rules(self):
+        fitted = fit_boolean(lambda bits: bool(bits[0]) and bool(bits[1]))
+        result = RuleExtractor().extract(
+            fitted["network"],
+            fitted["inputs"],
+            fitted["targets"],
+            fitted["classes"],
+            encoder=fitted["encoder"],
+        )
+        assert result.attribute_rules is not None
+        assert result.rules is result.attribute_rules
+        referenced = result.attribute_rules.referenced_attributes()
+        assert set(referenced) <= {"x1", "x2", "x3", "x4"}
+
+    def test_irrelevant_inputs_do_not_appear_in_rules(self):
+        fitted = fit_boolean(lambda bits: bool(bits[0]) and bool(bits[1]))
+        result = RuleExtractor().extract(
+            fitted["network"],
+            fitted["inputs"],
+            fitted["targets"],
+            fitted["classes"],
+            encoder=fitted["encoder"],
+        )
+        referenced = result.attribute_rules.referenced_attributes()
+        assert "x4" not in referenced
+
+    def test_rule_classes_override(self):
+        fitted = fit_boolean(lambda bits: bool(bits[0]) and bool(bits[1]))
+        result = RuleExtractor().extract(
+            fitted["network"],
+            fitted["inputs"],
+            fitted["targets"],
+            fitted["classes"],
+            rule_classes=["A", "B"],
+        )
+        consequents = {rule.consequent for rule in result.binary_rules.rules}
+        assert consequents == {"A", "B"}
+
+    def test_unknown_rule_class_rejected(self):
+        fitted = fit_boolean(lambda bits: bool(bits[0]))
+        with pytest.raises(ExtractionError):
+            RuleExtractor().extract(
+                fitted["network"],
+                fitted["inputs"],
+                fitted["targets"],
+                fitted["classes"],
+                rule_classes=["C"],
+            )
+
+    def test_wrong_label_count_rejected(self):
+        fitted = fit_boolean(lambda bits: bool(bits[0]))
+        with pytest.raises(ExtractionError):
+            RuleExtractor().extract(
+                fitted["network"], fitted["inputs"], fitted["targets"], ["A", "B", "C"]
+            )
+
+    def test_encoder_width_mismatch_rejected(self, encoder):
+        fitted = fit_boolean(lambda bits: bool(bits[0]))
+        with pytest.raises(ExtractionError):
+            RuleExtractor().extract(
+                fitted["network"],
+                fitted["inputs"],
+                fitted["targets"],
+                fitted["classes"],
+                encoder=encoder,
+            )
+
+    def test_unpruned_network_still_extractable(self):
+        """Extraction works on a fully connected (small) network too."""
+        fitted = fit_boolean(lambda bits: bool(bits[0]) or bool(bits[1]), prune=False)
+        result = RuleExtractor(ExtractionConfig(max_enumeration_inputs=6)).extract(
+            fitted["network"], fitted["inputs"], fitted["targets"], fitted["classes"]
+        )
+        assert result.fidelity >= 0.98
+
+    def test_extraction_result_repr(self):
+        fitted = fit_boolean(lambda bits: bool(bits[0]))
+        result = RuleExtractor().extract(
+            fitted["network"], fitted["inputs"], fitted["targets"], fitted["classes"]
+        )
+        text = repr(result)
+        assert "fidelity" in text and "rules" in text

@@ -1,0 +1,88 @@
+"""Integration tests of the NeuroRuleClassifier facade."""
+
+import pytest
+
+from repro.core.neurorule import NeuroRuleClassifier, NeuroRuleConfig
+from repro.data.synthetic import boolean_function_dataset
+from repro.exceptions import TrainingError
+
+
+@pytest.fixture(scope="module")
+def fitted_classifier():
+    dataset = boolean_function_dataset(
+        4, lambda bits: bool(bits[0]) and (bool(bits[1]) or bool(bits[2]))
+    )
+    replicated = dataset
+    for _ in range(7):
+        replicated = replicated.concat(dataset)
+    classifier = NeuroRuleClassifier(NeuroRuleConfig.fast(n_hidden=3, seed=4))
+    classifier.fit(replicated)
+    return classifier, replicated, dataset
+
+
+class TestNeuroRuleClassifier:
+    def test_unfitted_usage_rejected(self):
+        classifier = NeuroRuleClassifier()
+        with pytest.raises(TrainingError):
+            classifier.predict([])
+        with pytest.raises(TrainingError):
+            classifier.describe_rules()
+
+    def test_empty_dataset_rejected(self, small_dataset):
+        classifier = NeuroRuleClassifier()
+        with pytest.raises(TrainingError):
+            classifier.fit(small_dataset.subset([]))
+
+    def test_fit_exposes_all_stages(self, fitted_classifier):
+        classifier, _, _ = fitted_classifier
+        assert classifier.training_result_ is not None
+        assert classifier.pruning_result_ is not None
+        assert classifier.extraction_result_ is not None
+        assert classifier.network_ is not None
+        assert classifier.rules_ is not None
+
+    def test_rules_fit_training_data(self, fitted_classifier):
+        classifier, replicated, _ = fitted_classifier
+        assert classifier.score(replicated) >= 0.95
+
+    def test_rules_generalise_to_truth_table(self, fitted_classifier):
+        classifier, _, truth_table = fitted_classifier
+        assert classifier.score(truth_table) >= 0.95
+
+    def test_predictions_match_labels_schema(self, fitted_classifier):
+        classifier, replicated, _ = fitted_classifier
+        predictions = classifier.predict(replicated)
+        assert set(predictions) <= {"A", "B"}
+        single = classifier.predict_record(replicated.records[0])
+        assert single in {"A", "B"}
+
+    def test_network_predictions_available(self, fitted_classifier):
+        classifier, replicated, _ = fitted_classifier
+        network_score = classifier.score_network(replicated)
+        assert network_score >= 0.95
+
+    def test_rule_fidelity_to_network(self, fitted_classifier):
+        classifier, replicated, _ = fitted_classifier
+        rule_predictions = classifier.predict(replicated)
+        network_predictions = classifier.predict_network(replicated)
+        agreement = sum(1 for a, b in zip(rule_predictions, network_predictions) if a == b)
+        assert agreement / len(replicated) >= 0.95
+
+    def test_describe_and_summary(self, fitted_classifier):
+        classifier, _, _ = fitted_classifier
+        rules_text = classifier.describe_rules()
+        assert "Rule 1" in rules_text or "IF" in rules_text
+        summary = classifier.summary()
+        assert "extracted rules" in summary
+
+    def test_pruning_can_be_disabled(self):
+        dataset = boolean_function_dataset(3, lambda bits: bool(bits[0]))
+        replicated = dataset
+        for _ in range(7):
+            replicated = replicated.concat(dataset)
+        config = NeuroRuleConfig.fast(n_hidden=2, seed=1)
+        config.prune_network = False
+        classifier = NeuroRuleClassifier(config)
+        classifier.fit(replicated)
+        assert classifier.pruning_result_ is None
+        assert classifier.score(replicated) >= 0.95

@@ -1,0 +1,51 @@
+"""Tests of NeuroRuleClassifier options beyond the default pipeline."""
+
+import pytest
+
+from repro.core.neurorule import NeuroRuleClassifier, NeuroRuleConfig
+from repro.data.synthetic import boolean_function_dataset
+from repro.rules.serialization import ruleset_from_json, ruleset_to_json, ruleset_to_sql
+
+
+@pytest.fixture(scope="module")
+def noisy_boolean_classifier():
+    """A classifier fitted on a boolean concept with redundant-rule pruning on."""
+    dataset = boolean_function_dataset(4, lambda bits: bool(bits[0]) and bool(bits[1]))
+    replicated = dataset
+    for _ in range(7):
+        replicated = replicated.concat(dataset)
+    config = NeuroRuleConfig.fast(n_hidden=3, seed=11)
+    config.prune_redundant_rules = True
+    classifier = NeuroRuleClassifier(config)
+    classifier.fit(replicated)
+    return classifier, replicated
+
+
+class TestRedundantRulePruning:
+    def test_accuracy_not_reduced(self, noisy_boolean_classifier):
+        classifier, data = noisy_boolean_classifier
+        raw_rules = classifier.extraction_result_.attribute_rules
+        assert classifier.rules_.accuracy(data) >= raw_rules.accuracy(data)
+
+    def test_rule_count_not_increased(self, noisy_boolean_classifier):
+        classifier, _ = noisy_boolean_classifier
+        assert classifier.rules_.n_rules <= classifier.extraction_result_.attribute_rules.n_rules
+
+    def test_describe_uses_final_rules(self, noisy_boolean_classifier):
+        classifier, _ = noisy_boolean_classifier
+        text = classifier.describe_rules()
+        assert text.count("Rule ") == classifier.rules_.n_rules
+
+
+class TestRuleExport:
+    def test_extracted_rules_round_trip_through_json(self, noisy_boolean_classifier):
+        classifier, data = noisy_boolean_classifier
+        document = ruleset_to_json(classifier.rules_)
+        restored = ruleset_from_json(document)
+        assert restored.predict(data) == classifier.rules_.predict(data)
+
+    def test_extracted_rules_render_as_sql(self, noisy_boolean_classifier):
+        classifier, _ = noisy_boolean_classifier
+        statements = ruleset_to_sql(classifier.rules_, table="tuples")
+        assert len(statements) == classifier.rules_.n_rules
+        assert all("SELECT * FROM tuples WHERE" in s for s in statements)

@@ -1,0 +1,120 @@
+"""Tests of the network pruning phase (algorithm NP)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pruning import NetworkPruner, PruningConfig
+from repro.exceptions import PruningError
+from repro.nn.network import new_network
+
+
+class TestPruningConfig:
+    def test_eta_sum_constraint(self):
+        with pytest.raises(PruningError):
+            PruningConfig(eta1=0.3, eta2=0.25)
+
+    def test_eta_range_constraints(self):
+        with pytest.raises(PruningError):
+            PruningConfig(eta1=0.0)
+        with pytest.raises(PruningError):
+            PruningConfig(eta2=0.6, eta1=0.3)
+
+    def test_threshold_range(self):
+        with pytest.raises(PruningError):
+            PruningConfig(accuracy_threshold=0.0)
+
+    def test_round_budget(self):
+        with pytest.raises(PruningError):
+            PruningConfig(max_rounds=0)
+
+
+class TestPruningConditions:
+    def test_input_weight_products(self):
+        network = new_network(3, 2, 2, seed=0)
+        network.input_weights = np.array(
+            [[0.01, 1.0, 0.5, 0.1], [0.2, 0.02, 0.3, 0.4]]
+        )
+        network.output_weights = np.array([[2.0, 1.0], [0.5, 3.0]])
+        pruner = NetworkPruner(PruningConfig(eta2=0.1))
+        products = pruner.input_weight_products(network)
+        # For hidden unit 0, max |v| over outputs is 2.0.
+        assert products[0, 0] == pytest.approx(0.02)
+        assert products[1, 1] == pytest.approx(0.06)
+
+    def test_prunable_connections_threshold(self):
+        network = new_network(3, 2, 2, seed=0)
+        network.input_weights = np.array(
+            [[0.01, 1.0, 0.5, 0.1], [0.2, 0.02, 0.3, 0.4]]
+        )
+        network.output_weights = np.array([[2.0, 1.0], [0.5, 3.0]])
+        pruner = NetworkPruner(PruningConfig(eta2=0.1))  # threshold 0.4
+        input_pairs, output_pairs = pruner.prunable_connections(network)
+        assert (0, 0) in input_pairs          # product 0.02
+        assert (1, 1) in input_pairs          # product 0.06
+        assert (0, 3) in input_pairs          # product 0.2
+        assert (1, 0) not in input_pairs      # product 0.6
+        assert output_pairs == []             # all |v| > 0.4
+
+    def test_pruned_entries_never_reselected(self):
+        network = new_network(3, 2, 2, seed=0)
+        network.prune_input_connection(0, 0)
+        pruner = NetworkPruner()
+        products = pruner.input_weight_products(network)
+        assert np.isinf(products[0, 0])
+
+    def test_smallest_product_connection(self):
+        network = new_network(3, 2, 2, seed=0)
+        network.input_weights = np.array(
+            [[0.5, 1.0, 0.5, 0.1], [0.2, 0.001, 0.3, 0.4]]
+        )
+        network.output_weights = np.ones((2, 2))
+        pruner = NetworkPruner()
+        assert pruner.smallest_product_connection(network) == (1, 1)
+
+
+class TestPruningLoop:
+    def test_prunes_boolean_network(self, pruned_boolean_network):
+        result = pruned_boolean_network["pruning"]
+        assert result.final_connections < result.initial_connections
+        assert result.final_accuracy >= 0.95
+
+    def test_original_network_untouched(self, trained_boolean_network):
+        original = trained_boolean_network["training"].network
+        connections_before = original.n_active_connections()
+        pruner = NetworkPruner(PruningConfig(max_rounds=5, retrain_iterations=10))
+        pruner.prune(
+            original,
+            trained_boolean_network["inputs"],
+            trained_boolean_network["targets"],
+            trained_boolean_network["trainer"],
+        )
+        assert original.n_active_connections() == connections_before
+
+    def test_irrelevant_input_gets_disconnected(self, pruned_boolean_network):
+        """x4 plays no role in the target concept and should lose its links."""
+        network = pruned_boolean_network["pruning"].network
+        relevant = network.relevant_inputs()
+        assert 3 not in relevant
+
+    def test_below_threshold_network_not_pruned(self, trained_boolean_network):
+        pruner = NetworkPruner(PruningConfig(accuracy_threshold=0.999999))
+        training_accuracy = trained_boolean_network["training"].accuracy
+        result = pruner.prune(
+            trained_boolean_network["training"].network,
+            trained_boolean_network["inputs"],
+            trained_boolean_network["targets"],
+            trained_boolean_network["trainer"],
+        )
+        if training_accuracy < 0.999999:
+            assert result.final_connections == result.initial_connections
+            assert "below" in result.stop_reason
+
+    def test_round_records(self, pruned_boolean_network):
+        result = pruned_boolean_network["pruning"]
+        assert result.n_rounds == len(result.rounds)
+        for round_record in result.rounds:
+            assert round_record.accuracy_after_retraining >= 0.95
+            total_removed = (
+                round_record.removed_input_connections + round_record.removed_output_connections
+            )
+            assert total_removed >= 1

@@ -1,0 +1,137 @@
+"""Tests of the hidden/input enumeration tables (RX steps 2–3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.clustering import ActivationDiscretizer, HiddenUnitClustering
+from repro.core.tabulation import (
+    hidden_column_name,
+    input_column_name,
+    tabulate_hidden_to_output,
+    tabulate_inputs_to_hidden,
+)
+from repro.exceptions import ExtractionError
+from repro.nn.network import new_network
+
+
+@pytest.fixture()
+def discretized_boolean(pruned_boolean_network):
+    network = pruned_boolean_network["pruning"].network
+    clustering = ActivationDiscretizer().discretize(
+        network,
+        pruned_boolean_network["inputs"],
+        pruned_boolean_network["targets"],
+        required_accuracy=0.95,
+    )
+    return {**pruned_boolean_network, "network": network, "clustering": clustering}
+
+
+class TestColumnNames:
+    def test_hidden_column_name(self):
+        assert hidden_column_name(0) == "H1"
+        assert hidden_column_name(3) == "H4"
+
+    def test_input_column_name(self):
+        assert input_column_name(12) == "I13"
+
+
+class TestHiddenToOutput:
+    def test_row_count_is_product_of_clusters(self, discretized_boolean):
+        tabulation = tabulate_hidden_to_output(
+            discretized_boolean["network"],
+            discretized_boolean["clustering"],
+            discretized_boolean["classes"],
+        )
+        assert tabulation.n_combinations == discretized_boolean["clustering"].total_combinations()
+
+    def test_outcomes_are_class_labels(self, discretized_boolean):
+        tabulation = tabulate_hidden_to_output(
+            discretized_boolean["network"],
+            discretized_boolean["clustering"],
+            discretized_boolean["classes"],
+        )
+        assert set(tabulation.table.outcomes) <= set(discretized_boolean["classes"])
+
+    def test_output_activations_shape(self, discretized_boolean):
+        tabulation = tabulate_hidden_to_output(
+            discretized_boolean["network"],
+            discretized_boolean["clustering"],
+            discretized_boolean["classes"],
+        )
+        assert tabulation.output_activations.shape == (
+            tabulation.n_combinations,
+            discretized_boolean["network"].n_outputs,
+        )
+
+    def test_describe_renders_every_row(self, discretized_boolean):
+        tabulation = tabulate_hidden_to_output(
+            discretized_boolean["network"],
+            discretized_boolean["clustering"],
+            discretized_boolean["classes"],
+        )
+        text = tabulation.describe()
+        assert len(text.splitlines()) == tabulation.n_combinations + 1
+
+    def test_wrong_label_count_rejected(self, discretized_boolean):
+        with pytest.raises(ExtractionError):
+            tabulate_hidden_to_output(
+                discretized_boolean["network"],
+                discretized_boolean["clustering"],
+                ["only-one-label"],
+            )
+
+
+class TestInputsToHidden:
+    def test_full_enumeration_row_count(self, discretized_boolean):
+        network = discretized_boolean["network"]
+        clustering = discretized_boolean["clustering"]
+        unit = clustering.clusterings[0]
+        table = tabulate_inputs_to_hidden(network, unit)
+        fan_in = len(network.connected_inputs(unit.hidden_index))
+        assert table.n_rows == 2 ** fan_in
+
+    def test_outcomes_are_cluster_indices(self, discretized_boolean):
+        network = discretized_boolean["network"]
+        unit = discretized_boolean["clustering"].clusterings[0]
+        table = tabulate_inputs_to_hidden(network, unit)
+        assert set(table.outcomes) <= set(range(unit.n_clusters))
+
+    def test_observed_patterns_used_above_enumeration_limit(self, discretized_boolean):
+        network = discretized_boolean["network"]
+        unit = discretized_boolean["clustering"].clusterings[0]
+        inputs = discretized_boolean["inputs"]
+        table = tabulate_inputs_to_hidden(
+            network, unit, observed_inputs=inputs, max_enumeration_inputs=0
+        )
+        distinct_observed = {
+            tuple(int(round(v)) for v in row)
+            for row in inputs[:, network.connected_inputs(unit.hidden_index)]
+        }
+        assert table.n_rows == len(distinct_observed)
+
+    def test_missing_observations_raise_above_limit(self, discretized_boolean):
+        network = discretized_boolean["network"]
+        unit = discretized_boolean["clustering"].clusterings[0]
+        with pytest.raises(ExtractionError):
+            tabulate_inputs_to_hidden(network, unit, max_enumeration_inputs=0)
+
+    def test_unconnected_unit_rejected(self):
+        network = new_network(4, 2, 2, seed=0)
+        for l in range(network.architecture.n_effective_inputs):
+            network.prune_input_connection(0, l)
+        unit = HiddenUnitClustering(0, np.array([0.0]), np.array([0]))
+        with pytest.raises(ExtractionError):
+            tabulate_inputs_to_hidden(network, unit)
+
+    def test_activation_consistency_with_network(self, discretized_boolean):
+        """Enumerated activations must match the network on observed rows."""
+        network = discretized_boolean["network"]
+        unit = discretized_boolean["clustering"].clusterings[0]
+        inputs = discretized_boolean["inputs"]
+        table = tabulate_inputs_to_hidden(network, unit)
+        connected = network.connected_inputs(unit.hidden_index)
+        lookup = {row: outcome for row, outcome in zip(table.rows, table.outcomes)}
+        hidden = network.hidden_activations(inputs)[:, unit.hidden_index]
+        for row_values, activation in zip(inputs[:, connected], hidden):
+            key = tuple(int(round(v)) for v in row_values)
+            assert lookup[key] == unit.nearest_center_index(activation)

@@ -1,0 +1,104 @@
+"""Tests of the network training phase."""
+
+import numpy as np
+import pytest
+
+from repro.core.training import (
+    NetworkTrainer,
+    TrainerConfig,
+    classification_accuracy,
+)
+from repro.exceptions import TrainingError
+from repro.nn.penalty import PenaltyConfig
+from repro.optim.bfgs import BFGSConfig
+
+
+class TestTrainerConfig:
+    def test_rejects_unknown_optimizer(self):
+        with pytest.raises(TrainingError):
+            TrainerConfig(optimizer="adam")
+
+    def test_rejects_no_hidden_units(self):
+        with pytest.raises(TrainingError):
+            TrainerConfig(n_hidden=0)
+
+    def test_with_max_iterations_bfgs(self):
+        config = TrainerConfig().with_max_iterations(7)
+        assert config.bfgs.max_iterations == 7
+
+    def test_with_max_iterations_gradient_descent(self):
+        config = TrainerConfig(optimizer="gradient_descent").with_max_iterations(9)
+        assert config.gradient_descent.max_iterations == 9
+
+
+class TestTraining:
+    def test_learns_xor(self, xor_training_data):
+        inputs, targets, _, _ = xor_training_data
+        trainer = NetworkTrainer(
+            TrainerConfig(
+                n_hidden=4,
+                seed=1,
+                penalty=PenaltyConfig(epsilon1=0.01, epsilon2=1e-5),
+                bfgs=BFGSConfig(max_iterations=300, gradient_tolerance=1e-4),
+            )
+        )
+        result = trainer.train(inputs, targets)
+        assert result.accuracy == 1.0
+
+    def test_boolean_function_learned(self, trained_boolean_network):
+        assert trained_boolean_network["training"].accuracy >= 0.95
+
+    def test_mismatched_rows_rejected(self, fast_trainer):
+        with pytest.raises(TrainingError):
+            fast_trainer.train(np.zeros((3, 2)), np.zeros((4, 2)))
+
+    def test_retrain_improves_or_keeps_objective(self, trained_boolean_network):
+        network = trained_boolean_network["training"].network.copy()
+        inputs = trained_boolean_network["inputs"]
+        targets = trained_boolean_network["targets"]
+        trainer = trained_boolean_network["trainer"]
+        before = trained_boolean_network["training"].objective_value
+        result = trainer.retrain(network, inputs, targets, max_iterations=20)
+        assert result.objective_value <= before + 1e-6
+
+    def test_retrain_respects_masks(self, trained_boolean_network):
+        network = trained_boolean_network["training"].network.copy()
+        network.prune_input_connection(0, 0)
+        trainer = trained_boolean_network["trainer"]
+        result = trainer.retrain(
+            network,
+            trained_boolean_network["inputs"],
+            trained_boolean_network["targets"],
+            max_iterations=10,
+        )
+        assert result.network.input_weights[0, 0] == 0.0
+        assert not result.network.input_mask[0, 0]
+
+    def test_classification_accuracy_helper(self, trained_boolean_network):
+        accuracy = classification_accuracy(
+            trained_boolean_network["training"].network,
+            trained_boolean_network["inputs"],
+            trained_boolean_network["targets"],
+        )
+        assert accuracy == pytest.approx(trained_boolean_network["training"].accuracy)
+
+    def test_classification_accuracy_empty_rejected(self, trained_boolean_network):
+        with pytest.raises(TrainingError):
+            classification_accuracy(
+                trained_boolean_network["training"].network,
+                np.zeros((0, 4)),
+                np.zeros((0, 2)),
+            )
+
+    def test_gradient_descent_optimizer_also_learns(self, xor_training_data):
+        inputs, targets, _, _ = xor_training_data
+        trainer = NetworkTrainer(
+            TrainerConfig(
+                n_hidden=4,
+                seed=2,
+                optimizer="gradient_descent",
+                penalty=PenaltyConfig(epsilon1=0.01, epsilon2=1e-5),
+            )
+        )
+        result = trainer.train(inputs, targets)
+        assert result.accuracy >= 0.75

@@ -1,0 +1,146 @@
+"""Unit tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset, from_arrays
+from repro.exceptions import DataGenerationError, SchemaError
+
+
+class TestConstruction:
+    def test_length_and_iteration(self, small_dataset):
+        assert len(small_dataset) == 12
+        records = list(small_dataset)
+        assert len(records) == 12
+        record, label = records[0]
+        assert label in ("yes", "no")
+        assert "income" in record
+
+    def test_mismatched_lengths_rejected(self, small_schema):
+        with pytest.raises(SchemaError):
+            Dataset(small_schema, [{"income": 1, "age": 20, "grade": 0, "colour": "red"}], [])
+
+    def test_validation_rejects_bad_values(self, small_schema):
+        with pytest.raises(SchemaError):
+            Dataset(
+                small_schema,
+                [{"income": 1000.0, "age": 20, "grade": 0, "colour": "red"}],
+                ["yes"],
+            )
+
+    def test_validation_rejects_bad_labels(self, small_schema):
+        with pytest.raises(SchemaError):
+            Dataset(
+                small_schema,
+                [{"income": 10.0, "age": 20, "grade": 0, "colour": "red"}],
+                ["maybe"],
+            )
+
+    def test_getitem(self, small_dataset):
+        record, label = small_dataset[3]
+        assert record["income"] == pytest.approx(40.0)
+        assert label == "no"
+
+
+class TestArrayViews:
+    def test_attribute_column_continuous(self, small_dataset):
+        column = small_dataset.attribute_column("income")
+        assert column.dtype == float
+        assert column.shape == (12,)
+
+    def test_attribute_column_categorical(self, small_dataset):
+        column = small_dataset.attribute_column("colour")
+        assert column.dtype == object
+        assert set(column) <= {"red", "green", "blue"}
+
+    def test_label_indices(self, small_dataset):
+        indices = small_dataset.label_indices()
+        assert set(np.unique(indices)) <= {0, 1}
+        assert indices.shape == (12,)
+
+    def test_label_targets_one_hot(self, small_dataset):
+        targets = small_dataset.label_targets()
+        assert targets.shape == (12, 2)
+        assert np.all(targets.sum(axis=1) == 1.0)
+        # Row classes must agree with label_indices.
+        assert np.array_equal(np.argmax(targets, axis=1), small_dataset.label_indices())
+
+    def test_class_distribution_counts_all_classes(self, small_dataset):
+        distribution = small_dataset.class_distribution()
+        assert set(distribution) == {"yes", "no"}
+        assert sum(distribution.values()) == len(small_dataset)
+
+    def test_class_skew(self, small_dataset):
+        skew = small_dataset.class_skew()
+        assert 0.5 <= skew <= 1.0
+
+
+class TestAlgebra:
+    def test_subset(self, small_dataset):
+        subset = small_dataset.subset([0, 2, 4])
+        assert len(subset) == 3
+        assert subset.records[1] == small_dataset.records[2]
+
+    def test_filter(self, small_dataset):
+        rich = small_dataset.filter(lambda record, label: record["income"] >= 50)
+        assert len(rich) > 0
+        assert all(r["income"] >= 50 for r in rich.records)
+
+    def test_shuffled_preserves_pairs(self, small_dataset):
+        shuffled = small_dataset.shuffled(seed=0)
+        assert len(shuffled) == len(small_dataset)
+        original = {(r["income"], l) for r, l in small_dataset}
+        permuted = {(r["income"], l) for r, l in shuffled}
+        assert original == permuted
+
+    def test_split_sizes(self, small_dataset):
+        train, test = small_dataset.split(0.75, seed=1)
+        assert len(train) + len(test) == len(small_dataset)
+        assert len(train) == 9
+
+    def test_split_rejects_bad_fraction(self, small_dataset):
+        with pytest.raises(DataGenerationError):
+            small_dataset.split(1.5)
+
+    def test_concat(self, small_dataset):
+        doubled = small_dataset.concat(small_dataset)
+        assert len(doubled) == 2 * len(small_dataset)
+
+    def test_concat_rejects_different_schema(self, small_dataset, agrawal_train):
+        with pytest.raises(SchemaError):
+            small_dataset.concat(agrawal_train)
+
+    def test_relabelled(self, small_dataset):
+        flipped = small_dataset.relabelled(lambda record: "yes")
+        assert set(flipped.labels) == {"yes"}
+        assert flipped.records == small_dataset.records
+
+    def test_summary_mentions_size(self, small_dataset):
+        assert "n=12" in small_dataset.summary()
+
+
+class TestFromArrays:
+    def test_round_trip(self, small_schema):
+        columns = {
+            "income": [10.0, 60.0],
+            "age": [20, 30],
+            "grade": [0, 1],
+            "colour": ["red", "blue"],
+        }
+        dataset = from_arrays(small_schema, columns, ["no", "yes"])
+        assert len(dataset) == 2
+        assert dataset.records[1]["colour"] == "blue"
+
+    def test_missing_column_rejected(self, small_schema):
+        with pytest.raises(SchemaError):
+            from_arrays(small_schema, {"income": [1.0]}, ["no"])
+
+    def test_inconsistent_lengths_rejected(self, small_schema):
+        columns = {
+            "income": [10.0, 60.0],
+            "age": [20],
+            "grade": [0, 1],
+            "colour": ["red", "blue"],
+        }
+        with pytest.raises(SchemaError):
+            from_arrays(small_schema, columns, ["no", "yes"])

@@ -1,0 +1,141 @@
+"""Tests of the ten benchmark classification functions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.functions import (
+    EVALUATED_FUNCTIONS,
+    FUNCTIONS,
+    GROUND_TRUTH_RULES,
+    RELEVANT_ATTRIBUTES,
+    SKEWED_FUNCTIONS,
+    function_1,
+    function_2,
+    function_4,
+    function_7,
+    get_function,
+    ground_truth_label,
+)
+from repro.exceptions import DataGenerationError
+
+
+def make_record(**overrides):
+    """A default record with every attribute present."""
+    record = {
+        "salary": 60_000.0,
+        "commission": 0.0,
+        "age": 30.0,
+        "elevel": 2,
+        "car": 5,
+        "zipcode": 3,
+        "hvalue": 200_000.0,
+        "hyears": 10,
+        "loan": 100_000.0,
+    }
+    record.update(overrides)
+    return record
+
+
+class TestRegistry:
+    def test_all_ten_functions_present(self):
+        assert sorted(FUNCTIONS) == list(range(1, 11))
+
+    def test_evaluated_plus_skewed_covers_all(self):
+        assert sorted(EVALUATED_FUNCTIONS + SKEWED_FUNCTIONS) == list(range(1, 11))
+
+    def test_get_function_unknown_number(self):
+        with pytest.raises(DataGenerationError):
+            get_function(11)
+
+    def test_relevant_attributes_exist_for_all(self):
+        assert set(RELEVANT_ATTRIBUTES) == set(range(1, 11))
+
+
+class TestFunction1:
+    def test_young_is_group_a(self):
+        assert function_1(make_record(age=25)) == "A"
+
+    def test_old_is_group_a(self):
+        assert function_1(make_record(age=70)) == "A"
+
+    def test_middle_aged_is_group_b(self):
+        assert function_1(make_record(age=50)) == "B"
+
+    def test_boundaries(self):
+        assert function_1(make_record(age=39.9)) == "A"
+        assert function_1(make_record(age=40)) == "B"
+        assert function_1(make_record(age=60)) == "A"
+
+
+class TestFunction2:
+    @pytest.mark.parametrize(
+        "age,salary,expected",
+        [
+            (30, 60_000, "A"),
+            (30, 120_000, "B"),
+            (50, 100_000, "A"),
+            (50, 60_000, "B"),
+            (70, 50_000, "A"),
+            (70, 100_000, "B"),
+        ],
+    )
+    def test_band_membership(self, age, salary, expected):
+        assert function_2(make_record(age=age, salary=salary)) == expected
+
+    def test_missing_attribute_raises(self):
+        with pytest.raises(DataGenerationError):
+            function_2({"age": 30})
+
+
+class TestFunction4:
+    def test_low_elevel_young_uses_low_salary_band(self):
+        assert function_4(make_record(age=30, elevel=0, salary=50_000)) == "A"
+        assert function_4(make_record(age=30, elevel=0, salary=90_000)) == "B"
+
+    def test_high_elevel_young_uses_higher_band(self):
+        assert function_4(make_record(age=30, elevel=3, salary=90_000)) == "A"
+        assert function_4(make_record(age=30, elevel=3, salary=30_000)) == "B"
+
+    def test_elderly_low_elevel(self):
+        assert function_4(make_record(age=70, elevel=0, salary=50_000)) == "A"
+        assert function_4(make_record(age=70, elevel=0, salary=90_000)) == "B"
+
+
+class TestFunction7:
+    def test_high_income_low_loan_is_group_a(self):
+        record = make_record(salary=140_000, commission=0.0, loan=10_000)
+        assert function_7(record) == "A"
+
+    def test_low_income_high_loan_is_group_b(self):
+        record = make_record(salary=25_000, commission=10_000, loan=490_000)
+        assert function_7(record) == "B"
+
+
+class TestGroundTruthRules:
+    def test_available_for_simple_functions(self):
+        assert set(GROUND_TRUTH_RULES) == {1, 2, 3, 4}
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(DataGenerationError):
+            ground_truth_label(7, make_record())
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        function=st.sampled_from([1, 2, 3, 4]),
+        age=st.floats(min_value=20, max_value=80),
+        salary=st.floats(min_value=20_000, max_value=150_000),
+        elevel=st.integers(min_value=0, max_value=4),
+    )
+    def test_rules_agree_with_executable_functions(self, function, age, salary, elevel):
+        """The declarative rule form must agree with the executable form.
+
+        Exact sub-interval boundaries are excluded (the declarative form uses
+        half-open intervals, the paper's prose uses closed ones); continuous
+        draws hit them with probability ~0.
+        """
+        boundary_values = {40.0, 60.0, 25_000.0, 50_000.0, 75_000.0, 100_000.0, 125_000.0}
+        if age in boundary_values or salary in boundary_values:
+            return
+        record = make_record(age=age, salary=salary, elevel=elevel)
+        assert ground_truth_label(function, record) == FUNCTIONS[function](record)

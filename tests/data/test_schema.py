@@ -1,0 +1,164 @@
+"""Unit tests for attribute schemas."""
+
+import pytest
+
+from repro.data.schema import CategoricalAttribute, ContinuousAttribute, Schema, make_schema
+from repro.exceptions import SchemaError
+
+
+class TestContinuousAttribute:
+    def test_span(self):
+        attribute = ContinuousAttribute("salary", 20_000, 150_000)
+        assert attribute.span == 130_000
+
+    def test_contains_inside(self):
+        attribute = ContinuousAttribute("age", 20, 80)
+        assert attribute.contains(20)
+        assert attribute.contains(80)
+        assert attribute.contains(42.5)
+
+    def test_contains_outside(self):
+        attribute = ContinuousAttribute("age", 20, 80)
+        assert not attribute.contains(19.999)
+        assert not attribute.contains(80.001)
+        assert not attribute.contains("not a number")
+
+    def test_validate_returns_float(self):
+        attribute = ContinuousAttribute("age", 20, 80)
+        assert attribute.validate(42) == pytest.approx(42.0)
+
+    def test_validate_rejects_out_of_range(self):
+        attribute = ContinuousAttribute("age", 20, 80)
+        with pytest.raises(SchemaError):
+            attribute.validate(19)
+
+    def test_validate_rejects_non_numeric(self):
+        attribute = ContinuousAttribute("age", 20, 80)
+        with pytest.raises(SchemaError):
+            attribute.validate("old")
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(SchemaError):
+            ContinuousAttribute("bad", 10, 5)
+
+    def test_rejects_empty_name(self):
+        with pytest.raises(SchemaError):
+            ContinuousAttribute("", 0, 1)
+
+    def test_kind_flags(self):
+        attribute = ContinuousAttribute("x", 0, 1)
+        assert attribute.is_continuous and not attribute.is_categorical
+
+
+class TestCategoricalAttribute:
+    def test_cardinality(self):
+        attribute = CategoricalAttribute("colour", ("red", "green", "blue"))
+        assert attribute.cardinality == 3
+
+    def test_index_of(self):
+        attribute = CategoricalAttribute("colour", ("red", "green", "blue"))
+        assert attribute.index_of("green") == 1
+
+    def test_index_of_unknown_value(self):
+        attribute = CategoricalAttribute("colour", ("red", "green", "blue"))
+        with pytest.raises(SchemaError):
+            attribute.index_of("purple")
+
+    def test_validate(self):
+        attribute = CategoricalAttribute("elevel", (0, 1, 2, 3, 4), ordered=True)
+        assert attribute.validate(3) == 3
+        with pytest.raises(SchemaError):
+            attribute.validate(5)
+
+    def test_rejects_duplicates(self):
+        with pytest.raises(SchemaError):
+            CategoricalAttribute("colour", ("red", "red"))
+
+    def test_rejects_single_value_domain(self):
+        with pytest.raises(SchemaError):
+            CategoricalAttribute("constant", ("only",))
+
+    def test_kind_flags(self):
+        attribute = CategoricalAttribute("c", (0, 1))
+        assert attribute.is_categorical and not attribute.is_continuous
+
+
+class TestSchema:
+    def test_attribute_lookup(self, small_schema):
+        assert small_schema.attribute("income").name == "income"
+        assert small_schema.index("age") == 1
+
+    def test_unknown_attribute(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.attribute("nope")
+        with pytest.raises(SchemaError):
+            small_schema.index("nope")
+
+    def test_contains_and_iter(self, small_schema):
+        assert "grade" in small_schema
+        assert "nope" not in small_schema
+        assert len(list(iter(small_schema))) == small_schema.n_attributes
+
+    def test_class_index(self, small_schema):
+        assert small_schema.class_index("yes") == 0
+        assert small_schema.class_index("no") == 1
+        with pytest.raises(SchemaError):
+            small_schema.class_index("maybe")
+
+    def test_validate_record_normalises(self, small_schema):
+        record = small_schema.validate_record(
+            {"income": 10, "age": 20, "grade": 1, "colour": "red"}
+        )
+        assert isinstance(record["income"], float)
+
+    def test_validate_record_missing_attribute(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.validate_record({"income": 10, "age": 20, "grade": 1})
+
+    def test_validate_record_unknown_attribute(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.validate_record(
+                {"income": 10, "age": 20, "grade": 1, "colour": "red", "bogus": 1}
+            )
+
+    def test_validate_record_out_of_domain(self, small_schema):
+        with pytest.raises(SchemaError):
+            small_schema.validate_record(
+                {"income": 10, "age": 20, "grade": 7, "colour": "red"}
+            )
+
+    def test_duplicate_attribute_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema(
+                attributes=[
+                    ContinuousAttribute("x", 0, 1),
+                    ContinuousAttribute("x", 0, 2),
+                ],
+                classes=("a", "b"),
+            )
+
+    def test_requires_two_classes(self):
+        with pytest.raises(SchemaError):
+            Schema(attributes=[ContinuousAttribute("x", 0, 1)], classes=("only",))
+
+    def test_requires_attributes(self):
+        with pytest.raises(SchemaError):
+            Schema(attributes=[], classes=("a", "b"))
+
+    def test_continuous_and_categorical_partitions(self, small_schema):
+        continuous = [a.name for a in small_schema.continuous_attributes()]
+        categorical = [a.name for a in small_schema.categorical_attributes()]
+        assert continuous == ["income", "age"]
+        assert categorical == ["grade", "colour"]
+
+    def test_subset(self, small_schema):
+        subset = small_schema.subset(["age", "grade"])
+        assert subset.attribute_names == ["age", "grade"]
+        assert subset.classes == small_schema.classes
+
+    def test_make_schema_helper(self):
+        schema = make_schema(
+            [ContinuousAttribute("x", 0, 1), CategoricalAttribute("c", (0, 1))], ["a", "b"]
+        )
+        assert schema.n_attributes == 2
+        assert schema.classes == ("a", "b")

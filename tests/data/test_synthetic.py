@@ -1,0 +1,82 @@
+"""Tests of the auxiliary synthetic data sets."""
+
+import pytest
+
+from repro.data.synthetic import (
+    binary_schema,
+    boolean_function_dataset,
+    wide_binary_dataset,
+    xor_dataset,
+)
+from repro.exceptions import DataGenerationError
+
+
+class TestBinarySchema:
+    def test_names_and_domains(self):
+        schema = binary_schema(3)
+        assert schema.attribute_names == ["x1", "x2", "x3"]
+        for attribute in schema.attributes:
+            assert attribute.values == (0, 1)
+
+    def test_rejects_zero_inputs(self):
+        with pytest.raises(DataGenerationError):
+            binary_schema(0)
+
+
+class TestBooleanFunctionDataset:
+    def test_full_truth_table(self):
+        dataset = boolean_function_dataset(3, lambda bits: sum(bits) >= 2)
+        assert len(dataset) == 8
+        majority_rows = [r for r, l in dataset if l == "A"]
+        assert len(majority_rows) == 4
+
+    def test_sampled_rows(self):
+        dataset = boolean_function_dataset(6, lambda bits: bits[0] == 1, n_samples=50, seed=0)
+        assert len(dataset) == 50
+
+    def test_sampling_is_deterministic(self):
+        first = boolean_function_dataset(5, any, n_samples=30, seed=7)
+        second = boolean_function_dataset(5, any, n_samples=30, seed=7)
+        assert first.records == second.records
+
+    def test_refuses_huge_truth_tables(self):
+        with pytest.raises(DataGenerationError):
+            boolean_function_dataset(20, any)
+
+    def test_rejects_bad_sample_count(self):
+        with pytest.raises(DataGenerationError):
+            boolean_function_dataset(4, any, n_samples=0)
+
+
+class TestXorDataset:
+    def test_labels(self):
+        dataset = xor_dataset()
+        labels = {tuple(r[f"x{i+1}"] for i in range(2)): l for r, l in dataset}
+        assert labels[(0, 0)] == "B"
+        assert labels[(1, 1)] == "B"
+        assert labels[(0, 1)] == "A"
+        assert labels[(1, 0)] == "A"
+
+    def test_replication(self):
+        assert len(xor_dataset(n_copies=3)) == 12
+
+    def test_rejects_zero_copies(self):
+        with pytest.raises(DataGenerationError):
+            xor_dataset(0)
+
+
+class TestWideBinaryDataset:
+    def test_shape(self):
+        dataset = wide_binary_dataset(n_inputs=10, n_relevant=4, n_samples=60, seed=1)
+        assert len(dataset) == 60
+        assert dataset.schema.n_attributes == 10
+
+    def test_label_depends_only_on_relevant_inputs(self):
+        dataset = wide_binary_dataset(n_inputs=12, n_relevant=4, n_samples=200, seed=2)
+        for record, label in dataset:
+            majority = sum(record[f"x{i+1}"] for i in range(4)) >= 2
+            assert label == ("A" if majority else "B")
+
+    def test_rejects_bad_relevance(self):
+        with pytest.raises(DataGenerationError):
+            wide_binary_dataset(n_inputs=5, n_relevant=9)

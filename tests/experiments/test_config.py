@@ -1,0 +1,50 @@
+"""Tests of the experiment configuration presets."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentConfig
+
+
+class TestExperimentConfig:
+    def test_paper_preset_matches_paper_sizes(self):
+        config = ExperimentConfig.paper()
+        assert config.n_train == 1000
+        assert config.n_test == 1000
+        assert config.perturbation == 0.05
+        assert config.pruning_threshold == 0.9
+
+    def test_quick_preset_is_smaller(self):
+        quick = ExperimentConfig.quick()
+        paper = ExperimentConfig.paper()
+        assert quick.n_train < paper.n_train
+        assert quick.training_iterations < paper.training_iterations
+        assert quick.label == "quick"
+
+    def test_overrides_apply(self):
+        config = ExperimentConfig.quick(n_train=123, n_hidden=5)
+        assert config.n_train == 123
+        assert config.n_hidden == 5
+
+    def test_too_small_sizes_rejected(self):
+        with pytest.raises(ExperimentError):
+            ExperimentConfig(n_train=5)
+
+    def test_trainer_config_derivation(self):
+        config = ExperimentConfig.quick()
+        trainer = config.trainer_config()
+        assert trainer.n_hidden == config.n_hidden
+        assert trainer.bfgs.max_iterations == config.training_iterations
+        assert trainer.penalty.epsilon1 == config.penalty_epsilon1
+
+    def test_pruning_config_derivation(self):
+        config = ExperimentConfig.quick()
+        pruning = config.pruning_config()
+        assert pruning.accuracy_threshold == config.pruning_threshold
+        assert pruning.max_rounds == config.pruning_rounds
+
+    def test_neurorule_config_bundles_everything(self):
+        config = ExperimentConfig.quick()
+        bundle = config.neurorule_config(seed=99)
+        assert bundle.trainer.seed == 99
+        assert bundle.pruning.accuracy_threshold == config.pruning_threshold

@@ -1,0 +1,42 @@
+"""Sanity checks of the transcribed paper values."""
+
+from repro.data.functions import EVALUATED_FUNCTIONS
+from repro.experiments.paper_values import (
+    PAPER_ACCURACY_TABLE,
+    PAPER_FUNCTION2_PRUNED_NETWORK,
+    PAPER_RULE_COUNTS,
+    PAPER_TABLE3,
+    PaperComparison,
+)
+
+
+class TestPaperValues:
+    def test_accuracy_table_covers_evaluated_functions(self):
+        assert sorted(PAPER_ACCURACY_TABLE) == sorted(EVALUATED_FUNCTIONS)
+
+    def test_accuracy_values_are_percentages(self):
+        for row in PAPER_ACCURACY_TABLE.values():
+            for value in row.values():
+                assert 50.0 <= value <= 100.0
+
+    def test_rule_counts_consistent(self):
+        assert PAPER_RULE_COUNTS["function2_c45rules_total"] > PAPER_RULE_COUNTS["function2_neurorule_rules"]
+        assert PAPER_RULE_COUNTS["function4_c45rules_group_a"] > PAPER_RULE_COUNTS["function4_neurorule_rules"]
+
+    def test_function2_network_summary(self):
+        assert PAPER_FUNCTION2_PRUNED_NETWORK["connections"] == 17
+        assert PAPER_FUNCTION2_PRUNED_NETWORK["hidden_units"] == 3
+
+    def test_table3_rows(self):
+        assert set(PAPER_TABLE3) == {"R1", "R2", "R3", "R4", "R5"}
+        for row in PAPER_TABLE3.values():
+            assert set(row) == {1000, 5000, 10000}
+
+    def test_comparison_describe(self):
+        comparison = PaperComparison("E4", "rules", 4.0, 5.0)
+        text = comparison.describe()
+        assert "paper=4" in text and "measured=5" in text
+
+    def test_comparison_without_paper_value(self):
+        comparison = PaperComparison("A1", "ablation", None, 1.0)
+        assert "n/a" in comparison.describe()

@@ -1,0 +1,32 @@
+"""Tests of the text-report helpers."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.reporting import format_paper_vs_measured, format_table
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [["a", 1.234], ["bb", 5]], title="title")
+        lines = text.splitlines()
+        assert lines[0] == "title"
+        assert "name" in lines[1]
+        assert "1.2" in text
+
+    def test_column_mismatch_rejected(self):
+        with pytest.raises(ExperimentError):
+            format_table(["a", "b"], [["only-one"]])
+
+    def test_empty_headers_rejected(self):
+        with pytest.raises(ExperimentError):
+            format_table([], [])
+
+    def test_float_format_override(self):
+        text = format_table(["x"], [[1.23456]], float_format="{:.3f}")
+        assert "1.235" in text
+
+    def test_paper_vs_measured_layout(self):
+        text = format_paper_vs_measured("cmp", [["rules", 4.0, 5.0]])
+        assert "paper" in text and "measured" in text
+        assert "4.00" in text and "5.00" in text

@@ -1,0 +1,68 @@
+"""Smoke tests of the experiment runner with a deliberately tiny configuration.
+
+These exercise the full harness (data generation, NeuroRule pipeline, C4.5
+baselines, metric collection) on a configuration small enough for CI; the
+faithful paper-scale runs live in the benchmark suite.
+"""
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import (
+    generate_experiment_data,
+    run_function_experiment,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig.quick(
+        n_train=200,
+        n_test=200,
+        training_iterations=150,
+        retrain_iterations=40,
+        pruning_rounds=40,
+        label="tiny",
+    )
+
+
+@pytest.fixture(scope="module")
+def function1_result(tiny_config):
+    return run_function_experiment(1, tiny_config, keep_models=True)
+
+
+class TestGenerateExperimentData:
+    def test_sizes_and_perturbation(self, tiny_config):
+        data = generate_experiment_data(2, tiny_config)
+        assert len(data["train"]) == tiny_config.n_train
+        assert len(data["test"]) == tiny_config.n_test
+
+    def test_train_and_test_are_independent(self, tiny_config):
+        data = generate_experiment_data(2, tiny_config)
+        assert data["train"].records[0] != data["test"].records[0]
+
+
+class TestRunFunctionExperiment:
+    def test_result_fields_populated(self, function1_result):
+        result = function1_result
+        assert result.function == 1
+        assert 0.5 <= result.nn_train_accuracy <= 1.0
+        assert 0.5 <= result.c45_test_accuracy <= 1.0
+        assert result.pruned_connections < result.initial_connections
+        assert result.n_rules >= 1
+        assert result.neurorule_seconds > 0
+        assert result.c45_seconds > 0
+
+    def test_accuracy_row_is_percentages(self, function1_result):
+        row = function1_result.accuracy_row()
+        assert row["function"] == 1
+        for key in ("nn_train", "nn_test", "c45_train", "c45_test"):
+            assert 50.0 <= row[key] <= 100.0
+
+    def test_models_kept_when_requested(self, function1_result):
+        assert function1_result.classifier is not None
+        assert function1_result.c45rules is not None
+
+    def test_network_beats_chance_on_test(self, function1_result):
+        assert function1_result.nn_test_accuracy >= 0.8
+        assert function1_result.rule_test_accuracy >= 0.8

@@ -1,0 +1,80 @@
+"""End-to-end integration test on a small Agrawal Function 1 problem.
+
+This is the smallest full-pipeline run that still exercises every stage the
+paper describes on the actual benchmark data: Table 2 coding, penalised
+training, pruning, clustering, rule extraction, translation to attribute
+conditions, and comparison with C4.5.  It uses reduced sizes so the whole
+module stays within a few tens of seconds.
+"""
+
+import pytest
+
+from repro.baselines.c45 import C45Rules
+from repro.core.extraction import ExtractionConfig
+from repro.core.neurorule import NeuroRuleClassifier, NeuroRuleConfig
+from repro.core.pruning import PruningConfig
+from repro.core.training import TrainerConfig
+from repro.data.agrawal import AgrawalGenerator
+from repro.data.functions import RELEVANT_ATTRIBUTES
+from repro.metrics.comparison import semantic_agreement
+from repro.nn.penalty import PenaltyConfig
+from repro.optim.bfgs import BFGSConfig
+from repro.preprocessing.encoder import agrawal_encoder
+
+
+@pytest.fixture(scope="module")
+def function1_pipeline():
+    train = AgrawalGenerator(function=1, perturbation=0.05, seed=21).generate(300)
+    test = AgrawalGenerator(function=1, perturbation=0.0, seed=31).generate(300)
+    config = NeuroRuleConfig(
+        trainer=TrainerConfig(
+            n_hidden=3,
+            seed=5,
+            penalty=PenaltyConfig(epsilon1=1.0, epsilon2=2e-3),
+            bfgs=BFGSConfig(max_iterations=250, gradient_tolerance=1e-3),
+        ),
+        pruning=PruningConfig(accuracy_threshold=0.9, max_rounds=60, retrain_iterations=60),
+        extraction=ExtractionConfig(),
+    )
+    classifier = NeuroRuleClassifier(config, encoder=agrawal_encoder())
+    classifier.fit(train)
+    return classifier, train, test
+
+
+class TestFunction1Pipeline:
+    def test_pruning_removed_most_connections(self, function1_pipeline):
+        classifier, _, _ = function1_pipeline
+        pruning = classifier.pruning_result_
+        assert pruning.final_connections < pruning.initial_connections / 3
+
+    def test_network_accuracy_above_threshold(self, function1_pipeline):
+        classifier, train, _ = function1_pipeline
+        assert classifier.score_network(train) >= 0.9
+
+    def test_rules_are_concise(self, function1_pipeline):
+        classifier, _, _ = function1_pipeline
+        assert 1 <= classifier.rules_.n_rules <= 10
+
+    def test_rules_generalise_to_clean_test_data(self, function1_pipeline):
+        classifier, _, test = function1_pipeline
+        assert classifier.score(test) >= 0.85
+
+    def test_rules_reference_only_relevant_attributes(self, function1_pipeline):
+        classifier, _, _ = function1_pipeline
+        referenced = classifier.extraction_result_.attribute_rules.referenced_attributes()
+        # Function 1 depends only on age.
+        assert set(referenced) <= set(RELEVANT_ATTRIBUTES[1])
+
+    def test_rule_fidelity_to_pruned_network(self, function1_pipeline):
+        classifier, _, _ = function1_pipeline
+        assert classifier.extraction_result_.fidelity >= 0.95
+
+    def test_semantic_agreement_with_true_function(self, function1_pipeline):
+        classifier, _, _ = function1_pipeline
+        agreement = semantic_agreement(classifier.rules_, function=1, n_samples=800, seed=77)
+        assert agreement >= 0.85
+
+    def test_more_concise_than_c45rules(self, function1_pipeline):
+        classifier, train, _ = function1_pipeline
+        c45rules = C45Rules().fit(train)
+        assert classifier.rules_.n_rules <= c45rules.ruleset.n_rules

@@ -1,0 +1,44 @@
+"""End-to-end pipeline tests on boolean concepts with known minimal rules."""
+
+import pytest
+
+from repro.core.neurorule import NeuroRuleClassifier, NeuroRuleConfig
+from repro.data.synthetic import boolean_function_dataset
+
+
+def fit_concept(function, n_inputs=4, seed=6):
+    dataset = boolean_function_dataset(n_inputs, function)
+    replicated = dataset
+    for _ in range(7):
+        replicated = replicated.concat(dataset)
+    classifier = NeuroRuleClassifier(NeuroRuleConfig.fast(n_hidden=3, seed=seed))
+    classifier.fit(replicated)
+    return classifier, dataset
+
+
+class TestBooleanConcepts:
+    def test_conjunction_recovered_exactly(self):
+        classifier, truth_table = fit_concept(lambda bits: bool(bits[0]) and bool(bits[1]))
+        assert classifier.score(truth_table) == 1.0
+        # The minimal DNF for x1 AND x2 is a single rule.
+        group_a_rules = classifier.rules_.rules_for_class("A")
+        assert len(group_a_rules) <= 2
+
+    def test_disjunction_recovered(self):
+        classifier, truth_table = fit_concept(lambda bits: bool(bits[0]) or bool(bits[2]))
+        assert classifier.score(truth_table) == 1.0
+
+    def test_xor_recovered(self):
+        classifier, truth_table = fit_concept(
+            lambda bits: bool(bits[0]) != bool(bits[1]), n_inputs=2, seed=8
+        )
+        assert classifier.score(truth_table) == 1.0
+
+    def test_three_of_four_majority(self):
+        classifier, truth_table = fit_concept(lambda bits: sum(bits) >= 3)
+        assert classifier.score(truth_table) >= 0.9
+
+    def test_rules_never_mention_padding_inputs(self):
+        classifier, _ = fit_concept(lambda bits: bool(bits[0]) and bool(bits[1]))
+        referenced = classifier.extraction_result_.attribute_rules.referenced_attributes()
+        assert "x4" not in referenced

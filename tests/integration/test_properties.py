@@ -1,0 +1,121 @@
+"""Cross-module property-based tests.
+
+These tie several subsystems together and check the invariants the
+rule-extraction pipeline relies on:
+
+* encoding/translation consistency — a conjunction of binary literals and its
+  attribute-level translation must cover exactly the same tuples;
+* rule-set prediction semantics — first-match prediction is insensitive to
+  appending rules that can never fire;
+* the covering generator — on random consistent tables the generated rules
+  are always a perfect cover (also checked per-module, repeated here over a
+  joint random table/target draw).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.agrawal import AgrawalGenerator
+from repro.preprocessing.encoder import agrawal_encoder
+from repro.rules.conditions import InputLiteral
+from repro.rules.covering import DiscreteTable, check_perfect_cover, generate_perfect_rules
+from repro.rules.rule import AttributeRule, BinaryRule
+from repro.rules.ruleset import RuleSet
+from repro.rules.translate import translate_rule
+
+_ENCODER = agrawal_encoder()
+_SAMPLE = AgrawalGenerator(function=2, perturbation=0.05, seed=101).generate(150)
+_ENCODED = _ENCODER.encode_dataset(_SAMPLE)
+
+#: Inputs whose literals are exercised by the translation property: a mix of
+#: thermometer (salary/commission/age/loan), ordinal (elevel) and one-hot
+#: (car/zipcode) features.
+_PROPERTY_INPUTS = ["I1", "I2", "I5", "I9", "I13", "I15", "I17", "I21", "I23", "I30", "I47", "I80"]
+
+
+class TestTranslationConsistency:
+    @settings(max_examples=120, deadline=None)
+    @given(data=st.data())
+    def test_binary_rule_and_translation_cover_same_tuples(self, data):
+        """For any satisfiable conjunction of literals, coverage is preserved."""
+        names = data.draw(
+            st.lists(st.sampled_from(_PROPERTY_INPUTS), min_size=1, max_size=4, unique=True)
+        )
+        literals = tuple(
+            InputLiteral(_ENCODER.feature_by_name(name), data.draw(st.integers(0, 1)))
+            for name in names
+        )
+        rule = BinaryRule(literals, "A")
+        translated = translate_rule(rule, _ENCODER.schema)
+        binary_coverage = rule.covers_batch(_ENCODED)
+        if not translated.is_satisfiable():
+            # An unsatisfiable translation must not cover any encoded tuple.
+            assert not binary_coverage.any()
+            return
+        attribute_coverage = translated.covers_dataset(_SAMPLE.records)
+        assert binary_coverage.tolist() == attribute_coverage.tolist()
+
+
+class TestRuleSetSemantics:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_unsatisfiable_rules_never_change_predictions(self, data):
+        name = data.draw(st.sampled_from(["I1", "I2", "I5"]))
+        value = data.draw(st.integers(0, 1))
+        base_rule = BinaryRule((InputLiteral(_ENCODER.feature_by_name(name), value),), "A")
+        base = RuleSet([base_rule], default_class="B", classes=("A", "B"))
+        # A rule requiring age >= 60 and age < 40 simultaneously can never fire.
+        impossible = translate_rule(
+            BinaryRule(
+                (
+                    InputLiteral(_ENCODER.feature_by_name("I15"), 1),
+                    InputLiteral(_ENCODER.feature_by_name("I17"), 0),
+                ),
+                "A",
+            ),
+            _ENCODER.schema,
+        )
+        assert not impossible.is_satisfiable()
+        base_attr = translate_rule(base_rule, _ENCODER.schema)
+        with_noise = RuleSet([base_attr, impossible], default_class="B", classes=("A", "B"))
+        only_base = RuleSet([base_attr], default_class="B", classes=("A", "B"))
+        assert with_noise.predict(_SAMPLE) == only_base.predict(_SAMPLE)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_accuracy_matches_manual_count(self, seed):
+        rng = np.random.default_rng(seed)
+        threshold = float(rng.uniform(25_000, 125_000))
+        rule = translate_rule(
+            BinaryRule((InputLiteral(_ENCODER.feature_by_name("I2"), 0),), "A"),
+            _ENCODER.schema,
+        )
+        ruleset = RuleSet([rule], default_class="B", classes=("A", "B"))
+        predictions = ruleset.predict(_SAMPLE)
+        manual = sum(1 for p, t in zip(predictions, _SAMPLE.labels) if p == t) / len(_SAMPLE)
+        assert ruleset.accuracy(_SAMPLE) == manual
+        assert 0.0 <= manual <= 1.0 and threshold > 0
+
+
+class TestCoveringProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(data=st.data())
+    def test_joint_random_tables(self, data):
+        n_columns = data.draw(st.integers(1, 3))
+        n_rows = data.draw(st.integers(1, 12))
+        rows = data.draw(
+            st.lists(
+                st.tuples(*[st.integers(0, 2) for _ in range(n_columns)]),
+                min_size=n_rows,
+                max_size=n_rows,
+                unique=True,
+            )
+        )
+        outcomes = [data.draw(st.sampled_from(["A", "B", "C"])) for _ in rows]
+        table = DiscreteTable([f"c{i}" for i in range(n_columns)], rows, outcomes)
+        target = data.draw(st.sampled_from(["A", "B", "C"]))
+        rules = generate_perfect_rules(table, target)
+        assert check_perfect_cover(table, target, rules)

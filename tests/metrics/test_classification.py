@@ -1,0 +1,74 @@
+"""Tests of the classification metrics."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.metrics.classification import ConfusionMatrix, accuracy, agreement, error_rate
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(["A", "B"], ["A", "B"]) == 1.0
+
+    def test_half_right(self):
+        assert accuracy(["A", "B"], ["A", "A"]) == 0.5
+
+    def test_error_rate_complements_accuracy(self):
+        predictions, truth = ["A", "B", "B"], ["A", "A", "B"]
+        assert accuracy(predictions, truth) + error_rate(predictions, truth) == pytest.approx(1.0)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            accuracy(["A"], ["A", "B"])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            accuracy([], [])
+
+
+class TestAgreement:
+    def test_identical_vectors(self):
+        assert agreement(["A", "B"], ["A", "B"]) == 1.0
+
+    def test_partial_agreement(self):
+        assert agreement(["A", "B", "A"], ["A", "A", "A"]) == pytest.approx(2 / 3)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ReproError):
+            agreement(["A"], [])
+
+
+class TestConfusionMatrix:
+    def test_counts(self):
+        matrix = ConfusionMatrix.from_predictions(
+            predictions=["A", "B", "B", "A"],
+            truth=["A", "B", "A", "A"],
+            classes=["A", "B"],
+        )
+        assert matrix.matrix[0, 0] == 2   # true A predicted A
+        assert matrix.matrix[0, 1] == 1   # true A predicted B
+        assert matrix.matrix[1, 1] == 1
+        assert matrix.total == 4
+
+    def test_accuracy_from_matrix(self):
+        matrix = ConfusionMatrix.from_predictions(["A", "B"], ["A", "A"], ["A", "B"])
+        assert matrix.accuracy() == 0.5
+
+    def test_per_class_metrics(self):
+        matrix = ConfusionMatrix.from_predictions(
+            ["A", "A", "B", "B"], ["A", "B", "B", "B"], ["A", "B"]
+        )
+        recall = matrix.per_class_recall()
+        precision = matrix.per_class_precision()
+        assert recall["A"] == 1.0
+        assert recall["B"] == pytest.approx(2 / 3)
+        assert precision["A"] == pytest.approx(0.5)
+
+    def test_unknown_label_rejected(self):
+        with pytest.raises(ReproError):
+            ConfusionMatrix.from_predictions(["C"], ["A"], ["A", "B"])
+
+    def test_describe_layout(self):
+        matrix = ConfusionMatrix.from_predictions(["A"], ["A"], ["A", "B"])
+        text = matrix.describe()
+        assert "true\\pred" in text

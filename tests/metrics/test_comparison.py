@@ -1,0 +1,55 @@
+"""Tests of rule-set comparisons and semantic agreement."""
+
+import pytest
+
+from repro.metrics.comparison import (
+    accuracy_by_class,
+    compare_rulesets,
+    semantic_agreement,
+)
+from repro.preprocessing.intervals import Interval
+from repro.rules.conditions import IntervalCondition
+from repro.rules.rule import AttributeRule
+from repro.rules.ruleset import RuleSet
+
+
+@pytest.fixture()
+def perfect_function1_ruleset():
+    """A hand-written rule set identical to Agrawal Function 1."""
+    young = AttributeRule((IntervalCondition("age", Interval(None, 40.0)),), "A")
+    old = AttributeRule((IntervalCondition("age", Interval(60.0, None)),), "A")
+    return RuleSet([young, old], default_class="B", classes=("A", "B"), name="truth")
+
+
+class TestSemanticAgreement:
+    def test_exact_ruleset_scores_one(self, perfect_function1_ruleset):
+        assert semantic_agreement(perfect_function1_ruleset, function=1, n_samples=500, seed=0) == 1.0
+
+    def test_wrong_ruleset_scores_below_one(self):
+        always_a = RuleSet([AttributeRule((), "A")], default_class="B", classes=("A", "B"))
+        agreement = semantic_agreement(always_a, function=1, n_samples=500, seed=0)
+        assert agreement < 0.9
+
+
+class TestCompareRulesets:
+    def test_comparison_report(self, perfect_function1_ruleset, small_dataset):
+        from repro.data.agrawal import AgrawalGenerator
+
+        evaluation = AgrawalGenerator(function=1, perturbation=0.0, seed=3).generate(200)
+        always_a = RuleSet(
+            [AttributeRule((), "A")], default_class="B", classes=("A", "B"), name="always-A"
+        )
+        comparison = compare_rulesets(perfect_function1_ruleset, always_a, evaluation)
+        assert comparison.first_accuracy == 1.0
+        assert comparison.second_accuracy < 1.0
+        assert "as many rules" in comparison.describe()
+
+
+class TestAccuracyByClass:
+    def test_per_class_recall(self, perfect_function1_ruleset):
+        from repro.data.agrawal import AgrawalGenerator
+
+        evaluation = AgrawalGenerator(function=1, perturbation=0.0, seed=4).generate(300)
+        per_class = accuracy_by_class(perfect_function1_ruleset, evaluation)
+        assert per_class["A"] == 1.0
+        assert per_class["B"] == 1.0

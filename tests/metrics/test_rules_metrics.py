@@ -1,0 +1,84 @@
+"""Tests of rule-set complexity and per-rule accuracy metrics."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.metrics.rules_metrics import (
+    RuleSetComplexity,
+    conciseness_ratio,
+    per_rule_accuracy_table,
+    referenced_attribute_report,
+)
+from repro.preprocessing.intervals import Interval
+from repro.rules.conditions import IntervalCondition
+from repro.rules.rule import AttributeRule
+from repro.rules.ruleset import RuleSet
+
+
+@pytest.fixture()
+def income_rulesets():
+    rich = AttributeRule((IntervalCondition("income", Interval(50.0, None)),), "yes")
+    poor = AttributeRule((IntervalCondition("income", Interval(None, 20.0)),), "no")
+    small = RuleSet([rich], default_class="no", classes=("yes", "no"), name="small")
+    large = RuleSet([rich, poor, rich], default_class="no", classes=("yes", "no"), name="large")
+    return small, large
+
+
+class TestComplexity:
+    def test_counts(self, income_rulesets):
+        small, large = income_rulesets
+        complexity = RuleSetComplexity.of(large)
+        assert complexity.n_rules == 3
+        assert complexity.n_rules_per_class == {"yes": 2, "no": 1}
+        assert complexity.total_conditions == 3
+        assert complexity.mean_conditions_per_rule == pytest.approx(1.0)
+
+    def test_conciseness_ratio(self, income_rulesets):
+        small, large = income_rulesets
+        ratio = conciseness_ratio(RuleSetComplexity.of(small), RuleSetComplexity.of(large))
+        assert ratio == pytest.approx(3.0)
+
+    def test_conciseness_ratio_empty_reference_rejected(self, income_rulesets):
+        _, large = income_rulesets
+        empty = RuleSetComplexity.of(RuleSet([], "no", ("yes", "no")))
+        with pytest.raises(ReproError):
+            conciseness_ratio(empty, RuleSetComplexity.of(large))
+
+    def test_describe(self, income_rulesets):
+        small, _ = income_rulesets
+        assert "1 rules" in RuleSetComplexity.of(small).describe()
+
+
+class TestReferencedAttributes:
+    def test_relevant_and_spurious_split(self, income_rulesets):
+        _, large = income_rulesets
+        report = referenced_attribute_report(large, relevant_attributes=["income", "age"])
+        assert report["relevant"] == ["income"]
+        assert report["spurious"] == []
+
+    def test_spurious_detection(self):
+        rule = AttributeRule((IntervalCondition("car", Interval(None, 3.0)),), "yes")
+        ruleset = RuleSet([rule], default_class="no", classes=("yes", "no"))
+        report = referenced_attribute_report(ruleset, relevant_attributes=["income"])
+        assert report["spurious"] == ["car"]
+
+
+class TestPerRuleAccuracyTable:
+    def test_table_shape_and_values(self, income_rulesets, small_dataset):
+        small, _ = income_rulesets
+        table = per_rule_accuracy_table(small, [small_dataset, small_dataset])
+        assert table.sizes == [len(small_dataset), len(small_dataset)]
+        assert len(table.statistics) == 2
+        row = table.row(0)
+        assert row[len(small_dataset)].correct_percent == 100.0
+        assert "Total@12" in table.describe()
+
+    def test_requires_datasets(self, income_rulesets):
+        small, _ = income_rulesets
+        with pytest.raises(ReproError):
+            per_rule_accuracy_table(small, [])
+
+    def test_rule_name_count_checked(self, income_rulesets, small_dataset):
+        small, _ = income_rulesets
+        with pytest.raises(ReproError):
+            per_rule_accuracy_table(small, [small_dataset], rule_names=["R1", "R2"])

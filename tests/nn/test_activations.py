@@ -1,0 +1,65 @@
+"""Tests of the activation functions and their derivatives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn.activations import (
+    clip_probabilities,
+    sigmoid,
+    sigmoid_derivative_from_activation,
+    tanh,
+    tanh_derivative_from_activation,
+)
+
+
+class TestSigmoid:
+    def test_midpoint(self):
+        assert sigmoid(np.array([0.0]))[0] == pytest.approx(0.5)
+
+    def test_range(self):
+        values = sigmoid(np.linspace(-30, 30, 101))
+        assert np.all(values > 0.0) and np.all(values < 1.0)
+
+    def test_extreme_inputs_do_not_overflow(self):
+        values = sigmoid(np.array([-1000.0, 1000.0]))
+        assert values[0] == pytest.approx(0.0, abs=1e-12)
+        assert values[1] == pytest.approx(1.0, abs=1e-12)
+
+    def test_derivative_matches_finite_difference(self):
+        z = np.linspace(-3, 3, 13)
+        s = sigmoid(z)
+        analytic = sigmoid_derivative_from_activation(s)
+        numeric = (sigmoid(z + 1e-6) - sigmoid(z - 1e-6)) / 2e-6
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+class TestTanh:
+    def test_range(self):
+        values = tanh(np.linspace(-50, 50, 101))
+        assert np.all(values >= -1.0) and np.all(values <= 1.0)
+
+    def test_odd_symmetry(self):
+        z = np.linspace(-4, 4, 17)
+        assert np.allclose(tanh(z), -tanh(-z))
+
+    def test_derivative_matches_finite_difference(self):
+        z = np.linspace(-3, 3, 13)
+        a = tanh(z)
+        analytic = tanh_derivative_from_activation(a)
+        numeric = (tanh(z + 1e-6) - tanh(z - 1e-6)) / 2e-6
+        assert np.allclose(analytic, numeric, atol=1e-5)
+
+
+class TestClipProbabilities:
+    def test_clips_to_open_interval(self):
+        clipped = clip_probabilities(np.array([0.0, 0.5, 1.0]))
+        assert clipped[0] > 0.0
+        assert clipped[2] < 1.0
+        assert clipped[1] == 0.5
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.floats(min_value=-10, max_value=10))
+    def test_sigmoid_monotone(self, z):
+        assert sigmoid(np.array([z + 0.5]))[0] > sigmoid(np.array([z]))[0]

@@ -1,0 +1,72 @@
+"""Tests of the cross-entropy error function (equation 2) and condition (1)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.nn.loss import (
+    condition_one_satisfied,
+    cross_entropy,
+    cross_entropy_output_delta,
+    max_output_error,
+)
+
+
+class TestCrossEntropy:
+    def test_perfect_predictions_near_zero(self):
+        outputs = np.array([[0.999999, 0.000001]])
+        targets = np.array([[1.0, 0.0]])
+        assert cross_entropy(outputs, targets) < 1e-4
+
+    def test_wrong_predictions_large(self):
+        outputs = np.array([[0.01, 0.99]])
+        targets = np.array([[1.0, 0.0]])
+        assert cross_entropy(outputs, targets) > 5.0
+
+    def test_handles_saturated_outputs(self):
+        outputs = np.array([[1.0, 0.0]])
+        targets = np.array([[0.0, 1.0]])
+        value = cross_entropy(outputs, targets)
+        assert np.isfinite(value)
+
+    def test_additive_over_patterns(self):
+        outputs = np.array([[0.8, 0.2], [0.3, 0.7]])
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        total = cross_entropy(outputs, targets)
+        first = cross_entropy(outputs[:1], targets[:1])
+        second = cross_entropy(outputs[1:], targets[1:])
+        assert total == pytest.approx(first + second)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            cross_entropy(np.ones((2, 2)), np.ones((3, 2)))
+
+    def test_output_delta_is_s_minus_t(self):
+        outputs = np.array([[0.8, 0.2]])
+        targets = np.array([[1.0, 0.0]])
+        assert np.allclose(cross_entropy_output_delta(outputs, targets), [[-0.2, 0.2]])
+
+
+class TestConditionOne:
+    def test_max_output_error(self):
+        outputs = np.array([[0.9, 0.2], [0.4, 0.7]])
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        errors = max_output_error(outputs, targets)
+        assert errors[0] == pytest.approx(0.2)
+        assert errors[1] == pytest.approx(0.4)
+
+    def test_condition_one(self):
+        outputs = np.array([[0.9, 0.2], [0.4, 0.7]])
+        targets = np.array([[1.0, 0.0], [0.0, 1.0]])
+        satisfied = condition_one_satisfied(outputs, targets, eta1=0.3)
+        assert satisfied.tolist() == [True, False]
+
+    def test_condition_one_eta_validation(self):
+        outputs = np.array([[0.9, 0.2]])
+        targets = np.array([[1.0, 0.0]])
+        with pytest.raises(TrainingError):
+            condition_one_satisfied(outputs, targets, eta1=0.7)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(TrainingError):
+            max_output_error(np.ones((2, 2)), np.ones((2, 3)))

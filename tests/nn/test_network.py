@@ -1,0 +1,167 @@
+"""Tests of the three-layer network structure and forward pass."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.nn.network import (
+    NetworkArchitecture,
+    ThreeLayerNetwork,
+    initialize_weights,
+    new_network,
+)
+
+
+@pytest.fixture()
+def tiny_network():
+    architecture = NetworkArchitecture(n_inputs=3, n_hidden=2, n_outputs=2, bias_as_input=True)
+    input_weights = np.array(
+        [
+            [1.0, -1.0, 0.5, 0.2],
+            [0.0, 2.0, -0.5, -0.1],
+        ]
+    )
+    output_weights = np.array(
+        [
+            [1.5, -0.5],
+            [-1.0, 1.0],
+        ]
+    )
+    return ThreeLayerNetwork(architecture, input_weights, output_weights)
+
+
+class TestArchitecture:
+    def test_effective_inputs_includes_bias(self):
+        architecture = NetworkArchitecture(5, 3, 2, bias_as_input=True)
+        assert architecture.n_effective_inputs == 6
+        assert architecture.n_weights == 3 * 6 + 2 * 3
+
+    def test_without_bias(self):
+        architecture = NetworkArchitecture(5, 3, 2, bias_as_input=False)
+        assert architecture.n_effective_inputs == 5
+
+    def test_invalid_shapes_rejected(self):
+        with pytest.raises(TrainingError):
+            NetworkArchitecture(0, 3, 2)
+        with pytest.raises(TrainingError):
+            NetworkArchitecture(5, 0, 2)
+        with pytest.raises(TrainingError):
+            NetworkArchitecture(5, 3, 1)
+
+
+class TestForwardPass:
+    def test_hidden_activation_values(self, tiny_network):
+        x = np.array([[1.0, 0.0, 1.0]])
+        hidden = tiny_network.hidden_activations(x)
+        expected_first = np.tanh(1.0 * 1 + (-1.0) * 0 + 0.5 * 1 + 0.2 * 1)
+        assert hidden[0, 0] == pytest.approx(expected_first)
+        assert hidden.shape == (1, 2)
+
+    def test_output_activations_in_unit_interval(self, tiny_network):
+        x = np.array([[1.0, 1.0, 0.0], [0.0, 0.0, 0.0]])
+        outputs = tiny_network.output_activations(x)
+        assert outputs.shape == (2, 2)
+        assert np.all((outputs > 0) & (outputs < 1))
+
+    def test_outputs_from_hidden_matches_full_pass(self, tiny_network):
+        x = np.array([[1.0, 0.0, 1.0]])
+        hidden = tiny_network.hidden_activations(x)
+        assert np.allclose(
+            tiny_network.outputs_from_hidden(hidden), tiny_network.output_activations(x)
+        )
+
+    def test_predict_indices(self, tiny_network):
+        x = np.array([[1.0, 0.0, 1.0], [0.0, 1.0, 0.0]])
+        predictions = tiny_network.predict_indices(x)
+        assert predictions.shape == (2,)
+        assert set(predictions.tolist()) <= {0, 1}
+
+    def test_wrong_input_width_rejected(self, tiny_network):
+        with pytest.raises(TrainingError):
+            tiny_network.hidden_activations(np.ones((2, 7)))
+
+    def test_wrong_hidden_width_rejected(self, tiny_network):
+        with pytest.raises(TrainingError):
+            tiny_network.outputs_from_hidden(np.ones((2, 5)))
+
+
+class TestMasksAndPruning:
+    def test_pruning_zeroes_weight_and_mask(self, tiny_network):
+        tiny_network.prune_input_connection(0, 1)
+        assert tiny_network.input_mask[0, 1] == False  # noqa: E712
+        assert tiny_network.input_weights[0, 1] == 0.0
+
+    def test_pruned_connection_ignored_in_forward_pass(self, tiny_network):
+        x = np.array([[0.0, 1.0, 0.0]])
+        before = tiny_network.hidden_activations(x)[0, 0]
+        tiny_network.prune_input_connection(0, 1)
+        after = tiny_network.hidden_activations(x)[0, 0]
+        assert before != after
+        assert after == pytest.approx(np.tanh(0.2))  # only the bias link remains active
+
+    def test_active_connection_count(self, tiny_network):
+        total = tiny_network.n_active_connections()
+        tiny_network.prune_input_connection(0, 0)
+        tiny_network.prune_output_connection(1, 1)
+        assert tiny_network.n_active_connections() == total - 2
+
+    def test_active_hidden_units(self, tiny_network):
+        assert tiny_network.active_hidden_units() == [0, 1]
+        for p in range(2):
+            tiny_network.prune_output_connection(p, 1)
+        assert tiny_network.active_hidden_units() == [0]
+
+    def test_connected_inputs_excludes_bias(self, tiny_network):
+        assert tiny_network.connected_inputs(0) == [0, 1, 2]
+        tiny_network.prune_input_connection(0, 2)
+        assert tiny_network.connected_inputs(0) == [0, 1]
+
+    def test_relevant_inputs(self, tiny_network):
+        for p in range(2):
+            tiny_network.prune_output_connection(p, 0)
+        assert tiny_network.relevant_inputs() == tiny_network.connected_inputs(1)
+
+    def test_weight_vector_round_trip(self, tiny_network):
+        theta = tiny_network.get_weight_vector()
+        clone = tiny_network.copy()
+        clone.set_weight_vector(theta)
+        assert np.allclose(clone.input_weights, tiny_network.input_weights)
+        assert np.allclose(clone.output_weights, tiny_network.output_weights)
+
+    def test_set_weight_vector_respects_mask(self, tiny_network):
+        tiny_network.prune_input_connection(0, 0)
+        theta = np.ones(tiny_network.get_weight_vector().shape[0])
+        tiny_network.set_weight_vector(theta)
+        assert tiny_network.input_weights[0, 0] == 0.0
+
+    def test_copy_is_independent(self, tiny_network):
+        clone = tiny_network.copy()
+        clone.prune_input_connection(0, 0)
+        assert tiny_network.input_mask[0, 0] == True  # noqa: E712
+
+    def test_wrong_vector_length_rejected(self, tiny_network):
+        with pytest.raises(TrainingError):
+            tiny_network.set_weight_vector(np.ones(3))
+
+
+class TestInitialization:
+    def test_weights_within_scale(self):
+        architecture = NetworkArchitecture(10, 4, 2)
+        w, v = initialize_weights(architecture, seed=0, scale=0.7)
+        assert np.all(np.abs(w) <= 0.7)
+        assert np.all(np.abs(v) <= 0.7)
+
+    def test_seed_reproducibility(self):
+        architecture = NetworkArchitecture(10, 4, 2)
+        w1, v1 = initialize_weights(architecture, seed=5)
+        w2, v2 = initialize_weights(architecture, seed=5)
+        assert np.array_equal(w1, w2) and np.array_equal(v1, v2)
+
+    def test_new_network_shapes(self):
+        network = new_network(8, 3, 2, seed=1)
+        assert network.input_weights.shape == (3, 9)
+        assert network.output_weights.shape == (2, 3)
+
+    def test_invalid_scale_rejected(self):
+        with pytest.raises(TrainingError):
+            initialize_weights(NetworkArchitecture(4, 2, 2), scale=0.0)

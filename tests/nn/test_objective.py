@@ -1,0 +1,90 @@
+"""Tests of the full training objective E + P and its analytic gradient."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.nn.network import new_network
+from repro.nn.objective import TrainingObjective
+from repro.nn.penalty import PenaltyConfig
+
+
+@pytest.fixture()
+def objective():
+    rng = np.random.default_rng(3)
+    network = new_network(n_inputs=5, n_hidden=3, n_outputs=2, seed=7)
+    inputs = rng.integers(0, 2, size=(20, 5)).astype(float)
+    labels = (inputs[:, 0] + inputs[:, 1] >= 1).astype(int)
+    targets = np.zeros((20, 2))
+    targets[np.arange(20), labels] = 1.0
+    return TrainingObjective(
+        network=network, inputs=inputs, targets=targets, penalty=PenaltyConfig(0.2, 1e-3)
+    )
+
+
+class TestObjective:
+    def test_value_and_gradient_shapes(self, objective):
+        theta = objective.initial_vector()
+        value, gradient = objective.value_and_gradient(theta)
+        assert np.isscalar(value) or isinstance(value, float)
+        assert gradient.shape == theta.shape
+
+    def test_gradient_matches_finite_difference(self, objective):
+        theta = objective.initial_vector()
+        _, gradient = objective.value_and_gradient(theta)
+        rng = np.random.default_rng(0)
+        eps = 1e-6
+        for index in rng.choice(theta.shape[0], size=10, replace=False):
+            shifted = theta.copy()
+            shifted[index] += eps
+            numeric = (objective.value(shifted) - objective.value(theta)) / eps
+            assert gradient[index] == pytest.approx(numeric, rel=2e-3, abs=1e-5)
+
+    def test_gradient_respects_masks(self, objective):
+        objective.network.prune_input_connection(0, 1)
+        theta = objective.initial_vector()
+        _, gradient = objective.value_and_gradient(theta)
+        n_eff = objective.network.architecture.n_effective_inputs
+        masked_position = 0 * n_eff + 1
+        assert gradient[masked_position] == 0.0
+
+    def test_error_only_excludes_penalty(self, objective):
+        theta = objective.initial_vector()
+        total = objective.value(theta)
+        error = objective.error_only(theta)
+        assert total > error
+
+    def test_apply_writes_weights(self, objective):
+        theta = np.zeros(objective.initial_vector().shape[0])
+        objective.apply(theta)
+        assert np.all(objective.network.input_weights == 0.0)
+
+    def test_empty_dataset_rejected(self):
+        network = new_network(3, 2, 2, seed=0)
+        with pytest.raises(TrainingError):
+            TrainingObjective(
+                network=network,
+                inputs=np.zeros((0, 3)),
+                targets=np.zeros((0, 2)),
+                penalty=PenaltyConfig(),
+            )
+
+    def test_mismatched_rows_rejected(self):
+        network = new_network(3, 2, 2, seed=0)
+        with pytest.raises(TrainingError):
+            TrainingObjective(
+                network=network,
+                inputs=np.zeros((4, 3)),
+                targets=np.zeros((5, 2)),
+                penalty=PenaltyConfig(),
+            )
+
+    def test_wrong_target_width_rejected(self):
+        network = new_network(3, 2, 2, seed=0)
+        with pytest.raises(TrainingError):
+            TrainingObjective(
+                network=network,
+                inputs=np.zeros((4, 3)),
+                targets=np.zeros((4, 3)),
+                penalty=PenaltyConfig(),
+            )

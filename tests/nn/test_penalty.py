@@ -1,0 +1,62 @@
+"""Tests of the weight-decay penalty (equation 3)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.nn.penalty import PenaltyConfig, penalty_gradients, penalty_value
+
+
+class TestPenaltyValue:
+    def test_zero_weights_zero_penalty(self):
+        config = PenaltyConfig()
+        assert penalty_value(np.zeros((2, 3)), np.zeros((2, 2)), config) == 0.0
+
+    def test_positive_for_nonzero_weights(self):
+        config = PenaltyConfig()
+        assert penalty_value(np.ones((2, 3)), np.ones((2, 2)), config) > 0.0
+
+    def test_saturating_term_bounded(self):
+        """The epsilon1 term approaches epsilon1 per weight for huge weights."""
+        config = PenaltyConfig(epsilon1=1.0, epsilon2=0.0, beta=10.0)
+        small = penalty_value(np.full((1, 1), 0.01), np.zeros((1, 1)), config)
+        huge = penalty_value(np.full((1, 1), 100.0), np.zeros((1, 1)), config)
+        assert small < 0.1
+        assert 0.99 < huge <= 1.0
+
+    def test_quadratic_term_unbounded(self):
+        config = PenaltyConfig(epsilon1=0.0, epsilon2=1.0)
+        assert penalty_value(np.full((1, 1), 10.0), np.zeros((1, 1)), config) == pytest.approx(100.0)
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(TrainingError):
+            PenaltyConfig(epsilon1=-1.0)
+        with pytest.raises(TrainingError):
+            PenaltyConfig(beta=0.0)
+
+
+class TestPenaltyGradient:
+    def test_gradient_matches_finite_difference(self):
+        rng = np.random.default_rng(0)
+        config = PenaltyConfig(epsilon1=0.3, epsilon2=1e-3, beta=10.0)
+        w = rng.normal(size=(3, 4))
+        v = rng.normal(size=(2, 3))
+        grad_w, grad_v = penalty_gradients(w, v, config)
+        eps = 1e-6
+        for index in np.ndindex(w.shape):
+            shifted = w.copy()
+            shifted[index] += eps
+            numeric = (penalty_value(shifted, v, config) - penalty_value(w, v, config)) / eps
+            assert grad_w[index] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+        for index in np.ndindex(v.shape):
+            shifted = v.copy()
+            shifted[index] += eps
+            numeric = (penalty_value(w, shifted, config) - penalty_value(w, v, config)) / eps
+            assert grad_v[index] == pytest.approx(numeric, rel=1e-3, abs=1e-6)
+
+    def test_gradient_sign_pushes_towards_zero(self):
+        config = PenaltyConfig()
+        w = np.array([[0.5, -0.5]])
+        grad_w, _ = penalty_gradients(w, np.zeros((1, 1)), config)
+        assert grad_w[0, 0] > 0  # positive weight: gradient positive, descent decreases it
+        assert grad_w[0, 1] < 0

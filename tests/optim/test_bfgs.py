@@ -1,0 +1,85 @@
+"""Tests of the BFGS minimiser."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.optim.bfgs import BFGSConfig, BFGSMinimizer
+
+
+def quadratic_factory(matrix, offset):
+    """f(x) = 0.5 (x-o)'A(x-o); minimum at o."""
+
+    def objective(x):
+        diff = x - offset
+        return 0.5 * float(diff @ matrix @ diff), matrix @ diff
+
+    return objective
+
+
+def rosenbrock(x):
+    a, b = 1.0, 100.0
+    value = (a - x[0]) ** 2 + b * (x[1] - x[0] ** 2) ** 2
+    gradient = np.array(
+        [
+            -2.0 * (a - x[0]) - 4.0 * b * x[0] * (x[1] - x[0] ** 2),
+            2.0 * b * (x[1] - x[0] ** 2),
+        ]
+    )
+    return float(value), gradient
+
+
+class TestBFGS:
+    def test_solves_well_conditioned_quadratic(self):
+        matrix = np.diag([1.0, 2.0, 3.0])
+        offset = np.array([1.0, -2.0, 0.5])
+        result = BFGSMinimizer().minimize(quadratic_factory(matrix, offset), np.zeros(3))
+        assert result.converged
+        assert np.allclose(result.x, offset, atol=1e-4)
+
+    def test_solves_ill_conditioned_quadratic(self):
+        matrix = np.diag([1.0, 100.0, 0.01])
+        offset = np.array([3.0, -1.0, 7.0])
+        result = BFGSMinimizer(BFGSConfig(max_iterations=300)).minimize(
+            quadratic_factory(matrix, offset), np.zeros(3)
+        )
+        assert np.allclose(result.x, offset, atol=1e-2)
+
+    def test_solves_rosenbrock(self):
+        result = BFGSMinimizer(BFGSConfig(max_iterations=500, gradient_tolerance=1e-6)).minimize(
+            rosenbrock, np.array([-1.2, 1.0])
+        )
+        assert np.allclose(result.x, [1.0, 1.0], atol=1e-3)
+
+    def test_respects_iteration_budget(self):
+        matrix = np.eye(5)
+        result = BFGSMinimizer(BFGSConfig(max_iterations=2)).minimize(
+            quadratic_factory(matrix, np.ones(5) * 10), np.zeros(5)
+        )
+        assert result.iterations <= 2
+
+    def test_history_is_monotone_decreasing(self):
+        matrix = np.diag([1.0, 5.0])
+        result = BFGSMinimizer(BFGSConfig(record_history=True)).minimize(
+            quadratic_factory(matrix, np.array([2.0, 2.0])), np.zeros(2)
+        )
+        history = result.history
+        assert all(b <= a + 1e-12 for a, b in zip(history, history[1:]))
+
+    def test_already_converged_input(self):
+        matrix = np.eye(2)
+        offset = np.array([1.0, 1.0])
+        result = BFGSMinimizer().minimize(quadratic_factory(matrix, offset), offset.copy())
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(TrainingError):
+            BFGSConfig(max_iterations=0)
+        with pytest.raises(TrainingError):
+            BFGSConfig(gradient_tolerance=0.0)
+
+    def test_function_evaluation_count_reported(self):
+        matrix = np.eye(3)
+        result = BFGSMinimizer().minimize(quadratic_factory(matrix, np.ones(3)), np.zeros(3))
+        assert result.function_evaluations >= result.iterations

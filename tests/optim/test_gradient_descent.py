@@ -1,0 +1,54 @@
+"""Tests of the gradient-descent baseline optimiser."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.optim.bfgs import BFGSConfig, BFGSMinimizer
+from repro.optim.gradient_descent import GradientDescentConfig, GradientDescentMinimizer
+
+
+def quadratic(x):
+    return 0.5 * float(x @ x), x.copy()
+
+
+class TestGradientDescent:
+    def test_converges_on_quadratic(self):
+        result = GradientDescentMinimizer(
+            GradientDescentConfig(learning_rate=0.1, max_iterations=500)
+        ).minimize(quadratic, np.array([5.0, -3.0]))
+        assert np.allclose(result.x, 0.0, atol=1e-3)
+
+    def test_adaptive_step_recovers_from_large_learning_rate(self):
+        result = GradientDescentMinimizer(
+            GradientDescentConfig(learning_rate=10.0, max_iterations=500, adaptive=True)
+        ).minimize(quadratic, np.array([5.0]))
+        assert result.value < 1e-4
+
+    def test_respects_iteration_budget(self):
+        result = GradientDescentMinimizer(
+            GradientDescentConfig(learning_rate=1e-4, max_iterations=5)
+        ).minimize(quadratic, np.array([5.0, 5.0]))
+        assert result.iterations <= 5
+        assert not result.converged
+
+    def test_invalid_config_rejected(self):
+        with pytest.raises(TrainingError):
+            GradientDescentConfig(learning_rate=0.0)
+        with pytest.raises(TrainingError):
+            GradientDescentConfig(momentum=1.5)
+
+    def test_bfgs_needs_fewer_evaluations_than_gd(self):
+        """The paper's motivation for BFGS: superlinear vs linear convergence."""
+        matrix = np.diag([1.0, 30.0, 100.0])
+
+        def objective(x):
+            return 0.5 * float(x @ matrix @ x), matrix @ x
+
+        start = np.array([5.0, 5.0, 5.0])
+        bfgs = BFGSMinimizer(BFGSConfig(gradient_tolerance=1e-5)).minimize(objective, start)
+        gd = GradientDescentMinimizer(
+            GradientDescentConfig(learning_rate=0.005, max_iterations=5000, gradient_tolerance=1e-5)
+        ).minimize(objective, start)
+        assert bfgs.gradient_norm <= 1e-5
+        assert bfgs.function_evaluations < gd.function_evaluations

@@ -1,0 +1,59 @@
+"""Tests of the Wolfe and Armijo line searches."""
+
+import numpy as np
+
+from repro.optim.line_search import backtracking_line_search, wolfe_line_search
+
+
+def quadratic(x):
+    """f(x) = 0.5 * ||x||^2 with gradient x."""
+    return 0.5 * float(x @ x), x.copy()
+
+
+class TestWolfeLineSearch:
+    def test_finds_acceptable_step_on_quadratic(self):
+        x = np.array([4.0, -2.0])
+        value, gradient = quadratic(x)
+        direction = -gradient
+        result = wolfe_line_search(quadratic, x, direction, value, gradient)
+        assert result.success
+        assert result.value < value
+        # For this quadratic the exact minimiser along -g is alpha = 1.
+        assert 0.5 <= result.alpha <= 1.5
+
+    def test_rejects_ascent_direction(self):
+        x = np.array([1.0, 1.0])
+        value, gradient = quadratic(x)
+        result = wolfe_line_search(quadratic, x, gradient, value, gradient)
+        assert not result.success
+        assert result.alpha == 0.0
+
+    def test_satisfies_armijo_condition(self):
+        x = np.array([3.0, 1.0, -5.0])
+        value, gradient = quadratic(x)
+        direction = -gradient
+        result = wolfe_line_search(quadratic, x, direction, value, gradient, c1=1e-4)
+        assert result.value <= value + 1e-4 * result.alpha * float(gradient @ direction)
+
+
+class TestBacktrackingLineSearch:
+    def test_decreases_objective(self):
+        x = np.array([2.0, 2.0])
+        value, gradient = quadratic(x)
+        result = backtracking_line_search(quadratic, x, -gradient, value, gradient)
+        assert result.success
+        assert result.value < value
+
+    def test_gives_up_on_ascent_direction(self):
+        x = np.array([1.0, 0.0])
+        value, gradient = quadratic(x)
+        result = backtracking_line_search(
+            quadratic, x, gradient, value, gradient, max_steps=5
+        )
+        assert not result.success
+
+    def test_counts_evaluations(self):
+        x = np.array([2.0, 2.0])
+        value, gradient = quadratic(x)
+        result = backtracking_line_search(quadratic, x, -gradient, value, gradient)
+        assert result.evaluations >= 1

@@ -1,0 +1,79 @@
+"""Tests for the discretisation strategies."""
+
+import pytest
+
+from repro.data.schema import ContinuousAttribute
+from repro.exceptions import EncodingError
+from repro.preprocessing.discretization import (
+    EqualFrequencyDiscretizer,
+    EqualWidthDiscretizer,
+    ExplicitCutsDiscretizer,
+)
+
+
+@pytest.fixture()
+def salary():
+    return ContinuousAttribute("salary", 20_000.0, 150_000.0)
+
+
+class TestExplicitCuts:
+    def test_uses_given_cuts(self, salary):
+        partition = ExplicitCutsDiscretizer([25_000, 50_000, 75_000]).partition(salary)
+        assert partition.cuts == [25_000, 50_000, 75_000]
+        assert partition.low == salary.low
+        assert partition.high == salary.high
+
+    def test_rejects_cuts_at_or_below_low(self, salary):
+        with pytest.raises(EncodingError):
+            ExplicitCutsDiscretizer([20_000, 50_000]).partition(salary)
+
+
+class TestEqualWidth:
+    def test_width_based(self, salary):
+        partition = EqualWidthDiscretizer(width=25_000).partition(salary)
+        # 130000 / 25000 -> 6 sub-intervals, 5 interior cuts.
+        assert partition.n_subintervals == 6
+        assert partition.cuts[0] == pytest.approx(45_000)
+
+    def test_count_based(self, salary):
+        partition = EqualWidthDiscretizer(n_subintervals=4).partition(salary)
+        assert partition.n_subintervals == 4
+        assert partition.cuts == pytest.approx([52_500, 85_000, 117_500])
+
+    def test_requires_exactly_one_parameter(self):
+        with pytest.raises(EncodingError):
+            EqualWidthDiscretizer()
+        with pytest.raises(EncodingError):
+            EqualWidthDiscretizer(width=10, n_subintervals=4)
+
+    def test_rejects_nonpositive_width(self):
+        with pytest.raises(EncodingError):
+            EqualWidthDiscretizer(width=0)
+
+    def test_rejects_single_subinterval(self):
+        with pytest.raises(EncodingError):
+            EqualWidthDiscretizer(n_subintervals=1)
+
+    def test_width_larger_than_range_rejected(self, salary):
+        with pytest.raises(EncodingError):
+            EqualWidthDiscretizer(width=1e9).partition(salary)
+
+
+class TestEqualFrequency:
+    def test_quantile_cuts(self, salary):
+        values = [20_000 + i * 1000 for i in range(131)]
+        partition = EqualFrequencyDiscretizer(n_subintervals=4).partition(salary, values)
+        assert partition.n_subintervals >= 2
+        assert all(salary.low < c < salary.high for c in partition.cuts)
+
+    def test_requires_sample(self, salary):
+        with pytest.raises(EncodingError):
+            EqualFrequencyDiscretizer().partition(salary)
+
+    def test_degenerate_sample_falls_back_to_midpoint(self, salary):
+        partition = EqualFrequencyDiscretizer(n_subintervals=4).partition(salary, [50_000.0] * 20)
+        assert partition.n_subintervals == 2
+
+    def test_rejects_single_subinterval(self):
+        with pytest.raises(EncodingError):
+            EqualFrequencyDiscretizer(n_subintervals=1)

@@ -1,0 +1,127 @@
+"""Tests of the composite tuple encoder, including the Table 2 layout (E1)."""
+
+import numpy as np
+import pytest
+
+from repro.data.agrawal import AgrawalGenerator
+from repro.data.synthetic import binary_schema, boolean_function_dataset
+from repro.exceptions import EncodingError
+from repro.preprocessing.encoder import agrawal_encoder, default_encoder
+from repro.preprocessing.features import KIND_EQUALS, KIND_ORDINAL_THRESHOLD, KIND_THRESHOLD
+
+
+class TestAgrawalEncoderLayout:
+    """The encoder must reproduce Table 2 of the paper exactly."""
+
+    def test_total_inputs(self, encoder):
+        assert encoder.n_inputs == 86
+
+    @pytest.mark.parametrize(
+        "attribute,first,last",
+        [
+            ("salary", "I1", "I6"),
+            ("commission", "I7", "I13"),
+            ("age", "I14", "I19"),
+            ("elevel", "I20", "I23"),
+            ("car", "I24", "I43"),
+            ("zipcode", "I44", "I52"),
+            ("hvalue", "I53", "I66"),
+            ("hyears", "I67", "I76"),
+            ("loan", "I77", "I86"),
+        ],
+    )
+    def test_input_ranges_match_table2(self, encoder, attribute, first, last):
+        group = encoder.group_slice(attribute)
+        names = encoder.input_names()[group]
+        assert names[0] == first
+        assert names[-1] == last
+
+    def test_paper_literal_semantics(self, encoder):
+        """Spot-check the literals the paper's worked example relies on."""
+        assert encoder.feature_by_name("I2").describe_literal(0) == "salary < 100000"
+        assert encoder.feature_by_name("I13").describe_literal(0) == "commission < 10000"
+        assert encoder.feature_by_name("I15").describe_literal(1) == "age >= 60"
+        assert encoder.feature_by_name("I17").describe_literal(0) == "age < 40"
+
+    def test_feature_kinds(self, encoder):
+        assert encoder.feature_by_name("I1").kind == KIND_THRESHOLD
+        assert encoder.feature_by_name("I20").kind == KIND_ORDINAL_THRESHOLD
+        assert encoder.feature_by_name("I24").kind == KIND_EQUALS
+
+    def test_describe_lists_every_input(self, encoder):
+        text = encoder.describe()
+        assert "I1" in text and "I86" in text
+
+
+class TestEncoding:
+    def test_encode_dataset_shape_and_binarity(self, encoder, agrawal_train):
+        matrix = encoder.encode_dataset(agrawal_train)
+        assert matrix.shape == (len(agrawal_train), 86)
+        assert set(np.unique(matrix)) <= {0.0, 1.0}
+
+    def test_encode_record_matches_dataset_row(self, encoder, agrawal_train):
+        matrix = encoder.encode_dataset(agrawal_train)
+        row = encoder.encode_record(agrawal_train.records[5])
+        assert np.array_equal(matrix[5], row)
+
+    def test_one_hot_groups_have_single_bit(self, encoder, agrawal_train):
+        matrix = encoder.encode_dataset(agrawal_train)
+        car = matrix[:, encoder.group_slice("car")]
+        zipcode = matrix[:, encoder.group_slice("zipcode")]
+        assert np.all(car.sum(axis=1) == 1.0)
+        assert np.all(zipcode.sum(axis=1) == 1.0)
+
+    def test_encode_rejects_missing_attribute(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.encode_record({"salary": 50_000.0})
+
+    def test_encode_rejects_wrong_schema(self, encoder, small_dataset):
+        with pytest.raises(EncodingError):
+            encoder.encode_dataset(small_dataset)
+
+    def test_encode_records_empty(self, encoder):
+        assert encoder.encode_records([]).shape == (0, 86)
+
+    def test_feature_lookup_errors(self, encoder):
+        with pytest.raises(EncodingError):
+            encoder.feature(200)
+        with pytest.raises(EncodingError):
+            encoder.feature_by_name("I200")
+        with pytest.raises(EncodingError):
+            encoder.group_slice("unknown")
+
+    def test_thermometer_consistency_with_record_values(self, encoder):
+        record = AgrawalGenerator(function=1, seed=0, perturbation=0.0).generate(1).records[0]
+        row = encoder.encode_record(record)
+        feature = encoder.feature_by_name("I2")  # salary >= 100000
+        expected = 1.0 if record["salary"] >= 100_000 else 0.0
+        assert row[feature.index] == expected
+
+
+class TestDefaultEncoder:
+    def test_builds_for_arbitrary_schema(self, small_schema, small_dataset):
+        enc = default_encoder(small_schema, small_dataset)
+        matrix = enc.encode_dataset(small_dataset)
+        assert matrix.shape[0] == len(small_dataset)
+        assert set(np.unique(matrix)) <= {0.0, 1.0}
+
+    def test_binary_attributes_become_single_inputs(self):
+        dataset = boolean_function_dataset(3, any)
+        enc = default_encoder(dataset.schema, dataset)
+        assert enc.n_inputs == 3
+
+    def test_unordered_categoricals_one_hot(self, small_schema, small_dataset):
+        enc = default_encoder(small_schema, small_dataset)
+        colour_slice = enc.group_slice("colour")
+        assert colour_slice.stop - colour_slice.start == 3
+
+    def test_ordered_categoricals_thermometer(self, small_schema, small_dataset):
+        enc = default_encoder(small_schema, small_dataset)
+        grade_slice = enc.group_slice("grade")
+        assert grade_slice.stop - grade_slice.start == 3  # 4 ordered values -> 3 bits
+
+    def test_missing_encoder_for_attribute_rejected(self, small_schema):
+        from repro.preprocessing.encoder import TupleEncoder
+
+        with pytest.raises(EncodingError):
+            TupleEncoder(small_schema, {})

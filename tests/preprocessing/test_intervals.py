@@ -1,0 +1,130 @@
+"""Tests for intervals and interval partitions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import EncodingError
+from repro.preprocessing.intervals import Interval, IntervalPartition, at_least, less_than
+
+
+class TestInterval:
+    def test_default_is_half_open(self):
+        interval = Interval(10.0, 20.0)
+        assert interval.contains(10.0)
+        assert interval.contains(19.999)
+        assert not interval.contains(20.0)
+
+    def test_inclusive_high(self):
+        interval = Interval(10.0, 20.0, high_inclusive=True)
+        assert interval.contains(20.0)
+
+    def test_unbounded_sides(self):
+        assert Interval(None, 5.0).contains(-1e9)
+        assert Interval(5.0, None).contains(1e9)
+        assert Interval().unbounded
+
+    def test_membership_operator(self):
+        assert 15 in Interval(10.0, 20.0)
+        assert "x" not in Interval(10.0, 20.0)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(EncodingError):
+            Interval(5.0, 1.0)
+
+    def test_empty_detection(self):
+        assert Interval(3.0, 3.0).is_empty()
+        assert not Interval(3.0, 3.0, low_inclusive=True, high_inclusive=True).is_empty()
+        assert not Interval(1.0, 2.0).is_empty()
+
+    def test_intersection_overlapping(self):
+        a = Interval(0.0, 10.0)
+        b = Interval(5.0, 20.0)
+        c = a.intersect(b)
+        assert c.low == 5.0 and c.high == 10.0
+
+    def test_intersection_disjoint_is_empty(self):
+        a = Interval(0.0, 5.0)
+        b = Interval(10.0, 20.0)
+        assert a.intersect(b).is_empty()
+
+    def test_intersection_with_unbounded(self):
+        a = Interval(None, 40.0)
+        b = Interval(20.0, None)
+        c = a.intersect(b)
+        assert c.low == 20.0 and c.high == 40.0
+        assert not c.is_empty()
+
+    def test_at_least_and_less_than(self):
+        assert at_least(5.0).contains(5.0)
+        assert not at_least(5.0).contains(4.9)
+        assert less_than(5.0).contains(4.9)
+        assert not less_than(5.0).contains(5.0)
+
+    def test_describe_bounded(self):
+        assert Interval(50_000.0, 100_000.0).describe("salary") == "50000 <= salary < 100000"
+
+    def test_describe_one_sided(self):
+        assert Interval(None, 40.0).describe("age") == "age < 40"
+        assert Interval(60.0, None).describe("age") == "age >= 60"
+
+    def test_describe_empty_and_unbounded(self):
+        assert "empty" in Interval(3.0, 3.0).describe("x")
+        assert "unconstrained" in Interval().describe("x")
+
+    @settings(max_examples=150, deadline=None)
+    @given(
+        low=st.floats(min_value=-1e6, max_value=1e6),
+        width_a=st.floats(min_value=0.1, max_value=1e5),
+        width_b=st.floats(min_value=0.1, max_value=1e5),
+        value=st.floats(min_value=-2e6, max_value=2e6),
+    )
+    def test_intersection_semantics(self, low, width_a, width_b, value):
+        """x is in a∩b exactly when it is in both a and b."""
+        a = Interval(low, low + width_a)
+        b = Interval(low + width_a / 3, low + width_a / 3 + width_b)
+        both = a.contains(value) and b.contains(value)
+        assert a.intersect(b).contains(value) == both
+
+
+class TestIntervalPartition:
+    def test_subinterval_index(self):
+        partition = IntervalPartition([10.0, 20.0, 30.0], low=0.0, high=40.0)
+        assert partition.n_subintervals == 4
+        assert partition.subinterval_index(5.0) == 0
+        assert partition.subinterval_index(10.0) == 1
+        assert partition.subinterval_index(25.0) == 2
+        assert partition.subinterval_index(35.0) == 3
+
+    def test_subintervals_cover_range(self):
+        partition = IntervalPartition([10.0, 20.0], low=0.0, high=30.0)
+        intervals = partition.subintervals()
+        assert len(intervals) == 3
+        assert intervals[0].low == 0.0 and intervals[0].high == 10.0
+        assert intervals[-1].high == 30.0
+
+    def test_out_of_range_index_rejected(self):
+        partition = IntervalPartition([10.0])
+        with pytest.raises(EncodingError):
+            partition.subinterval(5)
+
+    def test_rejects_unsorted_cuts(self):
+        with pytest.raises(EncodingError):
+            IntervalPartition([10.0, 5.0])
+
+    def test_rejects_empty_cuts(self):
+        with pytest.raises(EncodingError):
+            IntervalPartition([])
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        cuts=st.lists(
+            st.floats(min_value=-1000, max_value=1000), min_size=1, max_size=6, unique=True
+        ),
+        value=st.floats(min_value=-2000, max_value=2000),
+    )
+    def test_index_matches_subinterval_membership(self, cuts, value):
+        """The value must lie inside the sub-interval it is assigned to."""
+        partition = IntervalPartition(sorted(cuts))
+        index = partition.subinterval_index(value)
+        assert partition.subinterval(index).contains(value)

@@ -1,0 +1,46 @@
+"""Tests for one-hot coding of categorical attributes."""
+
+import numpy as np
+import pytest
+
+from repro.data.schema import CategoricalAttribute
+from repro.exceptions import EncodingError
+from repro.preprocessing.onehot import OneHotEncoder
+
+
+@pytest.fixture()
+def car_encoder():
+    return OneHotEncoder(CategoricalAttribute("car", tuple(range(1, 21))))
+
+
+class TestOneHotEncoder:
+    def test_width(self, car_encoder):
+        assert car_encoder.width == 20
+
+    def test_single_bit_set(self, car_encoder):
+        code = car_encoder.encode_value(3)
+        assert code.sum() == 1
+        assert code[2] == 1.0
+
+    def test_accepts_float_coded_integers(self, car_encoder):
+        assert car_encoder.encode_value(5.0)[4] == 1.0
+
+    def test_rejects_unknown_value(self, car_encoder):
+        with pytest.raises(EncodingError):
+            car_encoder.encode_value(0)
+
+    def test_encode_column(self, car_encoder):
+        matrix = car_encoder.encode_column([1, 20, 10])
+        assert matrix.shape == (3, 20)
+        assert np.all(matrix.sum(axis=1) == 1.0)
+        assert matrix[1, 19] == 1.0
+
+    def test_features_describe_equality(self, car_encoder):
+        features = car_encoder.features(23)
+        assert features[0].name == "I24"
+        assert features[0].describe_literal(1) == "car = 1"
+        assert features[3].describe_literal(0) == "car != 4"
+
+    def test_string_domain(self):
+        encoder = OneHotEncoder(CategoricalAttribute("colour", ("red", "green", "blue")))
+        assert encoder.encode_value("green").tolist() == [0, 1, 0]

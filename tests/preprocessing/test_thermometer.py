@@ -1,0 +1,121 @@
+"""Tests for thermometer coding of numeric and ordinal attributes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.schema import CategoricalAttribute, ContinuousAttribute
+from repro.exceptions import EncodingError
+from repro.preprocessing.discretization import ExplicitCutsDiscretizer
+from repro.preprocessing.thermometer import OrdinalThermometerEncoder, ThermometerEncoder
+
+
+@pytest.fixture(scope="module")
+def salary_encoder():
+    salary = ContinuousAttribute("salary", 20_000.0, 150_000.0)
+    partition = ExplicitCutsDiscretizer([25_000, 50_000, 75_000, 100_000, 125_000]).partition(salary)
+    return ThermometerEncoder(salary, partition)
+
+
+class TestThermometerEncoder:
+    def test_width_matches_table2(self, salary_encoder):
+        assert salary_encoder.width == 6
+
+    def test_lowest_subinterval_coding(self, salary_encoder):
+        # salary < 25000 -> only the base bit set, i.e. {0,0,0,0,0,1}.
+        assert salary_encoder.encode_value(22_000).tolist() == [0, 0, 0, 0, 0, 1]
+
+    def test_second_subinterval_coding(self, salary_encoder):
+        # 25000 <= salary < 50000 -> two lowest bits set, {0,0,0,0,1,1}.
+        assert salary_encoder.encode_value(30_000).tolist() == [0, 0, 0, 0, 1, 1]
+
+    def test_top_subinterval_coding(self, salary_encoder):
+        assert salary_encoder.encode_value(140_000).tolist() == [1, 1, 1, 1, 1, 1]
+
+    def test_first_input_is_highest_threshold(self, salary_encoder):
+        features = salary_encoder.features(0)
+        assert features[0].threshold == 125_000
+        assert features[-1].threshold == 20_000
+
+    def test_encode_column_matches_per_value(self, salary_encoder):
+        values = [22_000, 60_000, 130_000]
+        matrix = salary_encoder.encode_column(values)
+        for row, value in zip(matrix, values):
+            assert np.array_equal(row, salary_encoder.encode_value(value))
+
+    def test_below_partition_low_is_all_zero(self):
+        commission = ContinuousAttribute("commission", 0.0, 75_000.0)
+        partition = ExplicitCutsDiscretizer([20_000, 30_000]).partition(
+            ContinuousAttribute("commission", 10_000.0, 75_000.0)
+        )
+        encoder = ThermometerEncoder(commission, partition)
+        assert encoder.encode_value(0.0).tolist() == [0, 0, 0]
+
+    def test_non_numeric_value_rejected(self, salary_encoder):
+        with pytest.raises(EncodingError):
+            salary_encoder.encode_value("rich")
+
+    def test_feature_names_follow_start_index(self, salary_encoder):
+        features = salary_encoder.features(6)
+        assert features[0].name == "I7"
+        assert features[-1].name == "I12"
+
+    @settings(max_examples=200, deadline=None)
+    @given(value=st.floats(min_value=20_000, max_value=150_000))
+    def test_code_is_monotone_thermometer(self, salary_encoder, value):
+        """A thermometer code never has a 1 below a 0 (reading right to left)."""
+        code = salary_encoder.encode_value(value)
+        # Bits are ordered highest threshold first, so the code must be
+        # non-decreasing when read left to right.
+        assert all(code[i] <= code[i + 1] for i in range(len(code) - 1))
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        low=st.floats(min_value=20_000, max_value=150_000),
+        high=st.floats(min_value=20_000, max_value=150_000),
+    )
+    def test_monotone_in_value(self, salary_encoder, low, high):
+        """Larger values switch on at least the bits of smaller values."""
+        small, large = min(low, high), max(low, high)
+        code_small = salary_encoder.encode_value(small)
+        code_large = salary_encoder.encode_value(large)
+        assert np.all(code_large >= code_small)
+
+
+class TestOrdinalThermometerEncoder:
+    @pytest.fixture()
+    def elevel_encoder(self):
+        return OrdinalThermometerEncoder(
+            CategoricalAttribute("elevel", (0, 1, 2, 3, 4), ordered=True)
+        )
+
+    def test_width_is_cardinality_minus_one(self, elevel_encoder):
+        assert elevel_encoder.width == 4
+
+    def test_lowest_level_all_zero(self, elevel_encoder):
+        assert elevel_encoder.encode_value(0).tolist() == [0, 0, 0, 0]
+
+    def test_highest_level_all_one(self, elevel_encoder):
+        assert elevel_encoder.encode_value(4).tolist() == [1, 1, 1, 1]
+
+    def test_intermediate_level(self, elevel_encoder):
+        # elevel = 2 -> at least 1 and at least 2, not at least 3 or 4.
+        assert elevel_encoder.encode_value(2).tolist() == [0, 0, 1, 1]
+
+    def test_accepts_float_coded_integers(self, elevel_encoder):
+        assert elevel_encoder.encode_value(3.0).tolist() == [0, 1, 1, 1]
+
+    def test_rejects_out_of_domain(self, elevel_encoder):
+        with pytest.raises(EncodingError):
+            elevel_encoder.encode_value(9)
+
+    def test_rejects_unordered_attribute(self):
+        with pytest.raises(EncodingError):
+            OrdinalThermometerEncoder(CategoricalAttribute("colour", ("r", "g", "b")))
+
+    def test_features_expose_domain(self, elevel_encoder):
+        features = elevel_encoder.features(19)
+        assert features[0].name == "I20"
+        assert features[0].domain == (0, 1, 2, 3, 4)
+        assert features[0].rank == 4

@@ -1,0 +1,145 @@
+"""Tests of input literals and attribute-level conditions."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RuleError
+from repro.preprocessing.features import KIND_EQUALS, KIND_ORDINAL_THRESHOLD, KIND_THRESHOLD, InputFeature
+from repro.preprocessing.intervals import Interval
+from repro.rules.conditions import InputLiteral, IntervalCondition, MembershipCondition
+
+
+@pytest.fixture()
+def salary_feature():
+    return InputFeature(index=1, name="I2", attribute="salary", kind=KIND_THRESHOLD, threshold=100_000.0)
+
+
+@pytest.fixture()
+def elevel_feature():
+    return InputFeature(
+        index=21, name="I22", attribute="elevel", kind=KIND_ORDINAL_THRESHOLD,
+        rank=2, domain=(0, 1, 2, 3, 4),
+    )
+
+
+class TestInputLiteral:
+    def test_requires_binary_value(self, salary_feature):
+        with pytest.raises(RuleError):
+            InputLiteral(salary_feature, 2)
+
+    def test_holds_on_vector(self, salary_feature):
+        literal = InputLiteral(salary_feature, 1)
+        encoded = np.zeros(10)
+        encoded[1] = 1.0
+        assert literal.holds(encoded)
+        assert not literal.negated().holds(encoded)
+
+    def test_holds_batch(self, salary_feature):
+        literal = InputLiteral(salary_feature, 0)
+        encoded = np.zeros((3, 10))
+        encoded[2, 1] = 1.0
+        assert literal.holds_batch(encoded).tolist() == [True, True, False]
+
+    def test_contradicts(self, salary_feature):
+        assert InputLiteral(salary_feature, 0).contradicts(InputLiteral(salary_feature, 1))
+        assert not InputLiteral(salary_feature, 0).contradicts(InputLiteral(salary_feature, 0))
+
+    def test_describe_plain_and_symbolic(self, salary_feature):
+        literal = InputLiteral(salary_feature, 0)
+        assert literal.describe() == "I2 = 0"
+        assert literal.describe(symbolic=True) == "salary < 100000"
+
+
+class TestIntervalCondition:
+    def test_matches(self):
+        condition = IntervalCondition("salary", Interval(50_000.0, 100_000.0))
+        assert condition.matches({"salary": 60_000.0})
+        assert not condition.matches({"salary": 110_000.0})
+
+    def test_missing_attribute_raises(self):
+        condition = IntervalCondition("salary", Interval(50_000.0, 100_000.0))
+        with pytest.raises(RuleError):
+            condition.matches({"age": 30})
+
+    def test_satisfiability(self):
+        assert IntervalCondition("x", Interval(1.0, 2.0)).is_satisfiable()
+        assert not IntervalCondition("x", Interval(2.0, 2.0)).is_satisfiable()
+
+    def test_triviality(self):
+        assert IntervalCondition("x", Interval()).is_trivial()
+        assert not IntervalCondition("x", Interval(None, 5.0)).is_trivial()
+
+    def test_intersect(self):
+        a = IntervalCondition("x", Interval(0.0, 10.0))
+        b = IntervalCondition("x", Interval(5.0, 20.0))
+        assert a.intersect(b).interval.low == 5.0
+
+    def test_intersect_different_attributes_rejected(self):
+        a = IntervalCondition("x", Interval(0.0, 10.0))
+        b = IntervalCondition("y", Interval(0.0, 10.0))
+        with pytest.raises(RuleError):
+            a.intersect(b)
+
+    def test_describe_integer_attribute(self):
+        condition = IntervalCondition("age", Interval(None, 40.0), integer=True)
+        assert condition.describe() == "age < 40"
+
+
+class TestMembershipCondition:
+    def test_matches_including_float_coded_values(self):
+        condition = MembershipCondition("elevel", (1, 2), (0, 1, 2, 3, 4))
+        assert condition.matches({"elevel": 2})
+        assert condition.matches({"elevel": 2.0})
+        assert not condition.matches({"elevel": 4})
+
+    def test_values_outside_domain_rejected(self):
+        with pytest.raises(RuleError):
+            MembershipCondition("elevel", (9,), (0, 1, 2))
+
+    def test_canonical_ordering(self):
+        condition = MembershipCondition("elevel", (3, 1), (0, 1, 2, 3, 4))
+        assert condition.allowed == (1, 3)
+
+    def test_intersect(self):
+        a = MembershipCondition("elevel", (1, 2, 3), (0, 1, 2, 3, 4))
+        b = MembershipCondition("elevel", (2, 3, 4), (0, 1, 2, 3, 4))
+        assert a.intersect(b).allowed == (2, 3)
+
+    def test_empty_intersection_unsatisfiable(self):
+        a = MembershipCondition("elevel", (0,), (0, 1, 2))
+        b = MembershipCondition("elevel", (2,), (0, 1, 2))
+        assert not a.intersect(b).is_satisfiable()
+
+    def test_describe_contiguous_range(self):
+        condition = MembershipCondition("elevel", (1, 2, 3), (0, 1, 2, 3, 4))
+        assert condition.describe() == "1 <= elevel <= 3"
+
+    def test_describe_single_value(self):
+        condition = MembershipCondition("car", (4,), tuple(range(1, 21)))
+        assert condition.describe() == "car = 4"
+
+    def test_describe_non_contiguous_set(self):
+        condition = MembershipCondition("elevel", (0, 4), (0, 1, 2, 3, 4))
+        assert condition.describe() == "elevel in {0, 4}"
+
+    def test_trivial_when_full_domain(self):
+        condition = MembershipCondition("elevel", (0, 1, 2), (0, 1, 2))
+        assert condition.is_trivial()
+
+
+class TestFeatureSemantics:
+    def test_ordinal_allowed_values(self, elevel_feature):
+        assert elevel_feature.allowed_values(1) == (2, 3, 4)
+        assert elevel_feature.allowed_values(0) == (0, 1)
+
+    def test_threshold_interval(self, salary_feature):
+        assert salary_feature.numeric_interval(1).low == 100_000.0
+        assert salary_feature.numeric_interval(0).high == 100_000.0
+
+    def test_equals_allowed_values(self):
+        feature = InputFeature(
+            index=0, name="I1", attribute="car", kind=KIND_EQUALS, category=3,
+            domain=tuple(range(1, 6)),
+        )
+        assert feature.allowed_values(1) == (3,)
+        assert feature.allowed_values(0) == (1, 2, 4, 5)

@@ -1,0 +1,50 @@
+"""Tests of rule pretty-printing."""
+
+import pytest
+
+from repro.preprocessing.intervals import Interval
+from repro.rules.conditions import IntervalCondition
+from repro.rules.pretty import (
+    format_attribute_rule,
+    format_rule_statistics_table,
+    format_ruleset_paper_style,
+)
+from repro.rules.rule import AttributeRule
+from repro.rules.ruleset import RuleSet, RuleStatistics
+
+
+@pytest.fixture()
+def figure5_like_ruleset():
+    rules = [
+        AttributeRule(
+            (
+                IntervalCondition("salary", Interval(None, 100_000.0)),
+                IntervalCondition("age", Interval(None, 40.0), integer=True),
+            ),
+            "A",
+        ),
+    ]
+    return RuleSet(rules, default_class="B", classes=("A", "B"), name="NeuroRule")
+
+
+class TestFormatting:
+    def test_single_rule_line(self, figure5_like_ruleset):
+        line = format_attribute_rule(figure5_like_ruleset[0], 1)
+        assert line.startswith("Rule 1. If")
+        assert line.endswith("then Group A.")
+
+    def test_paper_style_includes_default_rule(self, figure5_like_ruleset):
+        text = format_ruleset_paper_style(figure5_like_ruleset)
+        assert "Default Rule. Group B." in text
+
+    def test_statistics_table_layout(self):
+        stats_1000 = [RuleStatistics(0, "A", 20, 20), RuleStatistics(1, "A", 10, 9)]
+        stats_5000 = [RuleStatistics(0, "A", 100, 99), RuleStatistics(1, "A", 50, 41)]
+        text = format_rule_statistics_table([stats_1000, stats_5000], [1000, 5000], ["R1", "R2"])
+        assert "Total@1000" in text
+        assert "Correct%@5000" in text
+        assert "82.0" in text  # 41/50
+
+    def test_statistics_table_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_rule_statistics_table([[]], [1000, 5000], [])

@@ -1,0 +1,153 @@
+"""Tests of binary and attribute rules."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RuleError
+from repro.preprocessing.features import KIND_THRESHOLD, InputFeature
+from repro.preprocessing.intervals import Interval
+from repro.rules.conditions import InputLiteral, IntervalCondition, MembershipCondition
+from repro.rules.rule import AttributeRule, BinaryRule
+
+
+def feature(index: int, attribute: str = "x", threshold: float = 0.5) -> InputFeature:
+    return InputFeature(
+        index=index, name=f"I{index + 1}", attribute=attribute,
+        kind=KIND_THRESHOLD, threshold=threshold,
+    )
+
+
+class TestBinaryRule:
+    def test_literals_sorted_and_deduplicated(self):
+        rule = BinaryRule(
+            (
+                InputLiteral(feature(3), 1),
+                InputLiteral(feature(1), 0),
+                InputLiteral(feature(3), 1),
+            ),
+            "A",
+        )
+        assert [l.input_index for l in rule.literals] == [1, 3]
+        assert rule.n_conditions == 2
+
+    def test_contradictory_literals_rejected(self):
+        with pytest.raises(RuleError):
+            BinaryRule((InputLiteral(feature(2), 1), InputLiteral(feature(2), 0)), "A")
+
+    def test_covers_vector(self):
+        rule = BinaryRule((InputLiteral(feature(0), 1), InputLiteral(feature(2), 0)), "A")
+        assert rule.covers(np.array([1.0, 0.0, 0.0]))
+        assert not rule.covers(np.array([1.0, 0.0, 1.0]))
+
+    def test_covers_batch(self):
+        rule = BinaryRule((InputLiteral(feature(0), 1),), "A")
+        matrix = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        assert rule.covers_batch(matrix).tolist() == [True, False, True]
+
+    def test_empty_antecedent_covers_everything(self):
+        rule = BinaryRule((), "A")
+        assert rule.covers_batch(np.zeros((4, 3))).all()
+
+    def test_subsumption(self):
+        general = BinaryRule((InputLiteral(feature(0), 1),), "A")
+        specific = BinaryRule((InputLiteral(feature(0), 1), InputLiteral(feature(1), 0)), "A")
+        assert general.subsumes(specific)
+        assert not specific.subsumes(general)
+
+    def test_subsumption_requires_same_consequent(self):
+        a = BinaryRule((InputLiteral(feature(0), 1),), "A")
+        b = BinaryRule((InputLiteral(feature(0), 1), InputLiteral(feature(1), 0)), "B")
+        assert not a.subsumes(b)
+
+    def test_merge(self):
+        a = BinaryRule((InputLiteral(feature(0), 1),), "A")
+        b = BinaryRule((InputLiteral(feature(1), 0),), "A")
+        merged = a.merge(b)
+        assert merged.n_conditions == 2
+
+    def test_merge_conflicting_consequents_rejected(self):
+        a = BinaryRule((InputLiteral(feature(0), 1),), "A")
+        b = BinaryRule((InputLiteral(feature(1), 0),), "B")
+        with pytest.raises(RuleError):
+            a.merge(b)
+
+    def test_describe(self):
+        rule = BinaryRule((InputLiteral(feature(0), 1),), "A")
+        assert rule.describe() == "IF I1 = 1 THEN A"
+
+
+class TestAttributeRule:
+    def test_conditions_merged_per_attribute(self):
+        rule = AttributeRule(
+            (
+                IntervalCondition("salary", Interval(50_000.0, None)),
+                IntervalCondition("salary", Interval(None, 100_000.0)),
+                IntervalCondition("age", Interval(None, 40.0)),
+            ),
+            "A",
+        )
+        assert rule.n_conditions == 2
+        salary = rule.condition_for("salary")
+        assert salary.interval.low == 50_000.0 and salary.interval.high == 100_000.0
+
+    def test_covers_record(self):
+        rule = AttributeRule(
+            (
+                IntervalCondition("salary", Interval(50_000.0, 100_000.0)),
+                MembershipCondition("elevel", (0, 1), (0, 1, 2, 3, 4)),
+            ),
+            "A",
+        )
+        assert rule.covers({"salary": 60_000.0, "elevel": 1})
+        assert not rule.covers({"salary": 60_000.0, "elevel": 3})
+
+    def test_unsatisfiable_detection(self):
+        rule = AttributeRule(
+            (
+                IntervalCondition("age", Interval(60.0, None)),
+                IntervalCondition("age", Interval(None, 40.0)),
+            ),
+            "A",
+        )
+        assert not rule.is_satisfiable()
+
+    def test_attributes_listed(self):
+        rule = AttributeRule(
+            (
+                IntervalCondition("salary", Interval(None, 100_000.0)),
+                IntervalCondition("age", Interval(None, 40.0)),
+            ),
+            "A",
+        )
+        assert rule.attributes == ["age", "salary"]
+
+    def test_mixed_condition_types_on_same_attribute_rejected(self):
+        with pytest.raises(RuleError):
+            AttributeRule(
+                (
+                    IntervalCondition("elevel", Interval(0.0, 2.0)),
+                    MembershipCondition("elevel", (0, 1), (0, 1, 2)),
+                ),
+                "A",
+            )
+
+    def test_covers_dataset(self, small_dataset):
+        rule = AttributeRule(
+            (IntervalCondition("income", Interval(50.0, None)),), "yes"
+        )
+        covered = rule.covers_dataset(small_dataset.records)
+        assert covered.sum() == sum(1 for r in small_dataset.records if r["income"] >= 50)
+
+    def test_describe_skips_trivial_conditions(self):
+        rule = AttributeRule(
+            (
+                IntervalCondition("salary", Interval()),
+                IntervalCondition("age", Interval(None, 40.0)),
+            ),
+            "A",
+        )
+        text = rule.describe()
+        assert "age" in text and "salary" not in text
+
+    def test_trivial_rule_description(self):
+        assert "always" in AttributeRule((), "A").describe()

@@ -1,0 +1,104 @@
+"""Tests of rule sets: prediction, accuracy, per-rule statistics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import RuleError
+from repro.preprocessing.features import KIND_THRESHOLD, InputFeature
+from repro.preprocessing.intervals import Interval
+from repro.rules.conditions import InputLiteral, IntervalCondition
+from repro.rules.rule import AttributeRule, BinaryRule
+from repro.rules.ruleset import RuleSet
+
+
+@pytest.fixture()
+def income_ruleset():
+    """Predicts "yes" for income >= 50, default "no"."""
+    rule = AttributeRule((IntervalCondition("income", Interval(50.0, None)),), "yes")
+    return RuleSet([rule], default_class="no", classes=("yes", "no"), name="income")
+
+
+class TestConstruction:
+    def test_default_class_must_be_known(self):
+        with pytest.raises(RuleError):
+            RuleSet([], default_class="maybe", classes=("yes", "no"))
+
+    def test_rule_consequents_must_be_known(self):
+        rule = AttributeRule((), "maybe")
+        with pytest.raises(RuleError):
+            RuleSet([rule], default_class="no", classes=("yes", "no"))
+
+    def test_len_and_iteration(self, income_ruleset):
+        assert len(income_ruleset) == 1
+        assert list(income_ruleset)[0] is income_ruleset[0]
+
+
+class TestPrediction:
+    def test_predict_record_first_match(self, income_ruleset):
+        assert income_ruleset.predict_record({"income": 80.0}) == "yes"
+        assert income_ruleset.predict_record({"income": 10.0}) == "no"
+
+    def test_predict_dataset(self, income_ruleset, small_dataset):
+        predictions = income_ruleset.predict(small_dataset)
+        assert len(predictions) == len(small_dataset)
+
+    def test_accuracy_perfect_on_consistent_data(self, income_ruleset, small_dataset):
+        # small_dataset labels are exactly income >= 50.
+        assert income_ruleset.accuracy(small_dataset) == 1.0
+
+    def test_accuracy_empty_dataset_rejected(self, income_ruleset, small_dataset):
+        empty = small_dataset.subset([])
+        with pytest.raises(RuleError):
+            income_ruleset.accuracy(empty)
+
+    def test_first_match_order_matters(self):
+        broad = AttributeRule((), "yes")
+        narrow = AttributeRule((IntervalCondition("income", Interval(None, 20.0)),), "no")
+        ruleset = RuleSet([narrow, broad], default_class="no", classes=("yes", "no"))
+        assert ruleset.predict_record({"income": 10.0}) == "no"
+        assert ruleset.predict_record({"income": 30.0}) == "yes"
+
+    def test_binary_ruleset_predicts_on_encoded_matrix(self):
+        feature = InputFeature(index=0, name="I1", attribute="x1", kind=KIND_THRESHOLD, threshold=0.5)
+        rule = BinaryRule((InputLiteral(feature, 1),), "A")
+        ruleset = RuleSet([rule], default_class="B", classes=("A", "B"))
+        matrix = np.array([[1.0], [0.0]])
+        assert ruleset.predict(matrix) == ["A", "B"]
+
+
+class TestStatistics:
+    def test_rule_statistics_totals(self, income_ruleset, small_dataset):
+        stats = income_ruleset.rule_statistics(small_dataset)
+        assert len(stats) == 1
+        expected_total = sum(1 for r in small_dataset.records if r["income"] >= 50)
+        assert stats[0].total == expected_total
+        assert stats[0].correct == expected_total
+        assert stats[0].correct_percent == 100.0
+
+    def test_statistics_of_unused_rule(self, small_dataset):
+        never = AttributeRule((IntervalCondition("income", Interval(1000.0, None)),), "yes")
+        ruleset = RuleSet([never], default_class="no", classes=("yes", "no"))
+        stats = ruleset.rule_statistics(small_dataset)
+        assert stats[0].total == 0
+        assert stats[0].correct_fraction == 1.0
+
+    def test_complexity_metrics(self, income_ruleset):
+        assert income_ruleset.n_rules == 1
+        assert income_ruleset.total_conditions == 1
+        assert income_ruleset.mean_conditions_per_rule == 1.0
+
+    def test_rules_for_class(self, income_ruleset):
+        assert len(income_ruleset.rules_for_class("yes")) == 1
+        assert income_ruleset.rules_for_class("no") == []
+
+    def test_referenced_attributes(self, income_ruleset):
+        assert income_ruleset.referenced_attributes() == ["income"]
+
+    def test_without_rule(self, income_ruleset):
+        smaller = income_ruleset.without_rule(0)
+        assert smaller.n_rules == 0
+        with pytest.raises(RuleError):
+            income_ruleset.without_rule(5)
+
+    def test_describe_mentions_default(self, income_ruleset):
+        assert "Default" in income_ruleset.describe()

@@ -1,0 +1,117 @@
+"""Tests of rule export: SQL predicates and JSON round-trips."""
+
+import pytest
+
+from repro.exceptions import RuleError
+from repro.preprocessing.intervals import Interval
+from repro.rules.conditions import IntervalCondition, MembershipCondition
+from repro.rules.rule import AttributeRule
+from repro.rules.ruleset import RuleSet
+from repro.rules.serialization import (
+    condition_to_sql,
+    rule_to_sql,
+    ruleset_from_json,
+    ruleset_to_case_expression,
+    ruleset_to_json,
+    ruleset_to_sql,
+)
+
+
+@pytest.fixture()
+def figure5_ruleset():
+    """A small attribute rule set in the spirit of the paper's Figure 5."""
+    rule1 = AttributeRule(
+        (
+            IntervalCondition("salary", Interval(None, 100_000.0)),
+            IntervalCondition("commission", Interval(None, 10_000.0)),
+            IntervalCondition("age", Interval(None, 40.0), integer=True),
+        ),
+        "A",
+    )
+    rule2 = AttributeRule(
+        (
+            IntervalCondition("salary", Interval(50_000.0, 100_000.0)),
+            MembershipCondition("elevel", (0, 1), (0, 1, 2, 3, 4)),
+        ),
+        "A",
+    )
+    return RuleSet([rule1, rule2], default_class="B", classes=("A", "B"), name="NeuroRule")
+
+
+class TestSqlRendering:
+    def test_interval_condition(self):
+        condition = IntervalCondition("salary", Interval(50_000.0, 100_000.0))
+        assert condition_to_sql(condition) == "salary >= 50000 AND salary < 100000"
+
+    def test_one_sided_interval(self):
+        condition = IntervalCondition("age", Interval(None, 40.0))
+        assert condition_to_sql(condition) == "age < 40"
+
+    def test_membership_single_value(self):
+        condition = MembershipCondition("car", (4,), tuple(range(1, 21)))
+        assert condition_to_sql(condition) == "car = 4"
+
+    def test_membership_in_list(self):
+        condition = MembershipCondition("elevel", (0, 1), (0, 1, 2, 3, 4))
+        assert condition_to_sql(condition) == "elevel IN (0, 1)"
+
+    def test_string_values_quoted(self):
+        condition = MembershipCondition("contract", ("two_year",), ("monthly", "two_year"))
+        assert condition_to_sql(condition) == "contract = 'two_year'"
+
+    def test_empty_membership_is_false(self):
+        condition = MembershipCondition("elevel", (), (0, 1, 2))
+        assert condition_to_sql(condition) == "FALSE"
+
+    def test_rule_to_sql_joins_conditions(self, figure5_ruleset):
+        sql = rule_to_sql(figure5_ruleset[0])
+        assert "(salary < 100000)" in sql
+        assert " AND " in sql
+
+    def test_trivial_rule_is_true(self):
+        assert rule_to_sql(AttributeRule((), "A")) == "TRUE"
+
+    def test_ruleset_to_sql_statements(self, figure5_ruleset):
+        statements = ruleset_to_sql(figure5_ruleset, table="customers")
+        assert len(statements) == 2
+        assert all(s.startswith("SELECT * FROM customers WHERE ") for s in statements)
+
+    def test_ruleset_to_sql_class_filter(self, figure5_ruleset):
+        assert ruleset_to_sql(figure5_ruleset, table="t", class_label="B") == []
+
+    def test_case_expression_covers_default(self, figure5_ruleset):
+        expression = ruleset_to_case_expression(figure5_ruleset)
+        assert expression.startswith("CASE")
+        assert "ELSE 'B'" in expression
+        assert expression.count("WHEN") == 2
+
+
+class TestJsonRoundTrip:
+    def test_round_trip_preserves_predictions(self, figure5_ruleset, small_dataset):
+        document = ruleset_to_json(figure5_ruleset)
+        restored = ruleset_from_json(document)
+        assert restored.n_rules == figure5_ruleset.n_rules
+        assert restored.default_class == figure5_ruleset.default_class
+        records = [
+            {"salary": 60_000.0, "commission": 0.0, "age": 30.0, "elevel": 1},
+            {"salary": 120_000.0, "commission": 0.0, "age": 30.0, "elevel": 1},
+        ]
+        assert [figure5_ruleset.predict_record(r) for r in records] == [
+            restored.predict_record(r) for r in records
+        ]
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(RuleError):
+            ruleset_from_json("not json at all {")
+
+    def test_missing_fields_rejected(self):
+        with pytest.raises(RuleError):
+            ruleset_from_json('{"rules": []}')
+
+    def test_unknown_condition_type_rejected(self):
+        document = (
+            '{"name": "x", "classes": ["A", "B"], "default_class": "B", '
+            '"rules": [{"consequent": "A", "conditions": [{"type": "mystery"}]}]}'
+        )
+        with pytest.raises(RuleError):
+            ruleset_from_json(document)

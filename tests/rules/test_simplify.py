@@ -1,0 +1,97 @@
+"""Tests of rule-set simplification."""
+
+import numpy as np
+import pytest
+
+from repro.preprocessing.features import KIND_THRESHOLD, InputFeature
+from repro.preprocessing.intervals import Interval
+from repro.rules.conditions import InputLiteral, IntervalCondition
+from repro.rules.rule import AttributeRule, BinaryRule
+from repro.rules.ruleset import RuleSet
+from repro.rules.simplify import (
+    deduplicate_rules,
+    prune_redundant_attribute_rules,
+    remove_subsumed,
+    remove_uncovered_rules,
+    remove_unsatisfiable,
+    simplify_binary_ruleset,
+)
+
+
+def feature(index: int) -> InputFeature:
+    return InputFeature(index=index, name=f"I{index + 1}", attribute=f"x{index + 1}",
+                        kind=KIND_THRESHOLD, threshold=0.5)
+
+
+def binary_rule(bits, consequent="A"):
+    literals = tuple(InputLiteral(feature(i), v) for i, v in bits.items())
+    return BinaryRule(literals, consequent)
+
+
+class TestBinarySimplification:
+    def test_deduplicate(self):
+        rules = [binary_rule({0: 1}), binary_rule({0: 1}), binary_rule({1: 0})]
+        assert len(deduplicate_rules(rules)) == 2
+
+    def test_remove_subsumed_keeps_general_rule(self):
+        general = binary_rule({0: 1})
+        specific = binary_rule({0: 1, 1: 0})
+        kept = remove_subsumed([specific, general])
+        assert kept == [general]
+
+    def test_remove_subsumed_keeps_different_classes(self):
+        a = binary_rule({0: 1}, "A")
+        b = binary_rule({0: 1, 1: 0}, "B")
+        assert len(remove_subsumed([a, b])) == 2
+
+    def test_remove_uncovered_rules(self):
+        covered = binary_rule({0: 1})
+        uncovered = binary_rule({0: 1, 1: 1})
+        ruleset = RuleSet([covered, uncovered], default_class="B", classes=("A", "B"))
+        encoded = np.array([[1.0, 0.0], [0.0, 0.0]])
+        simplified = remove_uncovered_rules(ruleset, encoded)
+        assert simplified.rules == [covered]
+
+    def test_simplify_binary_ruleset_combines_steps(self):
+        general = binary_rule({0: 1})
+        specific = binary_rule({0: 1, 1: 0})
+        duplicate = binary_rule({0: 1})
+        ruleset = RuleSet([general, specific, duplicate], default_class="B", classes=("A", "B"))
+        encoded = np.array([[1.0, 0.0]])
+        simplified = simplify_binary_ruleset(ruleset, encoded)
+        assert simplified.n_rules == 1
+
+
+class TestAttributeSimplification:
+    def test_remove_unsatisfiable(self):
+        good = AttributeRule((IntervalCondition("age", Interval(None, 40.0)),), "A")
+        impossible = AttributeRule(
+            (
+                IntervalCondition("age", Interval(60.0, None)),
+                IntervalCondition("age", Interval(None, 40.0)),
+            ),
+            "A",
+        )
+        assert remove_unsatisfiable([good, impossible]) == [good]
+
+    def test_prune_redundant_rules_keeps_accuracy(self, small_dataset):
+        useful = AttributeRule((IntervalCondition("income", Interval(50.0, None)),), "yes")
+        redundant = AttributeRule(
+            (IntervalCondition("income", Interval(90.0, None)),), "yes"
+        )
+        ruleset = RuleSet([useful, redundant], default_class="no", classes=("yes", "no"))
+        baseline = ruleset.accuracy(small_dataset)
+        pruned = prune_redundant_attribute_rules(ruleset, small_dataset)
+        assert pruned.accuracy(small_dataset) >= baseline
+        assert pruned.n_rules == 1
+
+    def test_prune_keeps_necessary_rules(self, small_dataset):
+        low = AttributeRule((IntervalCondition("income", Interval(50.0, 70.0)),), "yes")
+        high = AttributeRule((IntervalCondition("income", Interval(70.0, None)),), "yes")
+        ruleset = RuleSet([low, high], default_class="no", classes=("yes", "no"))
+        pruned = prune_redundant_attribute_rules(ruleset, small_dataset)
+        assert pruned.n_rules == 2
+
+    def test_prune_on_empty_ruleset(self, small_dataset):
+        ruleset = RuleSet([], default_class="no", classes=("yes", "no"))
+        assert prune_redundant_attribute_rules(ruleset, small_dataset).n_rules == 0

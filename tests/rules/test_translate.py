@@ -1,0 +1,135 @@
+"""Tests of translating binary-input rules to attribute-level rules."""
+
+import pytest
+
+from repro.exceptions import RuleError
+from repro.preprocessing.features import KIND_EQUALS, KIND_ORDINAL_THRESHOLD, KIND_THRESHOLD, InputFeature
+from repro.rules.conditions import InputLiteral
+from repro.rules.rule import BinaryRule
+from repro.rules.ruleset import RuleSet
+from repro.rules.translate import translate_rule, translate_ruleset
+
+
+class TestTranslateWithAgrawalEncoder:
+    def test_paper_rule_r1(self, encoder):
+        """The paper's R1 (I2=0, I13=0, I17=0) becomes Figure 5's Rule 1."""
+        rule = BinaryRule(
+            (
+                InputLiteral(encoder.feature_by_name("I2"), 0),
+                InputLiteral(encoder.feature_by_name("I13"), 0),
+                InputLiteral(encoder.feature_by_name("I17"), 0),
+            ),
+            "A",
+        )
+        translated = translate_rule(rule, encoder.schema)
+        text = translated.describe()
+        assert "salary < 100000" in text
+        assert "commission < 10000" in text
+        assert "age < 40" in text
+        assert translated.is_satisfiable()
+
+    def test_paper_redundant_rule_r1_prime_is_unsatisfiable(self, encoder):
+        """The paper's R'1 requires age >= 60 (I15=1) and age < 40 (I17=0)."""
+        rule = BinaryRule(
+            (
+                InputLiteral(encoder.feature_by_name("I2"), 0),
+                InputLiteral(encoder.feature_by_name("I17"), 0),
+                InputLiteral(encoder.feature_by_name("I5"), 1),
+                InputLiteral(encoder.feature_by_name("I15"), 1),
+            ),
+            "A",
+        )
+        translated = translate_rule(rule, encoder.schema)
+        assert not translated.is_satisfiable()
+
+    def test_thermometer_literals_collapse_to_interval(self, encoder):
+        rule = BinaryRule(
+            (
+                InputLiteral(encoder.feature_by_name("I1"), 0),   # salary < 125000
+                InputLiteral(encoder.feature_by_name("I2"), 1),   # salary >= 100000
+            ),
+            "A",
+        )
+        condition = translate_rule(rule, encoder.schema).condition_for("salary")
+        assert condition.interval.low == 100_000.0
+        assert condition.interval.high == 125_000.0
+
+    def test_ordinal_literals_collapse_to_membership(self, encoder):
+        rule = BinaryRule(
+            (
+                InputLiteral(encoder.feature_by_name("I22"), 1),  # elevel >= 2
+                InputLiteral(encoder.feature_by_name("I20"), 0),  # elevel < 4
+            ),
+            "A",
+        )
+        condition = translate_rule(rule, encoder.schema).condition_for("elevel")
+        assert condition.allowed == (2, 3)
+
+    def test_one_hot_literal_positive(self, encoder):
+        rule = BinaryRule((InputLiteral(encoder.feature_by_name("I24"), 1),), "A")
+        condition = translate_rule(rule, encoder.schema).condition_for("car")
+        assert condition.allowed == (1,)
+
+    def test_one_hot_literal_negative(self, encoder):
+        rule = BinaryRule((InputLiteral(encoder.feature_by_name("I24"), 0),), "A")
+        condition = translate_rule(rule, encoder.schema).condition_for("car")
+        assert 1 not in condition.allowed
+        assert len(condition.allowed) == 19
+
+    def test_translate_ruleset_drops_unsatisfiable(self, encoder):
+        satisfiable = BinaryRule((InputLiteral(encoder.feature_by_name("I17"), 0),), "A")
+        impossible = BinaryRule(
+            (
+                InputLiteral(encoder.feature_by_name("I15"), 1),
+                InputLiteral(encoder.feature_by_name("I17"), 0),
+            ),
+            "A",
+        )
+        ruleset = RuleSet([satisfiable, impossible], default_class="B", classes=("A", "B"))
+        translated = translate_ruleset(ruleset, encoder.schema)
+        assert translated.n_rules == 1
+
+    def test_translate_ruleset_can_keep_unsatisfiable(self, encoder):
+        impossible = BinaryRule(
+            (
+                InputLiteral(encoder.feature_by_name("I15"), 1),
+                InputLiteral(encoder.feature_by_name("I17"), 0),
+            ),
+            "A",
+        )
+        ruleset = RuleSet([impossible], default_class="B", classes=("A", "B"))
+        translated = translate_ruleset(ruleset, encoder.schema, drop_unsatisfiable=False)
+        assert translated.n_rules == 1
+
+
+class TestTranslateGenericFeatures:
+    def test_mixed_kinds_on_same_attribute_rejected(self):
+        threshold = InputFeature(index=0, name="I1", attribute="x", kind=KIND_THRESHOLD, threshold=1.0)
+        equals = InputFeature(index=1, name="I2", attribute="x", kind=KIND_EQUALS, category=1, domain=(0, 1, 2))
+        rule = BinaryRule((InputLiteral(threshold, 1), InputLiteral(equals, 1)), "A")
+        with pytest.raises(RuleError):
+            translate_rule(rule)
+
+    def test_ordinal_binary_feature(self):
+        feature = InputFeature(
+            index=0, name="I1", attribute="x1", kind=KIND_ORDINAL_THRESHOLD, rank=1, domain=(0, 1)
+        )
+        rule = BinaryRule((InputLiteral(feature, 1),), "A")
+        condition = translate_rule(rule).condition_for("x1")
+        assert condition.allowed == (1,)
+
+    def test_translation_preserves_coverage(self, encoder, agrawal_train):
+        """A binary rule and its translation must cover the same tuples."""
+        rule = BinaryRule(
+            (
+                InputLiteral(encoder.feature_by_name("I2"), 0),
+                InputLiteral(encoder.feature_by_name("I13"), 0),
+                InputLiteral(encoder.feature_by_name("I17"), 0),
+            ),
+            "A",
+        )
+        translated = translate_rule(rule, encoder.schema)
+        encoded = encoder.encode_dataset(agrawal_train)
+        binary_coverage = rule.covers_batch(encoded)
+        attribute_coverage = translated.covers_dataset(agrawal_train.records)
+        assert binary_coverage.tolist() == attribute_coverage.tolist()
