@@ -1,0 +1,263 @@
+"""Benchmark E9 — the vectorised batch-inference pipeline.
+
+The paper's motivation is classifying *database-scale* tuple streams with the
+extracted rules.  This benchmark times the per-record reference path against
+the compiled batch path on 50 000-tuple Agrawal samples:
+
+* Function 2, binary rules over the Table 2 coding (matrix evaluation);
+* Function 4, attribute rules straight from Figure 7a (columnar evaluation);
+* the tuple encoder and the three-layer network for the same batch.
+
+Results are appended to ``BENCH_inference.json`` at the repository root as a
+trajectory file so successive PRs can track the speedup.  The batch rule
+paths must stay at least 10x faster than the per-record loops, and both paths
+must agree label for label.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.agrawal import AgrawalGenerator
+from repro.inference.network import NetworkBatchPredictor
+from repro.nn.network import new_network
+from repro.preprocessing.intervals import Interval
+from repro.rules.conditions import InputLiteral, IntervalCondition, MembershipCondition
+from repro.rules.rule import AttributeRule, BinaryRule
+from repro.rules.ruleset import RuleSet
+
+N_TUPLES = 50_000
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_inference.json"
+
+
+def _time(function, *args) -> float:
+    """Wall-clock seconds of one call (the loops here dwarf timer overhead)."""
+    started = time.perf_counter()
+    function(*args)
+    return time.perf_counter() - started
+
+
+def _record_result(entry: dict) -> None:
+    """Append one benchmark entry to the trajectory file."""
+    trajectory = []
+    if RESULT_PATH.exists():
+        trajectory = json.loads(RESULT_PATH.read_text()).get("trajectory", [])
+    trajectory = [t for t in trajectory if t.get("workload") != entry["workload"]]
+    trajectory.append(entry)
+    trajectory.sort(key=lambda t: t["workload"])
+    RESULT_PATH.write_text(
+        json.dumps({"benchmark": "batch_inference", "trajectory": trajectory}, indent=2)
+        + "\n"
+    )
+
+
+def function2_binary_ruleset(encoder) -> RuleSet:
+    """Thermometer-coded rules for Function 2's three (age, salary) bands.
+
+    Built directly against the Table 2 coding (no training), in the style of
+    the paper's Figure 6 rules: each band is a conjunction of threshold
+    literals, Group B is the default class.
+    """
+    features = encoder.features
+
+    def literal(attribute: str, threshold: float, value: int) -> InputLiteral:
+        for feature in features:
+            if feature.attribute == attribute and feature.threshold == threshold:
+                return InputLiteral(feature, value)
+        raise AssertionError(f"no {attribute} feature with threshold {threshold}")
+
+    rules = [
+        # age < 40 and 50K <= salary < 100K
+        BinaryRule(
+            (
+                literal("age", 40, 0),
+                literal("salary", 50_000, 1),
+                literal("salary", 100_000, 0),
+            ),
+            "A",
+        ),
+        # 40 <= age < 60 and 75K <= salary < 125K
+        BinaryRule(
+            (
+                literal("age", 40, 1),
+                literal("age", 60, 0),
+                literal("salary", 75_000, 1),
+                literal("salary", 125_000, 0),
+            ),
+            "A",
+        ),
+        # age >= 60 and 25K <= salary < 75K
+        BinaryRule(
+            (
+                literal("age", 60, 1),
+                literal("salary", 25_000, 1),
+                literal("salary", 75_000, 0),
+            ),
+            "A",
+        ),
+    ]
+    return RuleSet(rules, default_class="B", classes=("A", "B"), name="function2")
+
+
+def function4_attribute_ruleset() -> RuleSet:
+    """The six Group A rules of Figure 7a as attribute rules."""
+    elevel_domain = (0, 1, 2, 3, 4)
+
+    def band(low: float, high: float) -> IntervalCondition:
+        return IntervalCondition(
+            "salary", Interval(low=low, high=high, high_inclusive=True)
+        )
+
+    def ages(low, high) -> IntervalCondition:
+        return IntervalCondition("age", Interval(low=low, high=high), integer=True)
+
+    def elevel(*values) -> MembershipCondition:
+        return MembershipCondition("elevel", values, elevel_domain)
+
+    rules = [
+        AttributeRule((ages(None, 40), elevel(0, 1), band(25_000, 75_000)), "A"),
+        AttributeRule((ages(None, 40), elevel(2, 3, 4), band(50_000, 100_000)), "A"),
+        AttributeRule((ages(40, 60), elevel(1, 2, 3), band(50_000, 100_000)), "A"),
+        AttributeRule((ages(40, 60), elevel(0, 4), band(75_000, 125_000)), "A"),
+        AttributeRule((ages(60, None), elevel(2, 3, 4), band(50_000, 100_000)), "A"),
+        AttributeRule((ages(60, None), elevel(0, 1), band(25_000, 75_000)), "A"),
+    ]
+    return RuleSet(rules, default_class="B", classes=("A", "B"), name="function4")
+
+
+@pytest.fixture(scope="module")
+def function2_batch(encoder):
+    dataset = AgrawalGenerator(function=2, perturbation=0.0, seed=123).generate(N_TUPLES)
+    return {"dataset": dataset, "matrix": encoder.transform_matrix(dataset)}
+
+
+def test_bench_binary_rule_inference(benchmark, run_once, encoder, function2_batch):
+    """Compiled binary-rule batch prediction vs the per-record loop (F2)."""
+    rules = function2_binary_ruleset(encoder)
+    matrix = function2_batch["matrix"]
+
+    batch_labels = run_once(benchmark, rules.predict_batch, matrix)
+    batch_seconds = _time(rules.predict_batch, matrix)
+    per_record_labels = []
+    per_record_seconds = _time(
+        lambda: per_record_labels.extend(rules.predict_record(row) for row in matrix)
+    )
+
+    assert batch_labels.tolist() == per_record_labels
+    speedup = per_record_seconds / batch_seconds
+    _record_result(
+        {
+            "workload": "rules_binary_function2",
+            "n_records": N_TUPLES,
+            "n_rules": rules.n_rules,
+            "per_record_seconds": round(per_record_seconds, 6),
+            "batch_seconds": round(batch_seconds, 6),
+            "speedup": round(speedup, 2),
+        }
+    )
+    print(
+        f"\n[E9] binary rules on {N_TUPLES} Function 2 tuples: "
+        f"per-record {per_record_seconds:.3f}s, batch {batch_seconds:.4f}s, "
+        f"{speedup:.0f}x"
+    )
+    assert speedup >= 10.0
+
+
+def test_bench_attribute_rule_inference(benchmark, run_once):
+    """Compiled attribute-rule batch prediction vs the per-record loop (F4)."""
+    dataset = AgrawalGenerator(function=4, perturbation=0.0, seed=321).generate(N_TUPLES)
+    rules = function4_attribute_ruleset()
+
+    batch_labels = run_once(benchmark, rules.predict_batch, dataset)
+    batch_seconds = _time(rules.predict_batch, dataset)
+    per_record_labels = []
+    per_record_seconds = _time(
+        lambda: per_record_labels.extend(
+            rules.predict_record(record) for record in dataset.records
+        )
+    )
+
+    assert batch_labels.tolist() == per_record_labels
+    speedup = per_record_seconds / batch_seconds
+    _record_result(
+        {
+            "workload": "rules_attribute_function4",
+            "n_records": N_TUPLES,
+            "n_rules": rules.n_rules,
+            "per_record_seconds": round(per_record_seconds, 6),
+            "batch_seconds": round(batch_seconds, 6),
+            "speedup": round(speedup, 2),
+        }
+    )
+    print(
+        f"\n[E9] attribute rules on {N_TUPLES} Function 4 tuples: "
+        f"per-record {per_record_seconds:.3f}s, batch {batch_seconds:.4f}s, "
+        f"{speedup:.0f}x"
+    )
+    assert speedup >= 10.0
+
+
+def test_bench_encoder_inference(benchmark, run_once, encoder, function2_batch):
+    """Vectorised transform_matrix vs per-record encoding for the same batch."""
+    dataset = function2_batch["dataset"]
+
+    matrix = run_once(benchmark, encoder.transform_matrix, dataset)
+    batch_seconds = _time(encoder.transform_matrix, dataset)
+    per_record_seconds = _time(
+        lambda: [encoder.encode_record(record) for record in dataset.records]
+    )
+
+    assert matrix.shape == (N_TUPLES, encoder.n_inputs)
+    speedup = per_record_seconds / batch_seconds
+    _record_result(
+        {
+            "workload": "encoder_function2",
+            "n_records": N_TUPLES,
+            "per_record_seconds": round(per_record_seconds, 6),
+            "batch_seconds": round(batch_seconds, 6),
+            "speedup": round(speedup, 2),
+        }
+    )
+    print(
+        f"\n[E9] encoder on {N_TUPLES} tuples: per-record {per_record_seconds:.3f}s, "
+        f"batch {batch_seconds:.4f}s, {speedup:.0f}x"
+    )
+    assert speedup > 1.0
+
+
+def test_bench_network_inference(benchmark, run_once, function2_batch):
+    """Chunked batched network prediction vs a per-record forward loop."""
+    matrix = function2_batch["matrix"]
+    network = new_network(matrix.shape[1], 4, 2, seed=7)
+    predictor = NetworkBatchPredictor(network, ("A", "B"))
+
+    labels = run_once(benchmark, predictor.predict_batch, matrix)
+    batch_seconds = _time(predictor.predict_batch, matrix)
+    sample = matrix[:5_000]
+    sample_seconds = _time(
+        lambda: [network.predict_indices(row[None, :]) for row in sample]
+    )
+    per_record_seconds = sample_seconds * (N_TUPLES / len(sample))
+
+    assert len(labels) == N_TUPLES
+    speedup = per_record_seconds / batch_seconds
+    _record_result(
+        {
+            "workload": "network_function2",
+            "n_records": N_TUPLES,
+            "per_record_seconds": round(per_record_seconds, 6),
+            "per_record_extrapolated_from": len(sample),
+            "batch_seconds": round(batch_seconds, 6),
+            "speedup": round(speedup, 2),
+        }
+    )
+    print(
+        f"\n[E9] network on {N_TUPLES} tuples: per-record ~{per_record_seconds:.3f}s "
+        f"(extrapolated), batch {batch_seconds:.4f}s, {speedup:.0f}x"
+    )
+    assert speedup > 1.0

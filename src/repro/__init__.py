@@ -33,6 +33,9 @@ Sub-packages
     translation and pretty printing.
 ``repro.baselines``
     C4.5-style decision tree, C4.5rules-style rule generator, ID3.
+``repro.inference``
+    The vectorised batch-inference pipeline: the :class:`BatchPredictor`
+    protocol, the rule compiler and batch input normalisation.
 ``repro.metrics`` / ``repro.experiments``
     Evaluation metrics and the harness reproducing the paper's tables and
     figures.
@@ -43,19 +46,23 @@ from repro.data.agrawal import AgrawalGenerator, agrawal_schema, generate_functi
 from repro.data.dataset import Dataset
 from repro.data.schema import CategoricalAttribute, ContinuousAttribute, Schema
 from repro.exceptions import ReproError
+from repro.inference import BatchPredictor, NetworkBatchPredictor, compile_ruleset
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "AgrawalGenerator",
+    "BatchPredictor",
     "CategoricalAttribute",
     "ContinuousAttribute",
     "Dataset",
+    "NetworkBatchPredictor",
     "NeuroRuleClassifier",
     "NeuroRuleConfig",
     "ReproError",
     "Schema",
     "agrawal_schema",
+    "compile_ruleset",
     "generate_function_dataset",
     "__version__",
 ]

@@ -3,12 +3,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional
+
+import numpy as np
 
 from repro.baselines.c45.prune import prune_tree
-from repro.baselines.c45.tree import TreeConfig, TreeNode, build_tree
+from repro.baselines.c45.tree import TreeConfig, TreeNode, apply_tree_batch, build_tree
 from repro.data.dataset import Dataset, Record
 from repro.exceptions import BaselineError
+from repro.inference.inputs import normalize_batch_input
 
 
 @dataclass
@@ -56,23 +59,31 @@ class C45Classifier:
         """Predict the class label of one record."""
         return self._require_fitted().predict(record)
 
+    def predict_batch(self, data) -> np.ndarray:
+        """Vectorised prediction for a whole batch of records.
+
+        ``data`` may be a :class:`Dataset` or a sequence of records; the tree
+        descends once over columnar views instead of once per record, and the
+        labels are guaranteed identical to :meth:`predict_record` tuple by
+        tuple.  Returns an ``object``-dtype label array.
+        """
+        tree = self._require_fitted()
+        batch = normalize_batch_input(data)
+        if batch.n == 0:
+            return np.empty(0, dtype=object)
+        return apply_tree_batch(tree, batch.require_records("C4.5 tree prediction"))
+
     def predict(self, data) -> List[str]:
         """Predict class labels for a dataset or a sequence of records."""
-        tree = self._require_fitted()
-        records: Sequence[Record]
-        if isinstance(data, Dataset):
-            records = data.records
-        else:
-            records = list(data)
-        return [tree.predict(record) for record in records]
+        return self.predict_batch(data).tolist()
 
     def score(self, dataset: Dataset) -> float:
         """Classification accuracy (equation 6 of the paper) on a dataset."""
+        from repro.metrics.classification import accuracy
+
         if len(dataset) == 0:
             raise BaselineError("cannot score an empty dataset")
-        predictions = self.predict(dataset)
-        correct = sum(1 for p, t in zip(predictions, dataset.labels) if p == t)
-        return correct / len(dataset)
+        return accuracy(self.predict_batch(dataset), dataset.labels)
 
     @property
     def n_leaves(self) -> int:

@@ -249,6 +249,10 @@ class C45Rules:
         """The fitted rule set."""
         return self._require_fitted()
 
+    def predict_batch(self, data) -> np.ndarray:
+        """Vectorised first-match prediction (compiled rule evaluation)."""
+        return self._require_fitted().predict_batch(data)
+
     def predict(self, data) -> List[str]:
         """Predict with first-match rule semantics plus the default class."""
         return self._require_fitted().predict(data)

@@ -12,11 +12,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
+import numpy as np
+
 from repro.baselines.c45.criteria import class_counts
 from repro.baselines.c45.splitter import CandidateSplit, best_split
 from repro.data.dataset import Dataset, Record
 from repro.data.schema import AttributeValue, CategoricalAttribute
 from repro.exceptions import BaselineError
+from repro.inference.columns import ColumnCache
 
 
 @dataclass
@@ -196,6 +199,49 @@ def _build(dataset: Dataset, config: TreeConfig, class_order: Sequence[str], dep
         counts=counts,
         majority=majority,
     )
+
+
+def _apply_batch(
+    node: TreeNode, columns: ColumnCache, indices: np.ndarray, out: np.ndarray
+) -> None:
+    if isinstance(node, Leaf):
+        out[indices] = node.prediction
+        return
+    if node.is_continuous:
+        values = columns.numeric(node.attribute)[indices]
+        left = values <= float(node.threshold)  # type: ignore[arg-type]
+        _apply_batch(node.children["<="], columns, indices[left], out)
+        _apply_batch(node.children[">"], columns, indices[~left], out)
+        return
+    values = columns.raw(node.attribute)[indices]
+    unmatched = np.ones(len(indices), dtype=bool)
+    for value, child in node.children.items():
+        # Elementwise == mirrors child_for: float 2.0 matches the key 2.
+        selected = values == value
+        if selected.any():
+            _apply_batch(child, columns, indices[selected], out)
+            unmatched &= ~selected
+    if unmatched.any():
+        # Unseen categorical values fall back to the majority child, exactly
+        # like child_for on the per-record path.
+        fallback = max(node.children.values(), key=_node_records)
+        _apply_batch(fallback, columns, indices[unmatched], out)
+
+
+def apply_tree_batch(node: TreeNode, records: Sequence[Record]) -> np.ndarray:
+    """Vectorised tree application: labels for a whole batch of records.
+
+    Instead of walking the tree once per record, the batch descends the tree
+    once, partitioning an index array at every decision node — the classic
+    columnar evaluation strategy.  Produces exactly the same labels as
+    ``node.predict(record)`` per record (columns are built once per test
+    attribute through the shared :class:`ColumnCache`).
+    """
+    out = np.empty(len(records), dtype=object)
+    if len(records) == 0:
+        return out
+    _apply_batch(node, ColumnCache(records), np.arange(len(records)), out)
+    return out
 
 
 def tree_paths(

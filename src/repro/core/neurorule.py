@@ -28,6 +28,8 @@ from repro.core.splitting import HiddenUnitSplitter, SplitterConfig
 from repro.core.training import NetworkTrainer, TrainerConfig, TrainingResult
 from repro.data.dataset import Dataset, Record
 from repro.exceptions import TrainingError
+from repro.inference.network import NetworkBatchPredictor
+from repro.metrics.classification import accuracy
 from repro.nn.network import ThreeLayerNetwork
 from repro.preprocessing.encoder import TupleEncoder, default_encoder
 from repro.rules.ruleset import RuleSet
@@ -153,50 +155,60 @@ class NeuroRuleClassifier:
 
     # -- prediction ---------------------------------------------------------------
 
-    def predict(self, data) -> List[str]:
-        """Predict class labels using the *extracted rules*.
+    def predict_batch(self, data) -> np.ndarray:
+        """Predict class labels for a whole batch using the *extracted rules*.
 
         ``data`` may be a :class:`Dataset`, a sequence of records, or an
-        already-encoded input matrix (only when the fitted rules are binary
-        rules).
+        already-encoded input matrix; records and datasets are routed through
+        the fitted encoder when the rules constrain encoded inputs.  Returns
+        an ``object``-dtype label array; the labels are guaranteed identical
+        to calling :meth:`predict_record` tuple by tuple.
         """
         self._require_fitted()
         assert self.rules_ is not None
-        return self.rules_.predict(data)
+        return self.rules_.predict_batch(data, encoder=self.encoder)
+
+    def predict(self, data) -> List[str]:
+        """Predict class labels using the *extracted rules*.
+
+        List-returning wrapper around :meth:`predict_batch`.
+        """
+        return self.predict_batch(data).tolist()
 
     def predict_record(self, record: Record) -> str:
         """Predict the class of a single record using the extracted rules."""
         self._require_fitted()
         assert self.rules_ is not None
+        if self.rules_.is_binary and self.rules_.rules:
+            assert self.encoder is not None
+            return self.rules_.predict_record(self.encoder.encode_record(dict(record)))
         return self.rules_.predict_record(record)
+
+    def network_predictor(self) -> "NetworkBatchPredictor":
+        """The pruned network wrapped as a :class:`BatchPredictor`."""
+        self._require_fitted()
+        assert self.network_ is not None and self.encoder is not None and self.classes_ is not None
+        return NetworkBatchPredictor(self.network_, self.classes_, encoder=self.encoder)
+
+    def predict_network_batch(self, data) -> np.ndarray:
+        """Batched class labels from the pruned network directly."""
+        return self.network_predictor().predict_batch(data)
 
     def predict_network(self, data) -> List[str]:
         """Predict class labels using the pruned network directly."""
-        self._require_fitted()
-        assert self.network_ is not None and self.encoder is not None and self.classes_ is not None
-        if isinstance(data, Dataset):
-            encoded = self.encoder.encode_dataset(data)
-        elif isinstance(data, np.ndarray) and data.ndim == 2:
-            encoded = data
-        else:
-            encoded = self.encoder.encode_records(list(data))
-        indices = self.network_.predict_indices(encoded)
-        return [self.classes_[int(i)] for i in indices]
+        return self.predict_network_batch(data).tolist()
 
     # -- evaluation -----------------------------------------------------------------
 
     def score(self, dataset: Dataset) -> float:
         """Rule-set accuracy (equation 6) on a dataset."""
-        self._require_fitted()
-        assert self.rules_ is not None
-        return self.rules_.accuracy(dataset)
+        if len(dataset) == 0:
+            raise TrainingError("cannot score an empty dataset")
+        return accuracy(self.predict_batch(dataset), dataset.labels)
 
     def score_network(self, dataset: Dataset) -> float:
         """Pruned-network accuracy on a dataset."""
-        self._require_fitted()
-        predictions = self.predict_network(dataset)
-        correct = sum(1 for p, t in zip(predictions, dataset.labels) if p == t)
-        return correct / len(dataset)
+        return accuracy(self.predict_network_batch(dataset), dataset.labels)
 
     # -- reporting --------------------------------------------------------------------
 

@@ -162,12 +162,20 @@ def tabulate_inputs_to_hidden(
         patterns = observed[:, connected]
         combos = sorted({tuple(int(round(v)) for v in row) for row in patterns})
 
-    rows: List[Tuple[int, ...]] = []
-    outcomes: List[int] = []
-    for bits in combos:
-        activation = float(
-            np.tanh(sum(w * b for w, b in zip(weights[connected], bits)) + bias_contribution)
-        )
-        rows.append(bits)
-        outcomes.append(clustering_unit.nearest_center_index(activation))
+    if not combos:
+        # An empty observed pattern set tabulates to an empty table.
+        return DiscreteTable(columns=columns, rows=[], outcomes=[])
+
+    # Vectorised tabulation: one matrix product evaluates the hidden unit on
+    # every enumerated combination at once, and the nearest-center assignment
+    # (argmin of |activation - center|, first center winning ties, exactly as
+    # HiddenUnitClustering.nearest_center_index) is a single argmin.
+    combo_matrix = np.asarray(combos, dtype=float)
+    activations = np.tanh(combo_matrix @ weights[connected] + bias_contribution)
+    centers = np.asarray(clustering_unit.centers, dtype=float)
+    outcome_indices = np.argmin(
+        np.abs(activations[:, None] - centers[None, :]), axis=1
+    )
+    rows = [tuple(int(b) for b in bits) for bits in combos]
+    outcomes = [int(i) for i in outcome_indices]
     return DiscreteTable(columns=columns, rows=rows, outcomes=outcomes)

@@ -21,6 +21,7 @@ from repro.data.dataset import Dataset
 from repro.data.functions import RELEVANT_ATTRIBUTES, SKEWED_FUNCTIONS
 from repro.exceptions import ExperimentError
 from repro.experiments.config import ExperimentConfig
+from repro.metrics.classification import accuracy
 from repro.metrics.rules_metrics import RuleSetComplexity, referenced_attribute_report
 from repro.preprocessing.encoder import agrawal_encoder
 
@@ -124,6 +125,13 @@ def run_function_experiment(
     c45rules = C45Rules().fit(train)
     c45_seconds = time.perf_counter() - started
 
+    # All test-set evaluation runs through the batch-inference pipeline:
+    # one label array per model, compared against the truth array once.
+    rule_test_labels = classifier.predict_batch(test)
+    nn_test_labels = classifier.predict_network_batch(test)
+    c45_test_labels = c45.predict_batch(test)
+    c45rules_test_labels = c45rules.predict_batch(test)
+
     result = FunctionExperimentResult(
         function=function,
         config_label=config.label,
@@ -131,9 +139,9 @@ def run_function_experiment(
         n_test=len(test),
         class_skew=train.class_skew(),
         nn_train_accuracy=pruning.final_accuracy,
-        nn_test_accuracy=classifier.score_network(test),
+        nn_test_accuracy=accuracy(nn_test_labels, test.labels),
         rule_train_accuracy=extraction.training_accuracy,
-        rule_test_accuracy=classifier.score(test),
+        rule_test_accuracy=accuracy(rule_test_labels, test.labels),
         rule_fidelity=extraction.fidelity,
         n_rules=rules.n_rules,
         rule_complexity=RuleSetComplexity.of(rules),
@@ -144,10 +152,10 @@ def run_function_experiment(
         spurious_attributes=list(attribute_report["spurious"]),
         neurorule_seconds=neurorule_seconds,
         c45_train_accuracy=c45.score(train),
-        c45_test_accuracy=c45.score(test),
+        c45_test_accuracy=accuracy(c45_test_labels, test.labels),
         c45_leaves=c45.n_leaves,
         c45rules_count=c45rules.ruleset.n_rules,
-        c45rules_test_accuracy=c45rules.score(test),
+        c45rules_test_accuracy=accuracy(c45rules_test_labels, test.labels),
         c45_seconds=c45_seconds,
         classifier=classifier if keep_models else None,
         c45rules=c45rules if keep_models else None,

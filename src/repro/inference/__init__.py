@@ -1,0 +1,51 @@
+"""Vectorised batch inference: one ``predict_batch`` path for every model.
+
+This package is the single entry point for classifying *batches* of tuples —
+the workload the paper cares about ("classify database tuples fast enough for
+data mining").  It defines
+
+* :class:`~repro.inference.predictor.BatchPredictor` — the protocol every
+  classifier in the repository implements (rule sets, the pruned network,
+  the NeuroRule facade, C4.5, C4.5rules, ID3);
+* :func:`~repro.inference.compiler.compile_ruleset` — the rule compiler that
+  lowers a rule set to NumPy boolean-mask evaluation;
+* :func:`~repro.inference.inputs.normalize_batch_input` — the one place the
+  three accepted input shapes (Dataset / record sequence / encoded matrix)
+  are told apart, with :class:`~repro.exceptions.ReproError` on ambiguity;
+* :class:`~repro.inference.network.NetworkBatchPredictor` — chunked batched
+  classification with the (pruned) network.
+
+The per-record ``predict_record`` methods remain available everywhere as thin
+wrappers with an exact-equivalence guarantee: for any supported input, the
+batch path produces the same labels the per-record path would (enforced by
+``tests/integration/test_batch_equivalence.py``).
+"""
+
+from repro.inference.compiler import (
+    CompiledAttributeRuleSet,
+    CompiledBinaryRuleSet,
+    compile_ruleset,
+)
+from repro.inference.inputs import BatchInput, normalize_batch_input
+from repro.inference.network import NetworkBatchPredictor
+from repro.inference.predictor import (
+    BatchPredictor,
+    class_array,
+    indices_from_labels,
+    label_array,
+    labels_from_indices,
+)
+
+__all__ = [
+    "BatchInput",
+    "BatchPredictor",
+    "CompiledAttributeRuleSet",
+    "CompiledBinaryRuleSet",
+    "NetworkBatchPredictor",
+    "class_array",
+    "compile_ruleset",
+    "indices_from_labels",
+    "label_array",
+    "labels_from_indices",
+    "normalize_batch_input",
+]

@@ -1,0 +1,69 @@
+"""Batch prediction with the (pruned) network behind the shared protocol.
+
+:class:`NetworkBatchPredictor` adapts a
+:class:`~repro.nn.network.ThreeLayerNetwork` plus its class vocabulary (and,
+optionally, the tuple encoder) to the
+:class:`~repro.inference.predictor.BatchPredictor` protocol.  Large batches
+are evaluated in bounded-memory chunks so a multi-million-tuple scan never
+materialises more than ``chunk_size`` rows of hidden activations at once.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.inference.inputs import normalize_batch_input
+from repro.inference.predictor import class_array
+from repro.nn.network import ThreeLayerNetwork
+from repro.preprocessing.encoder import TupleEncoder
+
+
+class NetworkBatchPredictor:
+    """Vectorised, chunked classification with a three-layer network."""
+
+    def __init__(
+        self,
+        network: ThreeLayerNetwork,
+        classes: Sequence[str],
+        encoder: Optional[TupleEncoder] = None,
+        chunk_size: int = 16384,
+    ) -> None:
+        if len(classes) != network.n_outputs:
+            raise TrainingError(
+                f"{len(classes)} class labels supplied for a network with "
+                f"{network.n_outputs} outputs"
+            )
+        if chunk_size < 1:
+            raise TrainingError(f"chunk_size must be >= 1, got {chunk_size}")
+        self.network = network
+        self.classes: Tuple[str, ...] = tuple(classes)
+        self.encoder = encoder
+        self.chunk_size = chunk_size
+        self._class_array = class_array(self.classes)
+
+    def _matrix(self, data) -> np.ndarray:
+        batch = normalize_batch_input(data, encoder=self.encoder)
+        if batch.n == 0:
+            return np.zeros((0, self.network.n_inputs), dtype=float)
+        return batch.require_matrix("network prediction", encoder=self.encoder)
+
+    def predict_indices(self, data) -> np.ndarray:
+        """Predicted class indices (arg-max over output activations)."""
+        matrix = self._matrix(data)
+        n = matrix.shape[0]
+        out = np.empty(n, dtype=int)
+        for start in range(0, n, self.chunk_size):
+            chunk = matrix[start : start + self.chunk_size]
+            out[start : start + self.chunk_size] = self.network.predict_indices(chunk)
+        return out
+
+    def predict_batch(self, data) -> np.ndarray:
+        """Predicted class labels as an ``object``-dtype array."""
+        return self._class_array[self.predict_indices(data)]
+
+    def predict(self, data) -> List[str]:
+        """List-returning wrapper around :meth:`predict_batch`."""
+        return self.predict_batch(data).tolist()

@@ -1,0 +1,73 @@
+"""The :class:`BatchPredictor` protocol and shared label-array helpers.
+
+Every classifier in the repository — the extracted rule sets, the pruned
+network, the public :class:`~repro.core.neurorule.NeuroRuleClassifier` facade
+and the symbolic baselines (C4.5, C4.5rules, ID3) — exposes the same batch
+interface:
+
+* ``predict_batch(data)`` returns a NumPy array of class labels (dtype
+  ``object``) for a whole batch of tuples in one vectorised pass;
+* ``predict(data)`` is the list-returning convenience wrapper;
+* ``classes`` (or the fitted ``classes_``) names the label vocabulary.
+
+Downstream consumers (metrics, the experiment runner, the benchmarks) work on
+these label arrays instead of Python lists, which is what makes the hot path
+matrix-shaped end to end.
+"""
+
+from __future__ import annotations
+
+from typing import List, Protocol, Sequence, runtime_checkable
+
+import numpy as np
+
+from repro.exceptions import ReproError
+
+
+@runtime_checkable
+class BatchPredictor(Protocol):
+    """Structural interface of every batch-capable classifier.
+
+    ``data`` is whatever batch form the implementation documents — a
+    :class:`~repro.data.dataset.Dataset`, a sequence of records, or an
+    encoded ``(n_records, n_inputs)`` matrix.  Implementations must raise
+    :class:`~repro.exceptions.ReproError` (or a subclass) when the input form
+    is ambiguous or unsupported, never guess.
+    """
+
+    def predict_batch(self, data) -> np.ndarray:
+        """Class labels for a whole batch, as an ``object``-dtype array."""
+        ...
+
+    def predict(self, data) -> List[str]:
+        """List-returning wrapper around :meth:`predict_batch`."""
+        ...
+
+
+def class_array(classes: Sequence[str]) -> np.ndarray:
+    """The class vocabulary as an ``object``-dtype array for fancy indexing."""
+    return np.asarray(list(classes), dtype=object)
+
+
+def labels_from_indices(indices: np.ndarray, classes: Sequence[str]) -> np.ndarray:
+    """Map an integer class-index array to an ``object``-dtype label array."""
+    return class_array(classes)[np.asarray(indices, dtype=int)]
+
+
+def label_array(labels: Sequence[str]) -> np.ndarray:
+    """Coerce any label sequence (list, tuple, ndarray) to ``object`` dtype."""
+    if isinstance(labels, np.ndarray):
+        return labels.astype(object)
+    return np.asarray(list(labels), dtype=object)
+
+
+def indices_from_labels(labels: Sequence[str], classes: Sequence[str]) -> np.ndarray:
+    """Map labels to integer indices into ``classes``.
+
+    Raises :class:`ReproError` when a label is outside the vocabulary.
+    """
+    index = {label: i for i, label in enumerate(classes)}
+    try:
+        return np.fromiter((index[l] for l in labels), dtype=int, count=len(labels))
+    except KeyError as exc:
+        raise ReproError(f"label outside the declared classes: {exc.args[0]!r}") from exc

@@ -14,18 +14,23 @@ from typing import Dict, List, Sequence
 import numpy as np
 
 from repro.exceptions import ReproError
+from repro.inference.predictor import label_array
 
 
 def accuracy(predictions: Sequence[str], truth: Sequence[str]) -> float:
-    """Fraction of predictions equal to the true labels (equation 6)."""
+    """Fraction of predictions equal to the true labels (equation 6).
+
+    Accepts Python lists and label arrays interchangeably; comparison is a
+    single vectorised pass.
+    """
     if len(predictions) != len(truth):
         raise ReproError(
             f"predictions ({len(predictions)}) and truth ({len(truth)}) differ in length"
         )
-    if not truth:
+    if len(truth) == 0:
         raise ReproError("cannot compute accuracy of an empty prediction list")
-    correct = sum(1 for p, t in zip(predictions, truth) if p == t)
-    return correct / len(truth)
+    matches = label_array(predictions) == label_array(truth)
+    return float(np.count_nonzero(matches)) / len(truth)
 
 
 def error_rate(predictions: Sequence[str], truth: Sequence[str]) -> float:
@@ -44,13 +49,13 @@ class ConfusionMatrix:
     def from_predictions(
         cls, predictions: Sequence[str], truth: Sequence[str], classes: Sequence[str]
     ) -> "ConfusionMatrix":
+        from repro.inference.predictor import indices_from_labels
+
         classes = list(classes)
-        index = {c: i for i, c in enumerate(classes)}
         matrix = np.zeros((len(classes), len(classes)), dtype=int)
-        for p, t in zip(predictions, truth):
-            if t not in index or p not in index:
-                raise ReproError(f"label outside the declared classes: {t!r} / {p!r}")
-            matrix[index[t], index[p]] += 1
+        truth_indices = indices_from_labels(list(truth), classes)
+        prediction_indices = indices_from_labels(list(predictions), classes)
+        np.add.at(matrix, (truth_indices, prediction_indices), 1)
         return cls(classes=classes, matrix=matrix)
 
     @property
@@ -95,6 +100,7 @@ def agreement(first: Sequence[str], second: Sequence[str]) -> float:
     """
     if len(first) != len(second):
         raise ReproError(f"prediction vectors differ in length: {len(first)} vs {len(second)}")
-    if not first:
+    if len(first) == 0:
         raise ReproError("cannot compute agreement of empty prediction lists")
-    return sum(1 for a, b in zip(first, second) if a == b) / len(first)
+    matches = label_array(first) == label_array(second)
+    return float(np.count_nonzero(matches)) / len(first)

@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+import numpy as np
+
 from repro.data.agrawal import AgrawalGenerator
 from repro.data.dataset import Dataset
 from repro.metrics.classification import accuracy
@@ -38,7 +40,7 @@ def semantic_agreement(
     """
     generator = AgrawalGenerator(function=function, perturbation=0.0, seed=seed)
     dataset = generator.generate(n_samples)
-    predictions = ruleset.predict(dataset)
+    predictions = ruleset.predict_batch(dataset)
     return accuracy(predictions, dataset.labels)
 
 
@@ -78,13 +80,15 @@ def compare_rulesets(
 
 def accuracy_by_class(ruleset: RuleSet, dataset: Dataset) -> Dict[str, float]:
     """Per-class accuracy (recall) of a rule set on a dataset."""
-    predictions = ruleset.predict(dataset)
+    predictions = ruleset.predict_batch(dataset)
+    truth = np.asarray(dataset.labels, dtype=object)
     per_class: Dict[str, float] = {}
     for label in dataset.schema.classes:
-        indices = [i for i, t in enumerate(dataset.labels) if t == label]
-        if not indices:
+        of_class = truth == label
+        n_class = int(np.count_nonzero(of_class))
+        if n_class == 0:
             per_class[label] = 1.0
             continue
-        correct = sum(1 for i in indices if predictions[i] == label)
-        per_class[label] = correct / len(indices)
+        correct = int(np.count_nonzero(of_class & (predictions == label)))
+        per_class[label] = correct / n_class
     return per_class

@@ -160,9 +160,19 @@ class ThreeLayerNetwork:
         x = self._with_bias(inputs)
         return tanh(x @ self.masked_input_weights().T)
 
+    def forward(self, inputs: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Single batched pass: ``(hidden, outputs)`` for a whole input matrix.
+
+        Both layers are evaluated with one matrix product each; callers that
+        need hidden *and* output activations (rule extraction, fidelity
+        checks) use this instead of two separate passes.
+        """
+        hidden = self.hidden_activations(inputs)
+        return hidden, self.outputs_from_hidden(hidden)
+
     def output_activations(self, inputs: np.ndarray) -> np.ndarray:
         """Activation values ``S`` of the output units, shape ``(n, o)``."""
-        return self.outputs_from_hidden(self.hidden_activations(inputs))
+        return self.forward(inputs)[1]
 
     def outputs_from_hidden(self, hidden: np.ndarray) -> np.ndarray:
         """Output activations computed from given hidden activations.

@@ -90,25 +90,44 @@ class TupleEncoder:
             out[self._group_slices[attribute.name]] = encoder.encode_value(record[attribute.name])
         return out
 
-    def encode_dataset(self, dataset: Dataset) -> np.ndarray:
-        """Encode every record of ``dataset`` into an ``(n, n_inputs)`` matrix."""
-        if dataset.schema.attribute_names != self.schema.attribute_names:
-            raise EncodingError(
-                "dataset schema does not match the encoder schema: "
-                f"{dataset.schema.attribute_names} vs {self.schema.attribute_names}"
-            )
-        out = np.zeros((len(dataset), self.n_inputs), dtype=float)
+    def transform_matrix(self, data: Union[Dataset, Sequence[Record]]) -> np.ndarray:
+        """Vectorised encoding of a whole batch into an ``(n, n_inputs)`` matrix.
+
+        This is the single batch entry point of the inference pipeline: it
+        accepts either a :class:`~repro.data.dataset.Dataset` or a plain
+        sequence of records and encodes column by column using the cached
+        column layout (``group_slice`` per attribute plus each per-attribute
+        encoder's precomputed threshold/position tables), never touching
+        records one at a time.
+        """
+        if isinstance(data, Dataset):
+            if data.schema.attribute_names != self.schema.attribute_names:
+                raise EncodingError(
+                    "dataset schema does not match the encoder schema: "
+                    f"{data.schema.attribute_names} vs {self.schema.attribute_names}"
+                )
+            records: Sequence[Record] = data.records
+        else:
+            records = data
+        out = np.zeros((len(records), self.n_inputs), dtype=float)
+        if not len(records):
+            return out
         for attribute in self.schema.attributes:
             encoder = self.encoders[attribute.name]
-            column = [r[attribute.name] for r in dataset.records]
+            try:
+                column = [r[attribute.name] for r in records]
+            except KeyError as exc:
+                raise EncodingError(f"record missing attribute {attribute.name!r}") from exc
             out[:, self._group_slices[attribute.name]] = encoder.encode_column(column)
         return out
 
+    def encode_dataset(self, dataset: Dataset) -> np.ndarray:
+        """Encode every record of ``dataset`` into an ``(n, n_inputs)`` matrix."""
+        return self.transform_matrix(dataset)
+
     def encode_records(self, records: Sequence[Record]) -> np.ndarray:
         """Encode a plain sequence of records."""
-        if not records:
-            return np.zeros((0, self.n_inputs), dtype=float)
-        return np.vstack([self.encode_record(r) for r in records])
+        return self.transform_matrix(list(records))
 
     # -- feature lookup -------------------------------------------------------
 

@@ -24,6 +24,23 @@ KIND_ORDINAL_THRESHOLD = "ordinal"    #: ordered categorical: bit = 1 iff rank(v
 KIND_EQUALS = "equals"                #: categorical: bit = 1 iff value == category
 
 
+def domain_position(table, value) -> Optional[int]:
+    """Position of ``value`` in a cached domain-position table, or ``None``.
+
+    The single value-normalisation rule shared by the categorical encoders:
+    hash-based lookup already equates 2.0 with 2, and floats that denote
+    integers fall back to their integer form; anything else (including
+    unhashable values) is simply not in the domain.
+    """
+    try:
+        return table[value]
+    except (KeyError, TypeError):
+        pass
+    if isinstance(value, float) and value.is_integer():
+        return table.get(int(value))
+    return None
+
+
 @dataclass(frozen=True)
 class InputFeature:
     """Description of one binary network input.

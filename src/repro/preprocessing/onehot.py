@@ -13,7 +13,7 @@ import numpy as np
 
 from repro.data.schema import AttributeValue, CategoricalAttribute
 from repro.exceptions import EncodingError
-from repro.preprocessing.features import KIND_EQUALS, InputFeature
+from repro.preprocessing.features import KIND_EQUALS, InputFeature, domain_position
 
 
 class OneHotEncoder:
@@ -21,6 +21,10 @@ class OneHotEncoder:
 
     def __init__(self, attribute: CategoricalAttribute) -> None:
         self.attribute = attribute
+        # Cached value -> position table for the vectorised column encoder.
+        # Hash-based lookup already equates 2.0 with 2, so no separate float
+        # normalisation is needed on the fast path.
+        self._positions = {value: i for i, value in enumerate(attribute.values)}
 
     @property
     def width(self) -> int:
@@ -28,14 +32,13 @@ class OneHotEncoder:
         return self.attribute.cardinality
 
     def _position(self, value: AttributeValue) -> int:
-        if value in self.attribute.values:
-            return self.attribute.index_of(value)
-        if isinstance(value, float) and value.is_integer() and int(value) in self.attribute.values:
-            return self.attribute.index_of(int(value))
-        raise EncodingError(
-            f"attribute {self.attribute.name!r}: value {value!r} not in domain "
-            f"{self.attribute.values!r}"
-        )
+        position = domain_position(self._positions, value)
+        if position is None:
+            raise EncodingError(
+                f"attribute {self.attribute.name!r}: value {value!r} not in domain "
+                f"{self.attribute.values!r}"
+            )
+        return position
 
     def encode_value(self, value: AttributeValue) -> np.ndarray:
         """Encode one value as a one-hot row vector."""
@@ -45,9 +48,12 @@ class OneHotEncoder:
 
     def encode_column(self, values: Sequence[AttributeValue]) -> np.ndarray:
         """Encode a column of values into an ``(n, width)`` 0/1 matrix."""
-        out = np.zeros((len(values), self.width), dtype=float)
-        for row, value in enumerate(values):
-            out[row, self._position(value)] = 1.0
+        n = len(values)
+        positions = np.fromiter(
+            (self._position(value) for value in values), dtype=np.intp, count=n
+        )
+        out = np.zeros((n, self.width), dtype=float)
+        out[np.arange(n), positions] = 1.0
         return out
 
     def features(self, start_index: int) -> List[InputFeature]:

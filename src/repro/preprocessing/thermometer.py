@@ -29,6 +29,7 @@ from repro.preprocessing.features import (
     KIND_ORDINAL_THRESHOLD,
     KIND_THRESHOLD,
     InputFeature,
+    domain_position,
 )
 from repro.preprocessing.intervals import IntervalPartition
 
@@ -54,6 +55,7 @@ class ThermometerEncoder:
         low = partition.low if partition.low is not None else attribute.low
         # Highest threshold first, base bit (lowest threshold) last.
         self.thresholds: List[float] = list(reversed(partition.cuts)) + [float(low)]
+        self._threshold_row = np.asarray(self.thresholds, dtype=float)[None, :]
 
     @property
     def width(self) -> int:
@@ -72,9 +74,13 @@ class ThermometerEncoder:
 
     def encode_column(self, values: Sequence[AttributeValue]) -> np.ndarray:
         """Encode a column of values into an ``(n, width)`` 0/1 matrix."""
-        column = np.asarray([float(v) for v in values], dtype=float)[:, None]
-        thresholds = np.asarray(self.thresholds, dtype=float)[None, :]
-        return (column >= thresholds).astype(float)
+        try:
+            column = np.asarray(values, dtype=float)[:, None]
+        except (TypeError, ValueError) as exc:
+            raise EncodingError(
+                f"attribute {self.attribute.name!r}: cannot encode non-numeric column"
+            ) from exc
+        return (column >= self._threshold_row).astype(float)
 
     def features(self, start_index: int) -> List[InputFeature]:
         """Feature descriptors for this attribute's inputs.
@@ -114,31 +120,34 @@ class OrdinalThermometerEncoder:
             )
         self.attribute = attribute
         self.ranks: List[int] = list(range(attribute.cardinality - 1, 0, -1))
+        self._rank_row = np.asarray(self.ranks, dtype=float)[None, :]
+        # Cached value -> domain position table for the vectorised column
+        # encoder (hash lookup equates 2.0 with 2).
+        self._positions = {value: i for i, value in enumerate(attribute.values)}
 
     @property
     def width(self) -> int:
         return len(self.ranks)
 
     def encode_value(self, value: AttributeValue) -> np.ndarray:
-        position = self.attribute.index_of(self._normalise(value))
+        position = self._position(value)
         return np.asarray([1.0 if position >= r else 0.0 for r in self.ranks], dtype=float)
 
     def encode_column(self, values: Sequence[AttributeValue]) -> np.ndarray:
-        positions = np.asarray(
-            [self.attribute.index_of(self._normalise(v)) for v in values], dtype=float
+        positions = np.fromiter(
+            (self._position(v) for v in values), dtype=float, count=len(values)
         )[:, None]
-        ranks = np.asarray(self.ranks, dtype=float)[None, :]
-        return (positions >= ranks).astype(float)
+        return (positions >= self._rank_row).astype(float)
 
-    def _normalise(self, value: AttributeValue) -> AttributeValue:
-        """Accept floats for integer-coded ordinal domains (e.g. 2.0 for 2)."""
-        if value in self.attribute.values:
-            return value
-        if isinstance(value, float) and value.is_integer() and int(value) in self.attribute.values:
-            return int(value)
-        raise EncodingError(
-            f"attribute {self.attribute.name!r}: value {value!r} not in ordered domain"
-        )
+    def _position(self, value: AttributeValue) -> int:
+        """Domain position of ``value``, accepting floats for integer-coded
+        ordinal domains (e.g. 2.0 for 2)."""
+        position = domain_position(self._positions, value)
+        if position is None:
+            raise EncodingError(
+                f"attribute {self.attribute.name!r}: value {value!r} not in ordered domain"
+            )
+        return position
 
     def features(self, start_index: int) -> List[InputFeature]:
         out: List[InputFeature] = []

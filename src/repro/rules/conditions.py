@@ -26,6 +26,20 @@ from repro.preprocessing.features import InputFeature
 from repro.preprocessing.intervals import Interval
 
 
+def input_is_set(values):
+    """The library-wide binarisation rule for encoded inputs: set iff > 0.5.
+
+    Every evaluation path — per-record literals, vectorised literal batches
+    and the compiled rule sets in :mod:`repro.inference.compiler` — uses this
+    single predicate, so they agree on every numeric input (well-formed
+    encodings are exactly 0/1 and are unaffected).  Accepts scalars or
+    arrays; returns a bool or boolean array accordingly.
+    """
+    if isinstance(values, (int, float)):  # includes NumPy scalar types
+        return values > 0.5
+    return np.asarray(values, dtype=float) > 0.5
+
+
 @dataclass(frozen=True)
 class InputLiteral:
     """A condition requiring binary input ``feature`` to equal ``value``."""
@@ -55,13 +69,14 @@ class InputLiteral:
         return self.input_index == other.input_index and self.value != other.value
 
     def holds(self, encoded: np.ndarray) -> bool:
-        """Evaluate the literal on one encoded input vector."""
-        return int(round(float(encoded[self.input_index]))) == self.value
+        """Evaluate the literal on one encoded input vector (the shared
+        :func:`input_is_set` binarisation rule)."""
+        return bool(input_is_set(encoded[self.input_index])) == bool(self.value)
 
     def holds_batch(self, encoded: np.ndarray) -> np.ndarray:
         """Vectorised evaluation over an ``(n, n_inputs)`` matrix."""
-        column = np.asarray(encoded)[:, self.input_index]
-        return np.isclose(column, float(self.value))
+        set_mask = input_is_set(np.asarray(encoded)[:, self.input_index])
+        return set_mask if self.value == 1 else ~set_mask
 
     def describe(self, symbolic: bool = False) -> str:
         """``"I13 = 0"`` by default, or the attribute-level meaning when

@@ -21,6 +21,10 @@ from repro.rules.rule import AttributeRule, BinaryRule
 
 RuleType = TypeVar("RuleType", AttributeRule, BinaryRule)
 
+# The optional encoder forwarded through predict paths is a
+# repro.preprocessing.encoder.TupleEncoder; typed loosely to avoid an import
+# cycle (preprocessing does not depend on rules, and must stay that way).
+
 
 @dataclass
 class RuleStatistics:
@@ -66,6 +70,8 @@ class RuleSet(Generic[RuleType]):
     classes: Sequence[str]
     name: str = "ruleset"
     _classes: tuple = field(init=False, repr=False)
+    _compiled: object = field(init=False, repr=False, default=None, compare=False)
+    _compiled_key: tuple = field(init=False, repr=False, default=(), compare=False)
 
     def __post_init__(self) -> None:
         self._classes = tuple(self.classes)
@@ -122,33 +128,89 @@ class RuleSet(Generic[RuleType]):
 
     # -- prediction ------------------------------------------------------------
 
+    def compiled(self, n_inputs: Optional[int] = None):
+        """The rule set lowered to its vectorised batch-evaluation form.
+
+        The compiled form (see :mod:`repro.inference.compiler`) is cached and
+        transparently rebuilt when the rule list changes; all batch prediction
+        and statistics below run through it.
+        """
+        from repro.inference.compiler import compile_ruleset
+
+        # Key on the rule *values* (both rule types are frozen dataclasses):
+        # an id()-based key could alias a replaced rule whose id was reused.
+        key = (tuple(self.rules), self.default_class, n_inputs)
+        if self._compiled is None or self._compiled_key != key:
+            self._compiled = compile_ruleset(self, n_inputs=n_inputs)
+            self._compiled_key = key
+        return self._compiled
+
+    @property
+    def is_binary(self) -> bool:
+        """True when the rules constrain encoded binary inputs (or the set is
+        empty, in which case either evaluation path is valid)."""
+        return not self.rules or isinstance(self.rules[0], BinaryRule)
+
     def predict_record(self, item: Union[Mapping, np.ndarray]) -> str:
         """Predict the class of a single record (attribute rules) or encoded
-        vector (binary rules)."""
+        vector (binary rules).
+
+        This is the per-record reference semantics; :meth:`predict_batch` is
+        guaranteed to produce exactly the same labels (see
+        ``tests/integration/test_batch_equivalence.py``).
+        """
         for rule in self.rules:
             if rule.covers(item):  # type: ignore[arg-type]
                 return rule.consequent
         return self.default_class
 
-    def predict(self, items: Union[Dataset, Sequence, np.ndarray]) -> List[str]:
+    def predict_batch(
+        self, items: Union[Dataset, Sequence, np.ndarray], encoder=None
+    ) -> np.ndarray:
+        """Predict a whole batch in one vectorised pass.
+
+        ``items`` may be a :class:`Dataset`, a sequence of records, or an
+        encoded ``(n, n_inputs)`` matrix; inconsistent combinations (an
+        encoded matrix with attribute rules, records with binary rules and no
+        ``encoder``, 1-D arrays, ...) raise a
+        :class:`~repro.exceptions.ReproError` instead of guessing.  Returns
+        an ``object``-dtype label array.
+
+        Labels are identical to :meth:`predict_record` per tuple for records
+        that carry every attribute any rule references; batch evaluation is
+        strict about those attributes (it materialises whole columns), while
+        the per-record path short-circuits at the first matching rule.
+        """
+        from repro.inference.inputs import normalize_batch_input
+        from repro.inference.predictor import class_array
+
+        batch = normalize_batch_input(items, encoder=encoder)
+        if batch.n == 0:
+            return np.empty(0, dtype=object)
+        if not self.rules:
+            return np.full(batch.n, self.default_class, dtype=object)
+        compiled = self.compiled()
+        context = f"rule set {self.name!r} ({compiled.kind} rules)"
+        if compiled.kind == "binary":
+            return compiled.predict_batch(batch.require_matrix(context, encoder=encoder))
+        return compiled.predict_batch(batch.require_records(context))
+
+    def predict(
+        self, items: Union[Dataset, Sequence, np.ndarray], encoder=None
+    ) -> List[str]:
         """Predict classes for a dataset, a sequence of records, or an
-        encoded input matrix."""
-        if isinstance(items, Dataset):
-            return [self.predict_record(record) for record in items.records]
-        if isinstance(items, np.ndarray) and items.ndim == 2:
-            return [self.predict_record(row) for row in items]
-        return [self.predict_record(item) for item in items]
+        encoded input matrix (list-returning wrapper of
+        :meth:`predict_batch`)."""
+        return self.predict_batch(items, encoder=encoder).tolist()
 
     def accuracy(self, dataset: Dataset, encoded: Optional[np.ndarray] = None) -> float:
         """Fraction of correctly classified tuples (the paper's equation 6)."""
+        from repro.metrics.classification import accuracy  # lazy: avoids import cycle
+
         if len(dataset) == 0:
             raise RuleError("cannot compute accuracy on an empty dataset")
-        if encoded is not None:
-            predictions = self.predict(encoded)
-        else:
-            predictions = self.predict(dataset)
-        correct = sum(1 for p, t in zip(predictions, dataset.labels) if p == t)
-        return correct / len(dataset)
+        predictions = self.predict_batch(encoded if encoded is not None else dataset)
+        return accuracy(predictions, dataset.labels)
 
     # -- per-rule statistics (Table 3) -------------------------------------------
 
@@ -161,26 +223,32 @@ class RuleSet(Generic[RuleType]):
         the paper reports, for every extracted rule, how many tuples it
         covers and what fraction of those are truly of the rule's class.
         """
-        stats: List[RuleStatistics] = []
-        labels = dataset.labels
-        for index, rule in enumerate(self.rules):
-            if encoded is not None and isinstance(rule, BinaryRule):
-                covered = rule.covers_batch(encoded)
-            else:
-                covered = np.asarray([rule.covers(r) for r in dataset.records], dtype=bool)
-            total = int(covered.sum())
-            correct = int(
-                sum(1 for i in np.flatnonzero(covered) if labels[int(i)] == rule.consequent)
-            )
-            stats.append(
-                RuleStatistics(
-                    rule_index=index,
-                    consequent=rule.consequent,
-                    total=total,
-                    correct=correct,
+        if not self.rules:
+            return []
+        compiled = self.compiled()
+        if compiled.kind == "binary":
+            if encoded is None:
+                raise RuleError(
+                    "binary rule statistics need the encoded input matrix; pass "
+                    "encoded= or translate the rules to attribute conditions"
                 )
+            covered_matrix = compiled.covers_matrix(encoded)
+        else:
+            covered_matrix = compiled.covers_matrix(dataset.records)
+        labels = np.asarray(dataset.labels, dtype=object)
+        consequents = np.asarray([rule.consequent for rule in self.rules], dtype=object)
+        label_matches = labels[:, None] == consequents[None, :]
+        totals = covered_matrix.sum(axis=0)
+        corrects = (covered_matrix & label_matches).sum(axis=0)
+        return [
+            RuleStatistics(
+                rule_index=index,
+                consequent=rule.consequent,
+                total=int(totals[index]),
+                correct=int(corrects[index]),
             )
-        return stats
+            for index, rule in enumerate(self.rules)
+        ]
 
     # -- transformation -----------------------------------------------------------
 

@@ -1,0 +1,82 @@
+"""Unit tests for batch input normalisation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.inference.inputs import normalize_batch_input
+
+
+class TestNormalizeBatchInput:
+    def test_dataset(self, small_dataset):
+        batch = normalize_batch_input(small_dataset)
+        assert batch.n == len(small_dataset)
+        assert batch.records is small_dataset.records
+        assert batch.dataset is small_dataset
+
+    def test_matrix(self):
+        matrix = np.zeros((4, 3))
+        batch = normalize_batch_input(matrix)
+        assert batch.n == 4
+        assert batch.matrix.shape == (4, 3)
+
+    def test_record_sequence(self):
+        records = [{"a": 1}, {"a": 2}]
+        batch = normalize_batch_input(records)
+        assert batch.n == 2
+        assert batch.records == records
+
+    def test_record_generator_materialised(self):
+        records = [{"a": 1}, {"a": 2}]
+        batch = normalize_batch_input(r for r in records)
+        assert batch.n == 2
+        assert batch.records == records
+
+    def test_vector_sequence_stacked(self):
+        batch = normalize_batch_input([np.zeros(3), np.ones(3)])
+        assert batch.matrix.shape == (2, 3)
+
+    def test_empty_sequence(self):
+        batch = normalize_batch_input([])
+        assert batch.n == 0
+
+    def test_one_dimensional_array_rejected(self):
+        with pytest.raises(ReproError):
+            normalize_batch_input(np.zeros(5))
+
+    def test_single_mapping_rejected(self):
+        with pytest.raises(ReproError):
+            normalize_batch_input({"a": 1})
+
+    def test_mixed_sequence_rejected(self):
+        with pytest.raises(ReproError):
+            normalize_batch_input([{"a": 1}, np.zeros(3)])
+
+    def test_ragged_vector_sequence_rejected(self):
+        with pytest.raises(ReproError):
+            normalize_batch_input([np.zeros(3), np.zeros(4)])
+
+    def test_unsupported_type_rejected(self):
+        with pytest.raises(ReproError):
+            normalize_batch_input(42)
+
+    def test_matrix_requires_records_error(self):
+        batch = normalize_batch_input(np.zeros((2, 3)))
+        with pytest.raises(ReproError):
+            batch.require_records("test context")
+
+    def test_records_require_matrix_error_without_encoder(self):
+        batch = normalize_batch_input([{"a": 1}])
+        with pytest.raises(ReproError):
+            batch.require_matrix("test context")
+
+    def test_records_encoded_with_encoder(self, small_schema, small_dataset):
+        from repro.preprocessing.encoder import default_encoder
+
+        encoder = default_encoder(small_schema, small_dataset)
+        batch = normalize_batch_input(small_dataset)
+        matrix = batch.require_matrix("test context", encoder=encoder)
+        assert matrix.shape == (len(small_dataset), encoder.n_inputs)
+        np.testing.assert_array_equal(matrix, encoder.encode_dataset(small_dataset))
