@@ -1,0 +1,126 @@
+"""Benchmark E10 — the parallel experiment orchestrator and artifact cache.
+
+Runs the Table-3-style sweep over functions {1, 2, 3} with two seeds each on
+a two-process pool, twice:
+
+* **cold** — empty cache: every ``function x seed`` task trains, prunes and
+  extracts from scratch, and persists its artifacts;
+* **warm** — identical sweep against the populated cache: every task must be
+  served from disk, which the acceptance criterion requires to be at least
+  10x faster than the cold run.
+
+Results are appended to ``BENCH_orchestrator.json`` at the repository root;
+the sweep's artifact directory is left in ``BENCH_orchestrator_artifacts/``
+so CI can upload it.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.orchestrator import ArtifactCache, run_sweep
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_orchestrator.json"
+ARTIFACT_DIR = REPO_ROOT / "BENCH_orchestrator_artifacts"
+
+FUNCTIONS = [1, 2, 3]
+SEEDS = 2
+PROCESSES = 2
+
+
+@pytest.fixture(scope="module")
+def sweep_config() -> ExperimentConfig:
+    """A reduced sweep configuration (the cold run still trains 6 pipelines)."""
+    if os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "False"):
+        return ExperimentConfig.paper()
+    return ExperimentConfig.quick(
+        n_train=120,
+        n_test=120,
+        training_iterations=80,
+        retrain_iterations=25,
+        pruning_rounds=25,
+        label="bench-orchestrator",
+    )
+
+
+def test_bench_orchestrated_sweep(sweep_config):
+    """Cold vs warm orchestrated sweep; warm must be >= 10x faster."""
+    if ARTIFACT_DIR.exists():
+        shutil.rmtree(ARTIFACT_DIR)
+
+    started = time.perf_counter()
+    cold = run_sweep(
+        FUNCTIONS,
+        config=sweep_config,
+        seeds=SEEDS,
+        processes=PROCESSES,
+        cache_dir=ARTIFACT_DIR,
+    )
+    cold_seconds = time.perf_counter() - started
+
+    assert not cold.failures, [f.error for f in cold.failures]
+    assert len(cold.outcomes) == len(FUNCTIONS) * SEEDS
+    assert cold.cache_hits == 0
+
+    # Every task persisted its full artifact set.
+    cache = ArtifactCache(ARTIFACT_DIR)
+    keys = list(cache.keys())
+    assert len(keys) == len(FUNCTIONS) * SEEDS
+    for key in keys:
+        entry = cache.entry_dir(key)
+        assert (entry / "result.json").is_file()
+        assert (entry / "network.json").is_file()
+        assert (entry / "config.json").is_file()
+
+    started = time.perf_counter()
+    warm = run_sweep(
+        FUNCTIONS,
+        config=sweep_config,
+        seeds=SEEDS,
+        processes=PROCESSES,
+        cache_dir=ARTIFACT_DIR,
+    )
+    warm_seconds = time.perf_counter() - started
+
+    assert not warm.failures
+    assert warm.cache_hits == len(FUNCTIONS) * SEEDS
+    assert [r.nn_test_accuracy for r in warm.results] == [
+        r.nn_test_accuracy for r in cold.results
+    ]
+
+    speedup = cold_seconds / warm_seconds
+    rows = warm.aggregate()
+    trajectory = []
+    if RESULT_PATH.exists():
+        trajectory = json.loads(RESULT_PATH.read_text()).get("trajectory", [])
+    entry = {
+        "workload": "orchestrated_sweep_f123_2seeds_2proc",
+        "functions": FUNCTIONS,
+        "seeds": SEEDS,
+        "processes": PROCESSES,
+        "n_tasks": len(FUNCTIONS) * SEEDS,
+        "cold_seconds": round(cold_seconds, 3),
+        "warm_seconds": round(warm_seconds, 3),
+        "speedup": round(speedup, 1),
+        "aggregate": rows,
+    }
+    trajectory = [t for t in trajectory if t.get("workload") != entry["workload"]]
+    trajectory.append(entry)
+    RESULT_PATH.write_text(
+        json.dumps({"benchmark": "orchestrator", "trajectory": trajectory}, indent=2)
+        + "\n"
+    )
+
+    print(
+        f"\n[E10] sweep f{FUNCTIONS} x {SEEDS} seeds on {PROCESSES} processes: "
+        f"cold {cold_seconds:.1f}s, warm {warm_seconds:.3f}s, {speedup:.0f}x"
+    )
+    assert speedup >= 10.0

@@ -1,0 +1,207 @@
+"""``python -m repro`` — the experiment orchestrator CLI.
+
+Two subcommands:
+
+``sweep``
+    Run the NeuroRule-vs-C4.5 comparison over a set of benchmark functions
+    and seeds, in parallel, against an on-disk artifact cache.  Re-running
+    the same sweep (or widening it) resumes from the cache: completed
+    ``function x seed`` tasks are served from disk without retraining.
+
+``cache``
+    Inspect an artifact cache directory: one line per completed entry with
+    its key, function, seed and configuration label.
+
+Examples::
+
+    python -m repro sweep --functions 1,2,3 --seeds 2 --processes 2 \\
+        --cache-dir .repro-cache --out sweep.json
+    python -m repro sweep --functions 1-5 --preset paper --cache-dir .repro-cache
+    python -m repro cache --cache-dir .repro-cache
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Sequence
+
+from repro.exceptions import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.orchestrator import ArtifactCache, run_sweep
+from repro.experiments.reporting import format_sweep_table
+
+
+def parse_functions(spec: str) -> List[int]:
+    """Parse a function list: comma-separated numbers and ``a-b`` ranges."""
+    functions: List[int] = []
+    for part in spec.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        if "-" in part:
+            low_text, _, high_text = part.partition("-")
+            try:
+                low, high = int(low_text), int(high_text)
+            except ValueError:
+                raise SystemExit(f"error: invalid function range {part!r}")
+            if low > high:
+                raise SystemExit(f"error: empty function range {part!r}")
+            functions.extend(range(low, high + 1))
+        else:
+            try:
+                functions.append(int(part))
+            except ValueError:
+                raise SystemExit(f"error: invalid function number {part!r}")
+    if not functions:
+        raise SystemExit(f"error: no functions in {spec!r}")
+    return functions
+
+
+def _build_config(args: argparse.Namespace) -> ExperimentConfig:
+    overrides = {
+        name: getattr(args, name)
+        for name in (
+            "n_train",
+            "n_test",
+            "training_iterations",
+            "retrain_iterations",
+            "pruning_rounds",
+        )
+        if getattr(args, name) is not None
+    }
+    if args.preset == "paper":
+        return ExperimentConfig.paper(**overrides)
+    return ExperimentConfig.quick(**overrides)
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    functions = parse_functions(args.functions)
+    config = _build_config(args)
+    print(
+        f"sweep: functions {functions}, {args.seeds} seed(s), "
+        f"{args.processes} process(es), preset {config.label!r}, "
+        f"cache {args.cache_dir or 'disabled'}"
+    )
+    sweep = run_sweep(
+        functions,
+        config=config,
+        seeds=args.seeds,
+        processes=args.processes,
+        cache_dir=args.cache_dir,
+    )
+    for outcome in sweep.outcomes:
+        if outcome.ok:
+            source = "cache" if outcome.cached else "ran"
+            assert outcome.result is not None
+            print(
+                f"  function {outcome.function} seed {outcome.seed}: {source} "
+                f"in {outcome.seconds:.2f}s "
+                f"(rules test {100.0 * outcome.result.rule_test_accuracy:.1f}%)"
+            )
+        else:
+            print(f"  function {outcome.function} seed {outcome.seed}: FAILED")
+    rows = sweep.aggregate()
+    if rows:
+        print()
+        print(format_sweep_table(rows))
+    print(
+        f"\n{len(sweep.outcomes)} task(s): {len(sweep.results)} ok, "
+        f"{len(sweep.failures)} failed, {sweep.cache_hits} from cache"
+    )
+    for failure in sweep.failures:
+        print(
+            f"\nfunction {failure.function} seed {failure.seed} failed:\n"
+            f"{failure.error}",
+            file=sys.stderr,
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(sweep.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 1 if sweep.failures else 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    cache = ArtifactCache(args.cache_dir)
+    count = 0
+    for key in cache.keys():
+        entry = cache.describe_entry(key)
+        config = entry.get("config", {})
+        print(
+            f"{key[:16]}  function {entry.get('function')} "
+            f"seed {entry.get('seed')}  label {config.get('label')!r}  "
+            f"n_train {config.get('n_train')}"
+        )
+        count += 1
+    print(f"{count} cached entr{'y' if count == 1 else 'ies'} in {args.cache_dir}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="NeuroRule reproduction: orchestrated experiment sweeps.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    sweep = commands.add_parser(
+        "sweep", help="run the NeuroRule-vs-C4.5 sweep in parallel, with caching"
+    )
+    sweep.add_argument(
+        "--functions",
+        default="1,2,3",
+        help="benchmark functions, e.g. '1,2,3' or '1-5' (default: 1,2,3)",
+    )
+    sweep.add_argument(
+        "--seeds", type=int, default=1, help="replicates per function (default: 1)"
+    )
+    sweep.add_argument(
+        "--processes", type=int, default=1, help="worker processes (default: 1)"
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache root; omit to disable caching/resume",
+    )
+    sweep.add_argument(
+        "--preset",
+        choices=("quick", "paper"),
+        default="quick",
+        help="base configuration (default: quick)",
+    )
+    sweep.add_argument("--n-train", type=int, default=None, help="override training tuples")
+    sweep.add_argument("--n-test", type=int, default=None, help="override test tuples")
+    sweep.add_argument(
+        "--training-iterations", type=int, default=None, help="override BFGS budget"
+    )
+    sweep.add_argument(
+        "--retrain-iterations", type=int, default=None, help="override retrain budget"
+    )
+    sweep.add_argument(
+        "--pruning-rounds", type=int, default=None, help="override pruning rounds"
+    )
+    sweep.add_argument(
+        "--out", default=None, help="write the full sweep summary to this JSON file"
+    )
+    sweep.set_defaults(handler=_cmd_sweep)
+
+    cache = commands.add_parser("cache", help="list the entries of an artifact cache")
+    cache.add_argument("--cache-dir", required=True, help="artifact cache root")
+    cache.set_defaults(handler=_cmd_cache)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

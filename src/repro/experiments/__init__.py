@@ -12,13 +12,25 @@ from repro.experiments.function4 import (
     function4_summary_metrics,
     run_function4_case_study,
 )
+from repro.experiments.orchestrator import (
+    ArtifactCache,
+    SweepResult,
+    SweepTask,
+    TaskOutcome,
+    build_tasks,
+    run_sweep,
+)
 from repro.experiments.paper_values import (
     PAPER_ACCURACY_TABLE,
     PAPER_FUNCTION2_PRUNED_NETWORK,
     PAPER_RULE_COUNTS,
     PAPER_TABLE3,
 )
-from repro.experiments.reporting import format_paper_vs_measured, format_table
+from repro.experiments.reporting import (
+    format_paper_vs_measured,
+    format_sweep_table,
+    format_table,
+)
 from repro.experiments.runner import (
     FunctionExperimentResult,
     generate_experiment_data,
@@ -28,6 +40,7 @@ from repro.experiments.runner import (
 
 __all__ = [
     "AccuracyTable",
+    "ArtifactCache",
     "ExperimentConfig",
     "Function2CaseStudy",
     "Function4CaseStudy",
@@ -36,8 +49,13 @@ __all__ = [
     "PAPER_FUNCTION2_PRUNED_NETWORK",
     "PAPER_RULE_COUNTS",
     "PAPER_TABLE3",
+    "SweepResult",
+    "SweepTask",
+    "TaskOutcome",
     "build_accuracy_table",
+    "build_tasks",
     "format_paper_vs_measured",
+    "format_sweep_table",
     "format_table",
     "function2_summary_metrics",
     "function4_summary_metrics",
@@ -46,4 +64,5 @@ __all__ = [
     "run_function4_case_study",
     "run_function_experiment",
     "run_functions",
+    "run_sweep",
 ]

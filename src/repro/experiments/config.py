@@ -19,8 +19,8 @@ table under which extracted rules identical to the generating function score
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import asdict, dataclass, field, replace
+from typing import Dict, Optional
 
 from repro.core.extraction import ExtractionConfig
 from repro.core.neurorule import NeuroRuleConfig
@@ -83,6 +83,32 @@ class ExperimentConfig:
         )
         defaults.update(overrides)
         return cls(**defaults)
+
+    # -- replication and persistence ---------------------------------------------
+
+    def replicate(self, seed: int) -> "ExperimentConfig":
+        """The configuration of replicate number ``seed`` of a multi-seed sweep.
+
+        Replicate 0 is this configuration unchanged.  Later replicates shift
+        the network initialisation seed and the training-data seed (so both
+        the starting weights and the perturbed sample vary) while keeping the
+        *test* data identical, which keeps per-seed accuracies comparable and
+        makes mean/std aggregation meaningful.
+        """
+        if seed < 0:
+            raise ExperimentError(f"replicate seed must be >= 0, got {seed}")
+        if seed == 0:
+            return self
+        return replace(
+            self,
+            network_seed=self.network_seed + seed,
+            data_seed=self.data_seed + 10_007 * seed,
+            label=f"{self.label}#s{seed}",
+        )
+
+    def to_dict(self) -> Dict:
+        """All fields as plain data — the cache-key payload of a sweep task."""
+        return asdict(self)
 
     # -- derived pipeline configurations ---------------------------------------------
 

@@ -1,0 +1,477 @@
+"""Parallel experiment orchestration with on-disk artifact caching.
+
+The paper's Table 3 sweep (every benchmark function, NeuroRule vs C4.5) used
+to run as a serial loop that retrained everything from scratch and kept
+nothing.  This module turns that sweep into an orchestrated workload:
+
+* **Parallel execution** — tasks (one per ``function x seed``) run in a
+  :class:`~concurrent.futures.ProcessPoolExecutor`; training is pure NumPy
+  with no shared state, so functions scale to the available cores.
+* **Error isolation** — a failing task records its traceback in the sweep
+  result instead of aborting the remaining tasks (``keep_going=False``
+  restores fail-fast semantics for callers like :func:`run_functions`).
+* **Artifact cache** — each completed task persists its trained network
+  (:func:`repro.nn.serialization.network_to_json`), extracted rule set
+  (:func:`repro.rules.serialization.ruleset_to_json`) and result row under a
+  content-addressed key (SHA-256 of the function number plus every
+  configuration field), so re-running a sweep — or widening it — skips every
+  task already on disk.
+* **Multi-seed replication** — ``seeds=n`` runs each function ``n`` times
+  with :meth:`ExperimentConfig.replicate` seeds and aggregates mean/std
+  accuracy rows for Table-3-style reporting.
+
+Workers write their own cache entries (atomically, via a temp directory and
+``os.replace``), so no artifact traffic flows through the parent process.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+import tempfile
+import traceback
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import mean, pstdev
+from time import perf_counter
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.runner import FunctionExperimentResult, run_function_experiment
+
+#: Bump to invalidate every existing cache entry when the artifact layout or
+#: the experiment pipeline changes incompatibly.
+ARTIFACT_VERSION = 1
+
+_RESULT_FILE = "result.json"
+_NETWORK_FILE = "network.json"
+_RULES_FILE = "rules.json"
+_CONFIG_FILE = "config.json"
+
+
+# ---------------------------------------------------------------------------
+# Tasks and cache keys
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One unit of orchestrated work: a benchmark function at one seed."""
+
+    function: int
+    seed: int
+    config: ExperimentConfig
+
+    def effective_config(self) -> ExperimentConfig:
+        """The replicate-adjusted configuration this task actually runs."""
+        return self.config.replicate(self.seed)
+
+    def cache_key(self) -> str:
+        """Content-addressed key: hash of the function and every config field.
+
+        Any change to the function number, a configuration value, or the
+        artifact format version produces a different key, so stale entries
+        are never served.
+        """
+        payload = {
+            "artifact_version": ARTIFACT_VERSION,
+            "function": self.function,
+            "config": self.effective_config().to_dict(),
+        }
+        canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class TaskOutcome:
+    """What happened to one sweep task (success, cache hit, or failure)."""
+
+    function: int
+    seed: int
+    cache_key: str
+    cached: bool
+    seconds: float
+    result: Optional[FunctionExperimentResult] = None
+    error: Optional[str] = field(default=None, repr=False)
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+# ---------------------------------------------------------------------------
+# Artifact cache
+# ---------------------------------------------------------------------------
+
+class ArtifactCache:
+    """Content-addressed on-disk store of sweep artifacts.
+
+    Layout (two-level fan-out keeps directories small on big sweeps)::
+
+        <root>/<key[:2]>/<key>/
+            config.json    function, seed and full experiment configuration
+            network.json   the pruned network, losslessly serialised
+            rules.json     the extracted attribute rule set (when available)
+            result.json    the FunctionExperimentResult row (no model objects)
+
+    Entries are written atomically: the worker assembles the files in a
+    temporary sibling directory and ``os.replace``s it into place, so a
+    concurrent reader never observes a half-written entry and two workers
+    racing on the same key leave exactly one intact copy.
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    def entry_dir(self, key: str) -> Path:
+        return self.root / key[:2] / key
+
+    def has(self, key: str) -> bool:
+        return (self.entry_dir(key) / _RESULT_FILE).is_file()
+
+    def load_result(self, key: str) -> Optional[FunctionExperimentResult]:
+        """The cached result row for ``key``, or None on a miss."""
+        path = self.entry_dir(key) / _RESULT_FILE
+        if not path.is_file():
+            return None
+        try:
+            return FunctionExperimentResult.from_dict(json.loads(path.read_text()))
+        except (json.JSONDecodeError, ExperimentError) as exc:
+            raise ExperimentError(f"corrupt cache entry {key}: {exc}") from exc
+
+    def invalidate(self, key: str) -> None:
+        """Delete one cache entry (used to evict corrupt or stale artifacts)."""
+        shutil.rmtree(self.entry_dir(key), ignore_errors=True)
+
+    def load_network(self, key: str):
+        """The cached pruned network for ``key``, or None on a miss."""
+        from repro.nn.serialization import network_from_json
+
+        path = self.entry_dir(key) / _NETWORK_FILE
+        if not path.is_file():
+            return None
+        return network_from_json(path.read_text())
+
+    def load_ruleset(self, key: str):
+        """The cached extracted rule set for ``key``, or None when absent."""
+        from repro.rules.serialization import ruleset_from_json
+
+        path = self.entry_dir(key) / _RULES_FILE
+        if not path.is_file():
+            return None
+        return ruleset_from_json(path.read_text())
+
+    def store(self, task: SweepTask, result: FunctionExperimentResult) -> None:
+        """Atomically persist every artifact of a completed task."""
+        from repro.nn.serialization import network_to_json
+        from repro.rules.serialization import ruleset_to_json
+
+        key = task.cache_key()
+        entry = self.entry_dir(key)
+        entry.parent.mkdir(parents=True, exist_ok=True)
+        staging = Path(
+            tempfile.mkdtemp(prefix=f".{key[:12]}-", dir=entry.parent)
+        )
+        try:
+            (staging / _CONFIG_FILE).write_text(
+                json.dumps(
+                    {
+                        "artifact_version": ARTIFACT_VERSION,
+                        "function": task.function,
+                        "seed": task.seed,
+                        "config": task.effective_config().to_dict(),
+                    },
+                    indent=2,
+                )
+                + "\n"
+            )
+            (staging / _RESULT_FILE).write_text(
+                json.dumps(result.to_dict(), indent=2) + "\n"
+            )
+            classifier = result.classifier
+            if classifier is not None and classifier.network_ is not None:
+                (staging / _NETWORK_FILE).write_text(
+                    network_to_json(classifier.network_) + "\n"
+                )
+            if (
+                classifier is not None
+                and classifier.extraction_result_ is not None
+                and classifier.extraction_result_.attribute_rules is not None
+            ):
+                (staging / _RULES_FILE).write_text(
+                    ruleset_to_json(classifier.extraction_result_.attribute_rules)
+                    + "\n"
+                )
+            try:
+                os.replace(staging, entry)
+            except OSError:
+                # Another worker completed the same key first; keep its copy.
+                if not self.has(key):
+                    raise
+        finally:
+            if staging.exists():
+                for leftover in staging.iterdir():
+                    leftover.unlink()
+                staging.rmdir()
+
+    def keys(self) -> Iterator[str]:
+        """Keys of every complete entry currently in the cache."""
+        if not self.root.is_dir():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in sorted(shard.iterdir()):
+                if (entry / _RESULT_FILE).is_file():
+                    yield entry.name
+
+    def describe_entry(self, key: str) -> Dict:
+        """Provenance metadata of one cache entry (from its config.json)."""
+        path = self.entry_dir(key) / _CONFIG_FILE
+        if not path.is_file():
+            raise ExperimentError(f"no cache entry for key {key}")
+        return json.loads(path.read_text())
+
+
+# ---------------------------------------------------------------------------
+# Task execution (runs inside worker processes)
+# ---------------------------------------------------------------------------
+
+def _execute_task(
+    task: SweepTask, cache_dir: Optional[str], capture_errors: bool = True
+) -> TaskOutcome:
+    """Run one task, serving and feeding the artifact cache.
+
+    Module-level (and operating only on picklable arguments) so it can cross
+    the process-pool boundary; also called inline when ``processes=1``.
+    With ``capture_errors`` (the ``keep_going`` sweep mode) failures are
+    recorded as formatted tracebacks, never raised, so one bad task cannot
+    poison the pool; without it the original exception propagates — across
+    the pool boundary too, since :class:`ProcessPoolExecutor` re-raises the
+    worker's exception from ``Future.result``.
+    """
+    key = task.cache_key()
+    cache = ArtifactCache(cache_dir) if cache_dir is not None else None
+    started = perf_counter()
+    try:
+        if cache is not None:
+            try:
+                cached = cache.load_result(key)
+            except ExperimentError as exc:
+                # A corrupt entry (crash mid-write, incompatible schema) is a
+                # miss, not a permanent failure: evict it and recompute — the
+                # eviction also lets the fresh store() rename into place.
+                warnings.warn(
+                    f"evicting corrupt cache entry and recomputing: {exc}",
+                    UserWarning,
+                    stacklevel=2,
+                )
+                cache.invalidate(key)
+                cached = None
+            if cached is not None:
+                return TaskOutcome(
+                    function=task.function,
+                    seed=task.seed,
+                    cache_key=key,
+                    cached=True,
+                    seconds=perf_counter() - started,
+                    result=cached,
+                )
+        result = run_function_experiment(
+            task.function,
+            task.effective_config(),
+            keep_models=cache is not None,
+        )
+        if cache is not None:
+            cache.store(task, result)
+        return TaskOutcome(
+            function=task.function,
+            seed=task.seed,
+            cache_key=key,
+            cached=False,
+            seconds=perf_counter() - started,
+            result=result.without_models(),
+        )
+    except Exception:
+        if not capture_errors:
+            raise
+        return TaskOutcome(
+            function=task.function,
+            seed=task.seed,
+            cache_key=key,
+            cached=False,
+            seconds=perf_counter() - started,
+            error=traceback.format_exc(),
+        )
+
+
+# ---------------------------------------------------------------------------
+# The sweep
+# ---------------------------------------------------------------------------
+
+@dataclass
+class SweepResult:
+    """Outcomes of every task of an orchestrated sweep, plus aggregation."""
+
+    outcomes: List[TaskOutcome]
+
+    @property
+    def results(self) -> List[FunctionExperimentResult]:
+        return [o.result for o in self.outcomes if o.result is not None]
+
+    @property
+    def failures(self) -> List[TaskOutcome]:
+        return [o for o in self.outcomes if not o.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for o in self.outcomes if o.cached)
+
+    @property
+    def total_seconds(self) -> float:
+        """Summed per-task seconds (CPU-ish; wall clock is lower when parallel)."""
+        return sum(o.seconds for o in self.outcomes)
+
+    def aggregate(self) -> List[Dict[str, float]]:
+        """Mean/std accuracy rows per function over seeds (Table-3 style).
+
+        Percentages, like :meth:`FunctionExperimentResult.accuracy_row`; the
+        standard deviation is the population deviation over the completed
+        seeds (0.0 for a single seed).  Functions whose every seed failed are
+        omitted.
+        """
+        by_function: Dict[int, List[FunctionExperimentResult]] = {}
+        for outcome in self.outcomes:
+            if outcome.result is not None:
+                by_function.setdefault(outcome.function, []).append(outcome.result)
+        rows: List[Dict[str, float]] = []
+        for function in sorted(by_function):
+            results = by_function[function]
+
+            def stats(values: Sequence[float]) -> Tuple[float, float]:
+                return mean(values), pstdev(values) if len(values) > 1 else 0.0
+
+            nn = stats([100.0 * r.nn_test_accuracy for r in results])
+            rules = stats([100.0 * r.rule_test_accuracy for r in results])
+            c45 = stats([100.0 * r.c45_test_accuracy for r in results])
+            c45rules = stats([100.0 * r.c45rules_test_accuracy for r in results])
+            n_rules = stats([float(r.n_rules) for r in results])
+            rows.append(
+                {
+                    "function": function,
+                    "n_seeds": len(results),
+                    "nn_test_mean": nn[0],
+                    "nn_test_std": nn[1],
+                    "rule_test_mean": rules[0],
+                    "rule_test_std": rules[1],
+                    "c45_test_mean": c45[0],
+                    "c45_test_std": c45[1],
+                    "c45rules_test_mean": c45rules[0],
+                    "c45rules_test_std": c45rules[1],
+                    "n_rules_mean": n_rules[0],
+                    "n_rules_std": n_rules[1],
+                }
+            )
+        return rows
+
+    def to_dict(self) -> Dict:
+        """JSON-ready summary: per-task rows plus the aggregate table."""
+        return {
+            "tasks": [
+                {
+                    "function": o.function,
+                    "seed": o.seed,
+                    "cache_key": o.cache_key,
+                    "cached": o.cached,
+                    "seconds": round(o.seconds, 6),
+                    "ok": o.ok,
+                    "error": o.error,
+                    "result": o.result.to_dict() if o.result is not None else None,
+                }
+                for o in self.outcomes
+            ],
+            "aggregate": self.aggregate(),
+            "cache_hits": self.cache_hits,
+            "failures": len(self.failures),
+        }
+
+
+def build_tasks(
+    functions: Sequence[int],
+    config: Optional[ExperimentConfig] = None,
+    seeds: int = 1,
+) -> List[SweepTask]:
+    """The task grid of a sweep: ``functions x range(seeds)``."""
+    if not functions:
+        raise ExperimentError("no functions requested")
+    if seeds < 1:
+        raise ExperimentError(f"need at least one seed, got {seeds}")
+    base = config or ExperimentConfig.quick()
+    return [
+        SweepTask(function=function, seed=seed, config=base)
+        for function in functions
+        for seed in range(seeds)
+    ]
+
+
+def run_sweep(
+    functions: Sequence[int],
+    config: Optional[ExperimentConfig] = None,
+    seeds: int = 1,
+    processes: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    keep_going: bool = True,
+) -> SweepResult:
+    """Orchestrate the full NeuroRule-vs-C4.5 sweep.
+
+    Parameters
+    ----------
+    functions:
+        Benchmark function numbers (1–10) to run.
+    config:
+        Base experiment configuration; defaults to
+        :meth:`ExperimentConfig.quick`.
+    seeds:
+        Replicates per function (:meth:`ExperimentConfig.replicate` seeds
+        ``0 .. seeds-1``).
+    processes:
+        Worker processes.  ``1`` runs every task inline in this process
+        (no pool, deterministic ordering); higher values fan tasks out over a
+        :class:`~concurrent.futures.ProcessPoolExecutor`.
+    cache_dir:
+        Root of the artifact cache.  ``None`` disables caching entirely.
+    keep_going:
+        When True (the default), a failing task is recorded in the sweep
+        result and the remaining tasks still run; when False the first
+        failure re-raises the task's original exception immediately (queued
+        tasks are cancelled, though tasks already running finish first).
+
+    Outcomes are returned in task order — ``functions`` as requested, seeds
+    ascending within each function — in serial and parallel mode alike.
+    """
+    if processes < 1:
+        raise ExperimentError(f"need at least one process, got {processes}")
+    tasks = build_tasks(functions, config=config, seeds=seeds)
+    cache_path = str(cache_dir) if cache_dir is not None else None
+
+    outcomes: List[TaskOutcome] = []
+    if processes == 1 or len(tasks) == 1:
+        for task in tasks:
+            outcomes.append(_execute_task(task, cache_path, keep_going))
+    else:
+        with ProcessPoolExecutor(max_workers=min(processes, len(tasks))) as pool:
+            futures = [
+                pool.submit(_execute_task, task, cache_path, keep_going)
+                for task in tasks
+            ]
+            try:
+                for future in futures:
+                    outcomes.append(future.result())
+            except BaseException:
+                pool.shutdown(wait=False, cancel_futures=True)
+                raise
+    return SweepResult(outcomes=outcomes)

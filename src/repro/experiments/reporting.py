@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.exceptions import ExperimentError
 
@@ -55,4 +55,45 @@ def format_paper_vs_measured(
         rows=entries,
         title=title,
         float_format="{:.2f}",
+    )
+
+
+def _mean_std(row: Dict[str, float], prefix: str) -> str:
+    """Render an aggregated ``mean ± std`` cell (std omitted when zero)."""
+    mean_value = row[f"{prefix}_mean"]
+    std_value = row[f"{prefix}_std"]
+    if std_value == 0.0:
+        return f"{mean_value:.1f}"
+    return f"{mean_value:.1f} ±{std_value:.1f}"
+
+
+def format_sweep_table(
+    rows: Sequence[Dict[str, float]],
+    title: Optional[str] = "Aggregated sweep (test accuracy %, mean ± std over seeds)",
+) -> str:
+    """Render the aggregated rows of an orchestrated sweep.
+
+    ``rows`` is the output of
+    :meth:`repro.experiments.orchestrator.SweepResult.aggregate`: one entry
+    per function with ``*_mean``/``*_std`` pairs for the NeuroRule network,
+    the extracted rules and the two C4.5 baselines, Table-3 style.
+    """
+    if not rows:
+        raise ExperimentError("no aggregated rows to render (did every task fail?)")
+    table_rows = [
+        [
+            int(row["function"]),
+            int(row["n_seeds"]),
+            _mean_std(row, "nn_test"),
+            _mean_std(row, "rule_test"),
+            _mean_std(row, "c45_test"),
+            _mean_std(row, "c45rules_test"),
+            _mean_std(row, "n_rules"),
+        ]
+        for row in rows
+    ]
+    return format_table(
+        headers=["function", "seeds", "nn", "rules", "c4.5", "c4.5rules", "#rules"],
+        rows=table_rows,
+        title=title,
     )

@@ -20,6 +20,12 @@ from repro.nn.network import (
 )
 from repro.nn.objective import TrainingObjective
 from repro.nn.penalty import PenaltyConfig, penalty_gradients, penalty_value
+from repro.nn.serialization import (
+    network_from_dict,
+    network_from_json,
+    network_to_dict,
+    network_to_json,
+)
 
 __all__ = [
     "NetworkArchitecture",
@@ -31,6 +37,10 @@ __all__ = [
     "cross_entropy_output_delta",
     "initialize_weights",
     "max_output_error",
+    "network_from_dict",
+    "network_from_json",
+    "network_to_dict",
+    "network_to_json",
     "new_network",
     "penalty_gradients",
     "penalty_value",

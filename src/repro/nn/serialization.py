@@ -1,0 +1,101 @@
+"""Lossless JSON persistence for :class:`ThreeLayerNetwork`.
+
+The experiment orchestrator caches every trained (and pruned) network on
+disk next to the rules extracted from it, so a repeated sweep can skip the
+expensive train → prune phase entirely and case studies can reload the exact
+network a rule set came from.  The format is a plain JSON document holding
+the architecture, both weight matrices and both connection masks.
+
+Floats are serialised with Python's ``repr`` semantics (what :mod:`json`
+emits), which round-trips IEEE-754 doubles exactly; deserialised networks are
+therefore *bit-identical* — ``predict_indices`` agrees on every input, not
+just approximately.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict
+
+import numpy as np
+
+from repro.exceptions import TrainingError
+from repro.nn.network import NetworkArchitecture, ThreeLayerNetwork
+
+NETWORK_FORMAT_VERSION = 1
+
+
+def network_to_dict(network: ThreeLayerNetwork) -> Dict:
+    """Serialise a network (architecture, weights, masks) to plain data."""
+    architecture = network.architecture
+    return {
+        "format": "repro.nn.ThreeLayerNetwork",
+        "version": NETWORK_FORMAT_VERSION,
+        "architecture": {
+            "n_inputs": architecture.n_inputs,
+            "n_hidden": architecture.n_hidden,
+            "n_outputs": architecture.n_outputs,
+            "bias_as_input": architecture.bias_as_input,
+        },
+        "input_weights": network.input_weights.tolist(),
+        "output_weights": network.output_weights.tolist(),
+        "input_mask": network.input_mask.astype(int).tolist(),
+        "output_mask": network.output_mask.astype(int).tolist(),
+    }
+
+
+def network_from_dict(payload: Dict) -> ThreeLayerNetwork:
+    """Inverse of :func:`network_to_dict`."""
+    if not isinstance(payload, dict):
+        raise TrainingError(
+            f"network payload must be a mapping, got {type(payload).__name__}"
+        )
+    if payload.get("format") != "repro.nn.ThreeLayerNetwork":
+        raise TrainingError(f"not a serialised network: format={payload.get('format')!r}")
+    version = payload.get("version")
+    if version != NETWORK_FORMAT_VERSION:
+        raise TrainingError(
+            f"unsupported network format version {version!r} "
+            f"(this build reads version {NETWORK_FORMAT_VERSION})"
+        )
+    try:
+        architecture = NetworkArchitecture(
+            n_inputs=int(payload["architecture"]["n_inputs"]),
+            n_hidden=int(payload["architecture"]["n_hidden"]),
+            n_outputs=int(payload["architecture"]["n_outputs"]),
+            bias_as_input=bool(payload["architecture"]["bias_as_input"]),
+        )
+        network = ThreeLayerNetwork(
+            architecture,
+            input_weights=np.asarray(payload["input_weights"], dtype=float),
+            output_weights=np.asarray(payload["output_weights"], dtype=float),
+        )
+        input_mask = np.asarray(payload["input_mask"], dtype=bool)
+        output_mask = np.asarray(payload["output_mask"], dtype=bool)
+    except (KeyError, TypeError, ValueError) as exc:
+        raise TrainingError(f"network JSON is missing required fields: {exc}") from exc
+    if input_mask.shape != network.input_mask.shape:
+        raise TrainingError(
+            f"input_mask shape {input_mask.shape} != {network.input_mask.shape}"
+        )
+    if output_mask.shape != network.output_mask.shape:
+        raise TrainingError(
+            f"output_mask shape {output_mask.shape} != {network.output_mask.shape}"
+        )
+    network.input_mask = input_mask
+    network.output_mask = output_mask
+    return network
+
+
+def network_to_json(network: ThreeLayerNetwork, indent: int = 2) -> str:
+    """Serialise a network to a JSON document."""
+    return json.dumps(network_to_dict(network), indent=indent)
+
+
+def network_from_json(document: str) -> ThreeLayerNetwork:
+    """Reconstruct a network from :func:`network_to_json` output."""
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise TrainingError(f"invalid network JSON: {exc}") from exc
+    return network_from_dict(payload)

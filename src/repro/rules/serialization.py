@@ -17,6 +17,8 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Sequence
 
+import numpy as np
+
 from repro.exceptions import RuleError
 from repro.preprocessing.intervals import Interval
 from repro.rules.conditions import IntervalCondition, MembershipCondition
@@ -29,7 +31,16 @@ from repro.rules.ruleset import RuleSet
 # ---------------------------------------------------------------------------
 
 def _sql_literal(value: object) -> str:
-    """Render a Python value as a SQL literal (strings quoted, numbers bare)."""
+    """Render a Python value as a SQL literal (strings quoted, numbers bare).
+
+    Booleans must be checked before any numeric handling: ``bool`` is a
+    subclass of ``int`` in Python, so ``True`` would otherwise fall through
+    the numeric branches and render as the invalid SQL token ``True``.
+    NumPy booleans (which are *not* ``int`` subclasses) get the same
+    treatment.
+    """
+    if isinstance(value, bool) or isinstance(value, np.bool_):
+        return "TRUE" if value else "FALSE"
     if isinstance(value, str):
         escaped = value.replace("'", "''")
         return f"'{escaped}'"

@@ -1,0 +1,348 @@
+"""Tests of the parallel experiment orchestrator and its artifact cache.
+
+Real pipeline executions use a deliberately tiny configuration (~1 s per
+task); everything cache- and aggregation-related runs on stubs.
+"""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.__main__ import main, parse_functions
+from repro.core.training import NetworkTrainer
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.orchestrator import (
+    ArtifactCache,
+    SweepResult,
+    SweepTask,
+    TaskOutcome,
+    build_tasks,
+    run_sweep,
+)
+from repro.experiments.reporting import format_sweep_table
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import run_functions
+from repro.metrics.rules_metrics import RuleSetComplexity
+from repro.experiments.runner import FunctionExperimentResult
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig.quick(
+        n_train=100,
+        n_test=100,
+        training_iterations=60,
+        retrain_iterations=20,
+        pruning_rounds=20,
+        label="orch-tiny",
+    )
+
+
+def _fake_result(function: int, nn_test: float = 0.9) -> FunctionExperimentResult:
+    """A fully populated result with plain-data fields only."""
+    return FunctionExperimentResult(
+        function=function,
+        config_label="fake",
+        n_train=100,
+        n_test=100,
+        class_skew=0.5,
+        nn_train_accuracy=0.95,
+        nn_test_accuracy=nn_test,
+        rule_train_accuracy=0.94,
+        rule_test_accuracy=nn_test - 0.01,
+        rule_fidelity=0.99,
+        n_rules=3,
+        rule_complexity=RuleSetComplexity(
+            name="fake",
+            n_rules=3,
+            n_rules_per_class={"A": 2, "B": 1},
+            total_conditions=6,
+            mean_conditions_per_rule=2.0,
+        ),
+        initial_connections=100,
+        pruned_connections=12,
+        active_hidden_units=3,
+        relevant_inputs=5,
+        spurious_attributes=[],
+        neurorule_seconds=1.0,
+        c45_train_accuracy=0.93,
+        c45_test_accuracy=0.88,
+        c45_leaves=9,
+        c45rules_count=7,
+        c45rules_test_accuracy=0.87,
+        c45_seconds=0.2,
+        c45rules_seconds=0.3,
+    )
+
+
+class TestCacheKeys:
+    def test_key_is_stable(self, tiny_config):
+        task = SweepTask(function=1, seed=0, config=tiny_config)
+        assert task.cache_key() == task.cache_key()
+        assert len(task.cache_key()) == 64
+
+    def test_key_varies_with_function_seed_and_config(self, tiny_config):
+        base = SweepTask(function=1, seed=0, config=tiny_config)
+        keys = {
+            base.cache_key(),
+            SweepTask(function=2, seed=0, config=tiny_config).cache_key(),
+            SweepTask(function=1, seed=1, config=tiny_config).cache_key(),
+            SweepTask(
+                function=1,
+                seed=0,
+                config=ExperimentConfig.quick(n_train=110, label="orch-tiny"),
+            ).cache_key(),
+        }
+        assert len(keys) == 4
+
+    def test_build_tasks_grid(self, tiny_config):
+        tasks = build_tasks([1, 3], config=tiny_config, seeds=2)
+        assert [(t.function, t.seed) for t in tasks] == [(1, 0), (1, 1), (3, 0), (3, 1)]
+
+    def test_build_tasks_rejects_empty(self, tiny_config):
+        with pytest.raises(ExperimentError):
+            build_tasks([], config=tiny_config)
+        with pytest.raises(ExperimentError):
+            build_tasks([1], config=tiny_config, seeds=0)
+
+
+class TestResultPersistence:
+    def test_result_dict_round_trip(self):
+        result = _fake_result(2)
+        restored = FunctionExperimentResult.from_dict(
+            json.loads(json.dumps(result.to_dict()))
+        )
+        assert restored == result
+
+    def test_unknown_fields_rejected(self):
+        payload = _fake_result(2).to_dict()
+        payload["mystery"] = 1
+        with pytest.raises(ExperimentError):
+            FunctionExperimentResult.from_dict(payload)
+
+    def test_missing_fields_rejected(self):
+        payload = _fake_result(2).to_dict()
+        del payload["rule_complexity"]
+        with pytest.raises(ExperimentError):
+            FunctionExperimentResult.from_dict(payload)
+
+
+class TestSweepExecution:
+    def test_sweep_runs_and_caches(self, tiny_config, tmp_path):
+        cache_dir = tmp_path / "cache"
+        sweep = run_sweep([1], config=tiny_config, seeds=2, cache_dir=cache_dir)
+        assert len(sweep.outcomes) == 2
+        assert not sweep.failures
+        assert sweep.cache_hits == 0
+        cache = ArtifactCache(cache_dir)
+        keys = list(cache.keys())
+        assert len(keys) == 2
+        for key in keys:
+            entry = cache.entry_dir(key)
+            assert (entry / "result.json").is_file()
+            assert (entry / "network.json").is_file()
+            assert (entry / "config.json").is_file()
+
+    def test_second_run_hits_cache_without_training(
+        self, tiny_config, tmp_path, monkeypatch
+    ):
+        """The acceptance property: a repeated sweep performs zero training."""
+        cache_dir = tmp_path / "cache"
+        first = run_sweep([1], config=tiny_config, seeds=2, cache_dir=cache_dir)
+
+        calls = {"train": 0}
+        original = NetworkTrainer.train
+
+        def counting_train(self, *args, **kwargs):
+            calls["train"] += 1
+            return original(self, *args, **kwargs)
+
+        monkeypatch.setattr(NetworkTrainer, "train", counting_train)
+        second = run_sweep([1], config=tiny_config, seeds=2, cache_dir=cache_dir)
+        assert calls["train"] == 0
+        assert second.cache_hits == 2
+        assert [r.nn_test_accuracy for r in second.results] == [
+            r.nn_test_accuracy for r in first.results
+        ]
+        assert [r.rule_test_accuracy for r in second.results] == [
+            r.rule_test_accuracy for r in first.results
+        ]
+
+    def test_cached_network_and_rules_reload(self, tiny_config, tmp_path):
+        cache_dir = tmp_path / "cache"
+        run_sweep([1], config=tiny_config, cache_dir=cache_dir)
+        cache = ArtifactCache(cache_dir)
+        key = SweepTask(function=1, seed=0, config=tiny_config).cache_key()
+        network = cache.load_network(key)
+        assert network is not None
+        assert network.n_hidden == tiny_config.n_hidden
+        ruleset = cache.load_ruleset(key)
+        assert ruleset is not None and ruleset.n_rules >= 1
+        provenance = cache.describe_entry(key)
+        assert provenance["function"] == 1
+        assert provenance["config"]["n_train"] == tiny_config.n_train
+
+    def test_corrupt_cache_entry_self_heals(self, tiny_config, tmp_path):
+        """A mangled entry is evicted and recomputed, not failed forever."""
+        cache_dir = tmp_path / "cache"
+        run_sweep([1], config=tiny_config, cache_dir=cache_dir)
+        cache = ArtifactCache(cache_dir)
+        key = SweepTask(function=1, seed=0, config=tiny_config).cache_key()
+        (cache.entry_dir(key) / "result.json").write_text("{ corrupt")
+        with pytest.raises(ExperimentError):
+            cache.load_result(key)
+        with pytest.warns(UserWarning, match="corrupt cache entry"):
+            healed = run_sweep([1], config=tiny_config, cache_dir=cache_dir)
+        assert not healed.failures and healed.cache_hits == 0
+        third = run_sweep([1], config=tiny_config, cache_dir=cache_dir)
+        assert third.cache_hits == 1
+
+    def test_replicate_seeds_change_initialisation(self, tiny_config):
+        assert tiny_config.replicate(0) is tiny_config
+        replica = tiny_config.replicate(2)
+        assert replica.network_seed != tiny_config.network_seed
+        assert replica.data_seed != tiny_config.data_seed
+        assert replica.test_seed == tiny_config.test_seed
+
+    def test_error_isolation(self, tiny_config, monkeypatch):
+        original = runner_module.run_function_experiment
+
+        def failing(function, config=None, keep_models=False):
+            if function == 3:
+                raise RuntimeError("boom")
+            return original(function, config, keep_models=keep_models)
+
+        monkeypatch.setattr(runner_module, "run_function_experiment", failing)
+        monkeypatch.setattr(
+            "repro.experiments.orchestrator.run_function_experiment", failing
+        )
+        sweep = run_sweep([1, 3], config=tiny_config)
+        assert len(sweep.failures) == 1
+        failure = sweep.failures[0]
+        assert failure.function == 3 and "boom" in failure.error
+        assert [o.function for o in sweep.outcomes if o.ok] == [1]
+
+    def test_fail_fast_preserves_exception_type(self, tiny_config, monkeypatch):
+        def always_failing(function, config=None, keep_models=False):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(
+            "repro.experiments.orchestrator.run_function_experiment", always_failing
+        )
+        with pytest.raises(RuntimeError, match="boom"):
+            run_sweep([1], config=tiny_config, keep_going=False)
+
+    def test_run_functions_delegates_and_raises(self, tiny_config, monkeypatch):
+        def always_failing(function, config=None, keep_models=False):
+            raise RuntimeError("boom")
+
+        monkeypatch.setattr(
+            "repro.experiments.orchestrator.run_function_experiment", always_failing
+        )
+        # The original exception type crosses the wrapper unchanged.
+        with pytest.raises(RuntimeError, match="boom"):
+            run_functions([1], tiny_config)
+        with pytest.raises(ExperimentError):
+            run_functions([], tiny_config)
+
+    def test_outcomes_preserve_requested_function_order(self, tiny_config):
+        sweep = run_sweep([2, 1], config=tiny_config)
+        assert [o.function for o in sweep.outcomes] == [2, 1]
+
+    def test_parallel_sweep_matches_serial(self, tiny_config):
+        serial = run_sweep([1], config=tiny_config, seeds=2)
+        parallel = run_sweep([1], config=tiny_config, seeds=2, processes=2)
+        assert [(o.function, o.seed) for o in parallel.outcomes] == [(1, 0), (1, 1)]
+        assert [r.nn_test_accuracy for r in parallel.results] == [
+            r.nn_test_accuracy for r in serial.results
+        ]
+
+    def test_invalid_process_count(self, tiny_config):
+        with pytest.raises(ExperimentError):
+            run_sweep([1], config=tiny_config, processes=0)
+
+
+class TestAggregation:
+    def _sweep(self):
+        outcomes = [
+            TaskOutcome(1, 0, "k1", False, 1.0, result=_fake_result(1, nn_test=0.90)),
+            TaskOutcome(1, 1, "k2", False, 1.0, result=_fake_result(1, nn_test=0.94)),
+            TaskOutcome(2, 0, "k3", False, 1.0, result=_fake_result(2, nn_test=0.80)),
+            TaskOutcome(2, 1, "k4", False, 1.0, error="boom"),
+        ]
+        return SweepResult(outcomes=outcomes)
+
+    def test_mean_and_std_per_function(self):
+        rows = self._sweep().aggregate()
+        assert [row["function"] for row in rows] == [1, 2]
+        f1 = rows[0]
+        assert f1["n_seeds"] == 2
+        assert f1["nn_test_mean"] == pytest.approx(92.0)
+        assert f1["nn_test_std"] == pytest.approx(np.std([90.0, 94.0]))
+        f2 = rows[1]
+        assert f2["n_seeds"] == 1
+        assert f2["nn_test_std"] == 0.0
+
+    def test_to_dict_reports_failures(self):
+        payload = self._sweep().to_dict()
+        assert payload["failures"] == 1
+        assert len(payload["tasks"]) == 4
+        assert payload["tasks"][0]["result"]["function"] == 1
+
+    def test_format_sweep_table(self):
+        text = format_sweep_table(self._sweep().aggregate())
+        assert "function" in text and "c4.5rules" in text
+        assert "92.0 ±2.0" in text
+
+    def test_format_sweep_table_rejects_empty(self):
+        with pytest.raises(ExperimentError):
+            format_sweep_table([])
+
+
+class TestCli:
+    def test_parse_functions(self):
+        assert parse_functions("1,2,3") == [1, 2, 3]
+        assert parse_functions("1-3,5") == [1, 2, 3, 5]
+        with pytest.raises(SystemExit):
+            parse_functions("x")
+        with pytest.raises(SystemExit):
+            parse_functions("5-3")
+        with pytest.raises(SystemExit):
+            parse_functions(",")
+
+    def test_sweep_command_end_to_end(self, tmp_path, capsys):
+        cache_dir = tmp_path / "cache"
+        out = tmp_path / "sweep.json"
+        argv = [
+            "sweep",
+            "--functions",
+            "1",
+            "--n-train",
+            "100",
+            "--n-test",
+            "100",
+            "--training-iterations",
+            "60",
+            "--retrain-iterations",
+            "20",
+            "--pruning-rounds",
+            "20",
+            "--cache-dir",
+            str(cache_dir),
+            "--out",
+            str(out),
+        ]
+        assert main(argv) == 0
+        text = capsys.readouterr().out
+        assert "ran in" in text and "Aggregated sweep" in text
+        payload = json.loads(out.read_text())
+        assert payload["failures"] == 0 and len(payload["tasks"]) == 1
+
+        # Second invocation resumes from the cache.
+        assert main(argv) == 0
+        assert "cache in" in capsys.readouterr().out
+
+        assert main(["cache", "--cache-dir", str(cache_dir)]) == 0
+        assert "1 cached entry" in capsys.readouterr().out

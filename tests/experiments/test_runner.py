@@ -52,6 +52,32 @@ class TestRunFunctionExperiment:
         assert result.n_rules >= 1
         assert result.neurorule_seconds > 0
         assert result.c45_seconds > 0
+        assert result.c45rules_seconds > 0
+
+    def test_no_skew_warning_for_paper_functions(self, function1_result):
+        assert function1_result.skew_warning is None
+
+    def test_skewed_function_warns(self):
+        # A micro configuration: the point is the warning and the result
+        # field, not the quality of the fit, so keep the pipeline sub-second.
+        micro = ExperimentConfig.quick(
+            n_train=60,
+            n_test=60,
+            training_iterations=40,
+            retrain_iterations=15,
+            pruning_rounds=15,
+            label="micro",
+        )
+        with pytest.warns(UserWarning, match="skewed class distribution"):
+            result = run_function_experiment(8, micro)
+        assert result.skew_warning is not None
+        assert "function 8" in result.skew_warning
+
+    def test_without_models_drops_only_models(self, function1_result):
+        stripped = function1_result.without_models()
+        assert stripped.classifier is None and stripped.c45rules is None
+        assert stripped.nn_test_accuracy == function1_result.nn_test_accuracy
+        assert stripped.rule_complexity == function1_result.rule_complexity
 
     def test_accuracy_row_is_percentages(self, function1_result):
         row = function1_result.accuracy_row()

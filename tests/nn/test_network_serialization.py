@@ -1,0 +1,95 @@
+"""Tests of the lossless JSON round-trip for :class:`ThreeLayerNetwork`."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.exceptions import TrainingError
+from repro.nn.network import new_network
+from repro.nn.serialization import (
+    NETWORK_FORMAT_VERSION,
+    network_from_dict,
+    network_from_json,
+    network_to_dict,
+    network_to_json,
+)
+
+
+@pytest.fixture()
+def pruned_network():
+    """A randomly initialised network with a few pruned connections."""
+    network = new_network(n_inputs=12, n_hidden=4, n_outputs=2, seed=42)
+    network.prune_input_connection(0, 3)
+    network.prune_input_connection(2, 7)
+    network.prune_input_connection(3, 12)  # the bias column
+    network.prune_output_connection(1, 2)
+    return network
+
+
+class TestRoundTrip:
+    def test_arrays_bit_identical(self, pruned_network):
+        restored = network_from_json(network_to_json(pruned_network))
+        np.testing.assert_array_equal(restored.input_weights, pruned_network.input_weights)
+        np.testing.assert_array_equal(restored.output_weights, pruned_network.output_weights)
+        np.testing.assert_array_equal(restored.input_mask, pruned_network.input_mask)
+        np.testing.assert_array_equal(restored.output_mask, pruned_network.output_mask)
+
+    def test_architecture_preserved(self, pruned_network):
+        restored = network_from_json(network_to_json(pruned_network))
+        assert restored.architecture == pruned_network.architecture
+        assert restored.n_active_connections() == pruned_network.n_active_connections()
+        assert restored.active_hidden_units() == pruned_network.active_hidden_units()
+
+    def test_predict_indices_bit_identical(self, pruned_network, rng):
+        """The acceptance property: identical predictions on random inputs."""
+        restored = network_from_json(network_to_json(pruned_network))
+        inputs = rng.integers(0, 2, size=(500, pruned_network.n_inputs)).astype(float)
+        np.testing.assert_array_equal(
+            restored.predict_indices(inputs), pruned_network.predict_indices(inputs)
+        )
+        np.testing.assert_array_equal(
+            restored.output_activations(inputs),
+            pruned_network.output_activations(inputs),
+        )
+
+    def test_double_round_trip_is_stable(self, pruned_network):
+        once = network_to_json(pruned_network)
+        twice = network_to_json(network_from_json(once))
+        assert once == twice
+
+    def test_dict_round_trip(self, pruned_network):
+        restored = network_from_dict(network_to_dict(pruned_network))
+        np.testing.assert_array_equal(restored.input_weights, pruned_network.input_weights)
+
+
+class TestValidation:
+    def test_invalid_json_rejected(self):
+        with pytest.raises(TrainingError):
+            network_from_json("{ not json")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(TrainingError):
+            network_from_dict({"format": "something-else", "version": 1})
+
+    def test_unsupported_version_rejected(self, pruned_network):
+        payload = network_to_dict(pruned_network)
+        payload["version"] = NETWORK_FORMAT_VERSION + 1
+        with pytest.raises(TrainingError):
+            network_from_dict(payload)
+
+    def test_missing_fields_rejected(self, pruned_network):
+        payload = network_to_dict(pruned_network)
+        del payload["output_weights"]
+        with pytest.raises(TrainingError):
+            network_from_dict(payload)
+
+    def test_mask_shape_mismatch_rejected(self, pruned_network):
+        payload = network_to_dict(pruned_network)
+        payload["input_mask"] = [[1, 0], [0, 1]]
+        with pytest.raises(TrainingError):
+            network_from_dict(payload)
+
+    def test_non_dict_payload_rejected(self):
+        with pytest.raises(TrainingError):
+            network_from_dict(json.loads("[1, 2, 3]"))

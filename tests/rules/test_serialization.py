@@ -63,6 +63,29 @@ class TestSqlRendering:
         condition = MembershipCondition("elevel", (), (0, 1, 2))
         assert condition_to_sql(condition) == "FALSE"
 
+    def test_boolean_values_render_as_sql_keywords(self):
+        """Regression: bool is an int subclass and used to leak ``True``."""
+        condition = MembershipCondition("is_member", (True,), (True, False))
+        assert condition_to_sql(condition) == "is_member = TRUE"
+        both = MembershipCondition("is_member", (True, False), (True, False))
+        assert condition_to_sql(both) == "is_member IN (TRUE, FALSE)"
+
+    def test_numpy_boolean_values_render_as_sql_keywords(self):
+        import numpy as np
+
+        condition = MembershipCondition(
+            "is_member", (np.bool_(False),), (np.bool_(False), np.bool_(True))
+        )
+        assert condition_to_sql(condition) == "is_member = FALSE"
+
+    def test_boolean_case_expression_consequent(self):
+        ruleset = RuleSet(
+            [AttributeRule((), True)], default_class=False, classes=(True, False)
+        )
+        expression = ruleset_to_case_expression(ruleset)
+        assert "THEN TRUE" in expression
+        assert "ELSE FALSE" in expression
+
     def test_rule_to_sql_joins_conditions(self, figure5_ruleset):
         sql = rule_to_sql(figure5_ruleset[0])
         assert "(salary < 100000)" in sql
