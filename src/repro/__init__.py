@@ -39,6 +39,10 @@ Sub-packages
 ``repro.metrics`` / ``repro.experiments``
     Evaluation metrics and the harness reproducing the paper's tables and
     figures.
+``repro.serving``
+    The model-serving subsystem: the artifact-backed :class:`ModelRegistry`,
+    the micro-batched :class:`PredictionService` and the CLI behind
+    ``python -m repro predict``.
 """
 
 from repro.core.neurorule import NeuroRuleClassifier, NeuroRuleConfig
@@ -48,7 +52,7 @@ from repro.data.schema import CategoricalAttribute, ContinuousAttribute, Schema
 from repro.exceptions import ReproError
 from repro.inference import BatchPredictor, NetworkBatchPredictor, compile_ruleset
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AgrawalGenerator",

@@ -1,6 +1,6 @@
-"""``python -m repro`` — the experiment orchestrator CLI.
+"""``python -m repro`` — the experiment and serving CLI.
 
-Two subcommands:
+Subcommands:
 
 ``sweep``
     Run the NeuroRule-vs-C4.5 comparison over a set of benchmark functions
@@ -12,12 +12,25 @@ Two subcommands:
     Inspect an artifact cache directory: one line per completed entry with
     its key, function, seed and configuration label.
 
+``predict``
+    Classify a CSV/JSONL record stream with a served model — loaded from an
+    artifact-cache entry (by key or by function/seed), a standalone
+    ``rules.json``/``network.json``, or a built-in reference rule set — and
+    stream the labels out, never materialising the input file.
+
+``serve-bench``
+    Measure the micro-batched :class:`PredictionService` against a naive
+    per-record prediction loop on generated Agrawal tuples.
+
 Examples::
 
     python -m repro sweep --functions 1,2,3 --seeds 2 --processes 2 \\
         --cache-dir .repro-cache --out sweep.json
-    python -m repro sweep --functions 1-5 --preset paper --cache-dir .repro-cache
     python -m repro cache --cache-dir .repro-cache
+    python -m repro predict --cache-dir .repro-cache --function 2 \\
+        --input tuples.csv --out labels.jsonl
+    python -m repro predict --reference-function 1 --input tuples.jsonl
+    python -m repro serve-bench --n 50000 --out BENCH_serving.json
 """
 
 from __future__ import annotations
@@ -25,6 +38,8 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
+from time import perf_counter
 from typing import List, Optional, Sequence
 
 from repro.exceptions import ReproError
@@ -32,10 +47,20 @@ from repro.experiments.config import ExperimentConfig
 from repro.experiments.orchestrator import ArtifactCache, run_sweep
 from repro.experiments.reporting import format_sweep_table
 
+#: Valid Agrawal benchmark function numbers.
+FUNCTION_RANGE = range(1, 11)
+
 
 def parse_functions(spec: str) -> List[int]:
-    """Parse a function list: comma-separated numbers and ``a-b`` ranges."""
+    """Parse a function list: comma-separated numbers and ``a-b`` ranges.
+
+    Duplicates are dropped (first occurrence wins, order preserved) and any
+    number outside 1–10 fails fast with :class:`SystemExit` — previously
+    ``--functions 3,3,12`` trained function 3 twice and only failed on 12
+    mid-sweep, after minutes of work.
+    """
     functions: List[int] = []
+    seen = set()
     for part in spec.split(","):
         part = part.strip()
         if not part:
@@ -48,15 +73,40 @@ def parse_functions(spec: str) -> List[int]:
                 raise SystemExit(f"error: invalid function range {part!r}")
             if low > high:
                 raise SystemExit(f"error: empty function range {part!r}")
-            functions.extend(range(low, high + 1))
+            numbers = list(range(low, high + 1))
         else:
             try:
-                functions.append(int(part))
+                numbers = [int(part)]
             except ValueError:
                 raise SystemExit(f"error: invalid function number {part!r}")
+        for number in numbers:
+            if number not in FUNCTION_RANGE:
+                raise SystemExit(
+                    f"error: function {number} is outside the benchmark range "
+                    f"{FUNCTION_RANGE.start}-{FUNCTION_RANGE.stop - 1}"
+                )
+            if number not in seen:
+                seen.add(number)
+                functions.append(number)
     if not functions:
         raise SystemExit(f"error: no functions in {spec!r}")
     return functions
+
+
+def positive_int(text: str) -> int:
+    """Argparse type for integer options that must be >= 1.
+
+    Rejecting the value at parse time gives a readable usage error instead of
+    an empty task grid (``--seeds 0``) or a crash deep inside
+    ``ProcessPoolExecutor`` (``--processes 0``).
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1, got {value}")
+    return value
 
 
 def _build_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -124,6 +174,251 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 1 if sweep.failures else 0
 
 
+# ---------------------------------------------------------------------------
+# Serving commands
+# ---------------------------------------------------------------------------
+
+#: Name the single CLI-loaded model is registered under.
+_MODEL_NAME = "model"
+
+
+def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
+    """Model-source flags shared by ``predict`` and ``serve-bench``."""
+    source = parser.add_argument_group("model source (exactly one)")
+    source.add_argument(
+        "--cache-dir", default=None, help="artifact cache holding the model"
+    )
+    source.add_argument(
+        "--key", default=None, help="cache entry key (with --cache-dir)"
+    )
+    source.add_argument(
+        "--function",
+        type=positive_int,
+        default=None,
+        help="look the cache entry up by benchmark function (with --cache-dir)",
+    )
+    source.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="narrow the function lookup to one replicate seed",
+    )
+    source.add_argument("--rules", default=None, help="standalone rules.json file")
+    source.add_argument("--network", default=None, help="standalone network.json file")
+    source.add_argument(
+        "--classes",
+        default=None,
+        help="comma-separated class labels for --network (default: Agrawal A,B)",
+    )
+    source.add_argument(
+        "--reference-function",
+        type=positive_int,
+        default=None,
+        help="serve the built-in ground-truth rule set of this function (1-4)",
+    )
+    parser.add_argument(
+        "--prefer",
+        choices=("rules", "network"),
+        default="rules",
+        help="artifact to serve when a cache entry holds both (default: rules)",
+    )
+    service = parser.add_argument_group("service tuning")
+    service.add_argument(
+        "--batch-size",
+        type=positive_int,
+        default=8192,
+        help="micro-batch flush size (default: 8192)",
+    )
+    service.add_argument(
+        "--max-delay-ms",
+        type=float,
+        default=10.0,
+        help="micro-batch flush deadline in milliseconds (default: 10)",
+    )
+    service.add_argument(
+        "--workers",
+        type=positive_int,
+        default=2,
+        help="dispatch thread-pool size (default: 2)",
+    )
+
+
+def _load_model(args: argparse.Namespace):
+    """Resolve the model flags into a registered :class:`ServableModel`."""
+    from repro.serving import ModelRegistry, reference_ruleset
+
+    registry = ModelRegistry()
+    sources = [
+        args.cache_dir is not None,
+        args.rules is not None,
+        args.network is not None,
+        args.reference_function is not None,
+    ]
+    if sum(sources) != 1:
+        raise SystemExit(
+            "error: exactly one model source is required: --cache-dir, --rules, "
+            "--network or --reference-function"
+        )
+    if args.cache_dir is not None:
+        cache = ArtifactCache(args.cache_dir)
+        if args.key is not None:
+            registry.load_artifact(_MODEL_NAME, cache, args.key, prefer=args.prefer)
+        elif args.function is not None:
+            registry.load_artifact_by_task(
+                _MODEL_NAME, cache, args.function, seed=args.seed, prefer=args.prefer
+            )
+        else:
+            raise SystemExit("error: --cache-dir needs --key or --function")
+    elif args.rules is not None:
+        registry.load_rules_file(_MODEL_NAME, args.rules)
+    elif args.network is not None:
+        classes = args.classes.split(",") if args.classes else None
+        registry.load_network_file(_MODEL_NAME, args.network, classes=classes)
+    else:
+        registry.register_predictor(
+            _MODEL_NAME,
+            reference_ruleset(args.reference_function),
+            kind="rules",
+            source=f"reference function {args.reference_function}",
+        )
+    return registry
+
+
+def _service_config(args: argparse.Namespace):
+    from repro.serving import ServiceConfig
+
+    return ServiceConfig(
+        max_batch_size=args.batch_size,
+        max_delay=args.max_delay_ms / 1000.0,
+        workers=args.workers,
+    )
+
+
+def _input_records(args: argparse.Namespace):
+    """A bounded-memory record iterator over the input file."""
+    from repro.data.agrawal import agrawal_schema
+    from repro.data.io import iter_csv_records, iter_jsonl_records
+
+    schema = agrawal_schema() if args.schema == "agrawal" else None
+    form = args.format
+    if form == "auto":
+        form = "jsonl" if Path(args.input).suffix in (".jsonl", ".ndjson") else "csv"
+    reader = iter_jsonl_records if form == "jsonl" else iter_csv_records
+    return reader(args.input, schema=schema, class_column=args.class_column)
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.serving import PredictionService
+
+    registry = _load_model(args)
+    model = registry.get(_MODEL_NAME)
+    print(f"serving {model.describe()}", file=sys.stderr)
+    records = _input_records(args)
+    started = perf_counter()
+    with PredictionService(registry, _service_config(args)) as service:
+        label_batches = service.predict_stream_batches(_MODEL_NAME, records)
+        rows = ({"label": label} for labels in label_batches for label in labels)
+        if args.out is None:
+            count = 0
+            for row in rows:
+                print(json.dumps(row))
+                count += 1
+        elif Path(args.out).suffix == ".csv":
+            import csv as _csv
+
+            with open(args.out, "w", newline="", encoding="utf-8") as handle:
+                writer = _csv.writer(handle)
+                writer.writerow(["label"])
+                count = 0
+                for row in rows:
+                    writer.writerow([row["label"]])
+                    count += 1
+        else:
+            from repro.data.io import write_jsonl
+
+            count = write_jsonl(args.out, rows)
+        elapsed = perf_counter() - started
+        stats = service.stats(_MODEL_NAME)
+    print(
+        f"classified {count} record(s) in {elapsed:.2f}s "
+        f"({count / elapsed:,.0f} records/s wall) — "
+        f"{stats.batches} micro-batch(es), mean size {stats.mean_batch_size:.0f}, "
+        f"{stats.records_per_second:,.0f} records/s in-batch",
+        file=sys.stderr,
+    )
+    if args.out is not None:
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from repro.data.agrawal import AgrawalGenerator
+    from repro.serving import PredictionService
+
+    if (
+        args.cache_dir is None
+        and args.rules is None
+        and args.network is None
+        and args.reference_function is None
+    ):
+        # The benchmark works out of the box: serve the function-1 ground
+        # truth rules when no model source is given.
+        args.reference_function = 1
+    registry = _load_model(args)
+    model = registry.get(_MODEL_NAME)
+    data_function = args.data_function or args.reference_function or args.function or 1
+    print(f"serving {model.describe()}", file=sys.stderr)
+    print(
+        f"generating {args.n} clean Agrawal function-{data_function} tuples...",
+        file=sys.stderr,
+    )
+    records = AgrawalGenerator(
+        function=data_function, perturbation=0.0, seed=args.data_seed
+    ).generate(args.n).records
+
+    started = perf_counter()
+    naive = [model.predict_record(record) for record in records]
+    naive_seconds = perf_counter() - started
+
+    with PredictionService(registry, _service_config(args)) as service:
+        served: List[np.ndarray] = []
+        stream_seconds = float("inf")
+        for _ in range(args.repeats):
+            started = perf_counter()
+            served = list(service.predict_stream_batches(_MODEL_NAME, iter(records)))
+            stream_seconds = min(stream_seconds, perf_counter() - started)
+        stats = service.stats(_MODEL_NAME)
+    labels = np.concatenate(served) if served else np.empty(0, dtype=object)
+    if labels.tolist() != naive:
+        print("error: served labels differ from the per-record loop", file=sys.stderr)
+        return 1
+
+    speedup = naive_seconds / stream_seconds if stream_seconds > 0 else float("inf")
+    report = {
+        "workload": f"serve_function{data_function}_{args.n}tuples",
+        "n_records": args.n,
+        "model": model.describe(),
+        "max_batch_size": args.batch_size,
+        "workers": args.workers,
+        "naive_seconds": round(naive_seconds, 4),
+        "service_seconds": round(stream_seconds, 4),
+        "speedup": round(speedup, 1),
+        "service_stats": stats.to_dict(),
+    }
+    print(
+        f"naive per-record loop: {naive_seconds:.3f}s — micro-batched service: "
+        f"{stream_seconds:.3f}s — speedup {speedup:.1f}x"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
 def _cmd_cache(args: argparse.Namespace) -> int:
     cache = ArtifactCache(args.cache_dir)
     count = 0
@@ -156,10 +451,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="benchmark functions, e.g. '1,2,3' or '1-5' (default: 1,2,3)",
     )
     sweep.add_argument(
-        "--seeds", type=int, default=1, help="replicates per function (default: 1)"
+        "--seeds",
+        type=positive_int,
+        default=1,
+        help="replicates per function, at least 1 (default: 1)",
     )
     sweep.add_argument(
-        "--processes", type=int, default=1, help="worker processes (default: 1)"
+        "--processes",
+        type=positive_int,
+        default=1,
+        help="worker processes, at least 1 (default: 1)",
     )
     sweep.add_argument(
         "--cache-dir",
@@ -191,6 +492,71 @@ def build_parser() -> argparse.ArgumentParser:
     cache = commands.add_parser("cache", help="list the entries of an artifact cache")
     cache.add_argument("--cache-dir", required=True, help="artifact cache root")
     cache.set_defaults(handler=_cmd_cache)
+
+    predict = commands.add_parser(
+        "predict",
+        help="classify a CSV/JSONL record stream with a cached or file-based model",
+    )
+    _add_model_arguments(predict)
+    predict.add_argument(
+        "--input", required=True, help="CSV or JSONL file of records to classify"
+    )
+    predict.add_argument(
+        "--out",
+        default=None,
+        help="output file (.jsonl, or .csv for a one-column label file); "
+        "omit to stream JSONL to stdout",
+    )
+    predict.add_argument(
+        "--format",
+        choices=("auto", "csv", "jsonl"),
+        default="auto",
+        help="input format (default: by file extension)",
+    )
+    predict.add_argument(
+        "--schema",
+        choices=("agrawal", "none"),
+        default="agrawal",
+        help="how to type input values: the Agrawal Table-1 schema (default) "
+        "or raw coercion (int, then float, then string)",
+    )
+    predict.add_argument(
+        "--class-column",
+        default="class",
+        help="input column to drop if present (default: class)",
+    )
+    predict.set_defaults(handler=_cmd_predict)
+
+    bench = commands.add_parser(
+        "serve-bench",
+        help="micro-batched service vs naive per-record loop on Agrawal tuples",
+    )
+    _add_model_arguments(bench)
+    bench.add_argument(
+        "--n",
+        type=positive_int,
+        default=50_000,
+        help="number of tuples to classify (default: 50000)",
+    )
+    bench.add_argument(
+        "--data-function",
+        type=positive_int,
+        default=None,
+        help="Agrawal function generating the tuples (default: the model's)",
+    )
+    bench.add_argument(
+        "--data-seed", type=int, default=1, help="generator seed (default: 1)"
+    )
+    bench.add_argument(
+        "--repeats",
+        type=positive_int,
+        default=3,
+        help="service timing repeats; the best run counts (default: 3)",
+    )
+    bench.add_argument(
+        "--out", default=None, help="write the benchmark report to this JSON file"
+    )
+    bench.set_defaults(handler=_cmd_serve_bench)
     return parser
 
 

@@ -9,9 +9,12 @@ from repro.data.agrawal import (
 from repro.data.dataset import Dataset, from_arrays
 from repro.data.io import (
     infer_schema,
+    iter_csv_records,
+    iter_jsonl_records,
     load_csv,
     load_csv_with_inferred_schema,
     save_csv,
+    write_jsonl,
 )
 from repro.data.functions import (
     EVALUATED_FUNCTIONS,
@@ -55,10 +58,13 @@ __all__ = [
     "get_function",
     "ground_truth_label",
     "infer_schema",
+    "iter_csv_records",
+    "iter_jsonl_records",
     "load_csv",
     "load_csv_with_inferred_schema",
     "make_schema",
     "save_csv",
+    "write_jsonl",
     "wide_binary_dataset",
     "xor_dataset",
 ]

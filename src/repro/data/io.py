@@ -1,21 +1,27 @@
-"""Loading and saving datasets as CSV files.
+"""Loading and saving datasets as CSV/JSONL files.
 
 The paper mines rules from relations stored in a database; the practical
-equivalent for a library user is a CSV export.  This module provides
+equivalent for a library user is a CSV or JSON-lines export.  This module
+provides
 
 * :func:`save_csv` / :func:`load_csv` — round-trip a :class:`Dataset` with an
   explicit schema;
 * :func:`infer_schema` — build a schema from raw CSV columns (numeric columns
   become continuous attributes over their observed range, low-cardinality or
   non-numeric columns become categorical attributes);
-* :func:`load_csv_with_inferred_schema` — the one-call convenience wrapper.
+* :func:`load_csv_with_inferred_schema` — the one-call convenience wrapper;
+* :func:`iter_csv_records` / :func:`iter_jsonl_records` — bounded-memory
+  record streams for the serving layer: a multi-million-tuple file is
+  consumed one record at a time, never materialised as a list;
+* :func:`write_jsonl` — the streaming counterpart on the output side.
 """
 
 from __future__ import annotations
 
 import csv
+import json
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Union
 
 from repro.data.dataset import Dataset, Record
 from repro.data.schema import (
@@ -95,6 +101,137 @@ def load_csv(path: PathLike, schema: Schema, class_column: str = "class") -> Dat
         records.append(record)
         labels.append(row[class_column])
     return Dataset(schema, records, labels)
+
+
+# ---------------------------------------------------------------------------
+# Streaming record iterators (bounded memory, for the serving layer)
+# ---------------------------------------------------------------------------
+
+def _coerce_raw(raw: str) -> AttributeValue:
+    """Best-effort typing of a schemaless CSV cell: int, then float, then str."""
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        return raw
+
+
+def _record_from_row(
+    row: Dict[str, str], schema: Optional[Schema], class_column: Optional[str]
+) -> Record:
+    if schema is not None:
+        return {
+            attribute.name: _parse_value(attribute, row[attribute.name])
+            for attribute in schema.attributes
+        }
+    return {
+        name: _coerce_raw(value)
+        for name, value in row.items()
+        if name != class_column
+    }
+
+
+def iter_csv_records(
+    path: PathLike,
+    schema: Optional[Schema] = None,
+    class_column: Optional[str] = "class",
+) -> Iterator[Record]:
+    """Stream the records of a CSV file one at a time (bounded memory).
+
+    With a ``schema``, values are parsed into their declared attribute types
+    exactly as :func:`load_csv` would (and missing columns raise
+    :class:`DataGenerationError` on the first row); without one, each cell is
+    coerced ``int`` → ``float`` → ``str``.  The ``class_column`` (when
+    present) is dropped from the yielded records — prediction inputs carry no
+    label.  Unlike :func:`load_csv`, the file is never materialised: this is
+    the ingestion path the serving layer uses to classify multi-million-tuple
+    exports.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataGenerationError(f"CSV file not found: {path}")
+    with path.open(newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise DataGenerationError(f"CSV file has no header row: {path}")
+        if schema is not None:
+            missing = [
+                name for name in schema.attribute_names if name not in reader.fieldnames
+            ]
+            if missing:
+                raise DataGenerationError(f"CSV file is missing columns: {missing}")
+        for row in reader:
+            yield _record_from_row(dict(row), schema, class_column)
+
+
+def iter_jsonl_records(
+    path: PathLike,
+    schema: Optional[Schema] = None,
+    class_column: Optional[str] = "class",
+) -> Iterator[Record]:
+    """Stream the records of a JSON-lines file one at a time (bounded memory).
+
+    Each non-blank line must hold one JSON object; JSON already carries
+    types, so a ``schema`` only validates/normalises values (via
+    :meth:`Schema.validate_record`) rather than parsing strings.  As with
+    :func:`iter_csv_records`, records are projected onto the schema when one
+    is given — extra keys (bookkeeping columns, ids) are dropped, the same
+    way the CSV reader ignores extra columns — and the ``class_column`` key
+    is dropped when present.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DataGenerationError(f"JSONL file not found: {path}")
+    with path.open() as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise DataGenerationError(
+                    f"{path}:{line_number}: invalid JSON: {exc}"
+                ) from exc
+            if not isinstance(payload, dict):
+                raise DataGenerationError(
+                    f"{path}:{line_number}: expected a JSON object per line, "
+                    f"got {type(payload).__name__}"
+                )
+            if class_column is not None:
+                payload.pop(class_column, None)
+            if schema is not None:
+                missing = [
+                    name for name in schema.attribute_names if name not in payload
+                ]
+                if missing:
+                    raise DataGenerationError(
+                        f"{path}:{line_number}: record is missing attributes: "
+                        f"{missing}"
+                    )
+                payload = schema.validate_record(
+                    {name: payload[name] for name in schema.attribute_names}
+                )
+            yield payload
+
+
+def write_jsonl(path: PathLike, rows: Iterable[Dict]) -> int:
+    """Write an iterable of JSON-ready mappings as one JSON object per line.
+
+    The iterable is consumed lazily — streaming prediction output is written
+    as it is produced, so the writer is as bounded-memory as the readers.
+    Returns the number of rows written.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for row in rows:
+            handle.write(json.dumps(row) + "\n")
+            count += 1
+    return count
 
 
 def infer_schema(

@@ -65,3 +65,9 @@ class BaselineError(ReproError):
 class ExperimentError(ReproError):
     """Raised by the experiment harness when an experiment specification is
     invalid or an experiment produces internally inconsistent results."""
+
+
+class ServingError(ReproError):
+    """Raised by the model-serving layer: unknown model names, artifacts that
+    cannot be loaded into a servable predictor, or requests submitted to a
+    service that has been shut down."""

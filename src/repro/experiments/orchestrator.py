@@ -236,6 +236,51 @@ class ArtifactCache:
             raise ExperimentError(f"no cache entry for key {key}")
         return json.loads(path.read_text())
 
+    def find(
+        self, function: Optional[int] = None, seed: Optional[int] = None
+    ) -> List[str]:
+        """Keys of complete entries matching a function and/or seed.
+
+        This is the serving layer's lookup: a model is requested as "function
+        2, seed 0" rather than by its 64-hex content hash.  Entries whose
+        config.json is missing or unreadable are skipped.
+        """
+        matches: List[str] = []
+        for key in self.keys():
+            try:
+                entry = self.describe_entry(key)
+            except (ExperimentError, json.JSONDecodeError):
+                continue
+            if function is not None and entry.get("function") != function:
+                continue
+            if seed is not None and entry.get("seed") != seed:
+                continue
+            matches.append(key)
+        return matches
+
+    def find_one(self, function: int, seed: Optional[int] = None) -> str:
+        """The unique key for ``function`` (and optionally ``seed``).
+
+        Raises :class:`ExperimentError` when no entry matches, or when several
+        do (different configurations of the same task) — ambiguity must be
+        resolved by the caller with an explicit key.
+        """
+        keys = self.find(function=function, seed=seed)
+        if not keys:
+            raise ExperimentError(
+                f"no cached artifact for function {function}"
+                + (f" seed {seed}" if seed is not None else "")
+                + f" under {self.root}"
+            )
+        if len(keys) > 1:
+            listing = ", ".join(key[:16] for key in keys)
+            raise ExperimentError(
+                f"{len(keys)} cached artifacts match function {function}"
+                + (f" seed {seed}" if seed is not None else "")
+                + f" ({listing}); pass an explicit key to disambiguate"
+            )
+        return keys[0]
+
 
 # ---------------------------------------------------------------------------
 # Task execution (runs inside worker processes)

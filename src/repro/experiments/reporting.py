@@ -15,14 +15,18 @@ def format_table(
 ) -> str:
     """Render a fixed-width text table.
 
-    Floats are formatted with ``float_format``; everything else with ``str``.
-    Column widths adapt to the longest cell.
+    Floats are formatted with ``float_format`` — except NaN, which renders as
+    ``n/a`` (undefined per-class metrics on skewed data must not print as
+    ``nan``); everything else with ``str``.  Column widths adapt to the
+    longest cell.
     """
     if not headers:
         raise ExperimentError("a table needs at least one column")
 
     def render(cell: object) -> str:
         if isinstance(cell, float):
+            if cell != cell:  # NaN: the one float that is not equal to itself
+                return "n/a"
             return float_format.format(cell)
         return str(cell)
 

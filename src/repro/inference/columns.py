@@ -97,17 +97,50 @@ class ColumnCache:
         key = (attribute, domain)
         if key not in self._codes:
             column = self.values(attribute)
-            index = {value: i for i, value in enumerate(domain)}
-            try:
-                codes: Optional[np.ndarray] = np.fromiter(
-                    (index.get(value, -1) for value in column),
-                    dtype=np.int64,
-                    count=len(column),
-                )
-            except TypeError:
-                codes = None
+            codes = self._numeric_domain_codes(column, domain)
+            if codes is None:
+                index = {value: i for i, value in enumerate(domain)}
+                try:
+                    codes = np.fromiter(
+                        (index.get(value, -1) for value in column),
+                        dtype=np.int64,
+                        count=len(column),
+                    )
+                except TypeError:
+                    codes = None
             self._codes[key] = codes
         return self._codes[key]
+
+    @staticmethod
+    def _numeric_domain_codes(column: list, domain: tuple) -> Optional[np.ndarray]:
+        """Vectorised coding for all-numeric columns over all-numeric domains.
+
+        Equivalent to the hash-based path (floats equate to equal ints both
+        ways) but runs as array operations instead of one Python dict lookup
+        per record — the membership hot path for big serving batches.
+        ``None`` defers to the hash path whenever the equivalence cannot be
+        guaranteed: non-numeric domains, empty domains, and columns holding
+        anything but genuine numbers (a numeric *string* must stay unequal to
+        the number it spells, exactly as ``MembershipCondition.matches`` and
+        the dict lookup treat it).
+        """
+        if not domain or not all(isinstance(value, (int, float)) for value in domain):
+            return None
+        try:
+            raw = np.asarray(column)
+        except (TypeError, ValueError):  # pragma: no cover - ragged input
+            return None
+        if raw.dtype.kind not in "biuf":
+            return None  # strings/objects: let the hash path decide equality
+        values = raw.astype(float)
+        domain_values = np.asarray(domain, dtype=float)
+        order = np.argsort(domain_values, kind="stable")
+        ordered = domain_values[order]
+        positions = np.searchsorted(ordered, values)
+        positions[positions == len(ordered)] = 0  # any in-range index; mismatch below
+        codes = order[positions]
+        codes[domain_values[codes] != values] = -1
+        return codes
 
     def membership(self, attribute: str, allowed: tuple, domain: tuple) -> np.ndarray:
         """Boolean mask: which rows take a value in ``allowed``."""

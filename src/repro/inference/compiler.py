@@ -229,10 +229,18 @@ class CompiledAttributeRuleSet:
         n = len(records)
         columns = ColumnCache(records)
         fired = np.ones((n, self.n_rules), dtype=bool)
+        # Extracted rule sets repeat conditions across rules (the same age
+        # band guards several disjuncts), so each distinct condition — they
+        # are hashable frozen dataclasses — is evaluated once per batch.
+        memo: Dict = {}
         for row, rule in enumerate(self.rules):
             mask: Optional[np.ndarray] = None
             for condition in rule.conditions:
-                condition_mask = self._condition_mask(condition, columns, n)
+                if condition in memo:
+                    condition_mask = memo[condition]
+                else:
+                    condition_mask = self._condition_mask(condition, columns, n)
+                    memo[condition] = condition_mask
                 if condition_mask is None:
                     continue
                 mask = condition_mask if mask is None else mask & condition_mask

@@ -107,7 +107,11 @@ def normalize_batch_input(data, encoder: Optional["TupleEncoder"] = None) -> Bat
         items = list(data)
         if not items:
             return BatchInput(n=0, records=[], matrix=np.zeros((0, 0), dtype=float))
-        if all(isinstance(item, Mapping) for item in items):
+        # The plain-dict check first: isinstance against typing.Mapping walks
+        # the ABC machinery per element, which dominated batch normalisation
+        # for large record batches (the overwhelmingly common case is a list
+        # of dicts, for which type(...) is dict short-circuits everything).
+        if all(type(item) is dict or isinstance(item, Mapping) for item in items):
             return BatchInput(n=len(items), records=items)
         if all(isinstance(item, (np.ndarray, list, tuple)) for item in items):
             try:

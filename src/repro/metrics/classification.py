@@ -68,19 +68,35 @@ class ConfusionMatrix:
         return float(np.trace(self.matrix)) / self.total
 
     def per_class_recall(self) -> Dict[str, float]:
-        """Recall (true-positive rate) for each class; 1.0 for absent classes."""
+        """Recall (true-positive rate) for each class; NaN for absent classes.
+
+        A class with no true instances has no recall — reporting 1.0 (as this
+        method once did) silently inflated the skew analysis for functions 8
+        and 10, whose minority class can be missing from a small test sample.
+        """
         out: Dict[str, float] = {}
         for i, label in enumerate(self.classes):
             row_total = int(self.matrix[i].sum())
-            out[label] = float(self.matrix[i, i]) / row_total if row_total else 1.0
+            out[label] = (
+                float(self.matrix[i, i]) / row_total if row_total else float("nan")
+            )
         return out
 
     def per_class_precision(self) -> Dict[str, float]:
-        """Precision for each class; 1.0 for classes never predicted."""
+        """Precision for each class; NaN for classes never predicted.
+
+        As with :meth:`per_class_recall`, an undefined ratio is NaN — a
+        majority-class-only predictor on skewed data must not read as 100 %
+        precise on the class it never predicts.
+        """
         out: Dict[str, float] = {}
         for i, label in enumerate(self.classes):
             column_total = int(self.matrix[:, i].sum())
-            out[label] = float(self.matrix[i, i]) / column_total if column_total else 1.0
+            out[label] = (
+                float(self.matrix[i, i]) / column_total
+                if column_total
+                else float("nan")
+            )
         return out
 
     def describe(self) -> str:
@@ -90,6 +106,26 @@ class ConfusionMatrix:
             cells = "  ".join(f"{int(v):>8}" for v in self.matrix[i])
             lines.append(f"{label:>9}  {cells}")
         return "\n".join(lines)
+
+    def describe_per_class(self) -> str:
+        """Per-class recall/precision table; undefined ratios render ``n/a``.
+
+        This is the rendering the skew analysis (functions 8/10) prints:
+        absent or never-predicted classes show as ``n/a`` instead of a
+        fabricated 1.0.  Rendering delegates to the shared
+        :func:`~repro.experiments.reporting.format_table` (lazy import — the
+        reporting helpers depend only on :mod:`repro.exceptions`), which owns
+        the NaN → ``n/a`` rule.
+        """
+        from repro.experiments.reporting import format_table
+
+        recall = self.per_class_recall()
+        precision = self.per_class_precision()
+        return format_table(
+            headers=["class", "recall", "precision"],
+            rows=[[label, recall[label], precision[label]] for label in self.classes],
+            float_format="{:.3f}",
+        )
 
 
 def agreement(first: Sequence[str], second: Sequence[str]) -> float:

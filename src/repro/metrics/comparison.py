@@ -79,7 +79,13 @@ def compare_rulesets(
 
 
 def accuracy_by_class(ruleset: RuleSet, dataset: Dataset) -> Dict[str, float]:
-    """Per-class accuracy (recall) of a rule set on a dataset."""
+    """Per-class accuracy (recall) of a rule set on a dataset.
+
+    A class absent from the dataset has no recall and reports NaN, matching
+    :meth:`~repro.metrics.classification.ConfusionMatrix.per_class_recall` —
+    the skew analysis must not read a missing minority class as perfectly
+    classified.
+    """
     predictions = ruleset.predict_batch(dataset)
     truth = np.asarray(dataset.labels, dtype=object)
     per_class: Dict[str, float] = {}
@@ -87,7 +93,7 @@ def accuracy_by_class(ruleset: RuleSet, dataset: Dataset) -> Dict[str, float]:
         of_class = truth == label
         n_class = int(np.count_nonzero(of_class))
         if n_class == 0:
-            per_class[label] = 1.0
+            per_class[label] = float("nan")
             continue
         correct = int(np.count_nonzero(of_class & (predictions == label)))
         per_class[label] = correct / n_class

@@ -149,7 +149,15 @@ class MembershipCondition:
         return len(self.allowed) > 0
 
     def is_trivial(self) -> bool:
-        return len(self.allowed) == len(self.domain)
+        """True when the condition does not constrain anything.
+
+        An *empty* ``allowed`` set is unsatisfiable, not trivial — even over
+        an empty domain, where ``len(allowed) == len(domain)`` would
+        otherwise misread "matches nothing" as "matches everything" (the
+        batch evaluator skips trivial conditions entirely, so that misread
+        flipped labels against ``matches``).
+        """
+        return len(self.allowed) > 0 and len(self.allowed) == len(self.domain)
 
     def matches(self, record: Mapping[str, AttributeValue]) -> bool:
         if self.attribute not in record:

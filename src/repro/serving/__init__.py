@@ -1,0 +1,43 @@
+"""Model serving: persisted artifacts answering prediction traffic.
+
+The subsystem the paper motivates but the experiment harness never had: load
+a trained artifact (extracted rules or pruned network) from the orchestrator's
+cache — or from standalone JSON files — into a named
+:class:`~repro.serving.models.ServableModel`, then serve single records and
+record streams through the adaptively micro-batched
+:class:`~repro.serving.service.PredictionService`, which dispatches batches
+across a thread pool to the vectorised inference pipeline and keeps per-model
+throughput/latency statistics.
+
+Exposed on the command line as ``python -m repro predict`` (classify a
+CSV/JSONL stream) and ``python -m repro serve-bench`` (micro-batched service
+vs naive per-record loop).
+"""
+
+from repro.serving.models import (
+    KIND_BASELINE,
+    KIND_NETWORK,
+    KIND_RULES,
+    ServableModel,
+)
+from repro.serving.reference import reference_ruleset
+from repro.serving.registry import ModelRegistry
+from repro.serving.service import (
+    ModelStats,
+    PendingPrediction,
+    PredictionService,
+    ServiceConfig,
+)
+
+__all__ = [
+    "KIND_BASELINE",
+    "KIND_NETWORK",
+    "KIND_RULES",
+    "ModelRegistry",
+    "ModelStats",
+    "PendingPrediction",
+    "PredictionService",
+    "ServableModel",
+    "ServiceConfig",
+    "reference_ruleset",
+]

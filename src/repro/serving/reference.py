@@ -1,0 +1,67 @@
+"""Deployable reference rule sets for the Agrawal benchmark functions.
+
+The paper reports that for functions 1–3 the extracted rules are "exactly the
+same as the classification functions" — so the ground-truth disjunctions of
+:data:`repro.data.functions.GROUND_TRUTH_RULES` double as ready-made,
+training-free classifiers.  The serving benchmark and the CLI smoke tests use
+them as models that behave exactly like extracted rule sets (same
+:class:`~repro.rules.ruleset.RuleSet` type, same compiled evaluation path)
+without paying minutes of train → prune → extract.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.data.agrawal import agrawal_schema
+from repro.data.functions import GROUND_TRUTH_RULES, GROUP_B
+from repro.data.schema import CategoricalAttribute
+from repro.exceptions import ServingError
+from repro.preprocessing.intervals import Interval
+from repro.rules.conditions import IntervalCondition, MembershipCondition
+from repro.rules.rule import AttributeCondition, AttributeRule
+from repro.rules.ruleset import RuleSet
+
+
+def reference_ruleset(function: int) -> RuleSet[AttributeRule]:
+    """The ground-truth rule set of benchmark ``function`` as a :class:`RuleSet`.
+
+    Only available for the functions expressible as interval rules (1–4, the
+    ones :data:`GROUND_TRUTH_RULES` describes); the rest raise
+    :class:`ServingError`.  Labels agree with the executable function
+    definition on every clean record (the property tests of
+    ``repro.data.functions`` guarantee the source description; this is a
+    mechanical translation of it).
+    """
+    if function not in GROUND_TRUTH_RULES:
+        raise ServingError(
+            f"no reference rule set for function {function}; available: "
+            f"{sorted(GROUND_TRUTH_RULES)}"
+        )
+    schema = agrawal_schema()
+    rules: List[AttributeRule] = []
+    for truth in GROUND_TRUTH_RULES[function]:
+        conditions: List[AttributeCondition] = []
+        for attribute, spec in truth.conditions.items():
+            if isinstance(spec, frozenset):
+                declared = schema.attribute(attribute)
+                assert isinstance(declared, CategoricalAttribute)
+                conditions.append(
+                    MembershipCondition(
+                        attribute,
+                        tuple(sorted(spec)),
+                        tuple(declared.values),
+                    )
+                )
+            else:
+                low, high = spec
+                # GroundTruthRule intervals are half-open [low, high), which
+                # is Interval's default convention.
+                conditions.append(IntervalCondition(attribute, Interval(low, high)))
+        rules.append(AttributeRule(tuple(conditions), truth.group))
+    return RuleSet(
+        rules=rules,
+        default_class=GROUP_B,
+        classes=schema.classes,
+        name=f"function-{function}-reference",
+    )

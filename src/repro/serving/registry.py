@@ -1,0 +1,286 @@
+"""The model registry: persisted artifacts → named, ready-to-serve models.
+
+The experiment orchestrator (PR 2) persists every completed ``function x
+seed`` task as a content-addressed cache entry holding ``network.json`` and
+``rules.json``.  :class:`ModelRegistry` closes the loop the paper motivates —
+"the extracted rules become a fast classifier you can deploy inside a
+data-mining system" — by loading those artifacts (or standalone files) into
+:class:`~repro.serving.models.ServableModel`s that the
+:class:`~repro.serving.service.PredictionService` serves traffic from:
+
+* :meth:`ModelRegistry.load_rules_file` / :meth:`load_network_file` — from
+  standalone JSON documents;
+* :meth:`ModelRegistry.load_artifact` — from an
+  :class:`~repro.experiments.orchestrator.ArtifactCache` entry by key;
+* :meth:`ModelRegistry.load_artifact_by_task` — the same, addressed by
+  ``function``/``seed`` instead of the 64-hex key (via
+  :meth:`ArtifactCache.find_one`);
+* :meth:`ModelRegistry.register_predictor` — any in-memory object speaking
+  the :class:`~repro.inference.predictor.BatchPredictor` protocol.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import ExperimentError, ReproError, ServingError
+from repro.experiments.orchestrator import ArtifactCache
+from repro.preprocessing.encoder import TupleEncoder, agrawal_encoder
+from repro.serving.models import (
+    KIND_BASELINE,
+    KIND_NETWORK,
+    KIND_RULES,
+    ServableModel,
+)
+
+PathLike = Union[str, Path]
+
+#: The class vocabulary of every Agrawal-trained artifact.  Network artifacts
+#: do not record their label names (the network only knows output indices),
+#: so cache loading defaults to this; callers serving non-Agrawal networks
+#: pass ``classes`` explicitly.
+_AGRAWAL_CLASSES = ("A", "B")
+
+
+class ModelRegistry:
+    """Named collection of servable models, loaded from artifacts or memory."""
+
+    def __init__(self) -> None:
+        self._models: Dict[str, ServableModel] = {}
+
+    # -- container protocol ---------------------------------------------------
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._models
+
+    def __len__(self) -> int:
+        return len(self._models)
+
+    def names(self) -> List[str]:
+        """Registered model names, in registration order."""
+        return list(self._models)
+
+    def get(self, name: str) -> ServableModel:
+        """The model registered as ``name``; :class:`ServingError` on a miss."""
+        try:
+            return self._models[name]
+        except KeyError as exc:
+            known = ", ".join(self._models) or "none"
+            raise ServingError(
+                f"no model registered as {name!r} (registered: {known})"
+            ) from exc
+
+    def unregister(self, name: str) -> None:
+        """Remove a model from the registry (missing names are a no-op)."""
+        self._models.pop(name, None)
+
+    # -- registration ---------------------------------------------------------
+
+    def register(self, model: ServableModel, replace: bool = False) -> ServableModel:
+        """Add a model under its name; duplicate names raise unless ``replace``."""
+        if model.name in self._models and not replace:
+            raise ServingError(
+                f"a model is already registered as {model.name!r}; pass "
+                "replace=True to overwrite it"
+            )
+        self._models[model.name] = model
+        return model
+
+    def register_predictor(
+        self,
+        name: str,
+        predictor: object,
+        kind: str = KIND_BASELINE,
+        encoder: Optional[TupleEncoder] = None,
+        source: str = "memory",
+        replace: bool = False,
+    ) -> ServableModel:
+        """Wrap any batch-capable predictor and register it."""
+        model = ServableModel(
+            name=name, kind=kind, predictor=predictor, encoder=encoder, source=source
+        )
+        return self.register(model, replace=replace)
+
+    # -- loading from standalone files ---------------------------------------
+
+    def load_rules_file(
+        self,
+        name: str,
+        path: PathLike,
+        encoder: Optional[TupleEncoder] = None,
+        replace: bool = False,
+    ) -> ServableModel:
+        """Load a ``rules.json`` document (attribute rule set) as a model."""
+        from repro.rules.serialization import ruleset_from_json
+
+        path = Path(path)
+        if not path.is_file():
+            raise ServingError(f"rule-set file not found: {path}")
+        try:
+            ruleset = ruleset_from_json(path.read_text())
+        except ReproError as exc:
+            raise ServingError(f"cannot load rule set from {path}: {exc}") from exc
+        model = ServableModel(
+            name=name,
+            kind=KIND_RULES,
+            predictor=ruleset,
+            encoder=encoder,
+            source=str(path),
+        )
+        return self.register(model, replace=replace)
+
+    def load_network_file(
+        self,
+        name: str,
+        path: PathLike,
+        classes: Optional[Sequence[str]] = None,
+        encoder: Optional[TupleEncoder] = None,
+        chunk_size: int = 16384,
+        replace: bool = False,
+    ) -> ServableModel:
+        """Load a ``network.json`` document as a chunked network predictor.
+
+        ``classes``/``encoder`` default to the Agrawal vocabulary and Table-2
+        coding when the network's input width matches the 86-input coding;
+        other widths require both to be supplied.
+        """
+        from repro.inference.network import NetworkBatchPredictor
+        from repro.nn.serialization import network_from_json
+
+        path = Path(path)
+        if not path.is_file():
+            raise ServingError(f"network file not found: {path}")
+        try:
+            network = network_from_json(path.read_text())
+        except ReproError as exc:
+            raise ServingError(f"cannot load network from {path}: {exc}") from exc
+        classes, encoder = self._network_defaults(network, classes, encoder, str(path))
+        predictor = NetworkBatchPredictor(
+            network, classes, encoder=encoder, chunk_size=chunk_size
+        )
+        model = ServableModel(
+            name=name,
+            kind=KIND_NETWORK,
+            predictor=predictor,
+            encoder=encoder,
+            source=str(path),
+        )
+        return self.register(model, replace=replace)
+
+    @staticmethod
+    def _network_defaults(network, classes, encoder, source: str):
+        if encoder is None:
+            default = agrawal_encoder()
+            if network.n_inputs == default.n_inputs:
+                encoder = default
+            else:
+                raise ServingError(
+                    f"network from {source} has {network.n_inputs} inputs, which "
+                    f"does not match the Agrawal coding ({default.n_inputs}); "
+                    "supply the encoder it was trained with"
+                )
+        if classes is None:
+            if network.n_outputs == len(_AGRAWAL_CLASSES):
+                classes = _AGRAWAL_CLASSES
+            else:
+                raise ServingError(
+                    f"network from {source} has {network.n_outputs} outputs; "
+                    "supply its class labels explicitly"
+                )
+        return classes, encoder
+
+    # -- loading from the artifact cache --------------------------------------
+
+    def load_artifact(
+        self,
+        name: str,
+        cache: Union[ArtifactCache, PathLike],
+        key: str,
+        prefer: str = "rules",
+        encoder: Optional[TupleEncoder] = None,
+        classes: Optional[Sequence[str]] = None,
+        replace: bool = False,
+    ) -> ServableModel:
+        """Load one artifact-cache entry as a servable model.
+
+        ``prefer`` picks the artifact when the entry holds both: ``"rules"``
+        (the default — the paper's deployable form) falls back to the network
+        when no rule set was persisted; ``"network"`` is strict.
+        """
+        if prefer not in ("rules", "network"):
+            raise ServingError(f"prefer must be 'rules' or 'network', got {prefer!r}")
+        if not isinstance(cache, ArtifactCache):
+            cache = ArtifactCache(cache)
+        if prefer == "rules":
+            try:
+                ruleset = cache.load_ruleset(key)
+            except ReproError as exc:
+                raise ServingError(
+                    f"corrupt rule-set artifact in cache entry {key[:16]}: {exc}"
+                ) from exc
+            if ruleset is not None:
+                model = ServableModel(
+                    name=name,
+                    kind=KIND_RULES,
+                    predictor=ruleset,
+                    encoder=encoder,
+                    source=f"{cache.root}:{key[:16]}",
+                )
+                return self.register(model, replace=replace)
+        try:
+            network = cache.load_network(key)
+        except ReproError as exc:
+            raise ServingError(
+                f"corrupt network artifact in cache entry {key[:16]}: {exc}"
+            ) from exc
+        if network is None:
+            raise ServingError(
+                f"cache entry {key[:16]} under {cache.root} holds no "
+                f"{'rules or network' if prefer == 'rules' else 'network'} artifact"
+            )
+        from repro.inference.network import NetworkBatchPredictor
+
+        source = f"{cache.root}:{key[:16]}"
+        classes, encoder = self._network_defaults(network, classes, encoder, source)
+        model = ServableModel(
+            name=name,
+            kind=KIND_NETWORK,
+            predictor=NetworkBatchPredictor(network, classes, encoder=encoder),
+            encoder=encoder,
+            source=source,
+        )
+        return self.register(model, replace=replace)
+
+    def load_artifact_by_task(
+        self,
+        name: str,
+        cache: Union[ArtifactCache, PathLike],
+        function: int,
+        seed: Optional[int] = None,
+        prefer: str = "rules",
+        replace: bool = False,
+    ) -> ServableModel:
+        """Load a cached artifact addressed by ``function``/``seed``.
+
+        Delegates key resolution to :meth:`ArtifactCache.find_one`, so a
+        missing or ambiguous task surfaces as a clear :class:`ServingError`.
+        """
+        if not isinstance(cache, ArtifactCache):
+            cache = ArtifactCache(cache)
+        try:
+            key = cache.find_one(function, seed=seed)
+        except ExperimentError as exc:
+            raise ServingError(str(exc)) from exc
+        return self.load_artifact(name, cache, key, prefer=prefer, replace=replace)
+
+    # -- reporting ------------------------------------------------------------
+
+    def describe(self) -> str:
+        """One line per registered model (name, kind, source, size)."""
+        if not self._models:
+            return "model registry: empty"
+        lines = ["model registry:"]
+        for model in self._models.values():
+            lines.append(f"  {model.describe()}")
+        return "\n".join(lines)

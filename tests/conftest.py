@@ -7,6 +7,10 @@ All fixtures use fixed seeds so failures are reproducible.
 
 from __future__ import annotations
 
+import json
+from pathlib import Path
+from typing import Optional
+
 import numpy as np
 import pytest
 
@@ -16,9 +20,17 @@ from repro.data.agrawal import AgrawalGenerator, agrawal_schema
 from repro.data.dataset import Dataset
 from repro.data.schema import CategoricalAttribute, ContinuousAttribute, Schema
 from repro.data.synthetic import boolean_function_dataset, xor_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.orchestrator import ARTIFACT_VERSION, ArtifactCache, SweepTask
+from repro.experiments.runner import FunctionExperimentResult
+from repro.metrics.rules_metrics import RuleSetComplexity
+from repro.nn.network import new_network
 from repro.nn.penalty import PenaltyConfig
+from repro.nn.serialization import network_to_json
 from repro.optim.bfgs import BFGSConfig
 from repro.preprocessing.encoder import agrawal_encoder, default_encoder
+from repro.rules.serialization import ruleset_to_json
+from repro.serving import reference_ruleset
 
 
 @pytest.fixture(scope="session")
@@ -140,3 +152,97 @@ def pruned_boolean_network(trained_boolean_network):
 def rng() -> np.random.Generator:
     """A fresh seeded NumPy generator per test."""
     return np.random.default_rng(1234)
+
+
+# ---------------------------------------------------------------------------
+# Artifact-cache fabrication (serving and CLI tests)
+#
+# Registry/CLI tests need real artifact-cache entries without paying minutes
+# of train → prune → extract per run, so fabricate_cache_entry writes an
+# entry byte-compatible with what a sweep worker persists: the same key
+# derivation (SweepTask.cache_key), the same four files, the same
+# serialisation helpers — only the numbers in result.json and the network
+# weights are synthetic.
+# ---------------------------------------------------------------------------
+
+def dummy_result(function: int, ruleset) -> FunctionExperimentResult:
+    """A plausible, plain-data result row for a fabricated cache entry."""
+    return FunctionExperimentResult(
+        function=function,
+        config_label="fabricated",
+        n_train=100,
+        n_test=100,
+        class_skew=0.6,
+        nn_train_accuracy=0.99,
+        nn_test_accuracy=0.98,
+        rule_train_accuracy=0.99,
+        rule_test_accuracy=0.98,
+        rule_fidelity=1.0,
+        n_rules=ruleset.n_rules,
+        rule_complexity=RuleSetComplexity.of(ruleset),
+        initial_connections=100,
+        pruned_connections=10,
+        active_hidden_units=2,
+        relevant_inputs=5,
+        spurious_attributes=[],
+        neurorule_seconds=1.0,
+        c45_train_accuracy=0.97,
+        c45_test_accuracy=0.96,
+        c45_leaves=9,
+        c45rules_count=7,
+        c45rules_test_accuracy=0.96,
+        c45_seconds=0.5,
+        c45rules_seconds=0.6,
+    )
+
+
+def fabricate_cache_entry(
+    cache: ArtifactCache,
+    function: int = 1,
+    seed: int = 0,
+    config: Optional[ExperimentConfig] = None,
+    with_rules: bool = True,
+    with_network: bool = True,
+) -> str:
+    """Write one complete artifact-cache entry; returns its key."""
+    config = config or ExperimentConfig.quick()
+    task = SweepTask(function=function, seed=seed, config=config)
+    key = task.cache_key()
+    ruleset = reference_ruleset(min(function, 4))
+    entry = cache.entry_dir(key)
+    entry.mkdir(parents=True, exist_ok=True)
+    (entry / "config.json").write_text(
+        json.dumps(
+            {
+                "artifact_version": ARTIFACT_VERSION,
+                "function": task.function,
+                "seed": task.seed,
+                "config": task.effective_config().to_dict(),
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    (entry / "result.json").write_text(
+        json.dumps(dummy_result(function, ruleset).to_dict(), indent=2) + "\n"
+    )
+    if with_rules:
+        (entry / "rules.json").write_text(ruleset_to_json(ruleset) + "\n")
+    if with_network:
+        # An 86-input network matching the Agrawal coding; untrained weights
+        # are fine — loading and shape checks do not care about accuracy.
+        network = new_network(86, 3, 2, seed=function)
+        (entry / "network.json").write_text(network_to_json(network) + "\n")
+    return key
+
+
+@pytest.fixture()
+def artifact_cache(tmp_path: Path) -> ArtifactCache:
+    """An empty artifact cache rooted in a per-test temporary directory."""
+    return ArtifactCache(tmp_path / "cache")
+
+
+@pytest.fixture()
+def fabricate_entry():
+    """The entry fabricator as a fixture (test dirs are not packages)."""
+    return fabricate_cache_entry

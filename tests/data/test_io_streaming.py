@@ -1,0 +1,141 @@
+"""Tests of the bounded-memory CSV/JSONL record streams."""
+
+import json
+
+import pytest
+
+from repro.data.agrawal import AgrawalGenerator, agrawal_schema
+from repro.data.io import (
+    iter_csv_records,
+    iter_jsonl_records,
+    save_csv,
+    write_jsonl,
+)
+from repro.exceptions import DataGenerationError, SchemaError
+
+
+@pytest.fixture(scope="module")
+def sample():
+    return AgrawalGenerator(function=1, perturbation=0.0, seed=3).generate(50)
+
+
+class TestIterCsvRecords:
+    def test_round_trip_with_schema(self, tmp_path, sample):
+        path = tmp_path / "data.csv"
+        save_csv(sample, path)
+        streamed = list(iter_csv_records(path, schema=sample.schema))
+        assert streamed == sample.records
+
+    def test_class_column_dropped(self, tmp_path, sample):
+        path = tmp_path / "data.csv"
+        save_csv(sample, path)
+        for record in iter_csv_records(path, schema=sample.schema):
+            assert "class" not in record
+
+    def test_schemaless_coercion(self, tmp_path):
+        path = tmp_path / "raw.csv"
+        path.write_text("a,b,c\n1,2.5,red\n-3,0.0,blue\n")
+        rows = list(iter_csv_records(path, class_column=None))
+        assert rows == [
+            {"a": 1, "b": 2.5, "c": "red"},
+            {"a": -3, "b": 0.0, "c": "blue"},
+        ]
+
+    def test_is_lazy(self, tmp_path, sample):
+        path = tmp_path / "data.csv"
+        save_csv(sample, path)
+        iterator = iter_csv_records(path, schema=sample.schema)
+        assert next(iterator) == sample.records[0]  # only the head consumed
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataGenerationError, match="not found"):
+            next(iter_csv_records(tmp_path / "nope.csv"))
+
+    def test_missing_schema_column(self, tmp_path):
+        path = tmp_path / "short.csv"
+        path.write_text("salary\n1000\n")
+        with pytest.raises(DataGenerationError, match="missing columns"):
+            next(iter_csv_records(path, schema=agrawal_schema()))
+
+    def test_value_outside_domain(self, tmp_path, sample):
+        path = tmp_path / "bad.csv"
+        save_csv(sample, path)
+        text = path.read_text().splitlines()
+        row = text[1].split(",")
+        row[3] = "99"  # elevel domain is 0..4
+        path.write_text("\n".join([text[0], ",".join(row)]) + "\n")
+        with pytest.raises(SchemaError, match="elevel"):
+            next(iter_csv_records(path, schema=sample.schema))
+
+
+class TestIterJsonlRecords:
+    def test_round_trip(self, tmp_path, sample):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(path, (dict(r) for r in sample.records))
+        assert list(iter_jsonl_records(path)) == sample.records
+
+    def test_class_key_dropped_and_blank_lines_skipped(self, tmp_path):
+        path = tmp_path / "data.jsonl"
+        path.write_text('{"a": 1, "class": "A"}\n\n{"a": 2}\n')
+        assert list(iter_jsonl_records(path)) == [{"a": 1}, {"a": 2}]
+
+    def test_schema_validates(self, tmp_path, sample):
+        path = tmp_path / "data.jsonl"
+        write_jsonl(path, (dict(r) for r in sample.records[:5]))
+        rows = list(iter_jsonl_records(path, schema=sample.schema))
+        assert rows == sample.records[:5]
+
+    def test_schema_projects_extra_keys_like_csv(self, tmp_path, sample):
+        """A bookkeeping column must not fail the JSONL path when the CSV
+        path would silently ignore it."""
+        path = tmp_path / "data.jsonl"
+        write_jsonl(path, (dict(r, id=i) for i, r in enumerate(sample.records[:5])))
+        rows = list(iter_jsonl_records(path, schema=sample.schema))
+        assert rows == sample.records[:5]
+
+    def test_schema_missing_attribute_reports_position(self, tmp_path, sample):
+        path = tmp_path / "data.jsonl"
+        record = dict(sample.records[0])
+        record.pop("salary")
+        write_jsonl(path, [record])
+        with pytest.raises(DataGenerationError, match="missing attributes.*salary"):
+            list(iter_jsonl_records(path, schema=sample.schema))
+
+    def test_invalid_json_line_reports_position(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"a": 1}\nnot json\n')
+        with pytest.raises(DataGenerationError, match="bad.jsonl:2"):
+            list(iter_jsonl_records(path))
+
+    def test_non_object_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("[1, 2]\n")
+        with pytest.raises(DataGenerationError, match="JSON object"):
+            list(iter_jsonl_records(path))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DataGenerationError, match="not found"):
+            next(iter_jsonl_records(tmp_path / "nope.jsonl"))
+
+
+class TestWriteJsonl:
+    def test_writes_and_counts(self, tmp_path):
+        path = tmp_path / "out.jsonl"
+        count = write_jsonl(path, ({"i": i} for i in range(3)))
+        assert count == 3
+        assert [json.loads(l) for l in path.read_text().splitlines()] == [
+            {"i": 0},
+            {"i": 1},
+            {"i": 2},
+        ]
+
+    def test_consumes_lazily(self, tmp_path):
+        consumed = []
+
+        def generator():
+            for i in range(4):
+                consumed.append(i)
+                yield {"i": i}
+
+        write_jsonl(tmp_path / "out.jsonl", generator())
+        assert consumed == [0, 1, 2, 3]

@@ -30,3 +30,10 @@ class TestFormatTable:
         text = format_paper_vs_measured("cmp", [["rules", 4.0, 5.0]])
         assert "paper" in text and "measured" in text
         assert "4.00" in text and "5.00" in text
+
+    def test_nan_renders_as_n_a(self):
+        """Undefined per-class metrics (skewed functions 8/10) must print as
+        n/a, never as a bare 'nan' cell."""
+        text = format_table(["class", "recall"], [["A", 1.0], ["B", float("nan")]])
+        assert "n/a" in text
+        assert "nan" not in text

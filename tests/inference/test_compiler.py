@@ -168,6 +168,27 @@ class TestCompiledAttributeRuleSet:
         batch = attribute_ruleset.predict_batch(records)
         assert batch.tolist() == [attribute_ruleset.predict_record(r) for r in records]
 
+    def test_numeric_string_membership_matches_per_record(self, attribute_ruleset):
+        # A numeric *string* is not equal to the number it spells — the
+        # vectorised domain coding must not coerce "2" to 2.0 and fire a rule
+        # the per-record path would not.
+        records = [
+            {"salary": 50_000.0, "elevel": "2"},
+            {"salary": 50_000.0, "elevel": 2},
+        ]
+        batch = attribute_ruleset.predict_batch(records)
+        assert batch.tolist() == [attribute_ruleset.predict_record(r) for r in records]
+
+    def test_empty_membership_domain_matches_nothing(self):
+        # Constructible from handcrafted rules.json: an empty domain must be
+        # a well-defined no-match, not an IndexError in the codes path.
+        ruleset = RuleSet(
+            [AttributeRule((MembershipCondition("g", (), ()),), "A")],
+            default_class="B",
+            classes=("A", "B"),
+        )
+        assert ruleset.predict_batch([{"g": 1}, {"g": 2}]).tolist() == ["B", "B"]
+
     def test_missing_attribute_raises(self, attribute_ruleset):
         with pytest.raises(RuleError):
             compile_ruleset(attribute_ruleset).predict_batch([{"salary": 1.0}])

@@ -1,5 +1,7 @@
 """Tests of the classification metrics."""
 
+import math
+
 import pytest
 
 from repro.exceptions import ReproError
@@ -72,3 +74,25 @@ class TestConfusionMatrix:
         matrix = ConfusionMatrix.from_predictions(["A"], ["A"], ["A", "B"])
         text = matrix.describe()
         assert "true\\pred" in text
+
+    def test_absent_class_recall_is_nan(self):
+        """A class never present in the truth has undefined recall — the
+        skewed functions 8/10 must not read their missing minority class as
+        perfectly recalled."""
+        matrix = ConfusionMatrix.from_predictions(["A", "A"], ["A", "A"], ["A", "B"])
+        recall = matrix.per_class_recall()
+        assert recall["A"] == 1.0
+        assert math.isnan(recall["B"])
+
+    def test_never_predicted_class_precision_is_nan(self):
+        matrix = ConfusionMatrix.from_predictions(["A", "A"], ["A", "B"], ["A", "B"])
+        precision = matrix.per_class_precision()
+        assert precision["A"] == 0.5
+        assert math.isnan(precision["B"])
+
+    def test_per_class_report_renders_n_a(self):
+        matrix = ConfusionMatrix.from_predictions(["A", "A"], ["A", "A"], ["A", "B"])
+        text = matrix.describe_per_class()
+        assert "n/a" in text
+        assert "nan" not in text
+        assert "1.000" in text

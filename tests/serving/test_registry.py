@@ -1,0 +1,153 @@
+"""Tests of the model registry and artifact-cache lookup."""
+
+import pytest
+
+from repro.exceptions import ExperimentError, ServingError
+from repro.experiments.config import ExperimentConfig
+from repro.nn.network import new_network
+from repro.nn.serialization import network_to_json
+from repro.rules.ruleset import RuleSet
+from repro.rules.serialization import ruleset_to_json
+from repro.serving import ModelRegistry, ServableModel, reference_ruleset
+
+
+class TestRegistryBasics:
+    def test_register_and_get(self):
+        registry = ModelRegistry()
+        model = registry.register_predictor("f1", reference_ruleset(1), kind="rules")
+        assert registry.get("f1") is model
+        assert "f1" in registry
+        assert registry.names() == ["f1"]
+
+    def test_unknown_name_lists_registered(self):
+        registry = ModelRegistry()
+        registry.register_predictor("f1", reference_ruleset(1))
+        with pytest.raises(ServingError, match="f1"):
+            registry.get("missing")
+
+    def test_duplicate_name_rejected_unless_replace(self):
+        registry = ModelRegistry()
+        registry.register_predictor("f1", reference_ruleset(1))
+        with pytest.raises(ServingError, match="already registered"):
+            registry.register_predictor("f1", reference_ruleset(2))
+        registry.register_predictor("f1", reference_ruleset(2), replace=True)
+        assert registry.get("f1").predictor.n_rules == 3
+
+    def test_unregister(self):
+        registry = ModelRegistry()
+        registry.register_predictor("f1", reference_ruleset(1))
+        registry.unregister("f1")
+        assert "f1" not in registry
+
+    def test_non_batch_predictor_rejected(self):
+        with pytest.raises(ServingError, match="predict_batch"):
+            ServableModel(name="bad", kind="rules", predictor=object())
+
+    def test_describe_lists_models(self):
+        registry = ModelRegistry()
+        registry.register_predictor("f1", reference_ruleset(1), kind="rules")
+        assert "f1" in registry.describe()
+        assert "2 rules" in registry.describe()
+
+
+class TestFileLoading:
+    def test_load_rules_file(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text(ruleset_to_json(reference_ruleset(2)))
+        registry = ModelRegistry()
+        model = registry.load_rules_file("f2", path)
+        assert isinstance(model.predictor, RuleSet)
+        assert model.kind == "rules"
+        assert model.classes == ("A", "B")
+
+    def test_load_rules_file_missing(self, tmp_path):
+        with pytest.raises(ServingError, match="not found"):
+            ModelRegistry().load_rules_file("x", tmp_path / "nope.json")
+
+    def test_load_rules_file_corrupt(self, tmp_path):
+        path = tmp_path / "rules.json"
+        path.write_text("{not json")
+        with pytest.raises(ServingError, match="cannot load"):
+            ModelRegistry().load_rules_file("x", path)
+
+    def test_load_network_file_defaults_to_agrawal(self, tmp_path):
+        path = tmp_path / "network.json"
+        path.write_text(network_to_json(new_network(86, 3, 2, seed=0)))
+        model = ModelRegistry().load_network_file("net", path)
+        assert model.kind == "network"
+        assert model.classes == ("A", "B")
+
+    def test_load_network_file_odd_width_needs_encoder(self, tmp_path):
+        path = tmp_path / "network.json"
+        path.write_text(network_to_json(new_network(5, 2, 2, seed=0)))
+        with pytest.raises(ServingError, match="supply the encoder"):
+            ModelRegistry().load_network_file("net", path)
+
+
+class TestArtifactLoading:
+    def test_load_artifact_prefers_rules(self, artifact_cache, fabricate_entry):
+        key = fabricate_entry(artifact_cache, function=1)
+        model = ModelRegistry().load_artifact("m", artifact_cache, key)
+        assert model.kind == "rules"
+        assert key[:16] in model.source
+
+    def test_load_artifact_network(self, artifact_cache, fabricate_entry):
+        key = fabricate_entry(artifact_cache, function=1)
+        model = ModelRegistry().load_artifact(
+            "m", artifact_cache, key, prefer="network"
+        )
+        assert model.kind == "network"
+
+    def test_load_artifact_falls_back_to_network(self, artifact_cache, fabricate_entry):
+        key = fabricate_entry(artifact_cache, function=1, with_rules=False)
+        model = ModelRegistry().load_artifact("m", artifact_cache, key)
+        assert model.kind == "network"
+
+    def test_load_artifact_empty_entry(self, artifact_cache, fabricate_entry):
+        key = fabricate_entry(
+            artifact_cache, function=1, with_rules=False, with_network=False
+        )
+        with pytest.raises(ServingError, match="holds no"):
+            ModelRegistry().load_artifact("m", artifact_cache, key)
+
+    def test_load_artifact_accepts_path(self, artifact_cache, fabricate_entry):
+        key = fabricate_entry(artifact_cache, function=1)
+        model = ModelRegistry().load_artifact("m", artifact_cache.root, key)
+        assert model.kind == "rules"
+
+    def test_load_by_task(self, artifact_cache, fabricate_entry):
+        fabricate_entry(artifact_cache, function=2, seed=0)
+        fabricate_entry(artifact_cache, function=3, seed=0)
+        model = ModelRegistry().load_artifact_by_task("m", artifact_cache, function=2)
+        assert model.predictor.n_rules == reference_ruleset(2).n_rules
+
+    def test_load_by_task_missing(self, artifact_cache, fabricate_entry):
+        with pytest.raises(ServingError, match="no cached artifact"):
+            ModelRegistry().load_artifact_by_task("m", artifact_cache, function=7)
+
+
+class TestCacheFind:
+    def test_find_filters_by_function_and_seed(self, artifact_cache, fabricate_entry):
+        key_a = fabricate_entry(artifact_cache, function=1, seed=0)
+        key_b = fabricate_entry(artifact_cache, function=1, seed=1)
+        key_c = fabricate_entry(artifact_cache, function=2, seed=0)
+        assert sorted(artifact_cache.find(function=1)) == sorted([key_a, key_b])
+        assert artifact_cache.find(function=1, seed=1) == [key_b]
+        assert set(artifact_cache.find(seed=0)) == {key_a, key_c}
+        assert artifact_cache.find(function=9) == []
+
+    def test_find_one_unique(self, artifact_cache, fabricate_entry):
+        key = fabricate_entry(artifact_cache, function=4, seed=0)
+        assert artifact_cache.find_one(4) == key
+
+    def test_find_one_missing(self, artifact_cache, fabricate_entry):
+        with pytest.raises(ExperimentError, match="no cached artifact"):
+            artifact_cache.find_one(4)
+
+    def test_find_one_ambiguous(self, artifact_cache, fabricate_entry):
+        fabricate_entry(artifact_cache, function=4, seed=0)
+        fabricate_entry(
+            artifact_cache, function=4, seed=0, config=ExperimentConfig.quick(n_train=123)
+        )
+        with pytest.raises(ExperimentError, match="disambiguate"):
+            artifact_cache.find_one(4)

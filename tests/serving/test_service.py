@@ -1,0 +1,270 @@
+"""Tests of the micro-batching prediction service."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.data.agrawal import AgrawalGenerator
+from repro.exceptions import ServingError
+from repro.serving import (
+    ModelRegistry,
+    PredictionService,
+    ServableModel,
+    ServiceConfig,
+    reference_ruleset,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    """2 000 clean function-1 tuples plus their true labels."""
+    data = AgrawalGenerator(function=1, perturbation=0.0, seed=31).generate(2000)
+    return data.records, data.labels
+
+
+@pytest.fixture()
+def registry():
+    reg = ModelRegistry()
+    reg.register_predictor("f1", reference_ruleset(1), kind="rules")
+    return reg
+
+
+class TestConfigValidation:
+    def test_bad_batch_size(self):
+        with pytest.raises(ServingError):
+            ServiceConfig(max_batch_size=0)
+
+    def test_bad_delay(self):
+        with pytest.raises(ServingError):
+            ServiceConfig(max_delay=0.0)
+
+    def test_bad_workers(self):
+        with pytest.raises(ServingError):
+            ServiceConfig(workers=0)
+
+    def test_default_stream_window(self):
+        assert ServiceConfig(max_batch_size=100).effective_stream_window == 400
+        assert ServiceConfig(stream_window=7).effective_stream_window == 7
+
+
+class TestMicroBatching:
+    def test_flush_on_size(self, registry, records):
+        batch_size = 128
+        with PredictionService(
+            registry, ServiceConfig(max_batch_size=batch_size, max_delay=30.0)
+        ) as service:
+            handles = [
+                service.submit("f1", record) for record in records[0][:batch_size]
+            ]
+            # The batch filled, so it must resolve without the (30 s) delay
+            # flush ever firing.
+            labels = [h.result(timeout=5.0) for h in handles]
+            stats = service.stats("f1")
+        assert labels == records[1][:batch_size]
+        assert stats.batches == 1
+        assert stats.max_batch_records == batch_size
+
+    def test_flush_on_delay(self, registry, records):
+        with PredictionService(
+            registry, ServiceConfig(max_batch_size=10_000, max_delay=0.05)
+        ) as service:
+            started = time.perf_counter()
+            label = service.predict_record("f1", records[0][0], timeout=5.0)
+            elapsed = time.perf_counter() - started
+            stats = service.stats("f1")
+        assert label == records[1][0]
+        # One record never fills the batch: only the delay flush explains the
+        # result arriving, and it must not take grossly longer than max_delay.
+        assert stats.batches == 1
+        assert stats.max_batch_records == 1
+        assert elapsed < 2.0
+
+    def test_close_flushes_pending(self, registry, records):
+        service = PredictionService(
+            registry, ServiceConfig(max_batch_size=10_000, max_delay=60.0)
+        )
+        handle = service.submit("f1", records[0][0])
+        service.close()
+        assert handle.result(timeout=5.0) == records[1][0]
+
+    def test_submit_after_close_rejected(self, registry, records):
+        service = PredictionService(registry)
+        service.close()
+        with pytest.raises(ServingError, match="closed"):
+            service.submit("f1", records[0][0])
+
+    def test_unknown_model_fails_fast(self, registry, records):
+        with PredictionService(registry) as service:
+            with pytest.raises(ServingError, match="no model registered"):
+                service.submit("nope", records[0][0])
+
+    def test_submit_many_spans_batches(self, registry, records):
+        with PredictionService(
+            registry, ServiceConfig(max_batch_size=64, max_delay=30.0)
+        ) as service:
+            groups = service.submit_many("f1", records[0][:200])
+            total = sum(count for _, _, count in groups)
+            service.flush("f1")  # release the 8-record tail batch
+            labels = []
+            for future, offset, count in groups:
+                labels.extend(future.result(timeout=5.0)[offset : offset + count])
+            stats = service.stats("f1")
+        assert total == 200
+        assert labels == records[1][:200]
+        # 200 records over 64-record batches: three full flushes plus the
+        # explicitly flushed tail.
+        assert stats.batches == 4
+
+
+class TestStreaming:
+    def test_stream_labels_in_order(self, registry, records):
+        with PredictionService(
+            registry, ServiceConfig(max_batch_size=128, workers=3)
+        ) as service:
+            out = list(service.predict_stream("f1", iter(records[0])))
+        assert out == records[1]
+
+    def test_stream_batches_concatenate_in_order(self, registry, records):
+        with PredictionService(
+            registry, ServiceConfig(max_batch_size=256, workers=2)
+        ) as service:
+            arrays = list(service.predict_stream_batches("f1", iter(records[0])))
+        assert all(isinstance(a, np.ndarray) for a in arrays)
+        assert np.concatenate(arrays).tolist() == records[1]
+
+    def test_stream_with_tiny_window(self, registry, records):
+        """A window smaller than the batch size still terminates correctly:
+        the delay flusher releases the head batch the window is waiting on."""
+        with PredictionService(
+            registry, ServiceConfig(max_batch_size=64, max_delay=0.01)
+        ) as service:
+            out = list(
+                service.predict_stream("f1", iter(records[0][:150]), window=16)
+            )
+        assert out == records[1][:150]
+
+    def test_stream_pulls_input_lazily(self, registry, records):
+        """The input iterator is only advanced as the window drains."""
+        pulled = []
+
+        def tracking_iterator():
+            for record in records[0][:500]:
+                pulled.append(None)
+                yield record
+
+        with PredictionService(
+            registry, ServiceConfig(max_batch_size=32, max_delay=0.01)
+        ) as service:
+            stream = service.predict_stream(
+                "f1", tracking_iterator(), window=64, chunk_size=32
+            )
+            next(stream)
+            # One result consumed: the stream must not have drained the input.
+            assert len(pulled) < 500
+            out = [records[1][0]] + list(stream)
+        assert out == records[1][:500]
+        assert len(pulled) == 500
+
+    def test_empty_stream(self, registry):
+        with PredictionService(registry) as service:
+            assert list(service.predict_stream("f1", iter([]))) == []
+
+
+class TestErrorsAndStats:
+    class _Exploding:
+        classes = ("A", "B")
+
+        def predict_batch(self, records):
+            raise RuntimeError("boom")
+
+        def predict(self, records):  # pragma: no cover - protocol filler
+            raise RuntimeError("boom")
+
+    def test_batch_error_propagates_to_handles(self, records):
+        registry = ModelRegistry()
+        registry.register_predictor("bad", self._Exploding(), kind="baseline")
+        with PredictionService(
+            registry, ServiceConfig(max_batch_size=4, max_delay=0.01)
+        ) as service:
+            handles = [service.submit("bad", r) for r in records[0][:4]]
+            for handle in handles:
+                with pytest.raises(RuntimeError, match="boom"):
+                    handle.result(timeout=5.0)
+            stats = service.stats("bad")
+        assert stats.errors == 1
+        assert stats.batches == 1
+
+    def test_length_mismatch_detected(self, records):
+        class Short:
+            classes = ("A", "B")
+
+            def predict_batch(self, batch):
+                return np.asarray(["A"], dtype=object)
+
+            def predict(self, batch):  # pragma: no cover - protocol filler
+                return ["A"]
+
+        registry = ModelRegistry()
+        registry.register_predictor("short", Short(), kind="baseline")
+        with PredictionService(
+            registry, ServiceConfig(max_batch_size=2, max_delay=0.01)
+        ) as service:
+            handles = [service.submit("short", r) for r in records[0][:2]]
+            with pytest.raises(ServingError, match="returned 1 labels"):
+                handles[0].result(timeout=5.0)
+
+    def test_stats_throughput(self, registry, records):
+        with PredictionService(
+            registry, ServiceConfig(max_batch_size=512)
+        ) as service:
+            list(service.predict_stream("f1", iter(records[0])))
+            stats = service.stats("f1")
+        assert stats.records == 2000
+        assert stats.batches >= 4
+        assert stats.records_per_second > 0
+        payload = stats.to_dict()
+        assert payload["records"] == 2000
+        assert payload["mean_batch_size"] == pytest.approx(2000 / stats.batches, rel=0.01)
+
+    def test_predict_batch_direct_records_stats(self, registry, records):
+        with PredictionService(registry) as service:
+            labels = service.predict_batch("f1", records[0][:100])
+            stats = service.stats("f1")
+        assert labels.tolist() == records[1][:100]
+        assert stats.records == 100
+        assert stats.batches == 1
+
+    def test_stats_snapshot_keys(self, registry, records):
+        with PredictionService(registry) as service:
+            service.predict_batch("f1", records[0][:10])
+            snapshot = service.stats_snapshot()
+        assert set(snapshot) == {"f1"}
+        assert snapshot["f1"]["records"] == 10
+
+    def test_concurrent_submitters_preserve_per_thread_order(self, registry, records):
+        """Several threads hammering submit() each see their own labels."""
+        errors = []
+
+        def worker(offset):
+            try:
+                with_labels = records[0][offset : offset + 200]
+                expected = records[1][offset : offset + 200]
+                handles = [service.submit("f1", r) for r in with_labels]
+                got = [h.result(timeout=10.0) for h in handles]
+                assert got == expected
+            except Exception as exc:  # pragma: no cover - failure reporting
+                errors.append(exc)
+
+        with PredictionService(
+            registry, ServiceConfig(max_batch_size=64, max_delay=0.005, workers=4)
+        ) as service:
+            threads = [
+                threading.Thread(target=worker, args=(i * 200,)) for i in range(4)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        assert not errors

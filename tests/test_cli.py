@@ -1,0 +1,236 @@
+"""Tests of the ``python -m repro`` CLI: argument validation and the
+serving subcommands (``predict``, ``serve-bench``) end to end."""
+
+import json
+
+import pytest
+
+from repro.__main__ import build_parser, main, parse_functions, positive_int
+from repro.data.agrawal import AgrawalGenerator
+from repro.data.io import save_csv, write_jsonl
+from repro.experiments.orchestrator import ArtifactCache
+from repro.serving import reference_ruleset
+
+
+class TestParseFunctions:
+    def test_plain_list(self):
+        assert parse_functions("1,2,3") == [1, 2, 3]
+
+    def test_range(self):
+        assert parse_functions("2-5") == [2, 3, 4, 5]
+
+    def test_duplicates_deduped_order_preserved(self):
+        assert parse_functions("3,1,3,2,1") == [3, 1, 2]
+
+    def test_overlapping_range_deduped(self):
+        assert parse_functions("1-3,2-4") == [1, 2, 3, 4]
+
+    def test_out_of_range_fails_fast(self):
+        with pytest.raises(SystemExit, match="outside the benchmark range"):
+            parse_functions("3,3,12")
+
+    def test_zero_rejected(self):
+        with pytest.raises(SystemExit, match="outside the benchmark range"):
+            parse_functions("0")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SystemExit, match="invalid function number"):
+            parse_functions("one")
+
+    def test_empty_rejected(self):
+        with pytest.raises(SystemExit, match="no functions"):
+            parse_functions(",,")
+
+
+class TestPositiveInt:
+    def test_accepts_positive(self):
+        assert positive_int("3") == 3
+
+    def test_rejects_zero_and_negative(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="at least 1"):
+            positive_int("0")
+        with pytest.raises(argparse.ArgumentTypeError, match="at least 1"):
+            positive_int("-2")
+
+    def test_rejects_non_integer(self):
+        import argparse
+
+        with pytest.raises(argparse.ArgumentTypeError, match="expected an integer"):
+            positive_int("two")
+
+
+class TestSweepArgumentValidation:
+    def test_seeds_zero_rejected_at_parse_time(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["sweep", "--seeds", "0"])
+        assert excinfo.value.code == 2
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_processes_zero_rejected_at_parse_time(self, capsys):
+        parser = build_parser()
+        with pytest.raises(SystemExit) as excinfo:
+            parser.parse_args(["sweep", "--processes", "0"])
+        assert excinfo.value.code == 2
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_valid_arguments_accepted(self):
+        args = build_parser().parse_args(["sweep", "--seeds", "2", "--processes", "3"])
+        assert args.seeds == 2
+        assert args.processes == 3
+
+
+@pytest.fixture()
+def jsonl_input(tmp_path):
+    """A JSONL stream of clean function-1 tuples plus the expected labels."""
+    data = AgrawalGenerator(function=1, perturbation=0.0, seed=41).generate(300)
+    path = tmp_path / "tuples.jsonl"
+    write_jsonl(path, (dict(r) for r in data.records))
+    return path, data
+
+
+class TestPredictCommand:
+    def test_predict_from_cached_artifact_jsonl(
+        self, tmp_path, jsonl_input, artifact_cache, fabricate_entry
+    ):
+        """The acceptance-criterion path: a JSONL stream classified end to end
+        from a cached artifact looked up by function, labels in input order."""
+        fabricate_entry(artifact_cache, function=1, seed=0)
+        path, data = jsonl_input
+        out = tmp_path / "labels.jsonl"
+        code = main(
+            [
+                "predict",
+                "--cache-dir",
+                str(artifact_cache.root),
+                "--function",
+                "1",
+                "--input",
+                str(path),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        labels = [json.loads(l)["label"] for l in out.read_text().splitlines()]
+        # The fabricated artifact holds the function-1 reference rules, so
+        # served labels equal the generator's true labels, in input order.
+        assert labels == data.labels
+
+    def test_predict_from_cached_artifact_by_key(
+        self, tmp_path, jsonl_input, artifact_cache, fabricate_entry
+    ):
+        key = fabricate_entry(artifact_cache, function=1, seed=0)
+        path, data = jsonl_input
+        out = tmp_path / "labels.jsonl"
+        code = main(
+            [
+                "predict",
+                "--cache-dir",
+                str(artifact_cache.root),
+                "--key",
+                key,
+                "--input",
+                str(path),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        labels = [json.loads(l)["label"] for l in out.read_text().splitlines()]
+        assert labels == data.labels
+
+    def test_predict_reference_model_jsonl(self, tmp_path, jsonl_input):
+        path, data = jsonl_input
+        out = tmp_path / "labels.jsonl"
+        code = main(
+            [
+                "predict",
+                "--reference-function",
+                "1",
+                "--input",
+                str(path),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        labels = [json.loads(l)["label"] for l in out.read_text().splitlines()]
+        assert labels == data.labels
+
+    def test_predict_csv_input_csv_output(self, tmp_path):
+        data = AgrawalGenerator(function=2, perturbation=0.0, seed=42).generate(200)
+        csv_in = tmp_path / "tuples.csv"
+        save_csv(data, csv_in)
+        out = tmp_path / "labels.csv"
+        code = main(
+            [
+                "predict",
+                "--reference-function",
+                "2",
+                "--input",
+                str(csv_in),
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        lines = out.read_text().splitlines()
+        assert lines[0] == "label"
+        assert lines[1:] == data.labels
+
+    def test_predict_requires_exactly_one_model_source(self, tmp_path, jsonl_input):
+        path, _ = jsonl_input
+        with pytest.raises(SystemExit, match="exactly one model source"):
+            main(["predict", "--input", str(path)])
+        with pytest.raises(SystemExit, match="exactly one model source"):
+            main(
+                [
+                    "predict",
+                    "--reference-function",
+                    "1",
+                    "--rules",
+                    "x.json",
+                    "--input",
+                    str(path),
+                ]
+            )
+
+    def test_predict_cache_dir_needs_key_or_function(self, tmp_path, jsonl_input):
+        path, _ = jsonl_input
+        with pytest.raises(SystemExit, match="--key or --function"):
+            main(
+                [
+                    "predict",
+                    "--cache-dir",
+                    str(tmp_path / "cache"),
+                    "--input",
+                    str(path),
+                ]
+            )
+
+
+class TestServeBenchCommand:
+    def test_serve_bench_writes_report(self, tmp_path):
+        out = tmp_path / "bench.json"
+        code = main(
+            [
+                "serve-bench",
+                "--n",
+                "2000",
+                "--data-seed",
+                "5",
+                "--repeats",
+                "1",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        report = json.loads(out.read_text())
+        assert report["n_records"] == 2000
+        assert report["naive_seconds"] > 0
+        assert report["service_seconds"] > 0
+        assert report["service_stats"]["records"] == 2000
