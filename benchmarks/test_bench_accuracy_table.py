@@ -20,8 +20,16 @@ from repro.experiments.paper_values import PAPER_ACCURACY_TABLE
 
 
 def test_bench_accuracy_table(benchmark, run_once, bench_config):
-    """E6: regenerate the accuracy table for all eight evaluated functions."""
-    table = run_once(benchmark, build_accuracy_table, EVALUATED_FUNCTIONS, bench_config)
+    """E6: regenerate the accuracy table for all eight evaluated functions.
+
+    ``retry_replicates=1`` keeps the reduced-scale table robust: at this
+    budget the extraction step of an unlucky data/network sample can blow
+    its rule-substitution bound, and the affected function is re-run once
+    with the replicate-1 seeds instead of failing the whole table.
+    """
+    table = run_once(
+        benchmark, build_accuracy_table, EVALUATED_FUNCTIONS, bench_config, 1
+    )
 
     print("\n[E6] " + table.describe(include_paper=True))
     gap = table.mean_absolute_gap()

@@ -46,20 +46,28 @@ Sub-packages
 """
 
 from repro.core.neurorule import NeuroRuleClassifier, NeuroRuleConfig
-from repro.data.agrawal import AgrawalGenerator, agrawal_schema, generate_function_dataset
+from repro.data.agrawal import (
+    AgrawalGenerator,
+    DriftPoint,
+    agrawal_schema,
+    generate_function_dataset,
+)
+from repro.data.columnar import ColumnarDataset
 from repro.data.dataset import Dataset
 from repro.data.schema import CategoricalAttribute, ContinuousAttribute, Schema
 from repro.exceptions import ReproError
 from repro.inference import BatchPredictor, NetworkBatchPredictor, compile_ruleset
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AgrawalGenerator",
     "BatchPredictor",
     "CategoricalAttribute",
+    "ColumnarDataset",
     "ContinuousAttribute",
     "Dataset",
+    "DriftPoint",
     "NetworkBatchPredictor",
     "NeuroRuleClassifier",
     "NeuroRuleConfig",

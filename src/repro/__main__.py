@@ -1,4 +1,4 @@
-"""``python -m repro`` — the experiment and serving CLI.
+"""``python -m repro`` — the experiment, data and serving CLI.
 
 Subcommands:
 
@@ -11,6 +11,12 @@ Subcommands:
 ``cache``
     Inspect an artifact cache directory: one line per completed entry with
     its key, function, seed and configuration label.
+
+``generate``
+    Stream labelled Agrawal tuples to a CSV/JSONL file in bounded-size
+    columnar chunks — multi-million-tuple workloads never materialise in
+    memory.  A drift point can switch the labelling function and/or the
+    perturbation factor mid-stream (concept-drift scenarios).
 
 ``predict``
     Classify a CSV/JSONL record stream with a served model — loaded from an
@@ -27,6 +33,10 @@ Examples::
     python -m repro sweep --functions 1,2,3 --seeds 2 --processes 2 \\
         --cache-dir .repro-cache --out sweep.json
     python -m repro cache --cache-dir .repro-cache
+    python -m repro generate --function 2 --n 1000000 --seed 1 \\
+        --out tuples.jsonl
+    python -m repro generate --function 2 --n 1000000 --drift-at 500000 \\
+        --drift-function 5 --out drifted.jsonl
     python -m repro predict --cache-dir .repro-cache --function 2 \\
         --input tuples.csv --out labels.jsonl
     python -m repro predict --reference-function 1 --input tuples.jsonl
@@ -172,6 +182,91 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             handle.write("\n")
         print(f"wrote {args.out}")
     return 1 if sweep.failures else 0
+
+
+# ---------------------------------------------------------------------------
+# Data generation
+# ---------------------------------------------------------------------------
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    from repro.data.agrawal import AgrawalGenerator, DriftPoint
+    from repro.data.io import write_csv, write_jsonl
+
+    if args.function not in FUNCTION_RANGE:
+        raise SystemExit(
+            f"error: function {args.function} is outside the benchmark range "
+            f"{FUNCTION_RANGE.start}-{FUNCTION_RANGE.stop - 1}"
+        )
+    drift = None
+    if args.drift_function is not None or args.drift_perturbation is not None:
+        if args.drift_at is None:
+            raise SystemExit(
+                "error: --drift-function/--drift-perturbation need --drift-at"
+            )
+        drift = [
+            DriftPoint(
+                at=args.drift_at,
+                function=args.drift_function,
+                perturbation=args.drift_perturbation,
+            )
+        ]
+    elif args.drift_at is not None:
+        raise SystemExit(
+            "error: --drift-at needs --drift-function and/or --drift-perturbation"
+        )
+    generator = AgrawalGenerator(
+        function=args.function, perturbation=args.perturbation, seed=args.seed
+    )
+    if not args.no_class and args.class_column in generator.schema:
+        raise SystemExit(
+            f"error: class column name {args.class_column!r} collides with an "
+            "attribute name"
+        )
+    form = args.format
+    if form == "auto":
+        form = "jsonl" if Path(args.out).suffix in (".jsonl", ".ndjson") else "csv"
+    chunks_written = 0
+    started = perf_counter()
+
+    def rows():
+        nonlocal chunks_written
+        for chunk in generator.iter_chunks(
+            args.n, chunk_size=args.chunk_size, drift=drift
+        ):
+            chunks_written += 1
+            if args.no_class:
+                for record, _ in chunk.iter_rows():
+                    yield record
+            else:
+                for record, label in chunk.iter_rows():
+                    record[args.class_column] = label
+                    yield record
+
+    if form == "jsonl":
+        count = write_jsonl(args.out, rows())
+    else:
+        fieldnames = list(generator.schema.attribute_names)
+        if not args.no_class:
+            fieldnames.append(args.class_column)
+        count = write_csv(args.out, rows(), fieldnames)
+    elapsed = perf_counter() - started
+    drift_note = ""
+    if drift is not None:
+        point = drift[0]
+        switches = []
+        if point.function is not None:
+            switches.append(f"function {point.function}")
+        if point.perturbation is not None:
+            switches.append(f"perturbation {point.perturbation}")
+        drift_note = f", drift at {point.at} -> {' + '.join(switches)}"
+    print(
+        f"generated {count} function-{args.function} tuple(s) in {elapsed:.2f}s "
+        f"({count / elapsed:,.0f} tuples/s) — {chunks_written} chunk(s) of "
+        f"<= {args.chunk_size}{drift_note}",
+        file=sys.stderr,
+    )
+    print(f"wrote {args.out}", file=sys.stderr)
+    return 0
 
 
 # ---------------------------------------------------------------------------
@@ -492,6 +587,73 @@ def build_parser() -> argparse.ArgumentParser:
     cache = commands.add_parser("cache", help="list the entries of an artifact cache")
     cache.add_argument("--cache-dir", required=True, help="artifact cache root")
     cache.set_defaults(handler=_cmd_cache)
+
+    generate = commands.add_parser(
+        "generate",
+        help="stream labelled Agrawal tuples to CSV/JSONL in bounded-memory chunks",
+    )
+    generate.add_argument(
+        "--function",
+        type=positive_int,
+        default=2,
+        help="Agrawal benchmark function labelling the tuples (default: 2)",
+    )
+    generate.add_argument(
+        "--n", type=positive_int, required=True, help="number of tuples to generate"
+    )
+    generate.add_argument(
+        "--out", required=True, help="output file (.jsonl/.ndjson for JSONL, else CSV)"
+    )
+    generate.add_argument(
+        "--format",
+        choices=("auto", "csv", "jsonl"),
+        default="auto",
+        help="output format (default: by file extension)",
+    )
+    generate.add_argument(
+        "--chunk-size",
+        type=positive_int,
+        default=100_000,
+        help="tuples generated (and resident) per columnar chunk (default: 100000)",
+    )
+    generate.add_argument(
+        "--perturbation",
+        type=float,
+        default=0.05,
+        help="perturbation factor in [0, 1) (default: 0.05, as in the paper)",
+    )
+    generate.add_argument(
+        "--seed", type=int, default=None, help="generator seed (default: random)"
+    )
+    generate.add_argument(
+        "--class-column",
+        default="class",
+        help="column name for the class label (default: class)",
+    )
+    generate.add_argument(
+        "--no-class",
+        action="store_true",
+        help="omit the class label (unlabelled prediction input)",
+    )
+    generate.add_argument(
+        "--drift-at",
+        type=positive_int,
+        default=None,
+        help="tuple index at which the scenario drifts",
+    )
+    generate.add_argument(
+        "--drift-function",
+        type=positive_int,
+        default=None,
+        help="labelling function after the drift point",
+    )
+    generate.add_argument(
+        "--drift-perturbation",
+        type=float,
+        default=None,
+        help="perturbation factor after the drift point",
+    )
+    generate.set_defaults(handler=_cmd_generate)
 
     predict = commands.add_parser(
         "predict",

@@ -2,10 +2,12 @@
 
 from repro.data.agrawal import (
     AgrawalGenerator,
+    DriftPoint,
     agrawal_schema,
     class_balance_report,
     generate_function_dataset,
 )
+from repro.data.columnar import ColumnarDataset, columnar_from_records
 from repro.data.dataset import Dataset, from_arrays
 from repro.data.io import (
     infer_schema,
@@ -14,16 +16,20 @@ from repro.data.io import (
     load_csv,
     load_csv_with_inferred_schema,
     save_csv,
+    write_csv,
     write_jsonl,
 )
 from repro.data.functions import (
+    BATCH_FUNCTIONS,
     EVALUATED_FUNCTIONS,
     FUNCTIONS,
     GROUND_TRUTH_RULES,
     RELEVANT_ATTRIBUTES,
     SKEWED_FUNCTIONS,
+    get_batch_function,
     get_function,
     ground_truth_label,
+    label_batch,
 )
 from repro.data.schema import (
     CategoricalAttribute,
@@ -40,9 +46,12 @@ from repro.data.synthetic import (
 
 __all__ = [
     "AgrawalGenerator",
+    "BATCH_FUNCTIONS",
     "CategoricalAttribute",
+    "ColumnarDataset",
     "ContinuousAttribute",
     "Dataset",
+    "DriftPoint",
     "EVALUATED_FUNCTIONS",
     "FUNCTIONS",
     "GROUND_TRUTH_RULES",
@@ -53,17 +62,21 @@ __all__ = [
     "binary_schema",
     "boolean_function_dataset",
     "class_balance_report",
+    "columnar_from_records",
     "from_arrays",
     "generate_function_dataset",
+    "get_batch_function",
     "get_function",
     "ground_truth_label",
     "infer_schema",
     "iter_csv_records",
     "iter_jsonl_records",
+    "label_batch",
     "load_csv",
     "load_csv_with_inferred_schema",
     "make_schema",
     "save_csv",
+    "write_csv",
     "write_jsonl",
     "wide_binary_dataset",
     "xor_dataset",

@@ -23,17 +23,39 @@ as in the original benchmark: each numeric attribute value is shifted by a
 uniform random amount in ``±p·range`` and clipped back into its range.  This
 means a perturbed tuple can carry a label inconsistent with its stored
 attribute values, which is what makes the benchmark non-trivial.
+
+Columnar generation
+-------------------
+Generation is columnar: all nine attributes are sampled as NumPy arrays in
+one shot (:meth:`AgrawalGenerator.generate`), labelled with the vectorised
+benchmark functions and perturbed with clipped vectorised noise, yielding a
+:class:`~repro.data.columnar.ColumnarDataset`.  A per-record reference path
+(:meth:`AgrawalGenerator.generate_scalar`) is kept for equivalence testing:
+every random stream is a *per-attribute* child of the seed, consumed one
+value per tuple, so the scalar and columnar paths (and any chunking of the
+columnar path) produce bit-identical tuples, labels and perturbed values.
+
+:meth:`AgrawalGenerator.iter_chunks` streams a workload as bounded-size
+columnar chunks and supports *drift scenarios*: a :class:`DriftPoint`
+switches the labelling function and/or the perturbation factor mid-stream,
+opening concept-drift workloads on top of the classic benchmark.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.data.columnar import ColumnarDataset
 from repro.data.dataset import Dataset, Record
-from repro.data.functions import Labeller, get_function
+from repro.data.functions import (
+    BatchLabeller,
+    Labeller,
+    get_batch_function,
+    get_function,
+)
 from repro.data.schema import (
     CategoricalAttribute,
     ContinuousAttribute,
@@ -52,6 +74,19 @@ _ZIPCODE_FACTORS = tuple(range(1, 10))
 #: Numeric attributes subject to perturbation (categorical codes are not
 #: perturbed, matching the original benchmark).
 PERTURBED_ATTRIBUTES = ("salary", "commission", "age", "hvalue", "hyears", "loan")
+
+#: Table-1 sampling order; fixes the per-attribute stream assignment.
+ATTRIBUTE_ORDER = (
+    "salary",
+    "commission",
+    "age",
+    "elevel",
+    "car",
+    "zipcode",
+    "hvalue",
+    "hyears",
+    "loan",
+)
 
 
 def agrawal_schema() -> Schema:
@@ -76,6 +111,39 @@ def agrawal_schema() -> Schema:
     )
 
 
+@dataclass(frozen=True)
+class DriftPoint:
+    """A mid-stream scenario switch for :meth:`AgrawalGenerator.iter_chunks`.
+
+    At tuple index ``at`` (0-based, counted over the whole stream) the
+    generator switches to labelling function ``function`` and/or perturbation
+    factor ``perturbation`` for all subsequent tuples.  The attribute sample
+    itself is unaffected — only the concept (labels) and/or the noise level
+    drift, which is exactly the classic "sudden concept drift" workload built
+    on this generator.
+    """
+
+    at: int
+    function: Optional[int] = None
+    perturbation: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.at <= 0:
+            raise DataGenerationError(
+                f"drift point must be at a positive tuple index, got {self.at}"
+            )
+        if self.function is None and self.perturbation is None:
+            raise DataGenerationError(
+                "a drift point must change the function and/or the perturbation"
+            )
+        if self.function is not None:
+            get_function(self.function)  # validates the number
+        if self.perturbation is not None and not (0.0 <= self.perturbation < 1.0):
+            raise DataGenerationError(
+                f"perturbation must be in [0, 1), got {self.perturbation}"
+            )
+
+
 @dataclass
 class AgrawalGenerator:
     """Generator of labelled tuples for one of the ten benchmark functions.
@@ -87,8 +155,12 @@ class AgrawalGenerator:
     perturbation:
         Perturbation factor in [0, 1).  The paper uses 0.05.
     seed:
-        Seed for the underlying NumPy generator; generation is fully
-        deterministic given the seed.
+        Seed for the underlying NumPy generators; generation is fully
+        deterministic given the seed.  Each attribute samples from its own
+        child stream (and each perturbed attribute draws noise from its own
+        child stream), so the scalar reference path, the one-shot columnar
+        path and the chunked streaming path all consume the randomness
+        identically.
     """
 
     function: int = 2
@@ -102,31 +174,49 @@ class AgrawalGenerator:
                 f"perturbation must be in [0, 1), got {self.perturbation}"
             )
         self._labeller: Labeller = get_function(self.function)
-        # Attribute sampling and perturbation use independent streams so that
-        # the same seed yields the same underlying tuples regardless of the
-        # perturbation factor (only the stored noisy values differ).
+        self._batch_labeller: BatchLabeller = get_batch_function(self.function)
+        # Attribute sampling and perturbation use independent stream families
+        # so that the same seed yields the same underlying tuples regardless
+        # of the perturbation factor (only the stored noisy values differ).
         sampling_seed, noise_seed = np.random.SeedSequence(self.seed).spawn(2)
-        self._rng = np.random.default_rng(sampling_seed)
-        self._noise_rng = np.random.default_rng(noise_seed)
+        self._attr_rngs: Dict[str, np.random.Generator] = {
+            name: np.random.default_rng(child)
+            for name, child in zip(ATTRIBUTE_ORDER, sampling_seed.spawn(len(ATTRIBUTE_ORDER)))
+        }
+        # One noise stream per perturbed attribute, drawn from unconditionally:
+        # a zero commission used to skip its draw, shifting the noise applied
+        # to every later attribute of that record depending on the data.
+        self._noise_rngs: Dict[str, np.random.Generator] = {
+            name: np.random.default_rng(child)
+            for name, child in zip(
+                PERTURBED_ATTRIBUTES, noise_seed.spawn(len(PERTURBED_ATTRIBUTES))
+            )
+        }
 
     # -- raw attribute sampling -------------------------------------------
 
     def _sample_record(self) -> Record:
-        """Sample one unlabelled record according to Table 1."""
-        rng = self._rng
-        salary = float(rng.uniform(20_000.0, 150_000.0))
+        """Sample one unlabelled record according to Table 1 (reference path).
+
+        Integer-flagged attributes (``age``, ``hyears``) are stored as
+        ``int``, matching the categorical codes; the columnar path stores the
+        same values in integer-dtype arrays.  The commission draw happens
+        unconditionally (and is discarded for high salaries) so the
+        commission stream stays aligned with the columnar path.
+        """
+        rng = self._attr_rngs
+        salary = float(rng["salary"].uniform(20_000.0, 150_000.0))
+        commission = float(rng["commission"].uniform(10_000.0, 75_000.0))
         if salary >= 75_000.0:
             commission = 0.0
-        else:
-            commission = float(rng.uniform(10_000.0, 75_000.0))
-        age = float(rng.integers(20, 81))
-        elevel = int(rng.integers(0, 5))
-        car = int(rng.integers(1, 21))
-        zipcode = int(rng.integers(0, 9))
+        age = int(rng["age"].integers(20, 81))
+        elevel = int(rng["elevel"].integers(0, 5))
+        car = int(rng["car"].integers(1, 21))
+        zipcode = int(rng["zipcode"].integers(0, 9))
         k = _ZIPCODE_FACTORS[zipcode]
-        hvalue = float(rng.uniform(0.5 * k * 100_000.0, 1.5 * k * 100_000.0))
-        hyears = float(rng.integers(1, 31))
-        loan = float(rng.uniform(0.0, 500_000.0))
+        hvalue = float(rng["hvalue"].uniform(0.5 * k * 100_000.0, 1.5 * k * 100_000.0))
+        hyears = int(rng["hyears"].integers(1, 31))
+        loan = float(rng["loan"].uniform(0.0, 500_000.0))
         return {
             "salary": salary,
             "commission": commission,
@@ -139,27 +229,85 @@ class AgrawalGenerator:
             "loan": loan,
         }
 
-    def _perturb(self, record: Record) -> Record:
+    def _sample_columns(self, n: int) -> Dict[str, np.ndarray]:
+        """Sample ``n`` unlabelled Table-1 tuples as column arrays."""
+        rng = self._attr_rngs
+        salary = rng["salary"].uniform(20_000.0, 150_000.0, size=n)
+        commission = rng["commission"].uniform(10_000.0, 75_000.0, size=n)
+        commission[salary >= 75_000.0] = 0.0
+        age = rng["age"].integers(20, 81, size=n)
+        elevel = rng["elevel"].integers(0, 5, size=n)
+        car = rng["car"].integers(1, 21, size=n)
+        zipcode = rng["zipcode"].integers(0, 9, size=n)
+        k = np.asarray(_ZIPCODE_FACTORS, dtype=float)[zipcode]
+        hvalue = rng["hvalue"].uniform(0.5 * k * 100_000.0, 1.5 * k * 100_000.0)
+        hyears = rng["hyears"].integers(1, 31, size=n)
+        loan = rng["loan"].uniform(0.0, 500_000.0, size=n)
+        return {
+            "salary": salary,
+            "commission": commission,
+            "age": age,
+            "elevel": elevel,
+            "car": car,
+            "zipcode": zipcode,
+            "hvalue": hvalue,
+            "hyears": hyears,
+            "loan": loan,
+        }
+
+    # -- perturbation ------------------------------------------------------
+
+    def _perturb(self, record: Record, perturbation: Optional[float] = None) -> Record:
         """Perturb the numeric attributes of an already-labelled record.
 
         Each perturbed value is clipped back into the attribute's declared
         range so the record still validates against the schema.  Zero
         commission is left at zero (the benchmark treats "no commission" as a
-        structural zero, not a noisy measurement).
+        structural zero, not a noisy measurement), but its noise draw still
+        happens so the per-attribute noise streams stay aligned whatever the
+        data looks like.
         """
-        if self.perturbation == 0.0:
+        p = self.perturbation if perturbation is None else perturbation
+        if p == 0.0:
             return dict(record)
         out = dict(record)
         for name in PERTURBED_ATTRIBUTES:
             attr = self.schema.attribute(name)
             value = float(out[name])  # type: ignore[arg-type]
+            noise = float(self._noise_rngs[name].uniform(-1.0, 1.0))
             if name == "commission" and value == 0.0:
                 continue
-            delta = float(self._noise_rng.uniform(-1.0, 1.0)) * self.perturbation * attr.span  # type: ignore[union-attr]
+            delta = noise * p * attr.span  # type: ignore[union-attr]
             value = min(max(value + delta, attr.low), attr.high)  # type: ignore[union-attr]
             if getattr(attr, "integer", False):
-                value = float(round(value))
-            out[name] = value
+                out[name] = int(round(value))
+            else:
+                out[name] = value
+        return out
+
+    def _perturb_columns(
+        self, columns: Dict[str, np.ndarray], perturbation: Optional[float] = None
+    ) -> Dict[str, np.ndarray]:
+        """Columnar counterpart of :meth:`_perturb` (bit-compatible)."""
+        p = self.perturbation if perturbation is None else perturbation
+        if p == 0.0:
+            return dict(columns)
+        out = dict(columns)
+        n = len(columns["salary"])
+        for name in PERTURBED_ATTRIBUTES:
+            attr = self.schema.attribute(name)
+            values = columns[name].astype(float)
+            noise = self._noise_rngs[name].uniform(-1.0, 1.0, size=n)
+            delta = noise * p * attr.span  # type: ignore[union-attr]
+            # min(max(...)) rather than np.clip: identical operation order to
+            # the scalar path, so results match bit for bit.
+            shifted = np.minimum(np.maximum(values + delta, attr.low), attr.high)  # type: ignore[union-attr]
+            if name == "commission":
+                shifted = np.where(values == 0.0, 0.0, shifted)
+            if getattr(attr, "integer", False):
+                out[name] = np.rint(shifted).astype(np.int64)
+            else:
+                out[name] = shifted
         return out
 
     # -- public API ---------------------------------------------------------
@@ -168,24 +316,52 @@ class AgrawalGenerator:
         """Generate a single-record dataset (mostly useful in doctests)."""
         return self.generate(1)
 
-    def generate(self, n: int) -> Dataset:
-        """Generate ``n`` labelled, perturbed records as a :class:`Dataset`."""
+    def generate(self, n: int) -> ColumnarDataset:
+        """Generate ``n`` labelled, perturbed records columnar-fashion.
+
+        All nine attribute columns are sampled in one vectorised shot,
+        labelled with the vectorised benchmark function and perturbed with
+        vectorised clipped noise.  Bit-identical to
+        :meth:`generate_scalar` for the same seed.
+        """
+        if n <= 0:
+            raise DataGenerationError(f"number of tuples must be positive, got {n}")
+        clean = self._sample_columns(n)
+        labels = self._batch_labeller(clean)
+        return ColumnarDataset(
+            self.schema, self._perturb_columns(clean), labels, validate=False
+        )
+
+    def generate_scalar(self, n: int) -> Dataset:
+        """Generate ``n`` records through the per-record reference path.
+
+        Kept as the executable specification of the generator: property tests
+        (and the generation benchmark) check that :meth:`generate` reproduces
+        this path tuple for tuple.
+        """
         if n <= 0:
             raise DataGenerationError(f"number of tuples must be positive, got {n}")
         records: List[Record] = []
         labels: List[str] = []
         for _ in range(n):
             clean = self._sample_record()
-            label = self._labeller(clean)
+            labels.append(self._labeller(clean))
             records.append(self._perturb(clean))
-            labels.append(label)
         return Dataset(self.schema, records, labels, validate=False)
 
-    def generate_clean(self, n: int) -> Dataset:
+    def generate_clean(self, n: int) -> ColumnarDataset:
         """Generate ``n`` labelled records *without* perturbation.
 
         Useful for tests that check the generator's labelling logic exactly.
         """
+        if n <= 0:
+            raise DataGenerationError(f"number of tuples must be positive, got {n}")
+        clean = self._sample_columns(n)
+        labels = self._batch_labeller(clean)
+        return ColumnarDataset(self.schema, clean, labels, validate=False)
+
+    def generate_clean_scalar(self, n: int) -> Dataset:
+        """Per-record reference path of :meth:`generate_clean`."""
         if n <= 0:
             raise DataGenerationError(f"number of tuples must be positive, got {n}")
         records: List[Record] = []
@@ -196,7 +372,64 @@ class AgrawalGenerator:
             labels.append(self._labeller(clean))
         return Dataset(self.schema, records, labels, validate=False)
 
-    def train_test(self, n_train: int, n_test: int) -> Dict[str, Dataset]:
+    # -- streaming ---------------------------------------------------------
+
+    def iter_chunks(
+        self,
+        n: int,
+        chunk_size: int = 100_000,
+        drift: Optional[Sequence[DriftPoint]] = None,
+    ) -> Iterator[ColumnarDataset]:
+        """Stream ``n`` tuples as bounded-size columnar chunks.
+
+        Memory stays bounded by ``chunk_size`` whatever ``n`` is; the
+        concatenation of all chunks equals :meth:`generate(n) <generate>` for
+        the same seed (per-attribute streams are consumed contiguously, and
+        chunked NumPy draws match one-shot draws value for value).
+
+        ``drift`` points split chunks at their ``at`` offsets and switch the
+        labelling function and/or perturbation factor for everything after —
+        the concept-drift scenario hook.  Drift points at or beyond ``n`` are
+        ignored.
+        """
+        if n <= 0:
+            raise DataGenerationError(f"number of tuples must be positive, got {n}")
+        if chunk_size <= 0:
+            raise DataGenerationError(
+                f"chunk size must be positive, got {chunk_size}"
+            )
+        points = sorted(drift or [], key=lambda point: point.at)
+        offsets = [point.at for point in points]
+        if len(set(offsets)) != len(offsets):
+            raise DataGenerationError(
+                f"drift points must have distinct offsets, got {offsets}"
+            )
+        batch_labeller = self._batch_labeller
+        perturbation = self.perturbation
+        position = 0
+        pending = list(points)
+        while position < n:
+            end = min(position + chunk_size, n)
+            if pending and pending[0].at < end:
+                end = pending[0].at  # pending offsets are always > position
+            chunk = end - position
+            clean = self._sample_columns(chunk)
+            labels = batch_labeller(clean)
+            yield ColumnarDataset(
+                self.schema,
+                self._perturb_columns(clean, perturbation),
+                labels,
+                validate=False,
+            )
+            position = end
+            while pending and pending[0].at <= position:
+                point = pending.pop(0)
+                if point.function is not None:
+                    batch_labeller = get_batch_function(point.function)
+                if point.perturbation is not None:
+                    perturbation = point.perturbation
+
+    def train_test(self, n_train: int, n_test: int) -> Dict[str, ColumnarDataset]:
         """Generate independent training and testing datasets.
 
         The paper trains on 1 000 tuples and tests on 1 000 tuples for the
@@ -211,7 +444,7 @@ def generate_function_dataset(
     n: int,
     perturbation: float = 0.05,
     seed: Optional[int] = None,
-) -> Dataset:
+) -> ColumnarDataset:
     """One-call convenience wrapper around :class:`AgrawalGenerator`."""
     return AgrawalGenerator(function=function, perturbation=perturbation, seed=seed).generate(n)
 

@@ -1,0 +1,398 @@
+"""Columnar dataset storage: one NumPy array per attribute.
+
+:class:`ColumnarDataset` is the columnar counterpart of
+:class:`~repro.data.dataset.Dataset`: the same schema/records/labels contract,
+but backed by per-attribute NumPy arrays instead of a Python list of dicts.
+It is what the vectorised Agrawal generator produces and what the encoder's
+batch path consumes — multi-million-tuple workloads never build a per-record
+dict unless something genuinely record-oriented (C4.5 tree induction, JSON
+export of single tuples) asks for one.
+
+Design notes
+------------
+* ``ColumnarDataset`` subclasses ``Dataset`` so every ``isinstance(x,
+  Dataset)`` call site keeps working; ``records`` and ``labels`` become lazy
+  properties that materialise (and cache) plain-Python structures on first
+  access.  Materialised records carry Python scalars (``int``/``float``/
+  ``str``), so they compare equal to scalar-generated records and serialise
+  straight to JSON.
+* ``subset`` with a ``range``/``slice`` of step 1 returns zero-copy column
+  *views* — the nested Table-3 prefix test sets of
+  :mod:`repro.experiments.function4` share the parent's memory.
+* Integer-valued attributes keep an integer dtype (the schema's ``integer``
+  flag and categorical int domains drive this), fixing the float/int
+  inconsistency of the old per-record generator.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.data.dataset import Dataset, Record
+from repro.data.schema import AttributeValue, Schema
+from repro.exceptions import DataGenerationError, SchemaError
+
+Indices = Union[Sequence[int], range, slice, np.ndarray]
+
+
+def _as_slice(indices: Indices) -> Optional[slice]:
+    """The basic-slicing form of ``indices`` (a NumPy view), or ``None``.
+
+    Only the unambiguous forms map to a slice: an explicit ``slice``, an
+    empty ``range`` and step-1 ranges of non-negative indices.  A ``range``
+    holds *absolute* indices while a slice's negative bounds are
+    end-relative, so anything involving negative range values falls back to
+    fancy indexing, which treats them as the row indices they are.
+    """
+    if isinstance(indices, slice):
+        return indices
+    if isinstance(indices, range):
+        if len(indices) == 0:
+            return slice(0, 0, 1)
+        if indices.step == 1 and indices.start >= 0:
+            return slice(indices.start, indices.stop, 1)
+    return None
+
+
+class ColumnarDataset(Dataset):
+    """A labelled dataset stored as per-attribute column arrays.
+
+    Parameters
+    ----------
+    schema:
+        The attribute schema the columns conform to.
+    columns:
+        Mapping from attribute name to an equal-length 1-D array (anything
+        ``np.asarray`` accepts).  Every schema attribute must be present.
+    labels:
+        Class label per row: an array or sequence of strings.
+    validate:
+        When ``True``, vectorised range/domain checks run over every column
+        (the columnar analogue of ``Schema.validate_record``).
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Mapping[str, Union[np.ndarray, Sequence[AttributeValue]]],
+        labels: Union[np.ndarray, Sequence[str]],
+        validate: bool = True,
+    ) -> None:
+        # Deliberately no super().__init__(): records/labels are lazy
+        # properties here, not stored fields.
+        self.schema = schema
+        self.validate = validate
+        missing = [a.name for a in schema.attributes if a.name not in columns]
+        if missing:
+            raise SchemaError(f"columns missing for attributes: {missing}")
+        unknown = sorted(set(columns) - set(schema.attribute_names))
+        if unknown:
+            raise SchemaError(f"columns supplied for unknown attributes: {unknown}")
+        self._columns: Dict[str, np.ndarray] = {}
+        n: Optional[int] = None
+        for attribute in schema.attributes:
+            column = np.asarray(columns[attribute.name])
+            if column.ndim != 1:
+                raise SchemaError(
+                    f"column {attribute.name!r} must be 1-D, got shape {column.shape}"
+                )
+            if n is None:
+                n = column.shape[0]
+            elif column.shape[0] != n:
+                raise SchemaError(
+                    f"column {attribute.name!r} has length {column.shape[0]}, "
+                    f"expected {n}"
+                )
+            self._columns[attribute.name] = column
+        label_array = np.asarray(labels)
+        if label_array.ndim != 1 or (n is not None and label_array.shape[0] != n):
+            raise SchemaError(
+                f"labels have shape {label_array.shape}, expected ({n},)"
+            )
+        self._label_values = label_array
+        self._n = int(n if n is not None else 0)
+        self._records_cache: Optional[List[Record]] = None
+        self._labels_cache: Optional[List[str]] = None
+        self._label_array = None  # mirrors the Dataset field used by label_indices
+        if validate:
+            self._validate_columns()
+
+    # -- validation --------------------------------------------------------
+
+    def _check_labels(self, labels: np.ndarray) -> None:
+        """Raise :class:`SchemaError` when any label is outside the classes."""
+        outside = ~np.isin(labels, np.asarray(self.schema.classes))
+        if outside.any():
+            index = int(np.argmax(outside))
+            raise SchemaError(
+                f"unknown class label {labels[index]!r}; "
+                f"known: {list(self.schema.classes)}"
+            )
+
+    def _validate_columns(self) -> None:
+        """Vectorised schema validation over whole columns."""
+        for attribute in self.schema.attributes:
+            column = self._columns[attribute.name]
+            if attribute.is_continuous:
+                try:
+                    values = column.astype(float)
+                except (TypeError, ValueError) as exc:
+                    raise SchemaError(
+                        f"attribute {attribute.name!r}: column is not numeric"
+                    ) from exc
+                bad = (values < attribute.low) | (values > attribute.high)
+                if bad.any():
+                    index = int(np.argmax(bad))
+                    raise SchemaError(
+                        f"attribute {attribute.name!r}: value {values[index]} "
+                        f"outside [{attribute.low}, {attribute.high}]"
+                    )
+            else:
+                try:
+                    domain = np.asarray(
+                        attribute.values,
+                        dtype=column.dtype if column.dtype.kind in "biuf" else object,
+                    )
+                except (TypeError, ValueError):
+                    # Numeric column against a non-numeric domain: nothing can
+                    # match, but the comparison itself must not blow up.
+                    domain = np.asarray(attribute.values, dtype=object)
+                inside = np.isin(column, domain)
+                if not inside.all():
+                    index = int(np.argmax(~inside))
+                    raise SchemaError(
+                        f"attribute {attribute.name!r}: value "
+                        f"{column[index]!r} not in domain {attribute.values!r}"
+                    )
+        self._check_labels(self._label_values)
+
+    # -- columnar access ---------------------------------------------------
+
+    @property
+    def columns(self) -> Dict[str, np.ndarray]:
+        """The stored column arrays, keyed by attribute name (do not mutate)."""
+        return self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        """The stored array for attribute ``name`` (zero-copy)."""
+        try:
+            return self._columns[name]
+        except KeyError as exc:
+            raise SchemaError(
+                f"unknown attribute {name!r}; known: {self.schema.attribute_names}"
+            ) from exc
+
+    def column_values(self, name: str) -> List[AttributeValue]:
+        """Attribute ``name`` as a list of Python scalars.
+
+        This is the column provider the inference layer's ``ColumnCache``
+        uses; it avoids materialising per-record dicts for rule evaluation.
+        """
+        return self.column(name).tolist()
+
+    def label_array(self) -> np.ndarray:
+        """The stored label array (zero-copy)."""
+        return self._label_values
+
+    # -- Dataset contract --------------------------------------------------
+
+    @property
+    def records(self) -> List[Record]:  # type: ignore[override]
+        """Per-record dicts, materialised lazily on first access."""
+        if self._records_cache is None:
+            names = self.schema.attribute_names
+            lists = [self._columns[name].tolist() for name in names]
+            self._records_cache = [
+                dict(zip(names, row)) for row in zip(*lists)
+            ] if lists else []
+        return self._records_cache
+
+    @property
+    def labels(self) -> List[str]:  # type: ignore[override]
+        """Labels as a plain list, materialised lazily on first access."""
+        if self._labels_cache is None:
+            self._labels_cache = self._label_values.tolist()
+        return self._labels_cache
+
+    @property
+    def records_materialized(self) -> bool:
+        """Whether the per-record dict view has been built."""
+        return self._records_cache is not None
+
+    def __len__(self) -> int:
+        return self._n
+
+    def __repr__(self) -> str:
+        return (
+            f"ColumnarDataset(n={self._n}, "
+            f"attributes={self.schema.n_attributes}, "
+            f"classes={self.schema.classes})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Dataset):
+            return NotImplemented
+        return (
+            self.schema.attribute_names == other.schema.attribute_names
+            and self.schema.classes == other.schema.classes
+            and self.labels == other.labels
+            and self.records == other.records
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # mutable container, like Dataset
+
+    def attribute_column(self, name: str) -> np.ndarray:
+        attr = self.schema.attribute(name)
+        column = self._columns[name]
+        if attr.is_continuous:
+            return column.astype(float) if column.dtype != float else column
+        out = np.empty(len(column), dtype=object)
+        out[:] = column.tolist()
+        return out
+
+    def label_indices(self) -> np.ndarray:
+        if self._label_array is None:
+            out = np.full(self._n, -1, dtype=int)
+            for index, label in enumerate(self.schema.classes):
+                out[self._label_values == label] = index
+            if (out == -1).any():
+                # Fail fast like the record-backed Dataset: an unmapped label
+                # must not silently alias the last class through index -1.
+                self._check_labels(self._label_values)
+            self._label_array = out
+        return self._label_array
+
+    def class_distribution(self) -> Dict[str, int]:
+        values, counts = np.unique(self._label_values, return_counts=True)
+        by_label = dict(zip(values.tolist(), counts.tolist()))
+        return {c: int(by_label.get(c, 0)) for c in self.schema.classes}
+
+    def class_skew(self) -> float:
+        if not self._n:
+            raise DataGenerationError("cannot compute skew of an empty dataset")
+        return max(self.class_distribution().values()) / self._n
+
+    # -- dataset algebra ---------------------------------------------------
+
+    def subset(self, indices: Indices) -> Dataset:
+        """Row subset; prefix/slice selections are zero-copy column views.
+
+        Once the per-record dicts exist, subsetting returns a record-backed
+        :class:`Dataset` sharing the dict objects instead — recursive
+        consumers (C4.5 tree induction) would otherwise rebuild dicts for
+        every partition.
+        """
+        if isinstance(indices, range) and len(indices) > 0:
+            # NumPy slice views would silently clamp an out-of-range window;
+            # a range holds absolute row indices, so fail fast exactly like
+            # list indexing on the record-backed Dataset would.
+            lowest, highest = (
+                (indices[0], indices[-1]) if indices.step > 0 else (indices[-1], indices[0])
+            )
+            if lowest < -self._n or highest >= self._n:
+                raise IndexError(
+                    f"subset range {indices!r} out of bounds for dataset of "
+                    f"length {self._n}"
+                )
+        if self._records_cache is not None:
+            if isinstance(indices, slice):
+                indices = range(*indices.indices(self._n))
+            elif not isinstance(indices, (list, tuple, range)):
+                indices = list(indices)
+            return super().subset(indices)
+        window = _as_slice(indices)
+        selector: Union[slice, np.ndarray]
+        if window is not None:
+            selector = window
+        else:
+            selector = np.asarray(indices, dtype=np.intp)
+        columns = {name: column[selector] for name, column in self._columns.items()}
+        return ColumnarDataset(
+            self.schema, columns, self._label_values[selector], validate=False
+        )
+
+    def concat(self, other: Dataset) -> Dataset:
+        if other.schema.attribute_names != self.schema.attribute_names:
+            raise SchemaError("cannot concatenate datasets with different schemas")
+        if other.schema.classes != self.schema.classes:
+            raise SchemaError("cannot concatenate datasets with different class labels")
+        if isinstance(other, ColumnarDataset):
+            columns = {
+                name: np.concatenate([column, other._columns[name]])
+                for name, column in self._columns.items()
+            }
+            labels = np.concatenate([self._label_values, other._label_values])
+            return ColumnarDataset(self.schema, columns, labels, validate=False)
+        return Dataset(
+            self.schema,
+            self.records + other.records,
+            self.labels + other.labels,
+            validate=False,
+        )
+
+    def relabelled(self, labeller: Callable[[Record], str]) -> Dataset:
+        labels = [self.schema.validate_label(labeller(r)) for r in self.records]
+        return ColumnarDataset(
+            self.schema, self._columns, np.asarray(labels), validate=False
+        )
+
+    def relabelled_batch(self, batch_labeller: Callable[[Mapping[str, np.ndarray]], np.ndarray]) -> "ColumnarDataset":
+        """Relabel with a vectorised labeller (one call for all rows)."""
+        labels = np.asarray(batch_labeller(self._columns))
+        if labels.shape != (self._n,):
+            raise SchemaError(
+                f"batch labeller returned shape {labels.shape}, expected ({self._n},)"
+            )
+        # Mirror relabelled()'s per-record validate_label, vectorised: an
+        # unknown label must raise, not silently alias a class index.
+        self._check_labels(labels)
+        return ColumnarDataset(self.schema, self._columns, labels, validate=False)
+
+    def to_dataset(self) -> Dataset:
+        """An equivalent record-backed :class:`Dataset` (materialises)."""
+        return Dataset(self.schema, list(self.records), list(self.labels), validate=False)
+
+    def iter_rows(self) -> Iterator[Tuple[Record, str]]:
+        """Yield ``(record, label)`` pairs one at a time without caching.
+
+        Unlike iterating the dataset (which materialises and caches the full
+        record list), this builds each dict on the fly — the bounded-memory
+        row stream the ``generate`` CLI writers consume.
+        """
+        names = self.schema.attribute_names
+        lists = [self._columns[name].tolist() for name in names]
+        labels = self._label_values.tolist()
+        for row, label in zip(zip(*lists), labels):
+            yield dict(zip(names, row)), label
+
+
+def columnar_from_records(
+    schema: Schema,
+    records: Sequence[Record],
+    labels: Sequence[str],
+    validate: bool = True,
+) -> ColumnarDataset:
+    """Build a :class:`ColumnarDataset` from per-record mappings.
+
+    Integer-flagged continuous attributes and all-int categorical domains get
+    integer columns; other continuous attributes get float columns; anything
+    else falls back to object dtype.
+    """
+    columns: Dict[str, np.ndarray] = {}
+    for attribute in schema.attributes:
+        try:
+            values = [record[attribute.name] for record in records]
+        except KeyError as exc:
+            raise SchemaError(f"record missing attribute {attribute.name!r}") from exc
+        if attribute.is_continuous:
+            dtype = np.int64 if getattr(attribute, "integer", False) else float
+            columns[attribute.name] = np.asarray(values, dtype=dtype)
+        elif all(isinstance(v, (int, np.integer)) for v in attribute.values):
+            columns[attribute.name] = np.asarray(values, dtype=np.int64)
+        else:
+            column = np.empty(len(values), dtype=object)
+            column[:] = values
+            columns[attribute.name] = column
+    return ColumnarDataset(schema, columns, np.asarray(labels), validate=validate)

@@ -88,6 +88,15 @@ class Dataset:
             return np.asarray(values, dtype=float)
         return np.asarray(values, dtype=object)
 
+    def column_values(self, name: str) -> List[AttributeValue]:
+        """One attribute's values as a plain list, in record order.
+
+        The column provider consumed by the inference layer's
+        ``ColumnCache``; :class:`~repro.data.columnar.ColumnarDataset`
+        overrides it with a zero-iteration array conversion.
+        """
+        return [r[name] for r in self.records]
+
     def label_indices(self) -> np.ndarray:
         """Class labels as integer indices into ``schema.classes``."""
         if self._label_array is None:

@@ -26,10 +26,16 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional
 
+import numpy as np
+
 from repro.exceptions import DataGenerationError
 
 Record = Mapping[str, object]
 Labeller = Callable[[Record], str]
+
+#: Columnar batch: one equal-length array (or sequence) per attribute name.
+Columns = Mapping[str, "np.ndarray"]
+BatchLabeller = Callable[[Columns], "np.ndarray"]
 
 GROUP_A = "A"
 GROUP_B = "B"
@@ -45,6 +51,19 @@ def _num(record: Record, name: str) -> float:
 
 def _group(condition: bool) -> str:
     return GROUP_A if condition else GROUP_B
+
+
+def _col(columns: Columns, name: str) -> np.ndarray:
+    """Read one attribute column as a float array (mirrors :func:`_num`)."""
+    try:
+        return np.asarray(columns[name], dtype=float)
+    except KeyError as exc:
+        raise DataGenerationError(f"columns are missing attribute {name!r}") from exc
+
+
+def _group_where(condition: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`_group`: elementwise ``"A"``/``"B"`` labels."""
+    return np.where(condition, GROUP_A, GROUP_B)
 
 
 # ---------------------------------------------------------------------------
@@ -212,6 +231,142 @@ def function_10(record: Record) -> str:
     return _group(disposable > 0)
 
 
+# ---------------------------------------------------------------------------
+# Vectorised (columnar) function definitions
+# ---------------------------------------------------------------------------
+#
+# One batch labeller per scalar function, evaluating whole attribute columns
+# with NumPy.  Each implementation performs *exactly* the float arithmetic of
+# its scalar counterpart (same operation order, same constants), so the labels
+# agree record for record — IEEE-754 double operations are deterministic and
+# identical between Python floats and float64 arrays.  This is what lets the
+# columnar Agrawal generator stay bit-compatible with the scalar one.
+
+def function_1_batch(columns: Columns) -> np.ndarray:
+    age = _col(columns, "age")
+    return _group_where((age < 40) | (age >= 60))
+
+
+def function_2_batch(columns: Columns) -> np.ndarray:
+    age = _col(columns, "age")
+    salary = _col(columns, "salary")
+    young = age < 40
+    middle = ~young & (age < 60)
+    old = age >= 60
+    hit = (
+        (young & (50_000 <= salary) & (salary <= 100_000))
+        | (middle & (75_000 <= salary) & (salary <= 125_000))
+        | (old & (25_000 <= salary) & (salary <= 75_000))
+    )
+    return _group_where(hit)
+
+
+def function_3_batch(columns: Columns) -> np.ndarray:
+    age = _col(columns, "age")
+    elevel = _col(columns, "elevel").astype(int)
+    young = age < 40
+    middle = ~young & (age < 60)
+    old = age >= 60
+    hit = (
+        (young & np.isin(elevel, (0, 1)))
+        | (middle & np.isin(elevel, (1, 2, 3)))
+        | (old & np.isin(elevel, (2, 3, 4)))
+    )
+    return _group_where(hit)
+
+
+def function_4_batch(columns: Columns) -> np.ndarray:
+    age = _col(columns, "age")
+    salary = _col(columns, "salary")
+    elevel = _col(columns, "elevel").astype(int)
+    young = age < 40
+    middle = ~young & (age < 60)
+    old = age >= 60
+    low = (25_000 <= salary) & (salary <= 75_000)
+    mid = (50_000 <= salary) & (salary <= 100_000)
+    high = (75_000 <= salary) & (salary <= 125_000)
+    hit = (
+        (young & np.where(np.isin(elevel, (0, 1)), low, mid))
+        | (middle & np.where(np.isin(elevel, (1, 2, 3)), mid, high))
+        | (old & np.where(np.isin(elevel, (2, 3, 4)), mid, low))
+    )
+    return _group_where(hit)
+
+
+def function_5_batch(columns: Columns) -> np.ndarray:
+    age = _col(columns, "age")
+    salary = _col(columns, "salary")
+    loan = _col(columns, "loan")
+    young = age < 40
+    middle = ~young & (age < 60)
+    old = age >= 60
+    loan_low = (100_000 <= loan) & (loan <= 300_000)
+    loan_mid = (200_000 <= loan) & (loan <= 400_000)
+    loan_high = (300_000 <= loan) & (loan <= 500_000)
+    hit = (
+        (young & np.where((50_000 <= salary) & (salary <= 100_000), loan_low, loan_mid))
+        | (middle & np.where((75_000 <= salary) & (salary <= 125_000), loan_mid, loan_high))
+        | (old & np.where((25_000 <= salary) & (salary <= 75_000), loan_high, loan_low))
+    )
+    return _group_where(hit)
+
+
+def function_6_batch(columns: Columns) -> np.ndarray:
+    age = _col(columns, "age")
+    total = _col(columns, "salary") + _col(columns, "commission")
+    young = age < 40
+    middle = ~young & (age < 60)
+    old = age >= 60
+    hit = (
+        (young & (50_000 <= total) & (total <= 100_000))
+        | (middle & (75_000 <= total) & (total <= 125_000))
+        | (old & (25_000 <= total) & (total <= 75_000))
+    )
+    return _group_where(hit)
+
+
+def function_7_batch(columns: Columns) -> np.ndarray:
+    disposable = (
+        2.0 * (_col(columns, "salary") + _col(columns, "commission")) / 3.0
+        - _col(columns, "loan") / 5.0
+        - 20_000.0
+    )
+    return _group_where(disposable > 0)
+
+
+def function_8_batch(columns: Columns) -> np.ndarray:
+    disposable = (
+        2.0 * _col(columns, "salary") / 3.0
+        - 5_000.0 * _col(columns, "elevel")
+        - 20_000.0
+    )
+    return _group_where(disposable > 0)
+
+
+def function_9_batch(columns: Columns) -> np.ndarray:
+    disposable = (
+        2.0 * (_col(columns, "salary") + _col(columns, "commission")) / 3.0
+        - 5_000.0 * _col(columns, "elevel")
+        - _col(columns, "loan") / 5.0
+        - 10_000.0
+    )
+    return _group_where(disposable > 0)
+
+
+def function_10_batch(columns: Columns) -> np.ndarray:
+    hyears = _col(columns, "hyears")
+    equity = np.where(
+        hyears >= 20, 0.1 * _col(columns, "hvalue") * (hyears - 20.0), 0.0
+    )
+    disposable = (
+        2.0 * (_col(columns, "salary") + _col(columns, "commission")) / 3.0
+        - 5_000.0 * _col(columns, "elevel")
+        + equity / 5.0
+        - 10_000.0
+    )
+    return _group_where(disposable > 0)
+
+
 #: All ten benchmark functions, keyed by their paper number.
 FUNCTIONS: Dict[int, Labeller] = {
     1: function_1,
@@ -224,6 +379,20 @@ FUNCTIONS: Dict[int, Labeller] = {
     8: function_8,
     9: function_9,
     10: function_10,
+}
+
+#: Vectorised counterparts of :data:`FUNCTIONS`, keyed the same way.
+BATCH_FUNCTIONS: Dict[int, BatchLabeller] = {
+    1: function_1_batch,
+    2: function_2_batch,
+    3: function_3_batch,
+    4: function_4_batch,
+    5: function_5_batch,
+    6: function_6_batch,
+    7: function_7_batch,
+    8: function_8_batch,
+    9: function_9_batch,
+    10: function_10_batch,
 }
 
 #: Functions the paper evaluates (8 and 10 excluded for class skew).
@@ -257,6 +426,25 @@ def get_function(number: int) -> Labeller:
         raise DataGenerationError(
             f"unknown Agrawal function number {number}; valid: 1..10"
         ) from exc
+
+
+def get_batch_function(number: int) -> BatchLabeller:
+    """Return the vectorised form of benchmark function ``number``."""
+    try:
+        return BATCH_FUNCTIONS[number]
+    except KeyError as exc:
+        raise DataGenerationError(
+            f"unknown Agrawal function number {number}; valid: 1..10"
+        ) from exc
+
+
+def label_batch(number: int, columns: Columns) -> np.ndarray:
+    """Label whole attribute columns with benchmark function ``number``.
+
+    Returns an array of ``"A"``/``"B"`` labels that agrees element for
+    element with calling the scalar function on each record.
+    """
+    return get_batch_function(number)(columns)
 
 
 # ---------------------------------------------------------------------------

@@ -234,6 +234,26 @@ def write_jsonl(path: PathLike, rows: Iterable[Dict]) -> int:
     return count
 
 
+def write_csv(path: PathLike, rows: Iterable[Dict], fieldnames: Sequence[str]) -> int:
+    """Streaming CSV counterpart of :func:`write_jsonl`.
+
+    ``fieldnames`` fixes the header and column order up front (a lazily
+    consumed stream cannot be peeked for its keys without buffering).  Rows
+    are written as they are produced; returns the number written.  The
+    output round-trips through :func:`load_csv` / :func:`iter_csv_records`
+    when the fields are a schema's attributes plus a class column.
+    """
+    path = Path(path)
+    count = 0
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(fieldnames))
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)
+            count += 1
+    return count
+
+
 def infer_schema(
     rows: Sequence[Dict[str, str]],
     class_column: str = "class",

@@ -22,6 +22,7 @@ from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.data.columnar import ColumnarDataset
 from repro.data.dataset import Dataset, Record
 from repro.data.schema import CategoricalAttribute, Schema
 from repro.exceptions import DataGenerationError
@@ -62,27 +63,25 @@ def boolean_function_dataset(
         Random seed, only used when sampling.
     """
     schema = binary_schema(n_inputs)
-    records: List[Record] = []
-    labels: List[str] = []
     if n_samples is None:
         if n_inputs > 16:
             raise DataGenerationError(
                 "refusing to enumerate a truth table with more than 2**16 rows; "
                 "pass n_samples to sample instead"
             )
-        rows = product((0, 1), repeat=n_inputs)
-        for bits in rows:
-            records.append({f"x{i + 1}": b for i, b in enumerate(bits)})
-            labels.append("A" if function(bits) else "B")
+        bits = np.asarray(list(product((0, 1), repeat=n_inputs)), dtype=np.int64)
     else:
         if n_samples <= 0:
             raise DataGenerationError(f"n_samples must be positive, got {n_samples}")
         rng = np.random.default_rng(seed)
-        for _ in range(n_samples):
-            bits = tuple(int(b) for b in rng.integers(0, 2, size=n_inputs))
-            records.append({f"x{i + 1}": b for i, b in enumerate(bits)})
-            labels.append("A" if function(bits) else "B")
-    return Dataset(schema, records, labels, validate=False)
+        # One draw for the whole (n_samples, n_inputs) matrix; the row-major
+        # fill consumes the stream exactly like the old per-record loop did.
+        bits = rng.integers(0, 2, size=(n_samples, n_inputs), dtype=np.int64)
+    labels = np.asarray(
+        ["A" if function(tuple(row)) else "B" for row in bits.tolist()]
+    )
+    columns = {f"x{i + 1}": bits[:, i] for i in range(n_inputs)}
+    return ColumnarDataset(schema, columns, labels, validate=False)
 
 
 def xor_dataset(n_copies: int = 1) -> Dataset:

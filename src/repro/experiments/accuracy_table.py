@@ -12,11 +12,15 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.data.functions import EVALUATED_FUNCTIONS
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.paper_values import PAPER_ACCURACY_TABLE
 from repro.experiments.reporting import format_table
-from repro.experiments.runner import FunctionExperimentResult, run_functions
+from repro.experiments.runner import (
+    FunctionExperimentResult,
+    run_function_experiment,
+    run_functions,
+)
 
 
 @dataclass
@@ -79,14 +83,45 @@ class AccuracyTable:
 def build_accuracy_table(
     functions: Optional[Sequence[int]] = None,
     config: Optional[ExperimentConfig] = None,
+    retry_replicates: int = 0,
 ) -> AccuracyTable:
     """Run the accuracy-table experiment for the given functions.
 
     Defaults to the paper's eight evaluated functions (1–7 and 9) and the
     quick configuration.
+
+    ``retry_replicates`` makes the table robust at reduced scale: when a
+    function's pipeline fails (at small training budgets the extraction step
+    is sensitive to the concrete data/network sample — rule substitution can
+    blow past its configured bound), the function is retried with up to that
+    many replicate configurations (``config.replicate(k)``: fresh data and
+    network seeds, identical everything else), mirroring the usual
+    experimental practice of re-running an unlucky seed.  The replicate's
+    label (``...#s1``) is visible on the affected row's result.  With the
+    default of ``0`` a failure propagates immediately.
     """
     functions = list(functions) if functions is not None else list(EVALUATED_FUNCTIONS)
     if not functions:
         raise ExperimentError("no functions requested for the accuracy table")
-    results = run_functions(functions, config or ExperimentConfig.quick())
+    if retry_replicates < 0:
+        raise ExperimentError(
+            f"retry_replicates must be >= 0, got {retry_replicates}"
+        )
+    config = config or ExperimentConfig.quick()
+    if retry_replicates == 0:
+        results = run_functions(functions, config)
+        return AccuracyTable(results=results)
+    results = []
+    for function in functions:
+        last_error: Optional[ReproError] = None
+        for attempt in range(retry_replicates + 1):
+            attempt_config = config if attempt == 0 else config.replicate(attempt)
+            try:
+                results.append(run_function_experiment(function, attempt_config))
+                last_error = None
+                break
+            except ReproError as exc:
+                last_error = exc
+        if last_error is not None:
+            raise last_error
     return AccuracyTable(results=results)

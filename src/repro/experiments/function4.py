@@ -66,7 +66,9 @@ def table3_test_sets(
     and the smaller sets are its prefixes.  Nesting makes Table 3's defining
     property — each rule's coverage grows with the test-set size — hold by
     construction rather than only in expectation, while every set still
-    follows the clean Function 4 distribution.
+    follows the clean Function 4 distribution.  The generator is columnar, so
+    each prefix is a zero-copy slice view of the largest sample's column
+    arrays — no records are duplicated (or even materialised) per size.
     """
     if not sizes:
         return []

@@ -124,7 +124,13 @@ class FunctionExperimentResult:
 def generate_experiment_data(
     function: int, config: ExperimentConfig
 ) -> Dict[str, Dataset]:
-    """Training (perturbed) and testing (clean) data for one function."""
+    """Training (perturbed) and testing (clean) data for one function.
+
+    Both sets come out of the columnar generator: the NeuroRule encode and
+    all batch evaluation feed straight off the column arrays, while the
+    record-oriented baselines (C4.5 tree induction) materialise per-record
+    dicts lazily on first access.
+    """
     train = AgrawalGenerator(
         function=function, perturbation=config.perturbation, seed=config.data_seed
     ).generate(config.n_train)

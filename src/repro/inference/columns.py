@@ -14,7 +14,8 @@ from typing import Dict, Optional, Sequence
 import numpy as np
 
 from repro.data.dataset import Record
-from repro.exceptions import RuleError
+from repro.exceptions import RuleError, SchemaError
+from repro.preprocessing.features import domain_positions_array
 
 
 class ColumnCache:
@@ -37,6 +38,15 @@ class ColumnCache:
             raise ValueError(f"missing policy must be 'error' or 'none', got {missing!r}")
         self.records = records
         self._missing = missing
+        # A columnar source (ColumnarDataset exposes column_values) supplies
+        # whole columns directly, so no per-record dict is ever iterated;
+        # its raw arrays (via .column) feed the numeric paths zero-copy.
+        self._column_source = (
+            getattr(records, "column_values", None) if missing == "error" else None
+        )
+        self._array_source = (
+            getattr(records, "column", None) if missing == "error" else None
+        )
         self._lists: Dict[str, list] = {}
         self._raw: Dict[str, np.ndarray] = {}
         self._numeric: Dict[str, np.ndarray] = {}
@@ -50,7 +60,14 @@ class ColumnCache:
         """The attribute's values as a plain list (fastest to build/iterate)."""
         cached = self._lists.get(attribute)
         if cached is None:
-            if self._missing == "none":
+            if self._column_source is not None:
+                try:
+                    cached = self._column_source(attribute)
+                except (KeyError, SchemaError):
+                    raise RuleError(
+                        f"record is missing attribute {attribute!r}"
+                    ) from None
+            elif self._missing == "none":
                 cached = [record.get(attribute) for record in self.records]
             else:
                 try:
@@ -72,16 +89,38 @@ class ColumnCache:
             self._raw[attribute] = cached
         return cached
 
+    def _source_array(self, attribute: str) -> Optional[np.ndarray]:
+        """The column as a numeric ndarray straight from a columnar source.
+
+        Returns ``None`` when there is no columnar source or the stored
+        column is not numeric; raises :class:`RuleError` for a missing
+        attribute, mirroring :meth:`values`.
+        """
+        if self._array_source is None:
+            return None
+        try:
+            array = self._array_source(attribute)
+        except (KeyError, SchemaError):
+            raise RuleError(f"record is missing attribute {attribute!r}") from None
+        if isinstance(array, np.ndarray) and array.dtype.kind in "biuf":
+            return array
+        return None
+
     def numeric(self, attribute: str) -> np.ndarray:
         """The attribute's values as a float array."""
         cached = self._numeric.get(attribute)
         if cached is None:
-            try:
-                cached = np.asarray(self.values(attribute), dtype=float)
-            except (TypeError, ValueError) as exc:
-                raise RuleError(
-                    f"attribute {attribute!r}: column contains a non-numeric value"
-                ) from exc
+            array = self._source_array(attribute)
+            if array is not None:
+                # Zero-copy when the stored column is already float64.
+                cached = array if array.dtype == np.float64 else array.astype(float)
+            else:
+                try:
+                    cached = np.asarray(self.values(attribute), dtype=float)
+                except (TypeError, ValueError) as exc:
+                    raise RuleError(
+                        f"attribute {attribute!r}: column contains a non-numeric value"
+                    ) from exc
             self._numeric[attribute] = cached
         return cached
 
@@ -96,7 +135,9 @@ class ColumnCache:
         """
         key = (attribute, domain)
         if key not in self._codes:
-            column = self.values(attribute)
+            column = self._source_array(attribute)
+            if column is None:
+                column = self.values(attribute)
             codes = self._numeric_domain_codes(column, domain)
             if codes is None:
                 index = {value: i for i, value in enumerate(domain)}
@@ -112,7 +153,7 @@ class ColumnCache:
         return self._codes[key]
 
     @staticmethod
-    def _numeric_domain_codes(column: list, domain: tuple) -> Optional[np.ndarray]:
+    def _numeric_domain_codes(column, domain: tuple) -> Optional[np.ndarray]:
         """Vectorised coding for all-numeric columns over all-numeric domains.
 
         Equivalent to the hash-based path (floats equate to equal ints both
@@ -122,25 +163,14 @@ class ColumnCache:
         guaranteed: non-numeric domains, empty domains, and columns holding
         anything but genuine numbers (a numeric *string* must stay unequal to
         the number it spells, exactly as ``MembershipCondition.matches`` and
-        the dict lookup treat it).
+        the dict lookup treat it).  The coding itself is the shared
+        :func:`~repro.preprocessing.features.domain_positions_array`.
         """
-        if not domain or not all(isinstance(value, (int, float)) for value in domain):
-            return None
         try:
             raw = np.asarray(column)
         except (TypeError, ValueError):  # pragma: no cover - ragged input
             return None
-        if raw.dtype.kind not in "biuf":
-            return None  # strings/objects: let the hash path decide equality
-        values = raw.astype(float)
-        domain_values = np.asarray(domain, dtype=float)
-        order = np.argsort(domain_values, kind="stable")
-        ordered = domain_values[order]
-        positions = np.searchsorted(ordered, values)
-        positions[positions == len(ordered)] = 0  # any in-range index; mismatch below
-        codes = order[positions]
-        codes[domain_values[codes] != values] = -1
-        return codes
+        return domain_positions_array(domain, raw)
 
     def membership(self, attribute: str, allowed: tuple, domain: tuple) -> np.ndarray:
         """Boolean mask: which rows take a value in ``allowed``."""

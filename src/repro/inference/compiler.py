@@ -216,8 +216,12 @@ class CompiledAttributeRuleSet:
             )
         raise RuleError(f"cannot compile condition of type {type(condition).__name__}")
 
-    def covers_matrix(self, records: Sequence[Record]) -> np.ndarray:
+    def covers_matrix(self, records) -> np.ndarray:
         """Boolean ``(n, n_rules)`` matrix of independent rule coverage.
+
+        ``records`` is a sequence of record mappings or a
+        :class:`~repro.data.dataset.Dataset`; columnar datasets feed their
+        column arrays straight into the cache without materialising dicts.
 
         Columnar evaluation is *strict*: every record must carry (with a
         usable value) every attribute referenced by any rule, because whole
@@ -248,14 +252,15 @@ class CompiledAttributeRuleSet:
                 fired[:, row] = mask
         return fired
 
-    def predict_indices(self, records: Sequence[Record]) -> np.ndarray:
-        """Integer class indices for a whole batch of records."""
+    def predict_indices(self, records) -> np.ndarray:
+        """Integer class indices for a whole batch of records (or a Dataset)."""
         return _decide_first_match(
             self.covers_matrix(records), self.rule_class_indices, self.default_index
         )
 
-    def predict_batch(self, records: Sequence[Record]) -> np.ndarray:
-        """Class labels (``object`` dtype) for a whole batch of records."""
+    def predict_batch(self, records) -> np.ndarray:
+        """Class labels (``object`` dtype) for a whole batch of records (or a
+        Dataset)."""
         return self._class_array[self.predict_indices(records)]
 
 

@@ -45,6 +45,12 @@ class BatchInput:
 
     def require_records(self, context: str) -> List[Record]:
         if self.records is None:
+            if self.dataset is not None:
+                # Materialised lazily so that dataset inputs that only ever
+                # need the encoded matrix (columnar datasets on the binary
+                # path) never build per-record dicts.
+                self.records = self.dataset.records
+                return self.records
             raise ReproError(
                 f"{context} needs attribute-level records, but an encoded matrix "
                 "was supplied; pass a Dataset or a sequence of records instead"
@@ -54,7 +60,7 @@ class BatchInput:
     def require_matrix(self, context: str, encoder: Optional["TupleEncoder"] = None) -> np.ndarray:
         if self.matrix is None:
             if encoder is not None:
-                assert self.records is not None
+                assert self.records is not None or self.dataset is not None
                 self.matrix = (
                     encoder.transform_matrix(self.dataset)
                     if self.dataset is not None
@@ -94,7 +100,9 @@ def normalize_batch_input(data, encoder: Optional["TupleEncoder"] = None) -> Bat
     Everything else raises :class:`ReproError`.
     """
     if isinstance(data, Dataset):
-        return BatchInput(n=len(data), records=data.records, dataset=data)
+        # records stays None here; require_records materialises it on demand
+        # (for columnar datasets the common paths never need it).
+        return BatchInput(n=len(data), dataset=data)
     if isinstance(data, np.ndarray):
         matrix = _matrix_from_array(data)
         return BatchInput(n=matrix.shape[0], matrix=matrix)

@@ -24,6 +24,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Union
 import numpy as np
 
 from repro.data.agrawal import agrawal_schema
+from repro.data.columnar import ColumnarDataset
 from repro.data.dataset import Dataset, Record
 from repro.data.schema import (
     CategoricalAttribute,
@@ -106,6 +107,19 @@ class TupleEncoder:
                     "dataset schema does not match the encoder schema: "
                     f"{data.schema.attribute_names} vs {self.schema.attribute_names}"
                 )
+            if isinstance(data, ColumnarDataset):
+                # Columnar fast path: feed the stored column arrays straight
+                # to the per-attribute encoders; no per-record dict is ever
+                # built for the encode.
+                out = np.zeros((len(data), self.n_inputs), dtype=float)
+                if not len(data):
+                    return out
+                for attribute in self.schema.attributes:
+                    encoder = self.encoders[attribute.name]
+                    out[:, self._group_slices[attribute.name]] = encoder.encode_column(
+                        data.column(attribute.name)
+                    )
+                return out
             records: Sequence[Record] = data.records
         else:
             records = data

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Tuple
 
+import numpy as np
+
 from repro.data.schema import AttributeValue
 from repro.exceptions import EncodingError
 from repro.preprocessing.intervals import Interval, at_least, less_than
@@ -39,6 +41,30 @@ def domain_position(table, value) -> Optional[int]:
     if isinstance(value, float) and value.is_integer():
         return table.get(int(value))
     return None
+
+
+def domain_positions_array(domain, values) -> Optional[np.ndarray]:
+    """Vectorised :func:`domain_position` for numeric NumPy columns.
+
+    Returns an int array of domain positions with ``-1`` marking values
+    outside the domain, or ``None`` when the fast path does not apply
+    (non-numeric domain, non-numeric column) and the caller must fall back
+    to per-value lookup.  Equivalent to the hash path on genuine numbers:
+    floats equate to equal ints both ways.
+    """
+    if not domain or not all(isinstance(v, (int, float)) for v in domain):
+        return None
+    if not isinstance(values, np.ndarray) or values.dtype.kind not in "biuf":
+        return None
+    domain_values = np.asarray(domain, dtype=float)
+    order = np.argsort(domain_values, kind="stable")
+    ordered = domain_values[order]
+    column = values.astype(float)
+    positions = np.searchsorted(ordered, column)
+    positions[positions == len(ordered)] = 0  # any in-range index; mismatch below
+    codes = order[positions]
+    codes[domain_values[codes] != column] = -1
+    return codes
 
 
 @dataclass(frozen=True)

@@ -13,7 +13,12 @@ import numpy as np
 
 from repro.data.schema import AttributeValue, CategoricalAttribute
 from repro.exceptions import EncodingError
-from repro.preprocessing.features import KIND_EQUALS, InputFeature, domain_position
+from repro.preprocessing.features import (
+    KIND_EQUALS,
+    InputFeature,
+    domain_position,
+    domain_positions_array,
+)
 
 
 class OneHotEncoder:
@@ -47,11 +52,27 @@ class OneHotEncoder:
         return out
 
     def encode_column(self, values: Sequence[AttributeValue]) -> np.ndarray:
-        """Encode a column of values into an ``(n, width)`` 0/1 matrix."""
+        """Encode a column of values into an ``(n, width)`` 0/1 matrix.
+
+        Numeric NumPy columns over numeric domains (the columnar-dataset
+        path) are coded with one vectorised ``searchsorted`` instead of one
+        dict lookup per value.
+        """
         n = len(values)
-        positions = np.fromiter(
-            (self._position(value) for value in values), dtype=np.intp, count=n
-        )
+        codes = domain_positions_array(self.attribute.values, values)
+        if codes is not None:
+            bad = codes < 0
+            if bad.any():
+                value = values[int(np.argmax(bad))]
+                raise EncodingError(
+                    f"attribute {self.attribute.name!r}: value {value!r} not in "
+                    f"domain {self.attribute.values!r}"
+                )
+            positions = codes.astype(np.intp)
+        else:
+            positions = np.fromiter(
+                (self._position(value) for value in values), dtype=np.intp, count=n
+            )
         out = np.zeros((n, self.width), dtype=float)
         out[np.arange(n), positions] = 1.0
         return out

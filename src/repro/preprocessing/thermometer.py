@@ -30,6 +30,7 @@ from repro.preprocessing.features import (
     KIND_THRESHOLD,
     InputFeature,
     domain_position,
+    domain_positions_array,
 )
 from repro.preprocessing.intervals import IntervalPartition
 
@@ -134,9 +135,20 @@ class OrdinalThermometerEncoder:
         return np.asarray([1.0 if position >= r else 0.0 for r in self.ranks], dtype=float)
 
     def encode_column(self, values: Sequence[AttributeValue]) -> np.ndarray:
-        positions = np.fromiter(
-            (self._position(v) for v in values), dtype=float, count=len(values)
-        )[:, None]
+        codes = domain_positions_array(self.attribute.values, values)
+        if codes is not None:
+            bad = codes < 0
+            if bad.any():
+                value = values[int(np.argmax(bad))]
+                raise EncodingError(
+                    f"attribute {self.attribute.name!r}: value {value!r} not in "
+                    "ordered domain"
+                )
+            positions = codes.astype(float)[:, None]
+        else:
+            positions = np.fromiter(
+                (self._position(v) for v in values), dtype=float, count=len(values)
+            )[:, None]
         return (positions >= self._rank_row).astype(float)
 
     def _position(self, value: AttributeValue) -> int:

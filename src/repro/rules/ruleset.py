@@ -193,6 +193,10 @@ class RuleSet(Generic[RuleType]):
         context = f"rule set {self.name!r} ({compiled.kind} rules)"
         if compiled.kind == "binary":
             return compiled.predict_batch(batch.require_matrix(context, encoder=encoder))
+        if batch.dataset is not None:
+            # Columnar datasets evaluate straight off their column arrays;
+            # record-backed datasets go through the same ColumnCache either way.
+            return compiled.predict_batch(batch.dataset)
         return compiled.predict_batch(batch.require_records(context))
 
     def predict(
@@ -234,7 +238,7 @@ class RuleSet(Generic[RuleType]):
                 )
             covered_matrix = compiled.covers_matrix(encoded)
         else:
-            covered_matrix = compiled.covers_matrix(dataset.records)
+            covered_matrix = compiled.covers_matrix(dataset)
         labels = np.asarray(dataset.labels, dtype=object)
         consequents = np.asarray([rule.consequent for rule in self.rules], dtype=object)
         label_matches = labels[:, None] == consequents[None, :]

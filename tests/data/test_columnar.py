@@ -1,0 +1,319 @@
+"""Unit tests for the columnar dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data.agrawal import AgrawalGenerator
+from repro.data.columnar import ColumnarDataset, columnar_from_records
+from repro.data.dataset import Dataset
+from repro.data.schema import CategoricalAttribute, ContinuousAttribute, Schema
+from repro.exceptions import SchemaError
+from repro.preprocessing.encoder import agrawal_encoder
+
+
+@pytest.fixture()
+def tiny_schema():
+    return Schema(
+        attributes=[
+            ContinuousAttribute("income", 0.0, 100.0),
+            ContinuousAttribute("age", 18.0, 90.0, integer=True),
+            CategoricalAttribute("grade", (0, 1, 2), ordered=True),
+        ],
+        classes=("yes", "no"),
+    )
+
+
+@pytest.fixture()
+def tiny_columnar(tiny_schema):
+    return ColumnarDataset(
+        tiny_schema,
+        {
+            "income": np.asarray([10.0, 20.0, 30.0, 40.0]),
+            "age": np.asarray([20, 30, 40, 50]),
+            "grade": np.asarray([0, 1, 2, 1]),
+        },
+        np.asarray(["yes", "no", "yes", "no"]),
+    )
+
+
+class TestConstruction:
+    def test_is_a_dataset(self, tiny_columnar):
+        assert isinstance(tiny_columnar, Dataset)
+        assert len(tiny_columnar) == 4
+
+    def test_missing_column_rejected(self, tiny_schema):
+        with pytest.raises(SchemaError, match="columns missing"):
+            ColumnarDataset(tiny_schema, {"income": np.zeros(2)}, np.asarray(["yes", "no"]))
+
+    def test_unknown_column_rejected(self, tiny_schema):
+        with pytest.raises(SchemaError, match="unknown attributes"):
+            ColumnarDataset(
+                tiny_schema,
+                {
+                    "income": np.zeros(1),
+                    "age": np.asarray([20]),
+                    "grade": np.asarray([0]),
+                    "bogus": np.zeros(1),
+                },
+                np.asarray(["yes"]),
+            )
+
+    def test_ragged_columns_rejected(self, tiny_schema):
+        with pytest.raises(SchemaError, match="length"):
+            ColumnarDataset(
+                tiny_schema,
+                {
+                    "income": np.zeros(2),
+                    "age": np.asarray([20, 30, 40]),
+                    "grade": np.asarray([0, 1]),
+                },
+                np.asarray(["yes", "no"]),
+            )
+
+    def test_label_length_mismatch_rejected(self, tiny_schema):
+        with pytest.raises(SchemaError, match="labels"):
+            ColumnarDataset(
+                tiny_schema,
+                {
+                    "income": np.zeros(2),
+                    "age": np.asarray([20, 30]),
+                    "grade": np.asarray([0, 1]),
+                },
+                np.asarray(["yes"]),
+            )
+
+    def test_validation_rejects_out_of_range(self, tiny_schema):
+        with pytest.raises(SchemaError, match="outside"):
+            ColumnarDataset(
+                tiny_schema,
+                {
+                    "income": np.asarray([10.0, 500.0]),
+                    "age": np.asarray([20, 30]),
+                    "grade": np.asarray([0, 1]),
+                },
+                np.asarray(["yes", "no"]),
+            )
+
+    def test_validation_rejects_out_of_domain(self, tiny_schema):
+        with pytest.raises(SchemaError, match="domain"):
+            ColumnarDataset(
+                tiny_schema,
+                {
+                    "income": np.asarray([10.0, 20.0]),
+                    "age": np.asarray([20, 30]),
+                    "grade": np.asarray([0, 7]),
+                },
+                np.asarray(["yes", "no"]),
+            )
+
+    def test_validation_rejects_bad_label(self, tiny_schema):
+        with pytest.raises(SchemaError, match="label"):
+            ColumnarDataset(
+                tiny_schema,
+                {
+                    "income": np.asarray([10.0]),
+                    "age": np.asarray([20]),
+                    "grade": np.asarray([0]),
+                },
+                np.asarray(["maybe"]),
+            )
+
+    def test_from_records_round_trip(self, tiny_columnar):
+        rebuilt = columnar_from_records(
+            tiny_columnar.schema, tiny_columnar.records, tiny_columnar.labels
+        )
+        assert rebuilt.records == tiny_columnar.records
+        assert rebuilt.labels == tiny_columnar.labels
+        assert rebuilt.column("age").dtype == np.int64
+
+
+class TestLazyRecords:
+    def test_records_materialise_lazily_with_python_scalars(self, tiny_columnar):
+        assert not tiny_columnar.records_materialized
+        records = tiny_columnar.records
+        assert tiny_columnar.records_materialized
+        assert records[0] == {"income": 10.0, "age": 20, "grade": 0}
+        assert type(records[0]["income"]) is float
+        assert type(records[0]["age"]) is int
+
+    def test_records_cached(self, tiny_columnar):
+        assert tiny_columnar.records is tiny_columnar.records
+
+    def test_labels_list(self, tiny_columnar):
+        assert tiny_columnar.labels == ["yes", "no", "yes", "no"]
+        assert all(type(label) is str for label in tiny_columnar.labels)
+
+    def test_iteration_pairs(self, tiny_columnar):
+        pairs = list(tiny_columnar)
+        assert pairs[2] == ({"income": 30.0, "age": 40, "grade": 2}, "yes")
+
+    def test_iter_rows_does_not_cache(self, tiny_columnar):
+        rows = list(tiny_columnar.iter_rows())
+        assert rows[1] == ({"income": 20.0, "age": 30, "grade": 1}, "no")
+        assert not tiny_columnar.records_materialized
+
+
+class TestArrayViews:
+    def test_attribute_column_continuous(self, tiny_columnar):
+        column = tiny_columnar.attribute_column("income")
+        assert column.dtype == float
+        assert column.tolist() == [10.0, 20.0, 30.0, 40.0]
+
+    def test_attribute_column_categorical_object_dtype(self, tiny_columnar):
+        column = tiny_columnar.attribute_column("grade")
+        assert column.dtype == object
+        assert column.tolist() == [0, 1, 2, 1]
+
+    def test_label_indices_reject_unknown_labels(self, tiny_schema):
+        dataset = ColumnarDataset(
+            tiny_schema,
+            {
+                "income": np.asarray([10.0, 20.0]),
+                "age": np.asarray([20, 30]),
+                "grade": np.asarray([0, 1]),
+            },
+            np.asarray(["yes", "typo"]),
+            validate=False,
+        )
+        with pytest.raises(SchemaError, match="unknown class label"):
+            dataset.label_indices()
+
+    def test_validation_numeric_column_vs_string_domain(self):
+        schema = Schema(
+            attributes=[
+                ContinuousAttribute("income", 0.0, 100.0),
+                CategoricalAttribute("colour", ("red", "green")),
+            ],
+            classes=("yes", "no"),
+        )
+        with pytest.raises(SchemaError, match="domain"):
+            ColumnarDataset(
+                schema,
+                {"income": np.asarray([1.0]), "colour": np.asarray([3])},
+                np.asarray(["yes"]),
+            )
+
+    def test_label_indices_and_targets(self, tiny_columnar):
+        assert tiny_columnar.label_indices().tolist() == [0, 1, 0, 1]
+        targets = tiny_columnar.label_targets()
+        assert targets.shape == (4, 2)
+        assert targets[:, 0].tolist() == [1.0, 0.0, 1.0, 0.0]
+
+    def test_class_distribution_and_skew(self, tiny_columnar):
+        assert tiny_columnar.class_distribution() == {"yes": 2, "no": 2}
+        assert tiny_columnar.class_skew() == 0.5
+
+
+class TestSubset:
+    def test_prefix_subset_is_zero_copy(self, tiny_columnar):
+        prefix = tiny_columnar.subset(range(2))
+        assert isinstance(prefix, ColumnarDataset)
+        assert len(prefix) == 2
+        assert np.shares_memory(prefix.column("income"), tiny_columnar.column("income"))
+
+    def test_fancy_subset(self, tiny_columnar):
+        picked = tiny_columnar.subset([3, 0])
+        assert picked.labels == ["no", "yes"]
+        assert picked.records[0]["income"] == 40.0
+
+    def test_subset_after_materialisation_shares_dicts(self, tiny_columnar):
+        records = tiny_columnar.records  # materialise
+        picked = tiny_columnar.subset([1, 2])
+        assert picked.records[0] is records[1]
+
+    def test_empty_range_selects_nothing(self, tiny_columnar):
+        # Computed bounds like range(n - offset) can come out empty with a
+        # negative stop; that must select zero rows, not wrap around.
+        assert len(tiny_columnar.subset(range(0))) == 0
+        assert len(tiny_columnar.subset(range(0, -5))) == 0
+
+    def test_negative_range_indices_select_those_rows(self, tiny_columnar):
+        picked = tiny_columnar.subset(range(-2, 0))
+        assert len(picked) == 2
+        assert picked.labels == tiny_columnar.labels[-2:]
+
+    def test_out_of_range_subset_raises(self, tiny_columnar):
+        with pytest.raises(IndexError):
+            tiny_columnar.subset(range(0, 15))
+        with pytest.raises(IndexError):
+            tiny_columnar.subset(range(-9, 2))
+
+    def test_slice_subset_before_and_after_materialisation(self, tiny_columnar):
+        before = tiny_columnar.subset(slice(0, 3))
+        assert len(before) == 3
+        tiny_columnar.records  # materialise
+        after = tiny_columnar.subset(slice(0, 3))
+        assert len(after) == 3
+        assert after.labels == before.labels
+
+    def test_split_round_trip(self, tiny_columnar):
+        train, test = tiny_columnar.split(0.5, seed=0)
+        assert len(train) + len(test) == len(tiny_columnar)
+
+    def test_filter(self, tiny_columnar):
+        kept = tiny_columnar.filter(lambda record, label: label == "yes")
+        assert len(kept) == 2
+
+
+class TestAlgebra:
+    def test_concat_columnar(self, tiny_columnar):
+        doubled = tiny_columnar.concat(tiny_columnar)
+        assert isinstance(doubled, ColumnarDataset)
+        assert len(doubled) == 8
+        assert doubled.labels == tiny_columnar.labels * 2
+
+    def test_concat_with_record_backed(self, tiny_columnar):
+        other = Dataset(
+            tiny_columnar.schema,
+            [{"income": 5.0, "age": 25, "grade": 0}],
+            ["yes"],
+            validate=False,
+        )
+        merged = tiny_columnar.concat(other)
+        assert len(merged) == 5
+        assert merged.records[-1]["income"] == 5.0
+
+    def test_relabelled_batch(self, tiny_columnar):
+        flipped = tiny_columnar.relabelled_batch(
+            lambda columns: np.where(np.asarray(columns["grade"]) >= 1, "yes", "no")
+        )
+        assert flipped.labels == ["no", "yes", "yes", "yes"]
+
+    def test_relabelled_batch_rejects_unknown_labels(self, tiny_columnar):
+        with pytest.raises(SchemaError, match="unknown class label"):
+            tiny_columnar.relabelled_batch(
+                lambda columns: np.asarray(["bogus"] * len(columns["grade"]))
+            )
+
+    def test_to_dataset(self, tiny_columnar):
+        plain = tiny_columnar.to_dataset()
+        assert type(plain) is Dataset
+        assert plain.records == tiny_columnar.records
+        assert plain.labels == tiny_columnar.labels
+
+    def test_equality_with_equal_columnar(self, tiny_columnar, tiny_schema):
+        other = ColumnarDataset(
+            tiny_schema,
+            {name: column.copy() for name, column in tiny_columnar.columns.items()},
+            tiny_columnar.label_array().copy(),
+        )
+        assert tiny_columnar == other
+
+
+class TestEncoderFastPath:
+    def test_transform_matrix_matches_record_path(self):
+        dataset = AgrawalGenerator(function=2, seed=11).generate(500)
+        encoder = agrawal_encoder()
+        columnar = encoder.transform_matrix(dataset)
+        assert not dataset.records_materialized  # no dicts built for the encode
+        record_path = encoder.transform_matrix(list(dataset.records))
+        assert np.array_equal(columnar, record_path)
+
+    def test_attribute_rules_predict_without_dicts(self):
+        from repro.serving import reference_ruleset
+
+        dataset = AgrawalGenerator(function=4, perturbation=0.0, seed=5).generate(300)
+        rules = reference_ruleset(4)
+        labels = rules.predict_batch(dataset)
+        assert not dataset.records_materialized
+        assert labels.tolist() == dataset.labels

@@ -1,0 +1,93 @@
+"""Property tests: every vectorised labeller agrees with its scalar twin.
+
+For each of the ten benchmark functions, random attribute columns (drawn over
+the full Table-1 domains, including values the skewed functions 8 and 10 are
+sensitive to) are labelled both ways: one call to the batch function versus
+one scalar call per record.  The labels must agree record for record — the
+batch implementations replicate the scalar float arithmetic exactly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.functions import (
+    BATCH_FUNCTIONS,
+    FUNCTIONS,
+    get_batch_function,
+    label_batch,
+)
+from repro.exceptions import DataGenerationError
+
+
+def random_columns(seed: int, n: int) -> dict:
+    """Random attribute columns over the full Table-1 domains."""
+    rng = np.random.default_rng(seed)
+    zipcode = rng.integers(0, 9, size=n)
+    return {
+        "salary": rng.uniform(20_000.0, 150_000.0, size=n),
+        "commission": np.where(
+            rng.random(n) < 0.5, 0.0, rng.uniform(10_000.0, 75_000.0, size=n)
+        ),
+        "age": rng.integers(20, 81, size=n),
+        "elevel": rng.integers(0, 5, size=n),
+        "car": rng.integers(1, 21, size=n),
+        "zipcode": zipcode,
+        "hvalue": rng.uniform(0.0, 1_350_000.0, size=n),
+        # Integer hyears spanning the >= 20 boundary function 10 branches on.
+        "hyears": rng.integers(1, 31, size=n),
+        "loan": rng.uniform(0.0, 500_000.0, size=n),
+    }
+
+
+def records_of(columns: dict) -> list:
+    names = list(columns)
+    lists = [columns[name].tolist() for name in names]
+    return [dict(zip(names, row)) for row in zip(*lists)]
+
+
+class TestRegistry:
+    def test_batch_registry_mirrors_scalar_registry(self):
+        assert sorted(BATCH_FUNCTIONS) == sorted(FUNCTIONS)
+
+    def test_get_batch_function_unknown_number(self):
+        with pytest.raises(DataGenerationError):
+            get_batch_function(0)
+
+    def test_label_batch_dispatches(self):
+        columns = random_columns(0, 10)
+        labels = label_batch(1, columns)
+        assert labels.shape == (10,)
+        assert set(labels.tolist()) <= {"A", "B"}
+
+    def test_missing_column_raises(self):
+        with pytest.raises(DataGenerationError):
+            label_batch(2, {"age": np.asarray([30.0])})
+
+
+@pytest.mark.parametrize("function_number", sorted(FUNCTIONS))
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=2**32 - 1))
+def test_batch_agrees_with_scalar(function_number, seed):
+    columns = random_columns(seed, 64)
+    batch_labels = BATCH_FUNCTIONS[function_number](columns).tolist()
+    scalar = FUNCTIONS[function_number]
+    scalar_labels = [scalar(record) for record in records_of(columns)]
+    assert batch_labels == scalar_labels
+
+
+@pytest.mark.parametrize("function_number", (8, 10))
+def test_skewed_functions_agree_near_their_boundaries(function_number):
+    """Dense sweeps across the linear decision boundaries of the skewed pair."""
+    rng = np.random.default_rng(99)
+    n = 2_000
+    columns = random_columns(7, n)
+    # Push salary into the band where function 8's disposable crosses zero
+    # and hyears around the 20-year equity kink of function 10.
+    columns["salary"] = rng.uniform(30_000.0, 75_000.0, size=n)
+    columns["hyears"] = rng.integers(18, 23, size=n)
+    batch_labels = BATCH_FUNCTIONS[function_number](columns).tolist()
+    scalar = FUNCTIONS[function_number]
+    scalar_labels = [scalar(record) for record in records_of(columns)]
+    assert batch_labels == scalar_labels

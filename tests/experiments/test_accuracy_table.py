@@ -1,0 +1,69 @@
+"""Unit tests for the accuracy-table builder's retry-replicate logic.
+
+The real per-function pipeline is expensive, so these tests stub
+``run_function_experiment`` and only exercise the retry control flow.
+"""
+
+import pytest
+
+import repro.experiments.accuracy_table as accuracy_table_module
+from repro.exceptions import ExperimentError, ExtractionError
+from repro.experiments.accuracy_table import build_accuracy_table
+from repro.experiments.config import ExperimentConfig
+
+
+class FakeResult:
+    def __init__(self, function, config):
+        self.function = function
+        self.config_label = config.label
+
+    def accuracy_row(self):
+        return {
+            "function": self.function,
+            "nn_train": 95.0,
+            "nn_test": 90.0,
+            "c45_train": 95.0,
+            "c45_test": 90.0,
+        }
+
+
+@pytest.fixture()
+def flaky_runner(monkeypatch):
+    """A stub runner that fails selected (function, label) attempts."""
+    calls = []
+    failures = set()
+
+    def fake_run(function, config):
+        calls.append((function, config.label))
+        if (function, config.label) in failures:
+            raise ExtractionError("rule substitution exceeded the configured bound")
+        return FakeResult(function, config)
+
+    monkeypatch.setattr(
+        accuracy_table_module, "run_function_experiment", fake_run
+    )
+    return calls, failures
+
+
+class TestRetryReplicates:
+    def test_retry_rescues_a_failing_function(self, flaky_runner):
+        calls, failures = flaky_runner
+        config = ExperimentConfig.quick(label="unit")
+        failures.add((6, "unit"))  # first attempt of function 6 fails
+        table = build_accuracy_table([1, 6], config, retry_replicates=1)
+        assert [r.function for r in table.results] == [1, 6]
+        # Function 6 ran twice: the base config, then replicate 1.
+        assert calls == [(1, "unit"), (6, "unit"), (6, "unit#s1")]
+        assert table.results[1].config_label == "unit#s1"
+
+    def test_exhausted_retries_raise_the_last_error(self, flaky_runner):
+        calls, failures = flaky_runner
+        config = ExperimentConfig.quick(label="unit")
+        failures.update({(4, "unit"), (4, "unit#s1")})
+        with pytest.raises(ExtractionError):
+            build_accuracy_table([4], config, retry_replicates=1)
+        assert calls == [(4, "unit"), (4, "unit#s1")]
+
+    def test_negative_retries_rejected(self):
+        with pytest.raises(ExperimentError):
+            build_accuracy_table([1], ExperimentConfig.quick(), retry_replicates=-1)

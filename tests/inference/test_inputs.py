@@ -13,8 +13,11 @@ class TestNormalizeBatchInput:
     def test_dataset(self, small_dataset):
         batch = normalize_batch_input(small_dataset)
         assert batch.n == len(small_dataset)
-        assert batch.records is small_dataset.records
         assert batch.dataset is small_dataset
+        # Records stay unmaterialised until something asks for them (columnar
+        # datasets on the encoded path never pay for per-record dicts).
+        assert batch.records is None
+        assert batch.require_records("test") is small_dataset.records
 
     def test_matrix(self):
         matrix = np.zeros((4, 3))

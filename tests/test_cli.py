@@ -212,6 +212,105 @@ class TestPredictCommand:
             )
 
 
+class TestGenerateCommand:
+    def test_generate_jsonl_deterministic(self, tmp_path):
+        out = tmp_path / "tuples.jsonl"
+        code = main(
+            [
+                "generate", "--function", "2", "--n", "250", "--seed", "4",
+                "--chunk-size", "100", "--out", str(out),
+            ]
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert len(rows) == 250
+        reference = AgrawalGenerator(function=2, seed=4).generate(250)
+        assert [row["class"] for row in rows] == reference.labels
+        assert [
+            {k: v for k, v in row.items() if k != "class"} for row in rows
+        ] == reference.records
+
+    def test_generate_csv_round_trips_through_reader(self, tmp_path):
+        from repro.data.agrawal import agrawal_schema
+        from repro.data.io import iter_csv_records
+
+        out = tmp_path / "tuples.csv"
+        code = main(
+            ["generate", "--function", "1", "--n", "120", "--seed", "8",
+             "--perturbation", "0", "--out", str(out)]
+        )
+        assert code == 0
+        records = list(iter_csv_records(out, schema=agrawal_schema()))
+        assert len(records) == 120
+        reference = AgrawalGenerator(function=1, perturbation=0.0, seed=8).generate(120)
+        # CSV parsing types continuous attributes as floats; compare values.
+        for parsed, expected in zip(records, reference.records):
+            for name, value in expected.items():
+                assert float(parsed[name]) == float(value), name
+
+    def test_generate_no_class(self, tmp_path):
+        out = tmp_path / "tuples.jsonl"
+        assert main(
+            ["generate", "--function", "1", "--n", "10", "--seed", "0",
+             "--no-class", "--out", str(out)]
+        ) == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        assert all("class" not in row for row in rows)
+
+    def test_generate_with_drift(self, tmp_path):
+        out = tmp_path / "drifted.jsonl"
+        code = main(
+            ["generate", "--function", "2", "--n", "200", "--seed", "3",
+             "--perturbation", "0", "--drift-at", "100", "--drift-function", "5",
+             "--out", str(out)]
+        )
+        assert code == 0
+        rows = [json.loads(line) for line in out.read_text().splitlines()]
+        reference = AgrawalGenerator(function=2, perturbation=0.0, seed=3).generate(200)
+        labels = [row["class"] for row in rows]
+        assert labels[:100] == reference.labels[:100]
+        assert labels[100:] != reference.labels[100:]  # concept switched
+
+    def test_generate_drift_flags_validated(self, tmp_path):
+        out = tmp_path / "x.jsonl"
+        with pytest.raises(SystemExit, match="--drift-at"):
+            main(["generate", "--n", "10", "--drift-function", "5", "--out", str(out)])
+        with pytest.raises(SystemExit, match="--drift-function"):
+            main(["generate", "--n", "10", "--drift-at", "5", "--out", str(out)])
+
+    def test_generate_function_out_of_range(self, tmp_path):
+        with pytest.raises(SystemExit, match="outside the benchmark range"):
+            main(["generate", "--function", "11", "--n", "10",
+                  "--out", str(tmp_path / "x.jsonl")])
+
+    def test_generate_bad_perturbation_reports_error(self, tmp_path, capsys):
+        code = main(["generate", "--n", "10", "--perturbation", "1.5",
+                     "--out", str(tmp_path / "x.jsonl")])
+        assert code == 2
+        assert "perturbation" in capsys.readouterr().err
+
+    def test_generate_then_predict_round_trip(self, tmp_path):
+        """The acceptance-criterion composition: generation streams into the
+        serving layer and the served labels equal the generated ones."""
+        tuples = tmp_path / "tuples.jsonl"
+        labels_out = tmp_path / "labels.jsonl"
+        assert main(
+            ["generate", "--function", "1", "--n", "400", "--seed", "21",
+             "--perturbation", "0", "--chunk-size", "128", "--out", str(tuples)]
+        ) == 0
+        assert main(
+            ["predict", "--reference-function", "1", "--input", str(tuples),
+             "--out", str(labels_out)]
+        ) == 0
+        generated = [
+            json.loads(line)["class"] for line in tuples.read_text().splitlines()
+        ]
+        predicted = [
+            json.loads(line)["label"] for line in labels_out.read_text().splitlines()
+        ]
+        assert predicted == generated
+
+
 class TestServeBenchCommand:
     def test_serve_bench_writes_report(self, tmp_path):
         out = tmp_path / "bench.json"
