@@ -28,6 +28,14 @@ Subcommands:
     Measure the micro-batched :class:`PredictionService` against a naive
     per-record prediction loop on generated Agrawal tuples.
 
+``db``
+    In-database mining over a SQLite tuple store: ``db load`` bulk-loads a
+    CSV/JSONL export (or generated tuples) into a schema-typed relation,
+    ``db classify`` labels every stored tuple with a single-pass SQL
+    ``CASE`` scan (the pushdown path), ``db stats`` computes per-rule
+    support/coverage/confidence and the confusion matrix inside the engine,
+    and ``db sql`` prints the rendered statements for any dialect.
+
 Examples::
 
     python -m repro sweep --functions 1,2,3 --seeds 2 --processes 2 \\
@@ -41,6 +49,11 @@ Examples::
         --input tuples.csv --out labels.jsonl
     python -m repro predict --reference-function 1 --input tuples.jsonl
     python -m repro serve-bench --n 50000 --out BENCH_serving.json
+    python -m repro db load --db tuples.db --input tuples.jsonl
+    python -m repro db classify --db tuples.db --reference-function 2 \\
+        --out labels.jsonl
+    python -m repro db stats --db tuples.db --reference-function 2
+    python -m repro db sql --reference-function 2 --dialect postgres
 """
 
 from __future__ import annotations
@@ -222,9 +235,9 @@ def _cmd_generate(args: argparse.Namespace) -> int:
             f"error: class column name {args.class_column!r} collides with an "
             "attribute name"
         )
-    form = args.format
-    if form == "auto":
-        form = "jsonl" if Path(args.out).suffix in (".jsonl", ".ndjson") else "csv"
+    from repro.data.io import resolve_format
+
+    form = resolve_format(args.out, args.format)
     chunks_written = 0
     started = perf_counter()
 
@@ -277,6 +290,29 @@ def _cmd_generate(args: argparse.Namespace) -> int:
 _MODEL_NAME = "model"
 
 
+def _write_labels(out, labels) -> int:
+    """Stream label rows to ``out`` and return how many were written.
+
+    ``out=None`` prints JSONL to stdout, a ``.csv`` path gets a one-column
+    label file, anything else JSON lines — shared by ``predict`` and
+    ``db classify`` so the formats cannot drift apart.
+    """
+    rows = ({"label": label} for label in labels)
+    if out is None:
+        count = 0
+        for row in rows:
+            print(json.dumps(row))
+            count += 1
+        return count
+    if Path(out).suffix == ".csv":
+        from repro.data.io import write_csv
+
+        return write_csv(out, rows, ["label"])
+    from repro.data.io import write_jsonl
+
+    return write_jsonl(out, rows)
+
+
 def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
     """Model-source flags shared by ``predict`` and ``serve-bench``."""
     source = parser.add_argument_group("model source (exactly one)")
@@ -317,6 +353,13 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
         default="rules",
         help="artifact to serve when a cache entry holds both (default: rules)",
     )
+    parser.add_argument(
+        "--backend",
+        choices=("numpy", "sql"),
+        default="numpy",
+        help="rule execution backend: in-process NumPy masks (default) or "
+        "an in-database SQL CASE scan",
+    )
     service = parser.add_argument_group("service tuning")
     service.add_argument(
         "--batch-size",
@@ -343,6 +386,7 @@ def _load_model(args: argparse.Namespace):
     from repro.serving import ModelRegistry, reference_ruleset
 
     registry = ModelRegistry()
+    backend = getattr(args, "backend", "numpy")
     sources = [
         args.cache_dir is not None,
         args.rules is not None,
@@ -354,26 +398,38 @@ def _load_model(args: argparse.Namespace):
             "error: exactly one model source is required: --cache-dir, --rules, "
             "--network or --reference-function"
         )
+    if args.network is not None and backend == "sql":
+        raise SystemExit(
+            "error: --backend sql applies to rule models; networks cannot be "
+            "pushed down into the database"
+        )
     if args.cache_dir is not None:
         cache = ArtifactCache(args.cache_dir)
         if args.key is not None:
-            registry.load_artifact(_MODEL_NAME, cache, args.key, prefer=args.prefer)
+            registry.load_artifact(
+                _MODEL_NAME, cache, args.key, prefer=args.prefer, backend=backend
+            )
         elif args.function is not None:
             registry.load_artifact_by_task(
-                _MODEL_NAME, cache, args.function, seed=args.seed, prefer=args.prefer
+                _MODEL_NAME,
+                cache,
+                args.function,
+                seed=args.seed,
+                prefer=args.prefer,
+                backend=backend,
             )
         else:
             raise SystemExit("error: --cache-dir needs --key or --function")
     elif args.rules is not None:
-        registry.load_rules_file(_MODEL_NAME, args.rules)
+        registry.load_rules_file(_MODEL_NAME, args.rules, backend=backend)
     elif args.network is not None:
         classes = args.classes.split(",") if args.classes else None
         registry.load_network_file(_MODEL_NAME, args.network, classes=classes)
     else:
-        registry.register_predictor(
+        registry.register_ruleset(
             _MODEL_NAME,
             reference_ruleset(args.reference_function),
-            kind="rules",
+            backend=backend,
             source=f"reference function {args.reference_function}",
         )
     return registry
@@ -392,12 +448,10 @@ def _service_config(args: argparse.Namespace):
 def _input_records(args: argparse.Namespace):
     """A bounded-memory record iterator over the input file."""
     from repro.data.agrawal import agrawal_schema
-    from repro.data.io import iter_csv_records, iter_jsonl_records
+    from repro.data.io import iter_csv_records, iter_jsonl_records, resolve_format
 
     schema = agrawal_schema() if args.schema == "agrawal" else None
-    form = args.format
-    if form == "auto":
-        form = "jsonl" if Path(args.input).suffix in (".jsonl", ".ndjson") else "csv"
+    form = resolve_format(args.input, args.format)
     reader = iter_jsonl_records if form == "jsonl" else iter_csv_records
     return reader(args.input, schema=schema, class_column=args.class_column)
 
@@ -412,26 +466,9 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     started = perf_counter()
     with PredictionService(registry, _service_config(args)) as service:
         label_batches = service.predict_stream_batches(_MODEL_NAME, records)
-        rows = ({"label": label} for labels in label_batches for label in labels)
-        if args.out is None:
-            count = 0
-            for row in rows:
-                print(json.dumps(row))
-                count += 1
-        elif Path(args.out).suffix == ".csv":
-            import csv as _csv
-
-            with open(args.out, "w", newline="", encoding="utf-8") as handle:
-                writer = _csv.writer(handle)
-                writer.writerow(["label"])
-                count = 0
-                for row in rows:
-                    writer.writerow([row["label"]])
-                    count += 1
-        else:
-            from repro.data.io import write_jsonl
-
-            count = write_jsonl(args.out, rows)
+        count = _write_labels(
+            args.out, (label for labels in label_batches for label in labels)
+        )
         elapsed = perf_counter() - started
         stats = service.stats(_MODEL_NAME)
     print(
@@ -511,6 +548,271 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             json.dump(report, handle, indent=2)
             handle.write("\n")
         print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# In-database commands (`python -m repro db ...`)
+# ---------------------------------------------------------------------------
+
+
+def _add_db_store_arguments(parser: argparse.ArgumentParser) -> None:
+    """Flags locating the tuple store a ``db`` subcommand works against."""
+    parser.add_argument(
+        "--db", required=True, help="SQLite database file (or :memory:)"
+    )
+    parser.add_argument(
+        "--table", default="tuples", help="relation name (default: tuples)"
+    )
+    parser.add_argument(
+        "--class-column",
+        default="class",
+        help="label column name (default: class)",
+    )
+
+
+def _add_db_rules_arguments(
+    parser: argparse.ArgumentParser, required: bool
+) -> None:
+    """Rule-model source flags for ``db`` subcommands (rules only — there is
+    no SQL form of a network)."""
+    qualifier = "exactly one" if required else "at most one"
+    source = parser.add_argument_group(f"rule-set source ({qualifier})")
+    source.add_argument(
+        "--cache-dir", default=None, help="artifact cache holding the rules"
+    )
+    source.add_argument(
+        "--key", default=None, help="cache entry key (with --cache-dir)"
+    )
+    source.add_argument(
+        "--function",
+        type=positive_int,
+        default=None,
+        help="look the cache entry up by benchmark function (with --cache-dir)",
+    )
+    source.add_argument(
+        "--seed",
+        type=int,
+        default=None,
+        help="narrow the function lookup to one replicate seed",
+    )
+    source.add_argument("--rules", default=None, help="standalone rules.json file")
+    source.add_argument(
+        "--reference-function",
+        type=positive_int,
+        default=None,
+        help="use the built-in ground-truth rule set of this function (1-4)",
+    )
+
+
+def _load_db_ruleset(args: argparse.Namespace, required: bool = True):
+    """Resolve the rule-source flags of a ``db`` subcommand to a RuleSet."""
+    from repro.rules.ruleset import RuleSet
+    from repro.serving import ModelRegistry, reference_ruleset
+
+    sources = [
+        args.cache_dir is not None,
+        args.rules is not None,
+        args.reference_function is not None,
+    ]
+    if sum(sources) == 0:
+        if required:
+            raise SystemExit(
+                "error: a rule-set source is required: --cache-dir, --rules or "
+                "--reference-function"
+            )
+        return None
+    if sum(sources) != 1:
+        raise SystemExit(
+            "error: at most one rule-set source: --cache-dir, --rules or "
+            "--reference-function"
+        )
+    if args.reference_function is not None:
+        return reference_ruleset(args.reference_function)
+    registry = ModelRegistry()
+    if args.rules is not None:
+        model = registry.load_rules_file(_MODEL_NAME, args.rules)
+    else:
+        cache = ArtifactCache(args.cache_dir)
+        if args.key is not None:
+            model = registry.load_artifact(_MODEL_NAME, cache, args.key)
+        elif args.function is not None:
+            model = registry.load_artifact_by_task(
+                _MODEL_NAME, cache, args.function, seed=args.seed
+            )
+        else:
+            raise SystemExit("error: --cache-dir needs --key or --function")
+    ruleset = model.predictor
+    if not isinstance(ruleset, RuleSet) or (ruleset.rules and ruleset.is_binary):
+        raise SystemExit(
+            "error: the selected artifact is not an attribute rule set; only "
+            "attribute rules have a SQL form"
+        )
+    return ruleset
+
+
+def _open_store(args: argparse.Namespace):
+    from repro.data.agrawal import agrawal_schema
+    from repro.db.store import TupleStore
+
+    return TupleStore(
+        agrawal_schema(),
+        path=args.db,
+        table=args.table,
+        class_column=args.class_column,
+    )
+
+
+def _cmd_db_load(args: argparse.Namespace) -> int:
+    from repro.data.agrawal import AgrawalGenerator
+    from repro.data.io import iter_csv_records, iter_jsonl_records, resolve_format
+
+    generating = args.n is not None
+    if generating == (args.input is not None):
+        raise SystemExit(
+            "error: exactly one input is required: --input FILE, or --n "
+            "(with --gen-function/--gen-seed) to load generated tuples"
+        )
+    if generating and args.gen_function not in FUNCTION_RANGE:
+        raise SystemExit(
+            f"error: function {args.gen_function} is outside the benchmark "
+            f"range {FUNCTION_RANGE.start}-{FUNCTION_RANGE.stop - 1}"
+        )
+    store = _open_store(args)
+    with store:
+        store.create(drop=args.drop)
+        started = perf_counter()
+        if generating:
+            generator = AgrawalGenerator(
+                function=args.gen_function,
+                perturbation=args.perturbation,
+                seed=args.gen_seed,
+            )
+            count = store.load(
+                generator.iter_chunks(args.n, chunk_size=args.chunk_size),
+                batch_size=args.batch_size,
+            )
+            source = f"generated function-{args.gen_function} tuples"
+        else:
+            form = resolve_format(args.input, args.format)
+            reader = iter_jsonl_records if form == "jsonl" else iter_csv_records
+            records = reader(args.input, schema=None, class_column=None)
+            count = store.load_records(
+                records,
+                label_key=args.class_column,
+                batch_size=args.batch_size,
+                validate=args.validate,
+            )
+            source = args.input
+        elapsed = perf_counter() - started
+        total = store.count()
+        distribution = store.class_distribution()
+    print(
+        f"loaded {count} tuple(s) from {source} into {args.db}:{args.table} "
+        f"in {elapsed:.2f}s ({count / elapsed:,.0f} tuples/s); "
+        f"table now holds {total} tuple(s)",
+        file=sys.stderr,
+    )
+    rendered = ", ".join(f"{label}: {n}" for label, n in distribution.items())
+    print(f"class distribution: {rendered}", file=sys.stderr)
+    return 0
+
+
+def _cmd_db_classify(args: argparse.Namespace) -> int:
+    from repro.db.predictor import SqlRulePredictor
+
+    if args.into is not None and args.out is not None:
+        raise SystemExit(
+            "error: --out and --into are mutually exclusive: labels either "
+            "stream out of the database or stay in it"
+        )
+    ruleset = _load_db_ruleset(args)
+    store = _open_store(args)
+    with store:
+        predictor = SqlRulePredictor(ruleset, store=store)
+        print(f"classifying with {predictor.describe()}", file=sys.stderr)
+        started = perf_counter()
+        if args.into is not None:
+            count = predictor.classify_into(args.into, drop=args.drop_into)
+            elapsed = perf_counter() - started
+            print(
+                f"classified {count} stored tuple(s) into table {args.into!r} "
+                f"in {elapsed:.2f}s ({count / elapsed:,.0f} tuples/s) — labels "
+                "never left the database",
+                file=sys.stderr,
+            )
+            return 0
+        count = _write_labels(args.out, predictor.iter_classified())
+        elapsed = perf_counter() - started
+    print(
+        f"classified {count} stored tuple(s) in {elapsed:.2f}s "
+        f"({count / elapsed:,.0f} tuples/s) — single CASE scan pushdown",
+        file=sys.stderr,
+    )
+    if args.out is not None:
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_db_stats(args: argparse.Namespace) -> int:
+    from repro.db.queries import confusion_matrix, rule_quality
+    from repro.experiments.reporting import format_rule_quality_table
+
+    ruleset = _load_db_ruleset(args, required=False)
+    store = _open_store(args)
+    with store:
+        total = store.count()
+        distribution = store.class_distribution()
+        print(f"{args.db}:{args.table} — {total} tuple(s)")
+        rendered = ", ".join(f"{label}: {n}" for label, n in distribution.items())
+        print(f"class distribution: {rendered}")
+        if ruleset is None:
+            return 0
+        qualities = rule_quality(store, ruleset)
+        matrix = confusion_matrix(store, ruleset)
+    print()
+    print(format_rule_quality_table(qualities, title=f"rule quality ({ruleset.name})"))
+    print()
+    print(matrix.describe())
+    print()
+    print(matrix.describe_per_class())
+    if matrix.total:
+        print(f"\nin-database accuracy: {100.0 * matrix.accuracy():.2f}%")
+    else:
+        print("\nin-database accuracy: n/a (no stored tuples)")
+    return 0
+
+
+def _cmd_db_sql(args: argparse.Namespace) -> int:
+    from repro.data.agrawal import agrawal_schema
+    from repro.db.dialect import dialect_for
+    from repro.db.schema import label_index_ddl, schema_ddl
+    from repro.exceptions import DatabaseError
+    from repro.rules.serialization import (
+        ruleset_to_case_expression,
+        ruleset_to_sql,
+    )
+
+    try:
+        dialect = dialect_for(args.dialect)
+    except DatabaseError as exc:
+        raise SystemExit(f"error: {exc}")
+    ruleset = _load_db_ruleset(args)
+    schema = agrawal_schema()
+    statements = [
+        schema_ddl(schema, args.table, args.class_column, dialect) + ";",
+        label_index_ddl(args.table, args.class_column, dialect) + ";",
+        *ruleset_to_sql(ruleset, args.table, dialect=dialect),
+        (
+            f"SELECT *,\n"
+            f"{ruleset_to_case_expression(ruleset, dialect=dialect)}\n"
+            f"FROM {dialect.quote_qualified(args.table)};"
+        ),
+    ]
+    print(f"-- dialect: {dialect.name}")
+    for statement in statements:
+        print(statement)
+        print()
     return 0
 
 
@@ -719,6 +1021,130 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the benchmark report to this JSON file"
     )
     bench.set_defaults(handler=_cmd_serve_bench)
+
+    db = commands.add_parser(
+        "db",
+        help="in-database mining: load tuples into SQLite, classify with SQL "
+        "pushdown, compute rule quality in the engine",
+    )
+    db_commands = db.add_subparsers(dest="db_command", required=True)
+
+    db_load = db_commands.add_parser(
+        "load",
+        help="bulk-load tuples (a CSV/JSONL file, or generated Agrawal "
+        "tuples) into a SQLite tuple store",
+    )
+    _add_db_store_arguments(db_load)
+    db_load.add_argument(
+        "--input", default=None, help="CSV or JSONL file of labelled records"
+    )
+    db_load.add_argument(
+        "--format",
+        choices=("auto", "csv", "jsonl"),
+        default="auto",
+        help="input format (default: by file extension)",
+    )
+    db_load.add_argument(
+        "--validate",
+        action="store_true",
+        help="validate every input record against the Agrawal schema",
+    )
+    db_load.add_argument(
+        "--n",
+        type=positive_int,
+        default=None,
+        help="generate this many Agrawal tuples instead of reading --input",
+    )
+    db_load.add_argument(
+        "--gen-function",
+        type=positive_int,
+        default=2,
+        help="labelling function for generated tuples (default: 2)",
+    )
+    db_load.add_argument(
+        "--gen-seed", type=int, default=None, help="generator seed (default: random)"
+    )
+    db_load.add_argument(
+        "--perturbation",
+        type=float,
+        default=0.05,
+        help="perturbation factor for generated tuples (default: 0.05)",
+    )
+    db_load.add_argument(
+        "--chunk-size",
+        type=positive_int,
+        default=100_000,
+        help="tuples generated per columnar chunk (default: 100000)",
+    )
+    db_load.add_argument(
+        "--batch-size",
+        type=positive_int,
+        default=50_000,
+        help="rows per INSERT batch (default: 50000)",
+    )
+    db_load.add_argument(
+        "--drop",
+        action="store_true",
+        help="drop and re-create the relation instead of appending",
+    )
+    db_load.set_defaults(handler=_cmd_db_load)
+
+    db_classify = db_commands.add_parser(
+        "classify",
+        help="classify every stored tuple with a single-pass SQL CASE scan",
+    )
+    _add_db_store_arguments(db_classify)
+    _add_db_rules_arguments(db_classify, required=True)
+    db_classify.add_argument(
+        "--out",
+        default=None,
+        help="output file (.jsonl, or .csv for a one-column label file); "
+        "omit to stream JSONL to stdout",
+    )
+    db_classify.add_argument(
+        "--into",
+        default=None,
+        help="materialise the labels into this table inside the database "
+        "instead of streaming them out (refuses to replace an existing "
+        "table unless --drop-into is given)",
+    )
+    db_classify.add_argument(
+        "--drop-into",
+        action="store_true",
+        help="with --into: drop and replace the label table if it exists "
+        "(same contract as `db load --drop`)",
+    )
+    db_classify.set_defaults(handler=_cmd_db_classify)
+
+    db_stats = db_commands.add_parser(
+        "stats",
+        help="store statistics; with a rule source, per-rule "
+        "support/coverage/confidence and the in-database confusion matrix",
+    )
+    _add_db_store_arguments(db_stats)
+    _add_db_rules_arguments(db_stats, required=False)
+    db_stats.set_defaults(handler=_cmd_db_stats)
+
+    db_sql = db_commands.add_parser(
+        "sql",
+        help="print the rendered statements (DDL, per-rule SELECTs, CASE "
+        "classifier) without executing them",
+    )
+    db_sql.add_argument(
+        "--table", default="tuples", help="relation name (default: tuples)"
+    )
+    db_sql.add_argument(
+        "--class-column",
+        default="class",
+        help="label column name (default: class)",
+    )
+    db_sql.add_argument(
+        "--dialect",
+        default="sqlite",
+        help="target dialect: sqlite, ansi, postgres or mysql (default: sqlite)",
+    )
+    _add_db_rules_arguments(db_sql, required=True)
+    db_sql.set_defaults(handler=_cmd_db_sql)
     return parser
 
 

@@ -13,7 +13,9 @@ provides
 * :func:`iter_csv_records` / :func:`iter_jsonl_records` — bounded-memory
   record streams for the serving layer: a multi-million-tuple file is
   consumed one record at a time, never materialised as a list;
-* :func:`write_jsonl` — the streaming counterpart on the output side.
+* :func:`write_jsonl` — the streaming counterpart on the output side;
+* :func:`resolve_format` — the one place that decides whether a path means
+  CSV or JSONL (the CLI's ``--format auto``).
 """
 
 from __future__ import annotations
@@ -33,6 +35,26 @@ from repro.data.schema import (
 from repro.exceptions import DataGenerationError, SchemaError
 
 PathLike = Union[str, Path]
+
+#: File suffixes read/written as JSON lines; everything else is CSV.
+JSONL_SUFFIXES = (".jsonl", ".ndjson")
+
+
+def resolve_format(path: PathLike, form: str = "auto") -> str:
+    """Resolve a ``--format`` choice against a file path.
+
+    ``"csv"``/``"jsonl"`` pass through; ``"auto"`` picks by suffix
+    (:data:`JSONL_SUFFIXES` mean JSONL, anything else CSV).  Every CLI
+    entry point shares this one rule so a ``.ndjson`` file means the same
+    thing to ``generate``, ``predict`` and ``db load``.
+    """
+    if form in ("csv", "jsonl"):
+        return form
+    if form != "auto":
+        raise DataGenerationError(
+            f"unknown format {form!r}; expected 'auto', 'csv' or 'jsonl'"
+        )
+    return "jsonl" if Path(path).suffix in JSONL_SUFFIXES else "csv"
 
 
 def save_csv(dataset: Dataset, path: PathLike, class_column: str = "class") -> None:

@@ -1,0 +1,198 @@
+"""SQL dialects: the portability layer under every rendered statement.
+
+The paper's deployment story is that extracted rules run *inside* the DBMS,
+but "the DBMS" is not one grammar: SQLite (before 3.23) has no ``TRUE``
+keyword, MySQL quotes identifiers with backticks, and every engine disagrees
+about boolean literals.  :class:`SqlDialect` captures exactly the three
+degrees of freedom our renderers need —
+
+* **identifier quoting** (``"salary"`` vs ```salary```), which also closes
+  the injection/keyword hole of interpolating attribute names bare;
+* **boolean literals** (``TRUE`` vs ``1``);
+* **constant predicates** — always rendered as ``1=1`` / ``0=1``, the one
+  spelling every dialect accepts (a bare ``TRUE`` in predicate position is
+  rejected by several engines).
+
+This module deliberately depends only on :mod:`repro.exceptions` so that the
+rule renderers in :mod:`repro.rules.serialization` can import it without any
+cycle through the rest of the :mod:`repro.db` backend.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.exceptions import DatabaseError
+
+
+@dataclass(frozen=True)
+class SqlDialect:
+    """Rendering rules of one SQL dialect.
+
+    Parameters
+    ----------
+    name:
+        Lookup key (``"sqlite"``, ``"ansi"``, ...).
+    identifier_quote:
+        The character wrapped around identifiers; occurrences inside an
+        identifier are escaped by doubling, per the SQL standard.
+    boolean_keywords:
+        Whether ``TRUE``/``FALSE`` are valid *literals*.  When ``False``
+        booleans render as ``1``/``0``, which every engine stores and
+        compares correctly.
+    placeholder:
+        The parameter marker of the dialect's DB-API driver (``?`` for
+        :mod:`sqlite3`, ``%s`` for most server drivers).
+    """
+
+    name: str
+    identifier_quote: str = '"'
+    boolean_keywords: bool = True
+    placeholder: str = "?"
+    #: Where a schema qualifier goes in ``CREATE INDEX``: SQLite qualifies
+    #: the *index name* (``CREATE INDEX "main"."idx" ON "t"``) and rejects a
+    #: qualified table in the ``ON`` clause; PostgreSQL/MySQL do the
+    #: opposite (bare index name, qualified table).
+    index_qualifier_on_index: bool = False
+    #: Whether the engine treats backslashes in string literals as escapes
+    #: (MySQL's default mode): if so they must be doubled, or a value ending
+    #: in ``\`` swallows the closing quote and the text after it.
+    backslash_escapes: bool = False
+
+    #: Constant predicates.  ``1=1``/``0=1`` are deliberately not
+    #: per-dialect: they are the portable spelling, and using them
+    #: unconditionally is the fix for the bare ``TRUE``/``FALSE`` predicates
+    #: the renderers used to emit.
+    @property
+    def true_predicate(self) -> str:
+        """A predicate that always holds."""
+        return "1=1"
+
+    @property
+    def false_predicate(self) -> str:
+        """A predicate that never holds."""
+        return "0=1"
+
+    # -- identifiers --------------------------------------------------------
+
+    def quote(self, identifier: str) -> str:
+        """Quote one identifier (attribute, column, table, index name).
+
+        Any non-empty string without NUL bytes is a legal quoted identifier;
+        embedded quote characters are escaped by doubling, so a hostile or
+        keyword-shaped attribute name (``"select"``, ``'; DROP TABLE --``)
+        renders as an ordinary name instead of live syntax.
+        """
+        if not isinstance(identifier, str) or not identifier:
+            raise DatabaseError(
+                f"SQL identifiers must be non-empty strings, got {identifier!r}"
+            )
+        if "\x00" in identifier:
+            raise DatabaseError(
+                f"SQL identifier contains a NUL byte: {identifier!r}"
+            )
+        quote = self.identifier_quote
+        return f"{quote}{identifier.replace(quote, quote * 2)}{quote}"
+
+    def quote_qualified(self, name: str) -> str:
+        """Quote a possibly dot-qualified table name part by part.
+
+        ``main.customers`` renders as ``"main"."customers"``; a plain name is
+        quoted whole.  An attribute name containing a literal dot should go
+        through :meth:`quote` instead.
+        """
+        parts = name.split(".") if isinstance(name, str) else [name]
+        return ".".join(self.quote(part) for part in parts)
+
+    # -- literals -----------------------------------------------------------
+
+    def boolean_literal(self, value: bool) -> str:
+        """Render a boolean literal (``TRUE``/``FALSE`` or ``1``/``0``)."""
+        if self.boolean_keywords:
+            return "TRUE" if value else "FALSE"
+        return "1" if value else "0"
+
+    def literal(self, value: object) -> str:
+        """Render a Python value as a SQL literal.
+
+        Booleans must be checked before any numeric handling: ``bool`` is a
+        subclass of ``int`` in Python, so ``True`` would otherwise fall
+        through the numeric branches.  NumPy booleans (which are *not*
+        ``int`` subclasses) get the same treatment; NumPy integer/float
+        scalars render through their Python values.  Strings are quoted with
+        ``'`` doubled, the standard escaping every engine accepts.
+        """
+        # NumPy scalar types expose item(); unwrap them first so np.bool_
+        # hits the bool branch and np.float64 the float branch.
+        item = getattr(value, "item", None)
+        if item is not None and type(value).__module__ == "numpy":
+            value = value.item()
+        if isinstance(value, bool):
+            return self.boolean_literal(value)
+        if isinstance(value, str):
+            escaped = value
+            if self.backslash_escapes:
+                escaped = escaped.replace("\\", "\\\\")
+            escaped = escaped.replace("'", "''")
+            return f"'{escaped}'"
+        if isinstance(value, float):
+            if value != value or value in (float("inf"), float("-inf")):
+                raise DatabaseError(
+                    f"cannot render non-finite float {value!r} as a SQL literal"
+                )
+            if value.is_integer():
+                return str(int(value))
+            return repr(value)
+        if isinstance(value, int):
+            return str(value)
+        raise DatabaseError(
+            f"cannot render {type(value).__name__} value {value!r} as a SQL literal"
+        )
+
+
+#: Portable default: double-quoted identifiers, keyword booleans.  This is
+#: what the rule renderers use when no dialect is passed, and it matches what
+#: PostgreSQL and the SQL standard accept.
+ANSI = SqlDialect(name="ansi", identifier_quote='"', boolean_keywords=True)
+
+#: The execution backend's dialect: SQLite stores booleans as integers and
+#: (before 3.23) has no TRUE/FALSE keywords at all, so literals are numeric.
+SQLITE = SqlDialect(
+    name="sqlite",
+    identifier_quote='"',
+    boolean_keywords=False,
+    placeholder="?",
+    index_qualifier_on_index=True,
+)
+
+POSTGRES = SqlDialect(
+    name="postgres", identifier_quote='"', boolean_keywords=True, placeholder="%s"
+)
+
+MYSQL = SqlDialect(
+    name="mysql",
+    identifier_quote="`",
+    boolean_keywords=True,
+    placeholder="%s",
+    backslash_escapes=True,
+)
+
+DEFAULT_DIALECT = ANSI
+
+DIALECTS: Dict[str, SqlDialect] = {
+    d.name: d for d in (ANSI, SQLITE, POSTGRES, MYSQL)
+}
+
+#: Dialect names in a stable order, for CLI choices and error messages.
+DIALECT_NAMES: Tuple[str, ...] = tuple(DIALECTS)
+
+
+def dialect_for(name: str) -> SqlDialect:
+    """Look a dialect up by name (:class:`DatabaseError` on a miss)."""
+    try:
+        return DIALECTS[name]
+    except KeyError as exc:
+        raise DatabaseError(
+            f"unknown SQL dialect {name!r}; known: {', '.join(DIALECT_NAMES)}"
+        ) from exc

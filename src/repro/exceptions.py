@@ -71,3 +71,9 @@ class ServingError(ReproError):
     """Raised by the model-serving layer: unknown model names, artifacts that
     cannot be loaded into a servable predictor, or requests submitted to a
     service that has been shut down."""
+
+
+class DatabaseError(ReproError):
+    """Raised by the in-database backend: invalid SQL identifiers or
+    dialects, a tuple store whose table does not match its schema, or rows
+    that cannot be loaded into (or classified inside) the database."""

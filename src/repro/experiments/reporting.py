@@ -62,6 +62,39 @@ def format_paper_vs_measured(
     )
 
 
+def format_rule_quality_table(
+    qualities: Sequence[object],
+    title: Optional[str] = None,
+) -> str:
+    """Render per-rule quality rows (the in-database analogue of Table 3).
+
+    ``qualities`` are :class:`repro.db.queries.SqlRuleQuality` instances (or
+    anything exposing the same fields); coverage/support/confidence render as
+    fractions with the shared NaN → ``n/a`` rule, so a rule that covers
+    nothing shows an undefined confidence instead of a fabricated one.
+    """
+    if not qualities:
+        raise ExperimentError("no rule-quality rows to render (empty rule set?)")
+    rows = [
+        [
+            f"R{q.rule_index + 1}",
+            q.consequent,
+            int(q.covered),
+            int(q.correct),
+            float(q.coverage),
+            float(q.support),
+            float(q.confidence),
+        ]
+        for q in qualities
+    ]
+    return format_table(
+        headers=["rule", "class", "covered", "correct", "coverage", "support", "confidence"],
+        rows=rows,
+        title=title,
+        float_format="{:.3f}",
+    )
+
+
 def _mean_std(row: Dict[str, float], prefix: str) -> str:
     """Render an aggregated ``mean ± std`` cell (std omitted when zero)."""
     mean_value = row[f"{prefix}_mean"]

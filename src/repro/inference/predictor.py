@@ -13,6 +13,11 @@ interface:
 Downstream consumers (metrics, the experiment runner, the benchmarks) work on
 these label arrays instead of Python lists, which is what makes the hot path
 matrix-shaped end to end.
+
+The protocol is deliberately storage-agnostic: the in-database backend's
+:class:`~repro.db.predictor.SqlRulePredictor` satisfies it by classifying
+*inside* SQLite (a single ``CASE`` scan) instead of evaluating NumPy masks,
+and the serving layer dispatches to either implementation interchangeably.
 """
 
 from __future__ import annotations

@@ -9,7 +9,7 @@ skew analysis (functions 8 and 10) needs them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Mapping, Sequence
 
 import numpy as np
 
@@ -56,6 +56,31 @@ class ConfusionMatrix:
         truth_indices = indices_from_labels(list(truth), classes)
         prediction_indices = indices_from_labels(list(predictions), classes)
         np.add.at(matrix, (truth_indices, prediction_indices), 1)
+        return cls(classes=classes, matrix=matrix)
+
+    @classmethod
+    def from_counts(
+        cls,
+        classes: Sequence[str],
+        counts: "Mapping[tuple, int]",
+    ) -> "ConfusionMatrix":
+        """Build a matrix from pre-aggregated ``(truth, predicted) -> count``.
+
+        This is how the in-database backend reports: one ``GROUP BY`` over
+        (stored label, predicted label) produces the counts and no label
+        arrays ever cross the database boundary.  Labels outside ``classes``
+        raise — a silently dropped cell would misreport accuracy.
+        """
+        classes = list(classes)
+        index = {label: i for i, label in enumerate(classes)}
+        matrix = np.zeros((len(classes), len(classes)), dtype=int)
+        for (truth, predicted), count in counts.items():
+            try:
+                matrix[index[truth], index[predicted]] += int(count)
+            except KeyError as exc:
+                raise ReproError(
+                    f"label outside the declared classes: {exc.args[0]!r}"
+                ) from exc
         return cls(classes=classes, matrix=matrix)
 
     @property

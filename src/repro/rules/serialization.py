@@ -10,6 +10,14 @@ This module makes that concrete:
   be executed against the relation they were mined from;
 * :func:`ruleset_to_json` / :func:`ruleset_from_json` provide a lossless
   round-trip for persisting rule sets.
+
+All SQL renderers are dialect-aware (see :mod:`repro.db.dialect`): identifiers
+are quoted, boolean literals follow the target engine, and constant
+predicates render as ``1=1`` / ``0=1`` — the portable spellings; a bare
+``TRUE`` in predicate position is invalid in SQLite before 3.23 and several
+other dialects.  The rendered statements are *executed*, not just printed:
+:mod:`repro.db` runs them against a SQLite tuple store, and
+``tests/rules/test_serialization.py`` locks the grammar by execution.
 """
 
 from __future__ import annotations
@@ -17,8 +25,7 @@ from __future__ import annotations
 import json
 from typing import Dict, List, Optional, Sequence
 
-import numpy as np
-
+from repro.db.dialect import DEFAULT_DIALECT, SqlDialect
 from repro.exceptions import RuleError
 from repro.preprocessing.intervals import Interval
 from repro.rules.conditions import IntervalCondition, MembershipCondition
@@ -30,90 +37,111 @@ from repro.rules.ruleset import RuleSet
 # SQL rendering
 # ---------------------------------------------------------------------------
 
-def _sql_literal(value: object) -> str:
-    """Render a Python value as a SQL literal (strings quoted, numbers bare).
+def _sql_literal(value: object, dialect: SqlDialect = DEFAULT_DIALECT) -> str:
+    """Render a Python value as a SQL literal in ``dialect``.
 
-    Booleans must be checked before any numeric handling: ``bool`` is a
-    subclass of ``int`` in Python, so ``True`` would otherwise fall through
-    the numeric branches and render as the invalid SQL token ``True``.
-    NumPy booleans (which are *not* ``int`` subclasses) get the same
-    treatment.
+    Kept as a thin wrapper over :meth:`SqlDialect.literal` for callers that
+    imported it before the dialect layer existed; booleans are rendered
+    per-dialect (``TRUE`` under ANSI/PostgreSQL, ``1`` under SQLite) instead
+    of the previously hardcoded keywords.
     """
-    if isinstance(value, bool) or isinstance(value, np.bool_):
-        return "TRUE" if value else "FALSE"
-    if isinstance(value, str):
-        escaped = value.replace("'", "''")
-        return f"'{escaped}'"
-    if isinstance(value, float) and float(value).is_integer():
-        return str(int(value))
-    return str(value)
+    return dialect.literal(value)
 
 
-def condition_to_sql(condition: AttributeCondition) -> str:
-    """Render one attribute condition as a SQL predicate."""
+def condition_to_sql(
+    condition: AttributeCondition, dialect: SqlDialect = DEFAULT_DIALECT
+) -> str:
+    """Render one attribute condition as a SQL predicate.
+
+    A trivial (unbounded) condition renders as ``1=1`` and an unsatisfiable
+    (empty-membership) condition as ``0=1`` — never as bare ``TRUE`` /
+    ``FALSE``, which are not valid predicates in every engine.
+    """
     if isinstance(condition, IntervalCondition):
         interval = condition.interval
+        name = dialect.quote(condition.attribute)
         parts: List[str] = []
         if interval.low is not None:
             op = ">=" if interval.low_inclusive else ">"
-            parts.append(f"{condition.attribute} {op} {_sql_literal(interval.low)}")
+            parts.append(f"{name} {op} {dialect.literal(interval.low)}")
         if interval.high is not None:
             op = "<=" if interval.high_inclusive else "<"
-            parts.append(f"{condition.attribute} {op} {_sql_literal(interval.high)}")
+            parts.append(f"{name} {op} {dialect.literal(interval.high)}")
         if not parts:
-            return "TRUE"
+            return dialect.true_predicate
         return " AND ".join(parts)
     if isinstance(condition, MembershipCondition):
         if not condition.allowed:
-            return "FALSE"
+            return dialect.false_predicate
+        name = dialect.quote(condition.attribute)
         if len(condition.allowed) == 1:
-            return f"{condition.attribute} = {_sql_literal(condition.allowed[0])}"
-        values = ", ".join(_sql_literal(v) for v in condition.allowed)
-        return f"{condition.attribute} IN ({values})"
+            return f"{name} = {dialect.literal(condition.allowed[0])}"
+        values = ", ".join(dialect.literal(v) for v in condition.allowed)
+        return f"{name} IN ({values})"
     raise RuleError(f"cannot render condition of type {type(condition).__name__} as SQL")
 
 
-def rule_to_sql(rule: AttributeRule) -> str:
+def rule_to_sql(rule: AttributeRule, dialect: SqlDialect = DEFAULT_DIALECT) -> str:
     """Render a rule's antecedent as a SQL ``WHERE`` predicate."""
     meaningful = [c for c in rule.conditions if not c.is_trivial()]
     if not meaningful:
-        return "TRUE"
-    return " AND ".join(f"({condition_to_sql(c)})" for c in meaningful)
+        return dialect.true_predicate
+    return " AND ".join(f"({condition_to_sql(c, dialect)})" for c in meaningful)
 
 
 def ruleset_to_sql(
     ruleset: RuleSet[AttributeRule],
     table: str,
     class_label: Optional[str] = None,
+    dialect: SqlDialect = DEFAULT_DIALECT,
 ) -> List[str]:
     """Render a rule set as ``SELECT`` statements against ``table``.
 
     One statement per rule (optionally restricted to rules predicting
     ``class_label``): each retrieves exactly the tuples the rule covers, which
-    is the retrieval use-case the paper motivates.
+    is the retrieval use-case the paper motivates.  ``table`` may be
+    dot-qualified (``main.customers``); every part is quoted, so keyword or
+    hostile names cannot change the statement's shape.
     """
+    quoted_table = dialect.quote_qualified(table)
     statements: List[str] = []
     for rule in ruleset.rules:
         if class_label is not None and rule.consequent != class_label:
             continue
         statements.append(
-            f"SELECT * FROM {table} WHERE {rule_to_sql(rule)};  -- class {rule.consequent}"
+            f"SELECT * FROM {quoted_table} WHERE {rule_to_sql(rule, dialect)};"
+            f"  -- class {rule.consequent}"
         )
     return statements
 
 
-def ruleset_to_case_expression(ruleset: RuleSet[AttributeRule], column: str = "predicted_class") -> str:
+def ruleset_to_case_expression(
+    ruleset: RuleSet[AttributeRule],
+    column: str = "predicted_class",
+    dialect: SqlDialect = DEFAULT_DIALECT,
+) -> str:
     """Render the whole classifier as a single SQL ``CASE`` expression.
 
     First-match semantics map directly onto ``CASE WHEN ... THEN ... ELSE``,
     so the expression labels every tuple exactly as :meth:`RuleSet.predict`
-    would.
+    would.  Unsatisfiable rules (the paper discards rule R'1, which "can
+    never be satisfied by any tuple") are skipped instead of emitting dead
+    ``WHEN 0=1`` arms; when *no* rule is satisfiable the whole classifier
+    collapses to the default-class literal (``CASE`` needs at least one
+    ``WHEN`` arm to be valid SQL).
     """
+    satisfiable = [rule for rule in ruleset.rules if rule.is_satisfiable()]
+    quoted_column = dialect.quote(column)
+    if not satisfiable:
+        return f"{dialect.literal(ruleset.default_class)} AS {quoted_column}"
     lines = ["CASE"]
-    for rule in ruleset.rules:
-        lines.append(f"  WHEN {rule_to_sql(rule)} THEN {_sql_literal(rule.consequent)}")
-    lines.append(f"  ELSE {_sql_literal(ruleset.default_class)}")
-    lines.append(f"END AS {column}")
+    for rule in satisfiable:
+        lines.append(
+            f"  WHEN {rule_to_sql(rule, dialect)} "
+            f"THEN {dialect.literal(rule.consequent)}"
+        )
+    lines.append(f"  ELSE {dialect.literal(ruleset.default_class)}")
+    lines.append(f"END AS {quoted_column}")
     return "\n".join(lines)
 
 

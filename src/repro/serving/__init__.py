@@ -18,10 +18,11 @@ from repro.serving.models import (
     KIND_BASELINE,
     KIND_NETWORK,
     KIND_RULES,
+    KIND_RULES_SQL,
     ServableModel,
 )
 from repro.serving.reference import reference_ruleset
-from repro.serving.registry import ModelRegistry
+from repro.serving.registry import RULE_BACKENDS, ModelRegistry
 from repro.serving.service import (
     ModelStats,
     PendingPrediction,
@@ -33,6 +34,8 @@ __all__ = [
     "KIND_BASELINE",
     "KIND_NETWORK",
     "KIND_RULES",
+    "KIND_RULES_SQL",
+    "RULE_BACKENDS",
     "ModelRegistry",
     "ModelStats",
     "PendingPrediction",

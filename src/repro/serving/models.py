@@ -31,6 +31,7 @@ from repro.rules.ruleset import RuleSet
 #: Model kinds the registry distinguishes (informational; behaviour is
 #: decided by the predictor's type, not the label).
 KIND_RULES = "rules"
+KIND_RULES_SQL = "rules-sql"
 KIND_NETWORK = "network"
 KIND_BASELINE = "baseline"
 
@@ -134,4 +135,10 @@ class ServableModel:
 
 # Re-exported here so the registry and service share one definition without
 # importing each other.
-__all__ = ["ServableModel", "KIND_RULES", "KIND_NETWORK", "KIND_BASELINE"]
+__all__ = [
+    "ServableModel",
+    "KIND_RULES",
+    "KIND_RULES_SQL",
+    "KIND_NETWORK",
+    "KIND_BASELINE",
+]

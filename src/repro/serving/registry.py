@@ -31,10 +31,16 @@ from repro.serving.models import (
     KIND_BASELINE,
     KIND_NETWORK,
     KIND_RULES,
+    KIND_RULES_SQL,
     ServableModel,
 )
 
 PathLike = Union[str, Path]
+
+#: Rule-set execution backends a rules artifact can be served through:
+#: ``"numpy"`` compiles to vectorised mask evaluation in process,
+#: ``"sql"`` pushes the rules down into a SQLite ``CASE`` scan.
+RULE_BACKENDS = ("numpy", "sql")
 
 #: The class vocabulary of every Agrawal-trained artifact.  Network artifacts
 #: do not record their label names (the network only knows output indices),
@@ -102,6 +108,74 @@ class ModelRegistry:
         )
         return self.register(model, replace=replace)
 
+    def register_ruleset(
+        self,
+        name: str,
+        ruleset,
+        backend: str = "numpy",
+        schema=None,
+        encoder: Optional[TupleEncoder] = None,
+        source: str = "memory",
+        replace: bool = False,
+    ) -> ServableModel:
+        """Register an in-memory rule set under a chosen execution backend."""
+        model = self._rules_model(name, ruleset, source, backend, encoder, schema=schema)
+        return self.register(model, replace=replace)
+
+    # -- rule-set backends ----------------------------------------------------
+
+    def _rules_model(
+        self,
+        name: str,
+        ruleset,
+        source: str,
+        backend: str,
+        encoder: Optional[TupleEncoder],
+        schema=None,
+    ) -> ServableModel:
+        """Wrap a loaded rule set in the requested execution backend.
+
+        ``backend="numpy"`` serves the rule set itself (compiled mask
+        evaluation); ``backend="sql"`` wraps it in a
+        :class:`~repro.db.predictor.SqlRulePredictor` so every batch is
+        classified by a ``CASE`` scan inside SQLite.  The SQL backend needs
+        an attribute :class:`Schema` to type its staging table; it defaults
+        to the Agrawal Table-1 schema, matching the registry's other
+        Agrawal-trained defaults.
+        """
+        if backend not in RULE_BACKENDS:
+            raise ServingError(
+                f"unknown rule backend {backend!r}; known: {', '.join(RULE_BACKENDS)}"
+            )
+        if backend == "numpy":
+            return ServableModel(
+                name=name,
+                kind=KIND_RULES,
+                predictor=ruleset,
+                encoder=encoder,
+                source=source,
+            )
+        from repro.db.predictor import SqlRulePredictor
+        from repro.exceptions import DatabaseError
+
+        if schema is None:
+            from repro.data.agrawal import agrawal_schema
+
+            schema = agrawal_schema()
+        try:
+            predictor = SqlRulePredictor(ruleset, schema=schema)
+        except DatabaseError as exc:
+            raise ServingError(
+                f"cannot serve rule set from {source} through SQL: {exc}"
+            ) from exc
+        return ServableModel(
+            name=name,
+            kind=KIND_RULES_SQL,
+            predictor=predictor,
+            encoder=encoder,
+            source=f"{source} [sql]",
+        )
+
     # -- loading from standalone files ---------------------------------------
 
     def load_rules_file(
@@ -109,9 +183,16 @@ class ModelRegistry:
         name: str,
         path: PathLike,
         encoder: Optional[TupleEncoder] = None,
+        backend: str = "numpy",
+        schema=None,
         replace: bool = False,
     ) -> ServableModel:
-        """Load a ``rules.json`` document (attribute rule set) as a model."""
+        """Load a ``rules.json`` document (attribute rule set) as a model.
+
+        ``backend="sql"`` serves it through the in-database ``CASE``
+        classifier instead of the NumPy compiler (``schema`` types the
+        staging table; defaults to the Agrawal schema).
+        """
         from repro.rules.serialization import ruleset_from_json
 
         path = Path(path)
@@ -121,12 +202,8 @@ class ModelRegistry:
             ruleset = ruleset_from_json(path.read_text())
         except ReproError as exc:
             raise ServingError(f"cannot load rule set from {path}: {exc}") from exc
-        model = ServableModel(
-            name=name,
-            kind=KIND_RULES,
-            predictor=ruleset,
-            encoder=encoder,
-            source=str(path),
+        model = self._rules_model(
+            name, ruleset, str(path), backend, encoder, schema=schema
         )
         return self.register(model, replace=replace)
 
@@ -200,16 +277,29 @@ class ModelRegistry:
         prefer: str = "rules",
         encoder: Optional[TupleEncoder] = None,
         classes: Optional[Sequence[str]] = None,
+        backend: str = "numpy",
+        schema=None,
         replace: bool = False,
     ) -> ServableModel:
         """Load one artifact-cache entry as a servable model.
 
         ``prefer`` picks the artifact when the entry holds both: ``"rules"``
         (the default — the paper's deployable form) falls back to the network
-        when no rule set was persisted; ``"network"`` is strict.
+        when no rule set was persisted; ``"network"`` is strict.  A rules
+        artifact can be opened with ``backend="sql"`` to classify inside the
+        database; networks have no SQL form, so that combination is an error.
         """
         if prefer not in ("rules", "network"):
             raise ServingError(f"prefer must be 'rules' or 'network', got {prefer!r}")
+        if backend not in RULE_BACKENDS:
+            raise ServingError(
+                f"unknown rule backend {backend!r}; known: {', '.join(RULE_BACKENDS)}"
+            )
+        if prefer == "network" and backend == "sql":
+            raise ServingError(
+                "backend='sql' applies to rules artifacts; networks cannot be "
+                "pushed down into the database"
+            )
         if not isinstance(cache, ArtifactCache):
             cache = ArtifactCache(cache)
         if prefer == "rules":
@@ -220,14 +310,20 @@ class ModelRegistry:
                     f"corrupt rule-set artifact in cache entry {key[:16]}: {exc}"
                 ) from exc
             if ruleset is not None:
-                model = ServableModel(
-                    name=name,
-                    kind=KIND_RULES,
-                    predictor=ruleset,
-                    encoder=encoder,
-                    source=f"{cache.root}:{key[:16]}",
+                model = self._rules_model(
+                    name,
+                    ruleset,
+                    f"{cache.root}:{key[:16]}",
+                    backend,
+                    encoder,
+                    schema=schema,
                 )
                 return self.register(model, replace=replace)
+            if backend == "sql":
+                raise ServingError(
+                    f"cache entry {key[:16]} under {cache.root} holds no rules "
+                    "artifact; backend='sql' cannot fall back to the network"
+                )
         try:
             network = cache.load_network(key)
         except ReproError as exc:
@@ -259,6 +355,7 @@ class ModelRegistry:
         function: int,
         seed: Optional[int] = None,
         prefer: str = "rules",
+        backend: str = "numpy",
         replace: bool = False,
     ) -> ServableModel:
         """Load a cached artifact addressed by ``function``/``seed``.
@@ -272,7 +369,9 @@ class ModelRegistry:
             key = cache.find_one(function, seed=seed)
         except ExperimentError as exc:
             raise ServingError(str(exc)) from exc
-        return self.load_artifact(name, cache, key, prefer=prefer, replace=replace)
+        return self.load_artifact(
+            name, cache, key, prefer=prefer, backend=backend, replace=replace
+        )
 
     # -- reporting ------------------------------------------------------------
 

@@ -48,4 +48,4 @@ class TestRuleExport:
         classifier, _ = noisy_boolean_classifier
         statements = ruleset_to_sql(classifier.rules_, table="tuples")
         assert len(statements) == classifier.rules_.n_rules
-        assert all("SELECT * FROM tuples WHERE" in s for s in statements)
+        assert all('SELECT * FROM "tuples" WHERE' in s for s in statements)

@@ -100,3 +100,25 @@ class TestLoadWithInferredSchema:
         assert len(restored) == len(small_dataset)
         assert set(restored.schema.attribute_names) == set(small_dataset.schema.attribute_names)
         assert restored.labels == small_dataset.labels
+
+
+class TestResolveFormat:
+    def test_explicit_choices_pass_through(self):
+        from repro.data.io import resolve_format
+
+        assert resolve_format("anything.txt", "csv") == "csv"
+        assert resolve_format("anything.txt", "jsonl") == "jsonl"
+
+    def test_auto_picks_by_suffix(self):
+        from repro.data.io import resolve_format
+
+        assert resolve_format("tuples.jsonl") == "jsonl"
+        assert resolve_format("tuples.ndjson") == "jsonl"
+        assert resolve_format("tuples.csv") == "csv"
+        assert resolve_format("tuples") == "csv"
+
+    def test_unknown_format_rejected(self):
+        from repro.data.io import resolve_format
+
+        with pytest.raises(DataGenerationError, match="unknown format"):
+            resolve_format("tuples.csv", "parquet")

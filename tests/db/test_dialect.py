@@ -1,0 +1,116 @@
+"""Tests of the SQL dialect layer: quoting, literals, constant predicates."""
+
+import numpy as np
+import pytest
+
+from repro.db.dialect import (
+    ANSI,
+    DEFAULT_DIALECT,
+    DIALECT_NAMES,
+    MYSQL,
+    POSTGRES,
+    SQLITE,
+    dialect_for,
+)
+from repro.exceptions import DatabaseError
+
+
+class TestQuoting:
+    def test_plain_identifier(self):
+        assert SQLITE.quote("salary") == '"salary"'
+        assert MYSQL.quote("salary") == "`salary`"
+
+    def test_keyword_identifier_is_just_quoted(self):
+        assert ANSI.quote("select") == '"select"'
+
+    def test_embedded_quote_doubled(self):
+        assert ANSI.quote('a"b') == '"a""b"'
+        assert MYSQL.quote("a`b") == "`a``b`"
+
+    def test_qualified_name_quotes_each_part(self):
+        assert SQLITE.quote_qualified("main.tuples") == '"main"."tuples"'
+        assert SQLITE.quote_qualified("tuples") == '"tuples"'
+
+    def test_empty_identifier_rejected(self):
+        with pytest.raises(DatabaseError):
+            ANSI.quote("")
+
+    def test_non_string_identifier_rejected(self):
+        with pytest.raises(DatabaseError):
+            ANSI.quote(42)  # type: ignore[arg-type]
+
+    def test_nul_byte_rejected(self):
+        with pytest.raises(DatabaseError):
+            ANSI.quote("a\x00b")
+
+
+class TestLiterals:
+    def test_strings_quoted_and_escaped(self):
+        assert ANSI.literal("two_year") == "'two_year'"
+        assert ANSI.literal("it's") == "'it''s'"
+
+    def test_integral_floats_render_as_integers(self):
+        assert ANSI.literal(50_000.0) == "50000"
+
+    def test_fractional_floats_round_trip(self):
+        assert float(ANSI.literal(0.05)) == 0.05
+        # repr-based rendering keeps full precision.
+        assert float(ANSI.literal(100_000.000001)) == 100_000.000001
+
+    def test_integers(self):
+        assert ANSI.literal(7) == "7"
+
+    def test_booleans_are_dialect_aware(self):
+        """Regression: boolean literals were hardcoded TRUE/FALSE."""
+        assert ANSI.literal(True) == "TRUE"
+        assert POSTGRES.literal(False) == "FALSE"
+        assert SQLITE.literal(True) == "1"
+        assert SQLITE.literal(False) == "0"
+
+    def test_numpy_scalars_unwrap(self):
+        assert ANSI.literal(np.bool_(True)) == "TRUE"
+        assert SQLITE.literal(np.bool_(False)) == "0"
+        assert ANSI.literal(np.int64(3)) == "3"
+        assert ANSI.literal(np.float64(2.0)) == "2"
+
+    def test_mysql_backslashes_doubled(self):
+        """Regression: MySQL's default mode treats ``\\`` as an escape, so a
+        value ending in a backslash would swallow the closing quote."""
+        assert MYSQL.literal("foo\\") == "'foo\\\\'"
+        assert MYSQL.literal("it's\\") == "'it''s\\\\'"
+        # Engines without backslash escapes must leave backslashes alone.
+        assert ANSI.literal("foo\\") == "'foo\\'"
+        assert SQLITE.literal("foo\\") == "'foo\\'"
+
+    def test_non_finite_floats_rejected(self):
+        for value in (float("nan"), float("inf"), float("-inf")):
+            with pytest.raises(DatabaseError):
+                SQLITE.literal(value)
+
+    def test_unrenderable_types_rejected(self):
+        with pytest.raises(DatabaseError):
+            ANSI.literal(object())
+
+
+class TestConstantPredicates:
+    def test_true_false_predicates_are_portable(self):
+        for dialect in (ANSI, SQLITE, POSTGRES, MYSQL):
+            assert dialect.true_predicate == "1=1"
+            assert dialect.false_predicate == "0=1"
+
+
+class TestLookup:
+    def test_lookup_by_name(self):
+        assert dialect_for("sqlite") is SQLITE
+        assert dialect_for("mysql") is MYSQL
+
+    def test_every_registered_name_resolves(self):
+        for name in DIALECT_NAMES:
+            assert dialect_for(name).name == name
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(DatabaseError, match="unknown SQL dialect"):
+            dialect_for("oracle")
+
+    def test_default_dialect_is_ansi(self):
+        assert DEFAULT_DIALECT is ANSI

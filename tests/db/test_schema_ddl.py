@@ -1,0 +1,166 @@
+"""Tests of DDL derivation — executed against sqlite3, not just compared."""
+
+import sqlite3
+
+import pytest
+
+from repro.data.agrawal import agrawal_schema
+from repro.data.schema import (
+    CategoricalAttribute,
+    ContinuousAttribute,
+    Schema,
+)
+from repro.db.dialect import MYSQL, SQLITE
+from repro.db.schema import (
+    column_type,
+    drop_table_ddl,
+    insert_sql,
+    label_index_ddl,
+    schema_ddl,
+)
+from repro.exceptions import DatabaseError
+
+
+@pytest.fixture()
+def mixed_schema():
+    return Schema(
+        attributes=[
+            ContinuousAttribute("salary", 0.0, 100.0),
+            ContinuousAttribute("age", 20.0, 80.0, integer=True),
+            CategoricalAttribute("elevel", (0, 1, 2)),
+            CategoricalAttribute("contract", ("monthly", "two_year")),
+        ],
+        classes=("A", "B"),
+    )
+
+
+class TestColumnTypes:
+    def test_continuous_is_real(self, mixed_schema):
+        assert column_type(mixed_schema.attribute("salary")) == "REAL"
+
+    def test_integer_flag_is_integer(self, mixed_schema):
+        assert column_type(mixed_schema.attribute("age")) == "INTEGER"
+
+    def test_int_categorical_is_integer(self, mixed_schema):
+        assert column_type(mixed_schema.attribute("elevel")) == "INTEGER"
+
+    def test_string_categorical_is_text(self, mixed_schema):
+        assert column_type(mixed_schema.attribute("contract")) == "TEXT"
+
+    def test_boolean_categorical_follows_dialect_literals(self):
+        """Regression: INTEGER storage with TRUE/FALSE literals is a type
+        error on PostgreSQL — the column type must match the literal form."""
+        from repro.db.dialect import ANSI, POSTGRES
+
+        attribute = CategoricalAttribute("flag", (True, False))
+        assert column_type(attribute) == "INTEGER"          # sqlite default
+        assert column_type(attribute, SQLITE) == "INTEGER"
+        assert column_type(attribute, POSTGRES) == "BOOLEAN"
+        assert column_type(attribute, ANSI) == "BOOLEAN"
+
+
+class TestDdl:
+    def test_agrawal_ddl_executes(self):
+        connection = sqlite3.connect(":memory:")
+        connection.execute(schema_ddl(agrawal_schema()))
+        connection.execute(label_index_ddl())
+        columns = {
+            row[1]: row[2]
+            for row in connection.execute("PRAGMA table_info(tuples)")
+        }
+        assert columns["salary"] == "REAL"
+        assert columns["age"] == "INTEGER"
+        assert columns["elevel"] == "INTEGER"
+        assert columns["class"] == "TEXT"
+        connection.close()
+
+    def test_ddl_round_trips_insert(self, mixed_schema):
+        connection = sqlite3.connect(":memory:")
+        connection.execute(schema_ddl(mixed_schema, table="t"))
+        connection.execute(
+            insert_sql(mixed_schema, table="t"),
+            (50.0, 30, 1, "monthly", "A"),
+        )
+        rows = connection.execute("SELECT * FROM t").fetchall()
+        assert rows == [(50.0, 30, 1, "monthly", "A")]
+        connection.close()
+
+    def test_staging_ddl_without_class_column(self, mixed_schema):
+        connection = sqlite3.connect(":memory:")
+        connection.execute(schema_ddl(mixed_schema, table="s", class_column=None))
+        connection.execute(
+            insert_sql(mixed_schema, table="s", class_column=None),
+            (50.0, 30, 1, "monthly"),
+        )
+        assert connection.execute("SELECT COUNT(*) FROM s").fetchone() == (1,)
+        connection.close()
+
+    def test_if_not_exists_is_idempotent(self, mixed_schema):
+        connection = sqlite3.connect(":memory:")
+        for _ in range(2):
+            connection.execute(schema_ddl(mixed_schema, if_not_exists=True))
+            connection.execute(label_index_ddl(if_not_exists=True))
+        connection.close()
+
+    def test_drop_table_ddl(self, mixed_schema):
+        connection = sqlite3.connect(":memory:")
+        connection.execute(schema_ddl(mixed_schema, table="t"))
+        connection.execute(drop_table_ddl("t"))
+        # IF EXISTS makes the second drop a no-op instead of an error.
+        connection.execute(drop_table_ddl("t"))
+        connection.close()
+
+    def test_class_column_collision_rejected(self, mixed_schema):
+        with pytest.raises(DatabaseError, match="collides"):
+            schema_ddl(mixed_schema, class_column="salary")
+        with pytest.raises(DatabaseError, match="collides"):
+            insert_sql(mixed_schema, class_column="age")
+
+    def test_keyword_identifiers_execute(self):
+        schema = Schema(
+            attributes=[
+                ContinuousAttribute("select", 0.0, 1.0),
+                CategoricalAttribute("order", (0, 1)),
+            ],
+            classes=("A", "B"),
+        )
+        connection = sqlite3.connect(":memory:")
+        connection.execute(schema_ddl(schema, table="group", class_column="where"))
+        connection.execute(
+            insert_sql(schema, table="group", class_column="where"), (0.5, 1, "A")
+        )
+        connection.execute(label_index_ddl(table="group", class_column="where"))
+        connection.close()
+
+    def test_qualified_table_index_executes_on_sqlite(self, mixed_schema):
+        """Regression: sqlite rejects a schema-qualified table in CREATE
+        INDEX's ON clause; the qualifier belongs on the index name."""
+        ddl = label_index_ddl(table="main.tuples")
+        assert ddl == (
+            'CREATE INDEX "main"."idx_tuples_class" ON "tuples" ("class")'
+        )
+        connection = sqlite3.connect(":memory:")
+        connection.execute(schema_ddl(mixed_schema, table="main.tuples"))
+        connection.execute(ddl)
+        connection.close()
+
+    def test_qualified_table_index_for_server_dialects(self):
+        from repro.db.dialect import POSTGRES
+
+        ddl = label_index_ddl(table="analytics.tuples", dialect=POSTGRES)
+        # PostgreSQL wants the opposite: bare index name, qualified table.
+        assert ddl == (
+            'CREATE INDEX "idx_tuples_class" ON "analytics"."tuples" ("class")'
+        )
+
+    def test_mysql_dialect_renders_backticks(self, mixed_schema):
+        ddl = schema_ddl(mixed_schema, dialect=MYSQL)
+        assert "`salary` REAL" in ddl
+        sql = insert_sql(mixed_schema, dialect=MYSQL)
+        # The MySQL driver placeholder is %s, not ?.
+        assert sql.endswith("VALUES (%s, %s, %s, %s, %s)")
+
+    def test_sqlite_placeholders(self, mixed_schema):
+        assert insert_sql(mixed_schema, dialect=SQLITE).endswith(
+            "VALUES (?, ?, ?, ?, ?)"
+        )

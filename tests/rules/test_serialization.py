@@ -1,8 +1,17 @@
-"""Tests of rule export: SQL predicates and JSON round-trips."""
+"""Tests of rule export: SQL predicates and JSON round-trips.
+
+Every rendered statement is also *executed* against an in-memory sqlite3
+connection, so the SQL grammar is locked by an engine rather than by string
+comparison — a predicate sqlite rejects fails here even if its text "looks"
+right.
+"""
+
+import sqlite3
 
 import pytest
 
-from repro.exceptions import RuleError
+from repro.db.dialect import ANSI, MYSQL, SQLITE
+from repro.exceptions import DatabaseError, RuleError
 from repro.preprocessing.intervals import Interval
 from repro.rules.conditions import IntervalCondition, MembershipCondition
 from repro.rules.rule import AttributeRule
@@ -38,45 +47,92 @@ def figure5_ruleset():
     return RuleSet([rule1, rule2], default_class="B", classes=("A", "B"), name="NeuroRule")
 
 
+@pytest.fixture()
+def figure5_connection():
+    """An in-memory relation covering the figure5 attributes, with rows that
+    exercise both rules, the default class and the boundary values."""
+    connection = sqlite3.connect(":memory:")
+    connection.execute(
+        'CREATE TABLE "customers" ('
+        '"salary" REAL, "commission" REAL, "age" INTEGER, "elevel" INTEGER, '
+        '"class" TEXT)'
+    )
+    rows = [
+        (60_000.0, 0.0, 30, 1, "A"),     # rule 1 and rule 2
+        (60_000.0, 0.0, 30, 3, "A"),     # rule 1 only
+        (60_000.0, 50_000.0, 30, 1, "A"),  # rule 2 only
+        (120_000.0, 0.0, 30, 1, "B"),    # neither
+        (100_000.0, 0.0, 39, 0, "B"),    # boundary: salary exactly at high
+        (50_000.0, 20_000.0, 45, 1, "A"),  # boundary: salary exactly at low
+    ]
+    connection.executemany("INSERT INTO customers VALUES (?, ?, ?, ?, ?)", rows)
+    yield connection
+    connection.close()
+
+
+def fetch_records(connection):
+    cursor = connection.execute(
+        'SELECT "salary", "commission", "age", "elevel" FROM customers ORDER BY rowid'
+    )
+    return [
+        {"salary": s, "commission": c, "age": a, "elevel": e}
+        for s, c, a, e in cursor.fetchall()
+    ]
+
+
 class TestSqlRendering:
     def test_interval_condition(self):
         condition = IntervalCondition("salary", Interval(50_000.0, 100_000.0))
-        assert condition_to_sql(condition) == "salary >= 50000 AND salary < 100000"
+        assert condition_to_sql(condition) == '"salary" >= 50000 AND "salary" < 100000'
 
     def test_one_sided_interval(self):
         condition = IntervalCondition("age", Interval(None, 40.0))
-        assert condition_to_sql(condition) == "age < 40"
+        assert condition_to_sql(condition) == '"age" < 40'
 
     def test_membership_single_value(self):
         condition = MembershipCondition("car", (4,), tuple(range(1, 21)))
-        assert condition_to_sql(condition) == "car = 4"
+        assert condition_to_sql(condition) == '"car" = 4'
 
     def test_membership_in_list(self):
         condition = MembershipCondition("elevel", (0, 1), (0, 1, 2, 3, 4))
-        assert condition_to_sql(condition) == "elevel IN (0, 1)"
+        assert condition_to_sql(condition) == '"elevel" IN (0, 1)'
 
     def test_string_values_quoted(self):
         condition = MembershipCondition("contract", ("two_year",), ("monthly", "two_year"))
-        assert condition_to_sql(condition) == "contract = 'two_year'"
+        assert condition_to_sql(condition) == "\"contract\" = 'two_year'"
 
-    def test_empty_membership_is_false(self):
+    def test_string_values_escape_embedded_quote(self):
+        condition = MembershipCondition("note", ("it's",), ("it's", "ok"))
+        assert condition_to_sql(condition) == "\"note\" = 'it''s'"
+
+    def test_empty_membership_is_never_matching_predicate(self):
+        """Regression: bare ``FALSE`` is rejected by sqlite < 3.23 and other
+        dialects; the unsatisfiable predicate must render as ``0=1``."""
         condition = MembershipCondition("elevel", (), (0, 1, 2))
-        assert condition_to_sql(condition) == "FALSE"
+        assert condition_to_sql(condition) == "0=1"
 
-    def test_boolean_values_render_as_sql_keywords(self):
-        """Regression: bool is an int subclass and used to leak ``True``."""
+    def test_unbounded_interval_is_always_matching_predicate(self):
+        condition = IntervalCondition("age", Interval(None, None))
+        assert condition_to_sql(condition) == "1=1"
+
+    def test_boolean_values_render_per_dialect(self):
+        """Boolean *literals* are dialect-aware: keywords under ANSI, the
+        integers sqlite actually stores under the sqlite dialect."""
         condition = MembershipCondition("is_member", (True,), (True, False))
-        assert condition_to_sql(condition) == "is_member = TRUE"
+        assert condition_to_sql(condition, ANSI) == '"is_member" = TRUE'
+        assert condition_to_sql(condition, SQLITE) == '"is_member" = 1'
         both = MembershipCondition("is_member", (True, False), (True, False))
-        assert condition_to_sql(both) == "is_member IN (TRUE, FALSE)"
+        assert condition_to_sql(both, ANSI) == '"is_member" IN (TRUE, FALSE)'
+        assert condition_to_sql(both, SQLITE) == '"is_member" IN (1, 0)'
 
-    def test_numpy_boolean_values_render_as_sql_keywords(self):
+    def test_numpy_boolean_values_render_as_booleans(self):
         import numpy as np
 
         condition = MembershipCondition(
             "is_member", (np.bool_(False),), (np.bool_(False), np.bool_(True))
         )
-        assert condition_to_sql(condition) == "is_member = FALSE"
+        assert condition_to_sql(condition, ANSI) == '"is_member" = FALSE'
+        assert condition_to_sql(condition, SQLITE) == '"is_member" = 0'
 
     def test_boolean_case_expression_consequent(self):
         ruleset = RuleSet(
@@ -85,28 +141,175 @@ class TestSqlRendering:
         expression = ruleset_to_case_expression(ruleset)
         assert "THEN TRUE" in expression
         assert "ELSE FALSE" in expression
+        numeric = ruleset_to_case_expression(ruleset, dialect=SQLITE)
+        assert "THEN 1" in numeric
+        assert "ELSE 0" in numeric
 
     def test_rule_to_sql_joins_conditions(self, figure5_ruleset):
         sql = rule_to_sql(figure5_ruleset[0])
-        assert "(salary < 100000)" in sql
+        assert '("salary" < 100000)' in sql
         assert " AND " in sql
 
-    def test_trivial_rule_is_true(self):
-        assert rule_to_sql(AttributeRule((), "A")) == "TRUE"
+    def test_trivial_rule_is_always_matching(self):
+        assert rule_to_sql(AttributeRule((), "A")) == "1=1"
 
     def test_ruleset_to_sql_statements(self, figure5_ruleset):
         statements = ruleset_to_sql(figure5_ruleset, table="customers")
         assert len(statements) == 2
-        assert all(s.startswith("SELECT * FROM customers WHERE ") for s in statements)
+        assert all(s.startswith('SELECT * FROM "customers" WHERE ') for s in statements)
 
     def test_ruleset_to_sql_class_filter(self, figure5_ruleset):
         assert ruleset_to_sql(figure5_ruleset, table="t", class_label="B") == []
+
+    def test_ruleset_to_sql_qualified_table(self, figure5_ruleset):
+        statements = ruleset_to_sql(figure5_ruleset, table="main.customers")
+        assert all('FROM "main"."customers"' in s for s in statements)
 
     def test_case_expression_covers_default(self, figure5_ruleset):
         expression = ruleset_to_case_expression(figure5_ruleset)
         assert expression.startswith("CASE")
         assert "ELSE 'B'" in expression
         assert expression.count("WHEN") == 2
+        assert expression.endswith('END AS "predicted_class"')
+
+    def test_mysql_dialect_uses_backticks(self, figure5_ruleset):
+        statements = ruleset_to_sql(figure5_ruleset, table="customers", dialect=MYSQL)
+        assert statements[0].startswith("SELECT * FROM `customers` WHERE ")
+        assert "`salary`" in statements[0]
+
+
+class TestIdentifierSafety:
+    def test_keyword_attribute_names_are_quoted(self):
+        condition = IntervalCondition("select", Interval(None, 10.0))
+        assert condition_to_sql(condition) == '"select" < 10'
+
+    def test_hostile_attribute_name_cannot_escape_quoting(self):
+        hostile = 'x" OR "1"="1'
+        condition = IntervalCondition(hostile, Interval(None, 10.0))
+        sql = condition_to_sql(condition)
+        assert sql == '"x"" OR ""1""=""1" < 10'
+        # Executed, the doubled quotes stay one token — sqlite resolves it
+        # as a (missing) column and falls back to treating it as a string
+        # literal, so the injected OR never becomes live logic: had it fired
+        # (`... OR "1"="1"`), every row would come back.
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE t (x REAL)")
+        connection.execute("INSERT INTO t VALUES (20.0)")
+        rows = connection.execute(f"SELECT * FROM t WHERE {sql}").fetchall()
+        assert rows == []
+        connection.close()
+
+    def test_empty_identifier_rejected(self):
+        with pytest.raises(DatabaseError):
+            condition_to_sql(IntervalCondition("", Interval(None, 1.0)))
+
+    def test_nul_byte_identifier_rejected(self):
+        with pytest.raises(DatabaseError):
+            rule_to_sql(
+                AttributeRule(
+                    (IntervalCondition("a\x00b", Interval(None, 1.0)),), "A"
+                )
+            )
+
+
+class TestUnsatisfiableRules:
+    @pytest.fixture()
+    def ruleset_with_dead_rule(self):
+        dead = AttributeRule(
+            (MembershipCondition("elevel", (), (0, 1, 2, 3, 4)),), "A"
+        )
+        live = AttributeRule(
+            (IntervalCondition("salary", Interval(None, 100_000.0)),), "A"
+        )
+        return RuleSet([dead, live], default_class="B", classes=("A", "B"))
+
+    def test_case_expression_skips_unsatisfiable_rules(self, ruleset_with_dead_rule):
+        """The paper discards R'1 ("can never be satisfied by any tuple");
+        the CASE classifier must not emit its dead ``WHEN 0=1`` arm."""
+        expression = ruleset_to_case_expression(ruleset_with_dead_rule)
+        assert expression.count("WHEN") == 1
+        assert "0=1" not in expression
+
+    def test_all_rules_unsatisfiable_renders_default_literal(self):
+        dead = AttributeRule(
+            (MembershipCondition("elevel", (), (0, 1, 2, 3, 4)),), "A"
+        )
+        ruleset = RuleSet([dead], default_class="B", classes=("A", "B"))
+        expression = ruleset_to_case_expression(ruleset)
+        # CASE needs at least one WHEN arm to be valid SQL, so the whole
+        # classifier collapses to the default-class literal.
+        assert expression == "'B' AS \"predicted_class\""
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE t (elevel INTEGER)")
+        connection.execute("INSERT INTO t VALUES (1)")
+        rows = connection.execute(f"SELECT {expression} FROM t").fetchall()
+        assert rows == [("B",)]
+        connection.close()
+
+    def test_skipped_rules_keep_predict_equivalence(self, ruleset_with_dead_rule):
+        records = [{"salary": 50_000.0, "elevel": 1}, {"salary": 150_000.0, "elevel": 1}]
+        connection = sqlite3.connect(":memory:")
+        connection.execute("CREATE TABLE t (salary REAL, elevel INTEGER)")
+        connection.executemany(
+            "INSERT INTO t VALUES (?, ?)",
+            [(r["salary"], r["elevel"]) for r in records],
+        )
+        expression = ruleset_to_case_expression(ruleset_with_dead_rule, dialect=SQLITE)
+        labels = [
+            row[0]
+            for row in connection.execute(f"SELECT {expression} FROM t ORDER BY rowid")
+        ]
+        assert labels == [ruleset_with_dead_rule.predict_record(r) for r in records]
+        connection.close()
+
+
+class TestSqlExecution:
+    """Every rendered statement must execute on sqlite3, and the executed
+    labels must match the Python evaluation paths tuple for tuple."""
+
+    def test_per_rule_selects_retrieve_covered_tuples(
+        self, figure5_ruleset, figure5_connection
+    ):
+        records = fetch_records(figure5_connection)
+        for rule, statement in zip(
+            figure5_ruleset.rules,
+            ruleset_to_sql(figure5_ruleset, table="customers", dialect=SQLITE),
+        ):
+            retrieved = figure5_connection.execute(statement.split(";")[0]).fetchall()
+            expected = sum(rule.covers(record) for record in records)
+            assert len(retrieved) == expected
+
+    def test_case_expression_matches_predict_record(
+        self, figure5_ruleset, figure5_connection
+    ):
+        records = fetch_records(figure5_connection)
+        expression = ruleset_to_case_expression(figure5_ruleset, dialect=SQLITE)
+        labels = [
+            row[0]
+            for row in figure5_connection.execute(
+                f"SELECT {expression} FROM customers ORDER BY rowid"
+            )
+        ]
+        assert labels == [figure5_ruleset.predict_record(r) for r in records]
+
+    def test_default_dialect_statements_execute_on_sqlite(
+        self, figure5_ruleset, figure5_connection
+    ):
+        """The ANSI default must stay inside sqlite's grammar too (no bare
+        TRUE/FALSE predicates, quoted identifiers)."""
+        for statement in ruleset_to_sql(figure5_ruleset, table="customers"):
+            figure5_connection.execute(statement.split(";")[0]).fetchall()
+        expression = ruleset_to_case_expression(figure5_ruleset)
+        figure5_connection.execute(f"SELECT {expression} FROM customers").fetchall()
+
+    def test_trivial_and_boundary_predicates_execute(self, figure5_connection):
+        for condition in (
+            IntervalCondition("age", Interval(None, None)),
+            MembershipCondition("elevel", (), (0, 1, 2)),
+            MembershipCondition("elevel", (0, 1, 2), (0, 1, 2)),
+        ):
+            sql = condition_to_sql(condition, SQLITE)
+            figure5_connection.execute(f"SELECT COUNT(*) FROM customers WHERE {sql}")
 
 
 class TestJsonRoundTrip:

@@ -1,0 +1,87 @@
+"""Tests of serving rule models through the in-database SQL backend."""
+
+import numpy as np
+import pytest
+
+from repro.data.agrawal import AgrawalGenerator
+from repro.db.predictor import SqlRulePredictor
+from repro.exceptions import ServingError
+from repro.rules.serialization import ruleset_to_json
+from repro.serving import (
+    KIND_RULES_SQL,
+    ModelRegistry,
+    PredictionService,
+    ServiceConfig,
+    reference_ruleset,
+)
+
+
+@pytest.fixture(scope="module")
+def records():
+    return AgrawalGenerator(function=2, perturbation=0.05, seed=31).generate(300).records
+
+
+class TestRegistryBackend:
+    def test_load_rules_file_sql_backend(self, tmp_path, records):
+        path = tmp_path / "rules.json"
+        path.write_text(ruleset_to_json(reference_ruleset(2)))
+        registry = ModelRegistry()
+        model = registry.load_rules_file("f2", path, backend="sql")
+        assert model.kind == KIND_RULES_SQL
+        assert isinstance(model.predictor, SqlRulePredictor)
+        assert model.classes == ("A", "B")
+        assert "[sql]" in model.source
+        expected = reference_ruleset(2).compiled().predict_batch(list(records))
+        assert model.predict_batch(records).tolist() == expected.tolist()
+        assert model.predict_record(records[0]) == expected[0]
+
+    def test_register_ruleset_backends_agree(self, records):
+        registry = ModelRegistry()
+        registry.register_ruleset("np", reference_ruleset(4), backend="numpy")
+        registry.register_ruleset("sql", reference_ruleset(4), backend="sql")
+        numpy_labels = registry.get("np").predict_batch(records)
+        sql_labels = registry.get("sql").predict_batch(records)
+        assert numpy_labels.tolist() == sql_labels.tolist()
+
+    def test_unknown_backend_rejected(self):
+        registry = ModelRegistry()
+        with pytest.raises(ServingError, match="unknown rule backend"):
+            registry.register_ruleset("x", reference_ruleset(1), backend="spark")
+
+    def test_network_prefer_with_sql_backend_rejected(self, tmp_path):
+        registry = ModelRegistry()
+        with pytest.raises(ServingError, match="pushed down"):
+            registry.load_artifact(
+                "x", tmp_path, "0" * 64, prefer="network", backend="sql"
+            )
+
+    def test_binary_ruleset_sql_backend_surfaces_serving_error(self):
+        from repro.preprocessing.features import InputFeature
+        from repro.rules.conditions import InputLiteral
+        from repro.rules.rule import BinaryRule
+        from repro.rules.ruleset import RuleSet
+
+        feature = InputFeature(
+            index=0, name="I1", attribute="salary", kind="threshold", threshold=1.0
+        )
+        binary = RuleSet(
+            [BinaryRule((InputLiteral(feature, 1),), "A")],
+            default_class="B",
+            classes=("A", "B"),
+        )
+        with pytest.raises(ServingError, match="SQL"):
+            ModelRegistry().register_ruleset("x", binary, backend="sql")
+
+
+class TestServiceDispatch:
+    def test_micro_batched_service_over_sql_backend(self, records):
+        """PredictionService worker threads dispatch to the SQL predictor;
+        streamed labels must equal the NumPy path in input order."""
+        registry = ModelRegistry()
+        registry.register_ruleset("sql", reference_ruleset(2), backend="sql")
+        expected = reference_ruleset(2).compiled().predict_batch(list(records))
+        config = ServiceConfig(max_batch_size=64, workers=2)
+        with PredictionService(registry, config) as service:
+            batches = list(service.predict_stream_batches("sql", iter(records)))
+        labels = np.concatenate(batches)
+        assert labels.tolist() == expected.tolist()

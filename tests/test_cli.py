@@ -333,3 +333,192 @@ class TestServeBenchCommand:
         assert report["naive_seconds"] > 0
         assert report["service_seconds"] > 0
         assert report["service_stats"]["records"] == 2000
+
+
+class TestDbCommands:
+    """The in-database round trip: load -> classify -> stats -> sql."""
+
+    def _load(self, tmp_path, tuples):
+        db = tmp_path / "tuples.db"
+        assert main(
+            ["db", "load", "--db", str(db), "--input", str(tuples)]
+        ) == 0
+        return db
+
+    def test_db_round_trip_from_generated_file(self, tmp_path, capsys):
+        tuples = tmp_path / "tuples.jsonl"
+        labels_out = tmp_path / "labels.jsonl"
+        assert main(
+            ["generate", "--function", "2", "--n", "400", "--seed", "27",
+             "--perturbation", "0", "--chunk-size", "128", "--out", str(tuples)]
+        ) == 0
+        db = self._load(tmp_path, tuples)
+        assert main(
+            ["db", "classify", "--db", str(db), "--reference-function", "2",
+             "--out", str(labels_out)]
+        ) == 0
+        generated = [
+            json.loads(line)["class"] for line in tuples.read_text().splitlines()
+        ]
+        predicted = [
+            json.loads(line)["label"] for line in labels_out.read_text().splitlines()
+        ]
+        # Clean function-2 tuples: the reference rules recover the
+        # generating labels exactly, through the database.
+        assert predicted == generated
+
+    def test_db_load_generated_inline(self, tmp_path, capsys):
+        db = tmp_path / "t.db"
+        assert main(
+            ["db", "load", "--db", str(db), "--n", "500", "--gen-function", "2",
+             "--gen-seed", "3", "--chunk-size", "128"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "loaded 500 tuple(s)" in err
+
+    def test_db_load_append_and_drop(self, tmp_path, capsys):
+        db = tmp_path / "t.db"
+        args = ["db", "load", "--db", str(db), "--n", "100", "--gen-seed", "1"]
+        assert main(args) == 0
+        assert main(args) == 0
+        assert "table now holds 200" in capsys.readouterr().err
+        assert main(args + ["--drop"]) == 0
+        assert "table now holds 100" in capsys.readouterr().err
+
+    def test_db_load_requires_exactly_one_input(self, tmp_path):
+        db = tmp_path / "t.db"
+        with pytest.raises(SystemExit, match="exactly one input"):
+            main(["db", "load", "--db", str(db)])
+        with pytest.raises(SystemExit, match="exactly one input"):
+            main(["db", "load", "--db", str(db), "--n", "10",
+                  "--input", "x.jsonl"])
+
+    def test_db_classify_csv_output(self, tmp_path):
+        db = tmp_path / "t.db"
+        assert main(
+            ["db", "load", "--db", str(db), "--n", "50", "--gen-function", "1",
+             "--gen-seed", "9", "--perturbation", "0"]
+        ) == 0
+        out = tmp_path / "labels.csv"
+        assert main(
+            ["db", "classify", "--db", str(db), "--reference-function", "1",
+             "--out", str(out)]
+        ) == 0
+        lines = out.read_text().splitlines()
+        assert lines[0] == "label"
+        assert len(lines) == 51
+
+    def test_db_classify_into_table(self, tmp_path, capsys):
+        db = tmp_path / "t.db"
+        assert main(
+            ["db", "load", "--db", str(db), "--n", "200", "--gen-function", "2",
+             "--gen-seed", "4"]
+        ) == 0
+        assert main(
+            ["db", "classify", "--db", str(db), "--reference-function", "2",
+             "--into", "predictions"]
+        ) == 0
+        assert "never left the database" in capsys.readouterr().err
+        import sqlite3
+
+        connection = sqlite3.connect(db)
+        count = connection.execute("SELECT COUNT(*) FROM predictions").fetchone()[0]
+        connection.close()
+        assert count == 200
+        # Re-materialising refuses to clobber unless --drop-into is given,
+        # the same contract as `db load --drop`.
+        assert main(
+            ["db", "classify", "--db", str(db), "--reference-function", "2",
+             "--into", "predictions"]
+        ) == 2
+        assert main(
+            ["db", "classify", "--db", str(db), "--reference-function", "2",
+             "--into", "predictions", "--drop-into"]
+        ) == 0
+
+    def test_db_classify_out_and_into_mutually_exclusive(self, tmp_path):
+        db = tmp_path / "t.db"
+        assert main(["db", "load", "--db", str(db), "--n", "10", "--gen-seed", "1"]) == 0
+        with pytest.raises(SystemExit, match="mutually exclusive"):
+            main(["db", "classify", "--db", str(db), "--reference-function", "1",
+                  "--out", str(tmp_path / "x.jsonl"), "--into", "predictions"])
+
+    def test_db_classify_requires_rules(self, tmp_path):
+        db = tmp_path / "t.db"
+        assert main(["db", "load", "--db", str(db), "--n", "10", "--gen-seed", "1"]) == 0
+        with pytest.raises(SystemExit, match="rule-set source"):
+            main(["db", "classify", "--db", str(db)])
+
+    def test_db_stats_reports_quality_and_confusion(self, tmp_path, capsys):
+        db = tmp_path / "t.db"
+        assert main(
+            ["db", "load", "--db", str(db), "--n", "400", "--gen-function", "4",
+             "--gen-seed", "5"]
+        ) == 0
+        capsys.readouterr()
+        assert main(
+            ["db", "stats", "--db", str(db), "--reference-function", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "rule quality" in out
+        assert "confidence" in out
+        assert "true\\pred" in out
+        assert "in-database accuracy" in out
+
+    def test_db_stats_on_empty_store_succeeds(self, tmp_path, capsys):
+        """Regression: accuracy on zero rows raised mid-report (exit 2)."""
+        import sqlite3
+
+        from repro.data.agrawal import agrawal_schema
+        from repro.db.schema import schema_ddl
+
+        db = tmp_path / "empty.db"
+        connection = sqlite3.connect(db)
+        connection.execute(schema_ddl(agrawal_schema()))
+        connection.commit()
+        connection.close()
+        assert main(["db", "stats", "--db", str(db), "--reference-function", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "0 tuple(s)" in out
+        assert "in-database accuracy: n/a" in out
+
+    def test_db_stats_without_rules_reports_distribution(self, tmp_path, capsys):
+        db = tmp_path / "t.db"
+        assert main(["db", "load", "--db", str(db), "--n", "100", "--gen-seed", "2"]) == 0
+        capsys.readouterr()
+        assert main(["db", "stats", "--db", str(db)]) == 0
+        out = capsys.readouterr().out
+        assert "100 tuple(s)" in out
+        assert "class distribution" in out
+
+    def test_db_sql_prints_statements(self, capsys):
+        assert main(
+            ["db", "sql", "--reference-function", "2", "--dialect", "postgres"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "-- dialect: postgres" in out
+        assert "CREATE TABLE" in out
+        assert "CREATE INDEX" in out
+        assert "CASE" in out
+        assert '"predicted_class"' in out
+
+    def test_db_sql_unknown_dialect_rejected(self):
+        with pytest.raises(SystemExit, match="unknown SQL dialect"):
+            main(["db", "sql", "--reference-function", "1", "--dialect", "oracle"])
+
+    def test_predict_backend_sql_equals_numpy(self, tmp_path, jsonl_input):
+        path, data = jsonl_input
+        sql_out = tmp_path / "sql.jsonl"
+        np_out = tmp_path / "np.jsonl"
+        for backend, out in (("sql", sql_out), ("numpy", np_out)):
+            assert main(
+                ["predict", "--reference-function", "1", "--backend", backend,
+                 "--input", str(path), "--out", str(out)]
+            ) == 0
+        read = lambda p: [json.loads(l)["label"] for l in p.read_text().splitlines()]
+        assert read(sql_out) == read(np_out) == data.labels
+
+    def test_predict_network_with_sql_backend_rejected(self, tmp_path):
+        with pytest.raises(SystemExit, match="rule models"):
+            main(["predict", "--network", "net.json", "--backend", "sql",
+                  "--input", "x.jsonl"])
