@@ -10,7 +10,13 @@ Subcommands:
 
 ``cache``
     Inspect an artifact cache directory: one line per completed entry with
-    its key, function, seed and configuration label.
+    its key, function, seed, extraction strategy and configuration label.
+
+``extractors``
+    The extractor zoo.  ``extractors list`` names every registered
+    rule-extraction strategy; ``extractors compare`` runs the comparison
+    grid (function x seed x extractor, cached like any sweep) and renders
+    the fidelity / rule-count / extraction-time table.
 
 ``generate``
     Stream labelled Agrawal tuples to a CSV/JSONL file in bounded-size
@@ -40,6 +46,11 @@ Examples::
 
     python -m repro sweep --functions 1,2,3 --seeds 2 --processes 2 \\
         --cache-dir .repro-cache --out sweep.json
+    python -m repro sweep --functions 1,2 --extractor covering
+    python -m repro extractors list
+    python -m repro extractors compare --functions 1-10 \\
+        --cache-dir .repro-cache --out comparison.json
+    python -m repro extractors compare --functions 1,4 --quick
     python -m repro cache --cache-dir .repro-cache
     python -m repro generate --function 2 --n 1000000 --seed 1 \\
         --out tuples.jsonl
@@ -145,8 +156,15 @@ def _build_config(args: argparse.Namespace) -> ExperimentConfig:
         if getattr(args, name) is not None
     }
     if args.preset == "paper":
-        return ExperimentConfig.paper(**overrides)
-    return ExperimentConfig.quick(**overrides)
+        config = ExperimentConfig.paper(**overrides)
+    else:
+        config = ExperimentConfig.quick(**overrides)
+    extractor = getattr(args, "extractor", None)
+    if extractor is not None:
+        # Validated by ExperimentConfig.__post_init__ against the registry;
+        # an unknown name fails fast with the list of registered strategies.
+        config = config.with_extractor(extractor)
+    return config
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
@@ -155,7 +173,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     print(
         f"sweep: functions {functions}, {args.seeds} seed(s), "
         f"{args.processes} process(es), preset {config.label!r}, "
-        f"cache {args.cache_dir or 'disabled'}"
+        f"extractor {config.extractor!r}, cache {args.cache_dir or 'disabled'}"
     )
     sweep = run_sweep(
         functions,
@@ -334,6 +352,12 @@ def _add_model_arguments(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="narrow the function lookup to one replicate seed",
     )
+    source.add_argument(
+        "--extractor",
+        default=None,
+        help="narrow the function lookup to entries produced by this "
+        "extraction strategy (see `extractors list`)",
+    )
     source.add_argument("--rules", default=None, help="standalone rules.json file")
     source.add_argument("--network", default=None, help="standalone network.json file")
     source.add_argument(
@@ -415,6 +439,7 @@ def _load_model(args: argparse.Namespace):
                 cache,
                 args.function,
                 seed=args.seed,
+                extractor=getattr(args, "extractor", None),
                 prefer=args.prefer,
                 backend=backend,
             )
@@ -596,6 +621,12 @@ def _add_db_rules_arguments(
         default=None,
         help="narrow the function lookup to one replicate seed",
     )
+    source.add_argument(
+        "--extractor",
+        default=None,
+        help="narrow the function lookup to entries produced by this "
+        "extraction strategy (see `extractors list`)",
+    )
     source.add_argument("--rules", default=None, help="standalone rules.json file")
     source.add_argument(
         "--reference-function",
@@ -638,7 +669,11 @@ def _load_db_ruleset(args: argparse.Namespace, required: bool = True):
             model = registry.load_artifact(_MODEL_NAME, cache, args.key)
         elif args.function is not None:
             model = registry.load_artifact_by_task(
-                _MODEL_NAME, cache, args.function, seed=args.seed
+                _MODEL_NAME,
+                cache,
+                args.function,
+                seed=args.seed,
+                extractor=getattr(args, "extractor", None),
             )
         else:
             raise SystemExit("error: --cache-dir needs --key or --function")
@@ -822,14 +857,134 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     for key in cache.keys():
         entry = cache.describe_entry(key)
         config = entry.get("config", {})
+        extractor = cache.entry_extractor(key)
         print(
             f"{key[:16]}  function {entry.get('function')} "
-            f"seed {entry.get('seed')}  label {config.get('label')!r}  "
+            f"seed {entry.get('seed')}  "
+            f"extractor {extractor if extractor is not None else 'unknown'}  "
+            f"label {config.get('label')!r}  "
             f"n_train {config.get('n_train')}"
         )
         count += 1
     print(f"{count} cached entr{'y' if count == 1 else 'ies'} in {args.cache_dir}")
     return 0
+
+
+# ---------------------------------------------------------------------------
+# The extractor zoo (`python -m repro extractors ...`)
+# ---------------------------------------------------------------------------
+
+
+def _cmd_extractors_list(args: argparse.Namespace) -> int:
+    from repro.extractors import available_extractors, create_extractor
+
+    names = available_extractors()
+    for name in names:
+        extractor = create_extractor(name)
+        doc = (type(extractor).__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{name}  ({type(extractor).__name__})  {summary}")
+        if args.params:
+            print(f"  params: {json.dumps(extractor.params(), sort_keys=True)}")
+    print(f"{len(names)} registered extractor(s)")
+    return 0
+
+
+def _cmd_extractors_compare(args: argparse.Namespace) -> int:
+    from repro.experiments.compare import (
+        DEFAULT_COMPARISON_EXTRACTORS,
+        compare_extractors,
+    )
+    from repro.experiments.reporting import format_extractor_table
+
+    functions = parse_functions(args.functions)
+    if args.extractors:
+        extractors = [
+            part.strip() for part in args.extractors.split(",") if part.strip()
+        ]
+        if not extractors:
+            raise SystemExit(f"error: no extractors in {args.extractors!r}")
+    else:
+        extractors = list(DEFAULT_COMPARISON_EXTRACTORS)
+    if args.quick:
+        # The smoke-scale grid: small enough for CI, still trains a real
+        # network per (function, seed) cell and extracts with every strategy.
+        config = ExperimentConfig.quick(
+            n_train=200,
+            n_test=200,
+            training_iterations=120,
+            retrain_iterations=40,
+            pruning_rounds=30,
+        )
+    else:
+        config = _build_config(args)
+    print(
+        f"extractors compare: functions {functions}, extractors {extractors}, "
+        f"{args.seeds} seed(s), {args.processes} process(es), "
+        f"preset {config.label!r}{' (smoke scale)' if args.quick else ''}, "
+        f"cache {args.cache_dir or 'disabled'}"
+    )
+    comparison = compare_extractors(
+        functions,
+        config=config,
+        extractors=extractors,
+        seeds=args.seeds,
+        processes=args.processes,
+        cache_dir=args.cache_dir,
+    )
+    sweep = comparison.sweep
+    for outcome in sweep.outcomes:
+        if outcome.ok:
+            source = "cache" if outcome.cached else "ran"
+            print(
+                f"  function {outcome.function} seed {outcome.seed} "
+                f"extractor {outcome.extractor}: {source} in {outcome.seconds:.2f}s"
+            )
+        else:
+            print(
+                f"  function {outcome.function} seed {outcome.seed} "
+                f"extractor {outcome.extractor}: FAILED"
+            )
+    print()
+    print(format_extractor_table(comparison.rows))
+    print(
+        f"\n{len(sweep.outcomes)} task(s): {len(sweep.results)} ok, "
+        f"{len(sweep.failures)} failed, {sweep.cache_hits} from cache"
+    )
+    for failure in sweep.failures:
+        print(
+            f"\nfunction {failure.function} seed {failure.seed} "
+            f"extractor {failure.extractor} failed:\n{failure.error}",
+            file=sys.stderr,
+        )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(comparison.to_dict(), handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    return 1 if sweep.failures else 0
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
+    """Experiment-configuration flags shared by ``sweep`` and
+    ``extractors compare`` — both feed :func:`_build_config`."""
+    parser.add_argument(
+        "--preset",
+        choices=("quick", "paper"),
+        default="quick",
+        help="base configuration (default: quick)",
+    )
+    parser.add_argument("--n-train", type=int, default=None, help="override training tuples")
+    parser.add_argument("--n-test", type=int, default=None, help="override test tuples")
+    parser.add_argument(
+        "--training-iterations", type=int, default=None, help="override BFGS budget"
+    )
+    parser.add_argument(
+        "--retrain-iterations", type=int, default=None, help="override retrain budget"
+    )
+    parser.add_argument(
+        "--pruning-rounds", type=int, default=None, help="override pruning rounds"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -865,22 +1020,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="artifact cache root; omit to disable caching/resume",
     )
     sweep.add_argument(
-        "--preset",
-        choices=("quick", "paper"),
-        default="quick",
-        help="base configuration (default: quick)",
+        "--extractor",
+        default=None,
+        help="rule-extraction strategy for every task "
+        "(default: neurorule; see `extractors list`)",
     )
-    sweep.add_argument("--n-train", type=int, default=None, help="override training tuples")
-    sweep.add_argument("--n-test", type=int, default=None, help="override test tuples")
-    sweep.add_argument(
-        "--training-iterations", type=int, default=None, help="override BFGS budget"
-    )
-    sweep.add_argument(
-        "--retrain-iterations", type=int, default=None, help="override retrain budget"
-    )
-    sweep.add_argument(
-        "--pruning-rounds", type=int, default=None, help="override pruning rounds"
-    )
+    _add_config_arguments(sweep)
     sweep.add_argument(
         "--out", default=None, help="write the full sweep summary to this JSON file"
     )
@@ -889,6 +1034,72 @@ def build_parser() -> argparse.ArgumentParser:
     cache = commands.add_parser("cache", help="list the entries of an artifact cache")
     cache.add_argument("--cache-dir", required=True, help="artifact cache root")
     cache.set_defaults(handler=_cmd_cache)
+
+    extractors = commands.add_parser(
+        "extractors",
+        help="the extractor zoo: list registered strategies, run the "
+        "fidelity/size/time comparison grid",
+    )
+    extractor_commands = extractors.add_subparsers(
+        dest="extractors_command", required=True
+    )
+
+    extractors_list = extractor_commands.add_parser(
+        "list", help="name every registered rule-extraction strategy"
+    )
+    extractors_list.add_argument(
+        "--params",
+        action="store_true",
+        help="also print each strategy's default parameters as JSON",
+    )
+    extractors_list.set_defaults(handler=_cmd_extractors_list)
+
+    extractors_compare = extractor_commands.add_parser(
+        "compare",
+        help="run every strategy over the same trained networks and render "
+        "the fidelity / rule-count / extraction-time table",
+    )
+    extractors_compare.add_argument(
+        "--functions",
+        default="1-10",
+        help="benchmark functions, e.g. '1,4' or '1-10' (default: 1-10)",
+    )
+    extractors_compare.add_argument(
+        "--extractors",
+        default=None,
+        help="comma-separated strategy names "
+        "(default: neurorule,c45-surrogate,covering)",
+    )
+    extractors_compare.add_argument(
+        "--seeds",
+        type=positive_int,
+        default=1,
+        help="replicates per (function, extractor) cell (default: 1)",
+    )
+    extractors_compare.add_argument(
+        "--processes",
+        type=positive_int,
+        default=1,
+        help="worker processes, at least 1 (default: 1)",
+    )
+    extractors_compare.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache root; omit to disable caching/resume",
+    )
+    extractors_compare.add_argument(
+        "--quick",
+        action="store_true",
+        help="smoke-scale configuration (200 tuples, reduced budgets) — "
+        "overrides --preset and the override flags",
+    )
+    _add_config_arguments(extractors_compare)
+    extractors_compare.add_argument(
+        "--out",
+        default=None,
+        help="write the comparison grid (rows + full sweep) to this JSON file",
+    )
+    extractors_compare.set_defaults(handler=_cmd_extractors_compare)
 
     generate = commands.add_parser(
         "generate",

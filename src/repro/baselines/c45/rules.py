@@ -30,6 +30,7 @@ from repro.baselines.c45.tree import Leaf, TreeConfig, tree_paths
 from repro.data.dataset import Dataset
 from repro.data.schema import CategoricalAttribute, ContinuousAttribute
 from repro.exceptions import BaselineError
+from repro.metrics.classification import majority_label
 from repro.preprocessing.intervals import Interval
 from repro.rules.conditions import IntervalCondition, MembershipCondition
 from repro.rules.rule import AttributeCondition, AttributeRule
@@ -227,15 +228,21 @@ class C45Rules:
         return [rule for _, _, rule in scored]
 
     def _default_class(self, rules: List[AttributeRule], dataset: Dataset) -> str:
-        """The class with the most training tuples covered by no rule."""
-        uncovered_counts = {label: 0 for label in dataset.schema.classes}
-        for record, label in dataset:
-            if not any(rule.covers(record) for rule in rules):
-                uncovered_counts[label] += 1
-        if all(count == 0 for count in uncovered_counts.values()):
-            distribution = dataset.class_distribution()
-            return max(dataset.schema.classes, key=lambda label: distribution[label])
-        return max(dataset.schema.classes, key=lambda label: uncovered_counts[label])
+        """The class with the most training tuples covered by no rule.
+
+        Ties (and the everything-covered fallback to the majority class)
+        break on class-label order through the shared
+        :func:`~repro.metrics.classification.majority_label`, identically to
+        every rule extractor's default-class choice.
+        """
+        uncovered_labels = [
+            label
+            for record, label in dataset
+            if not any(rule.covers(record) for rule in rules)
+        ]
+        if not uncovered_labels:
+            return majority_label(dataset.labels, dataset.schema.classes)
+        return majority_label(uncovered_labels, dataset.schema.classes)
 
     # -- prediction ----------------------------------------------------------------
 

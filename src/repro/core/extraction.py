@@ -41,6 +41,7 @@ from repro.core.tabulation import (
     tabulate_inputs_to_hidden,
 )
 from repro.exceptions import ExtractionError
+from repro.metrics.classification import majority_label
 from repro.nn.network import ThreeLayerNetwork
 from repro.preprocessing.encoder import TupleEncoder
 from repro.preprocessing.features import KIND_ORDINAL_THRESHOLD, InputFeature
@@ -88,6 +89,37 @@ class ExtractionConfig:
     drop_uncovered: bool = True
     drop_unsatisfiable: bool = True
     max_substituted_rules: int = 5000
+
+    def __post_init__(self) -> None:
+        # Fail at construction, not three layers deep inside clustering: a
+        # negative tolerance or bound produces baffling downstream errors
+        # (empty cluster sets, instantly exhausted decay schedules).
+        if not 0.0 < self.epsilon <= 1.0:
+            raise ExtractionError(f"epsilon must be in (0, 1], got {self.epsilon}")
+        if not 0.0 < self.min_epsilon <= self.epsilon:
+            raise ExtractionError(
+                f"min_epsilon must be in (0, epsilon={self.epsilon}], got {self.min_epsilon}"
+            )
+        if not 0.0 < self.epsilon_decay < 1.0:
+            raise ExtractionError(
+                f"epsilon_decay must be in (0, 1), got {self.epsilon_decay}"
+            )
+        if self.required_accuracy is not None and not 0.0 < self.required_accuracy <= 1.0:
+            raise ExtractionError(
+                f"required_accuracy must be in (0, 1], got {self.required_accuracy}"
+            )
+        if self.accuracy_slack < 0.0:
+            raise ExtractionError(
+                f"accuracy_slack must be >= 0, got {self.accuracy_slack}"
+            )
+        if self.max_enumeration_inputs < 1:
+            raise ExtractionError(
+                f"max_enumeration_inputs must be >= 1, got {self.max_enumeration_inputs}"
+            )
+        if self.max_substituted_rules < 1:
+            raise ExtractionError(
+                f"max_substituted_rules must be >= 1, got {self.max_substituted_rules}"
+            )
 
     def discretizer_config(self) -> ActivationDiscretizerConfig:
         return ActivationDiscretizerConfig(
@@ -417,6 +449,9 @@ def _input_index_from_column(column: str) -> int:
 
 
 def _majority_label(predictions: np.ndarray, class_labels: Sequence[str]) -> str:
-    """The class the network predicts most often (ties break on label order)."""
-    counts = {label: int(np.sum(predictions == label)) for label in class_labels}
-    return max(class_labels, key=lambda label: counts[label])
+    """The class the network predicts most often (ties break on label order).
+
+    Thin alias of the shared :func:`repro.metrics.classification.majority_label`
+    — every extractor's default class must break ties the same way.
+    """
+    return majority_label(predictions, class_labels)

@@ -18,13 +18,16 @@ network, pruned network, clustering, rule sets) are available as attributes.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import TYPE_CHECKING, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.extraction import ExtractionConfig, ExtractionResult, RuleExtractor
+from repro.core.extraction import ExtractionConfig, ExtractionResult
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.extractors.base import Extractor, ExtractorResult
 from repro.core.pruning import NetworkPruner, PruningConfig, PruningResult
-from repro.core.splitting import HiddenUnitSplitter, SplitterConfig
+from repro.core.splitting import SplitterConfig
 from repro.core.training import NetworkTrainer, TrainerConfig, TrainingResult
 from repro.data.dataset import Dataset, Record
 from repro.exceptions import TrainingError
@@ -84,20 +87,30 @@ class NeuroRuleClassifier:
         omitted, a default coding is built from the training data's schema
         (equal-width thermometer coding for numeric attributes, one-hot for
         categorical ones).
+    extractor:
+        Optional rule-extraction strategy (any
+        :class:`~repro.extractors.base.Extractor`).  When omitted, the
+        paper's decompositional path runs with ``config.extraction`` and
+        ``config.splitter`` — exactly the pre-zoo behaviour.  Training and
+        pruning are extractor-independent; only the rule-articulation phase
+        is swapped.
     """
 
     def __init__(
         self,
         config: Optional[NeuroRuleConfig] = None,
         encoder: Optional[TupleEncoder] = None,
+        extractor: Optional["Extractor"] = None,
     ) -> None:
         self.config = config or NeuroRuleConfig()
         self.encoder = encoder
+        self.extractor = extractor
 
         # Fitted state (None until fit() runs).
         self.classes_: Optional[List[str]] = None
         self.training_result_: Optional[TrainingResult] = None
         self.pruning_result_: Optional[PruningResult] = None
+        self.extractor_result_: Optional["ExtractorResult"] = None
         self.extraction_result_: Optional[ExtractionResult] = None
         self.network_: Optional[ThreeLayerNetwork] = None
         self.rules_: Optional[RuleSet] = None
@@ -126,27 +139,27 @@ class NeuroRuleClassifier:
             self.pruning_result_ = None
         self.network_ = network
 
-        splitter = (
-            HiddenUnitSplitter(self.config.splitter) if self.config.splitter is not None else None
-        )
-        extractor = RuleExtractor(self.config.extraction, splitter=splitter)
-        self.extraction_result_ = extractor.extract(
-            network,
-            encoded,
-            targets,
-            class_labels=self.classes_,
-            encoder=self.encoder,
-        )
-        self.rules_ = self.extraction_result_.rules
+        # Lazy import: the extractors package builds *on* core, so core only
+        # reaches into it at call time.
+        from repro.extractors.neurorule import NeuroRuleExtractor
+
+        extractor = self.extractor
+        if extractor is None:
+            extractor = NeuroRuleExtractor(
+                self.config.extraction, splitter_config=self.config.splitter
+            )
+        self.extractor_result_ = extractor.extract(network, dataset, encoder=self.encoder)
+        details = self.extractor_result_.details
+        self.extraction_result_ = details if isinstance(details, ExtractionResult) else None
+        self.rules_ = self.extractor_result_.ruleset
         if (
             self.config.prune_redundant_rules
-            and self.extraction_result_.attribute_rules is not None
+            and self.rules_.rules
+            and not self.rules_.is_binary
         ):
             from repro.rules.simplify import prune_redundant_attribute_rules
 
-            self.rules_ = prune_redundant_attribute_rules(
-                self.extraction_result_.attribute_rules, dataset
-            )
+            self.rules_ = prune_redundant_attribute_rules(self.rules_, dataset)
         return self
 
     def _require_fitted(self) -> None:
@@ -215,19 +228,20 @@ class NeuroRuleClassifier:
     def describe_rules(self) -> str:
         """The extracted rules rendered in the paper's Figure 5 style."""
         self._require_fitted()
-        assert self.extraction_result_ is not None and self.rules_ is not None
-        if self.extraction_result_.attribute_rules is not None:
+        assert self.rules_ is not None
+        if not self.rules_.is_binary or not self.rules_.rules:
             from repro.rules.pretty import format_ruleset_paper_style
 
             return format_ruleset_paper_style(self.rules_)
-        return self.extraction_result_.binary_rules.describe()
+        return self.rules_.describe()
 
     def summary(self) -> str:
         """Multi-line summary of the fitted pipeline."""
         self._require_fitted()
-        assert self.training_result_ is not None and self.extraction_result_ is not None
+        assert self.training_result_ is not None and self.extractor_result_ is not None
         lines = [
             "NeuroRule pipeline summary",
+            f"  extractor                : {self.extractor_result_.extractor}",
             f"  training accuracy        : {self.training_result_.accuracy:.3f}",
         ]
         if self.pruning_result_ is not None:
@@ -241,9 +255,9 @@ class NeuroRuleClassifier:
             )
         lines.extend(
             [
-                f"  extracted rules          : {self.extraction_result_.rules.n_rules}",
-                f"  rule fidelity (to net)   : {self.extraction_result_.fidelity:.3f}",
-                f"  rule training accuracy   : {self.extraction_result_.training_accuracy:.3f}",
+                f"  extracted rules          : {self.extractor_result_.n_rules}",
+                f"  rule fidelity (to net)   : {self.extractor_result_.fidelity:.3f}",
+                f"  rule training accuracy   : {self.extractor_result_.training_accuracy:.3f}",
             ]
         )
         return "\n".join(lines)

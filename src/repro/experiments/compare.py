@@ -1,0 +1,137 @@
+"""The extractor-comparison workload: one grid, every strategy.
+
+``python -m repro extractors compare`` answers the ROADMAP's north-star
+question — how do extraction strategies trade fidelity, rule-set size and
+extraction time over the same trained networks?  It rides the sweep
+orchestrator with an extractor axis (function × seed × extractor tasks, each
+with its own cached artifact), then reduces the results to one row per
+(function, extractor) cell for :func:`repro.experiments.reporting.format_extractor_table`.
+
+Training dominates the cost of a cell, so on a cold cache a comparison over
+``k`` extractors costs ``k`` trainings per function; the artifact cache makes
+every re-run (and every later single-extractor sweep over the same settings)
+a cache hit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from statistics import mean
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.orchestrator import SweepResult, run_sweep
+
+#: The strategies ``extractors compare`` runs by default: the paper's
+#: decompositional path plus both pedagogical families.
+DEFAULT_COMPARISON_EXTRACTORS = ("neurorule", "c45-surrogate", "covering")
+
+
+@dataclass
+class ExtractorComparison:
+    """A sweep result organised as an extractor-comparison grid."""
+
+    functions: List[int]
+    extractors: List[str]
+    sweep: SweepResult
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def to_dict(self) -> Dict:
+        """JSON-ready form: the grid rows plus the underlying sweep."""
+        return {
+            "functions": list(self.functions),
+            "extractors": list(self.extractors),
+            "rows": list(self.rows),
+            "sweep": self.sweep.to_dict(),
+        }
+
+
+def comparison_rows(
+    sweep: SweepResult,
+    functions: Sequence[int],
+    extractors: Sequence[str],
+) -> List[Dict[str, object]]:
+    """One row per (function, extractor) cell, averaged over seeds.
+
+    Every requested cell appears exactly once, in function-major order;
+    cells whose every seed failed carry NaN metrics (they render as ``n/a``)
+    so a partial failure is visible instead of silently shrinking the grid.
+    """
+    cells: Dict[tuple, List] = {}
+    for outcome in sweep.outcomes:
+        if outcome.result is not None:
+            cells.setdefault((outcome.function, outcome.extractor), []).append(
+                outcome.result
+            )
+    rows: List[Dict[str, object]] = []
+    for function in functions:
+        for extractor in extractors:
+            results = cells.get((function, extractor), [])
+            if results:
+                rows.append(
+                    {
+                        "function": function,
+                        "extractor": extractor,
+                        "n_seeds": len(results),
+                        "fidelity": mean(r.rule_fidelity for r in results),
+                        "train_accuracy": mean(
+                            r.rule_train_accuracy for r in results
+                        ),
+                        "test_accuracy": mean(r.rule_test_accuracy for r in results),
+                        "n_rules": mean(float(r.n_rules) for r in results),
+                        "extraction_seconds": mean(
+                            r.extraction_seconds for r in results
+                        ),
+                    }
+                )
+            else:
+                rows.append(
+                    {
+                        "function": function,
+                        "extractor": extractor,
+                        "n_seeds": 0,
+                        "fidelity": float("nan"),
+                        "train_accuracy": float("nan"),
+                        "test_accuracy": float("nan"),
+                        "n_rules": float("nan"),
+                        "extraction_seconds": float("nan"),
+                    }
+                )
+    return rows
+
+
+def compare_extractors(
+    functions: Sequence[int],
+    config: Optional[ExperimentConfig] = None,
+    extractors: Sequence[str] = DEFAULT_COMPARISON_EXTRACTORS,
+    seeds: int = 1,
+    processes: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    keep_going: bool = True,
+) -> ExtractorComparison:
+    """Run the full extractor-comparison grid.
+
+    Parameters mirror :func:`repro.experiments.orchestrator.run_sweep`; the
+    extractor axis is mandatory here (at least one strategy) and the result
+    carries the reduced per-cell rows alongside the raw sweep.
+    """
+    if not extractors:
+        raise ExperimentError("extractor comparison needs at least one extractor")
+    unique = list(dict.fromkeys(extractors))
+    sweep = run_sweep(
+        functions,
+        config=config,
+        seeds=seeds,
+        processes=processes,
+        cache_dir=cache_dir,
+        keep_going=keep_going,
+        extractors=unique,
+    )
+    return ExtractorComparison(
+        functions=list(functions),
+        extractors=unique,
+        sweep=sweep,
+        rows=comparison_rows(sweep, functions, unique),
+    )

@@ -50,12 +50,20 @@ class ExperimentConfig:
     pruning_rounds: int = 150
     pruning_threshold: float = 0.9
     gradient_tolerance: float = 3e-4
+    extractor: str = "neurorule"
     label: str = "paper"
 
     def __post_init__(self) -> None:
         if self.n_train < 10 or self.n_test < 10:
             raise ExperimentError(
                 f"need at least 10 training and test tuples, got {self.n_train}/{self.n_test}"
+            )
+        from repro.extractors import available_extractors
+
+        if self.extractor not in available_extractors():
+            raise ExperimentError(
+                f"unknown extractor {self.extractor!r}; "
+                f"available: {', '.join(available_extractors())}"
             )
 
     # -- presets ------------------------------------------------------------------
@@ -138,3 +146,31 @@ class ExperimentConfig:
             pruning=self.pruning_config(),
             extraction=ExtractionConfig(),
         )
+
+    def with_extractor(self, extractor: str) -> "ExperimentConfig":
+        """This configuration with a different rule-extraction strategy.
+
+        The extractor name is part of :meth:`to_dict` and therefore of every
+        sweep task's cache key, so the same (function, seed) trained with two
+        strategies can never collide on an artifact-cache entry.
+        """
+        if extractor == self.extractor:
+            return self
+        return replace(self, extractor=extractor)
+
+    def build_extractor(self):
+        """Instantiate the configured extraction strategy.
+
+        The decompositional path is built from this configuration's own
+        extraction/splitter settings (exactly what the pre-zoo pipeline ran);
+        every other registered strategy uses its default parameters.
+        """
+        from repro.extractors import create_extractor
+        from repro.extractors.neurorule import NeuroRuleExtractor
+
+        if self.extractor == NeuroRuleExtractor.name:
+            neurorule = self.neurorule_config()
+            return NeuroRuleExtractor(
+                neurorule.extraction, splitter_config=neurorule.splitter
+            )
+        return create_extractor(self.extractor)

@@ -46,7 +46,9 @@ from repro.experiments.runner import FunctionExperimentResult, run_function_expe
 
 #: Bump to invalidate every existing cache entry when the artifact layout or
 #: the experiment pipeline changes incompatibly.
-ARTIFACT_VERSION = 1
+#: Version 2: the experiment configuration carries an ``extractor`` axis and
+#: ``rules.json`` records the producing extractor's name and parameters.
+ARTIFACT_VERSION = 2
 
 _RESULT_FILE = "result.json"
 _NETWORK_FILE = "network.json"
@@ -60,11 +62,21 @@ _CONFIG_FILE = "config.json"
 
 @dataclass(frozen=True)
 class SweepTask:
-    """One unit of orchestrated work: a benchmark function at one seed."""
+    """One unit of orchestrated work: a benchmark function at one seed.
+
+    The extraction strategy is part of the configuration
+    (``config.extractor``), so the sweep grid is really
+    function × seed × extractor and two strategies over the same trained
+    setting hash to different cache keys.
+    """
 
     function: int
     seed: int
     config: ExperimentConfig
+
+    @property
+    def extractor(self) -> str:
+        return self.config.extractor
 
     def effective_config(self) -> ExperimentConfig:
         """The replicate-adjusted configuration this task actually runs."""
@@ -95,6 +107,7 @@ class TaskOutcome:
     cache_key: str
     cached: bool
     seconds: float
+    extractor: str = "neurorule"
     result: Optional[FunctionExperimentResult] = None
     error: Optional[str] = field(default=None, repr=False)
 
@@ -199,12 +212,20 @@ class ArtifactCache:
                 )
             if (
                 classifier is not None
-                and classifier.extraction_result_ is not None
-                and classifier.extraction_result_.attribute_rules is not None
+                and classifier.rules_ is not None
+                and classifier.rules_.rules
+                and not classifier.rules_.is_binary
             ):
+                # The producing strategy's name and parameters ride along so
+                # mixed-extractor sweeps leave self-describing artifacts.
+                provenance = None
+                if classifier.extractor_result_ is not None:
+                    provenance = {
+                        "name": classifier.extractor_result_.extractor,
+                        "params": classifier.extractor_result_.params,
+                    }
                 (staging / _RULES_FILE).write_text(
-                    ruleset_to_json(classifier.extraction_result_.attribute_rules)
-                    + "\n"
+                    ruleset_to_json(classifier.rules_, extractor=provenance) + "\n"
                 )
             try:
                 os.replace(staging, entry)
@@ -236,14 +257,41 @@ class ArtifactCache:
             raise ExperimentError(f"no cache entry for key {key}")
         return json.loads(path.read_text())
 
+    def entry_extractor(self, key: str) -> Optional[str]:
+        """The extraction strategy recorded for one entry, if known.
+
+        Prefers the provenance block inside ``rules.json`` (written by the
+        producing worker) and falls back to the configuration's ``extractor``
+        field; pre-zoo entries report ``None``.
+        """
+        from repro.rules.serialization import ruleset_extractor_metadata
+
+        rules_path = self.entry_dir(key) / _RULES_FILE
+        if rules_path.is_file():
+            try:
+                metadata = ruleset_extractor_metadata(rules_path.read_text())
+            except Exception:
+                metadata = None
+            if metadata and isinstance(metadata.get("name"), str):
+                return metadata["name"]
+        try:
+            entry = self.describe_entry(key)
+        except (ExperimentError, json.JSONDecodeError):
+            return None
+        extractor = entry.get("config", {}).get("extractor")
+        return extractor if isinstance(extractor, str) else None
+
     def find(
-        self, function: Optional[int] = None, seed: Optional[int] = None
+        self,
+        function: Optional[int] = None,
+        seed: Optional[int] = None,
+        extractor: Optional[str] = None,
     ) -> List[str]:
-        """Keys of complete entries matching a function and/or seed.
+        """Keys of complete entries matching a function, seed and/or extractor.
 
         This is the serving layer's lookup: a model is requested as "function
-        2, seed 0" rather than by its 64-hex content hash.  Entries whose
-        config.json is missing or unreadable are skipped.
+        2, seed 0, covering rules" rather than by its 64-hex content hash.
+        Entries whose config.json is missing or unreadable are skipped.
         """
         matches: List[str] = []
         for key in self.keys():
@@ -255,29 +303,36 @@ class ArtifactCache:
                 continue
             if seed is not None and entry.get("seed") != seed:
                 continue
+            if extractor is not None and self.entry_extractor(key) != extractor:
+                continue
             matches.append(key)
         return matches
 
-    def find_one(self, function: int, seed: Optional[int] = None) -> str:
-        """The unique key for ``function`` (and optionally ``seed``).
+    def find_one(
+        self,
+        function: int,
+        seed: Optional[int] = None,
+        extractor: Optional[str] = None,
+    ) -> str:
+        """The unique key for ``function`` (optionally seed and extractor).
 
         Raises :class:`ExperimentError` when no entry matches, or when several
         do (different configurations of the same task) — ambiguity must be
-        resolved by the caller with an explicit key.
+        resolved by the caller with an explicit key or an extractor filter.
         """
-        keys = self.find(function=function, seed=seed)
+        keys = self.find(function=function, seed=seed, extractor=extractor)
+        described = f"function {function}"
+        if seed is not None:
+            described += f" seed {seed}"
+        if extractor is not None:
+            described += f" extractor {extractor!r}"
         if not keys:
-            raise ExperimentError(
-                f"no cached artifact for function {function}"
-                + (f" seed {seed}" if seed is not None else "")
-                + f" under {self.root}"
-            )
+            raise ExperimentError(f"no cached artifact for {described} under {self.root}")
         if len(keys) > 1:
             listing = ", ".join(key[:16] for key in keys)
             raise ExperimentError(
-                f"{len(keys)} cached artifacts match function {function}"
-                + (f" seed {seed}" if seed is not None else "")
-                + f" ({listing}); pass an explicit key to disambiguate"
+                f"{len(keys)} cached artifacts match {described} ({listing}); "
+                "pass an explicit key or an extractor filter to disambiguate"
             )
         return keys[0]
 
@@ -324,6 +379,7 @@ def _execute_task(
                     cache_key=key,
                     cached=True,
                     seconds=perf_counter() - started,
+                    extractor=task.extractor,
                     result=cached,
                 )
         result = run_function_experiment(
@@ -339,6 +395,7 @@ def _execute_task(
             cache_key=key,
             cached=False,
             seconds=perf_counter() - started,
+            extractor=task.extractor,
             result=result.without_models(),
         )
     except Exception:
@@ -350,6 +407,7 @@ def _execute_task(
             cache_key=key,
             cached=False,
             seconds=perf_counter() - started,
+            extractor=task.extractor,
             error=traceback.format_exc(),
         )
 
@@ -430,6 +488,7 @@ class SweepResult:
                 {
                     "function": o.function,
                     "seed": o.seed,
+                    "extractor": o.extractor,
                     "cache_key": o.cache_key,
                     "cached": o.cached,
                     "seconds": round(o.seconds, 6),
@@ -449,17 +508,33 @@ def build_tasks(
     functions: Sequence[int],
     config: Optional[ExperimentConfig] = None,
     seeds: int = 1,
+    extractors: Optional[Sequence[str]] = None,
 ) -> List[SweepTask]:
-    """The task grid of a sweep: ``functions x range(seeds)``."""
+    """The task grid of a sweep: ``functions × range(seeds) × extractors``.
+
+    ``extractors=None`` keeps the base configuration's single strategy;
+    passing names (deduplicated, order-preserving) fans each (function, seed)
+    cell out over every strategy via
+    :meth:`ExperimentConfig.with_extractor`, so each combination gets its own
+    cache key.
+    """
     if not functions:
         raise ExperimentError("no functions requested")
     if seeds < 1:
         raise ExperimentError(f"need at least one seed, got {seeds}")
     base = config or ExperimentConfig.quick()
+    if extractors is None:
+        configs = [base]
+    else:
+        if not extractors:
+            raise ExperimentError("no extractors requested")
+        unique = list(dict.fromkeys(extractors))
+        configs = [base.with_extractor(name) for name in unique]
     return [
-        SweepTask(function=function, seed=seed, config=base)
+        SweepTask(function=function, seed=seed, config=variant)
         for function in functions
         for seed in range(seeds)
+        for variant in configs
     ]
 
 
@@ -470,6 +545,7 @@ def run_sweep(
     processes: int = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     keep_going: bool = True,
+    extractors: Optional[Sequence[str]] = None,
 ) -> SweepResult:
     """Orchestrate the full NeuroRule-vs-C4.5 sweep.
 
@@ -494,13 +570,17 @@ def run_sweep(
         result and the remaining tasks still run; when False the first
         failure re-raises the task's original exception immediately (queued
         tasks are cancelled, though tasks already running finish first).
+    extractors:
+        Optional extraction strategies to fan each (function, seed) cell out
+        over; ``None`` runs the base configuration's single strategy.
 
     Outcomes are returned in task order — ``functions`` as requested, seeds
-    ascending within each function — in serial and parallel mode alike.
+    ascending and extractors as requested within each function — in serial
+    and parallel mode alike.
     """
     if processes < 1:
         raise ExperimentError(f"need at least one process, got {processes}")
-    tasks = build_tasks(functions, config=config, seeds=seeds)
+    tasks = build_tasks(functions, config=config, seeds=seeds, extractors=extractors)
     cache_path = str(cache_dir) if cache_dir is not None else None
 
     outcomes: List[TaskOutcome] = []

@@ -104,6 +104,42 @@ def _mean_std(row: Dict[str, float], prefix: str) -> str:
     return f"{mean_value:.1f} ±{std_value:.1f}"
 
 
+def format_extractor_table(
+    rows: Sequence[Dict[str, object]],
+    title: Optional[str] = "Extractor comparison (per function: fidelity %, test accuracy %, rule count, extraction seconds)",
+) -> str:
+    """Render the extractor-comparison grid of ``extractors compare``.
+
+    ``rows`` is the output of
+    :func:`repro.experiments.compare.comparison_rows`: one entry per
+    (function, extractor) with fidelity, test accuracy, rule count and
+    extraction time, already averaged over seeds.  Failed cells carry NaN
+    metrics and render as ``n/a`` through the shared table rule.
+    """
+    if not rows:
+        raise ExperimentError("no extractor-comparison rows to render")
+    table_rows = [
+        [
+            int(row["function"]),
+            str(row["extractor"]),
+            float(row["fidelity"]) * 100.0
+            if row["fidelity"] == row["fidelity"]
+            else float("nan"),
+            float(row["test_accuracy"]) * 100.0
+            if row["test_accuracy"] == row["test_accuracy"]
+            else float("nan"),
+            float(row["n_rules"]),
+            float(row["extraction_seconds"]),
+        ]
+        for row in rows
+    ]
+    return format_table(
+        headers=["function", "extractor", "fidelity", "test acc", "#rules", "extract s"],
+        rows=table_rows,
+        title=title,
+    )
+
+
 def format_sweep_table(
     rows: Sequence[Dict[str, float]],
     title: Optional[str] = "Aggregated sweep (test accuracy %, mean ± std over seeds)",

@@ -58,6 +58,11 @@ class FunctionExperimentResult:
     c45rules_test_accuracy: float
     c45_seconds: float
     c45rules_seconds: float
+    # Which rule-extraction strategy produced the rules, and how long the
+    # extraction phase alone took (training/pruning time is shared by all
+    # extractors and lives in ``neurorule_seconds``).
+    extractor: str = "neurorule"
+    extraction_seconds: float = 0.0
     # Set when the requested function is one the paper excludes for class skew.
     skew_warning: Optional[str] = None
     # The fitted classifier, for case studies that need the rules themselves.
@@ -161,24 +166,28 @@ def run_function_experiment(
     data = generate_experiment_data(function, config)
     train, test = data["train"], data["test"]
 
-    # NeuroRule pipeline.
+    # Train/prune once, then articulate with the configured extractor.
     started = time.perf_counter()
-    classifier = NeuroRuleClassifier(config.neurorule_config(), encoder=agrawal_encoder())
+    classifier = NeuroRuleClassifier(
+        config.neurorule_config(),
+        encoder=agrawal_encoder(),
+        extractor=config.build_extractor(),
+    )
     classifier.fit(train)
     neurorule_seconds = time.perf_counter() - started
 
-    assert classifier.extraction_result_ is not None
+    assert classifier.extractor_result_ is not None
     assert classifier.pruning_result_ is not None
-    extraction = classifier.extraction_result_
+    extraction = classifier.extractor_result_
     pruning = classifier.pruning_result_
-    rules = extraction.rules
+    rules = classifier.rules_
     network = classifier.network_
-    assert network is not None
+    assert rules is not None and network is not None
 
     relevant = RELEVANT_ATTRIBUTES.get(function, [])
     attribute_report = (
-        referenced_attribute_report(extraction.attribute_rules, relevant)
-        if extraction.attribute_rules is not None
+        referenced_attribute_report(rules, relevant)
+        if rules.rules and not rules.is_binary
         else {"spurious": []}
     )
 
@@ -225,6 +234,8 @@ def run_function_experiment(
         c45rules_test_accuracy=accuracy(c45rules_test_labels, test.labels),
         c45_seconds=c45_seconds,
         c45rules_seconds=c45rules_seconds,
+        extractor=extraction.extractor,
+        extraction_seconds=extraction.seconds,
         skew_warning=skew_warning,
         classifier=classifier if keep_models else None,
         c45rules=c45rules if keep_models else None,

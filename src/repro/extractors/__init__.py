@@ -1,0 +1,39 @@
+"""The extractor zoo: rule-extraction strategies behind one protocol.
+
+Importing this package registers the built-in strategies:
+
+``neurorule``
+    The paper's decompositional path (algorithm RX over the pruned network).
+``c45-surrogate``
+    Pedagogical: C4.5rules fitted to the network's predictions.
+``covering``
+    Pedagogical: REAL-style sequential covering over the encoded inputs.
+
+All of them emit a plain :class:`~repro.rules.ruleset.RuleSet`, so any
+extractor's output flows unchanged through the NumPy rule compiler, the
+serving registry, and the SQL pushdown classifier.
+"""
+
+from repro.extractors.base import BaseExtractor, Extractor, ExtractorResult
+from repro.extractors.registry import (
+    available_extractors,
+    create_extractor,
+    register_extractor,
+)
+
+# Importing the implementation modules is what registers them.
+from repro.extractors.covering import SequentialCoveringExtractor
+from repro.extractors.neurorule import NeuroRuleExtractor
+from repro.extractors.surrogate import C45SurrogateExtractor
+
+__all__ = [
+    "BaseExtractor",
+    "C45SurrogateExtractor",
+    "Extractor",
+    "ExtractorResult",
+    "NeuroRuleExtractor",
+    "SequentialCoveringExtractor",
+    "available_extractors",
+    "create_extractor",
+    "register_extractor",
+]

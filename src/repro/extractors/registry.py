@@ -1,0 +1,54 @@
+"""The extractor registry: names to strategies.
+
+Extractors register under a short name (``neurorule``, ``c45-surrogate``,
+``covering``); everything that selects a strategy — ``ExperimentConfig``, the
+sweep orchestrator, ``--extractor`` on the CLI — goes through this table, so
+adding a strategy is one decorated class, not a tour of the call sites.
+
+Factories are registered rather than instances because an extractor carries
+configuration (``params()``); each :func:`create_extractor` call builds a
+fresh instance from keyword arguments.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ExtractionError
+from repro.extractors.base import Extractor
+
+_REGISTRY: Dict[str, Callable[..., Extractor]] = {}
+
+
+def register_extractor(factory: Callable[..., Extractor]) -> Callable[..., Extractor]:
+    """Class decorator: register an extractor under its ``name`` attribute."""
+    name = getattr(factory, "name", None)
+    if not isinstance(name, str) or not name:
+        raise ExtractionError(
+            f"extractor {factory!r} must define a non-empty string `name`"
+        )
+    if name in _REGISTRY and _REGISTRY[name] is not factory:
+        raise ExtractionError(f"extractor name {name!r} is already registered")
+    _REGISTRY[name] = factory
+    return factory
+
+
+def available_extractors() -> List[str]:
+    """Registered extractor names, sorted for stable listings."""
+    return sorted(_REGISTRY)
+
+
+def create_extractor(name: str, **kwargs) -> Extractor:
+    """Instantiate the extractor registered under ``name``.
+
+    Keyword arguments are forwarded to the strategy's constructor; an unknown
+    name reports the known ones so CLI typos are self-diagnosing.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(available_extractors()) or "none registered"
+        raise ExtractionError(
+            f"unknown extractor {name!r}; available: {known}"
+        ) from None
+    return factory(**kwargs)

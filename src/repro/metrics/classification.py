@@ -38,6 +38,24 @@ def error_rate(predictions: Sequence[str], truth: Sequence[str]) -> float:
     return 1.0 - accuracy(predictions, truth)
 
 
+def majority_label(labels: Sequence[str], class_labels: Sequence[str]) -> str:
+    """The most frequent label, with ties broken by ``class_labels`` order.
+
+    This is the single default-class tie-breaking rule shared by every rule
+    extractor (RX's default class, the surrogate's fallback class, the
+    covering extractor's default): whichever of the tied classes appears
+    first in ``class_labels`` wins.  Sharing one implementation keeps
+    extracted rule sets byte-identical across extractors on tied data — the
+    property suite in ``tests/extractors/test_tiebreak.py`` locks this in.
+    """
+    class_labels = list(class_labels)
+    if not class_labels:
+        raise ReproError("majority_label needs at least one class label")
+    values = label_array(list(labels))
+    counts = {label: int(np.sum(values == label)) for label in class_labels}
+    return max(class_labels, key=lambda label: counts[label])
+
+
 @dataclass
 class ConfusionMatrix:
     """Counts of (true class, predicted class) pairs."""

@@ -192,9 +192,20 @@ def _condition_from_dict(payload: Dict) -> AttributeCondition:
     raise RuleError(f"unknown condition type in JSON payload: {kind!r}")
 
 
-def ruleset_to_json(ruleset: RuleSet[AttributeRule], indent: int = 2) -> str:
-    """Serialise an attribute rule set to a JSON document."""
-    payload = {
+def ruleset_to_json(
+    ruleset: RuleSet[AttributeRule],
+    indent: int = 2,
+    extractor: Optional[Dict] = None,
+) -> str:
+    """Serialise an attribute rule set to a JSON document.
+
+    ``extractor`` is optional provenance metadata — typically
+    ``{"name": <registered extractor>, "params": {...}}`` — persisted next to
+    the rules so an artifact is self-describing about the strategy that
+    produced it.  It does not affect the rules themselves and round-trips via
+    :func:`ruleset_extractor_metadata`.
+    """
+    payload: Dict = {
         "name": ruleset.name,
         "classes": list(ruleset.classes),
         "default_class": ruleset.default_class,
@@ -206,7 +217,27 @@ def ruleset_to_json(ruleset: RuleSet[AttributeRule], indent: int = 2) -> str:
             for rule in ruleset.rules
         ],
     }
+    if extractor is not None:
+        payload["extractor"] = extractor
     return json.dumps(payload, indent=indent)
+
+
+def ruleset_extractor_metadata(document: str) -> Optional[Dict]:
+    """The ``extractor`` provenance block of a rules document, if present.
+
+    Documents written before the extractor zoo (or by hand) simply have no
+    block; ``None`` distinguishes "unknown provenance" from an empty one.
+    """
+    try:
+        payload = json.loads(document)
+    except json.JSONDecodeError as exc:
+        raise RuleError(f"invalid rule-set JSON: {exc}") from exc
+    metadata = payload.get("extractor")
+    if metadata is not None and not isinstance(metadata, dict):
+        raise RuleError(
+            f"extractor metadata must be an object, got {type(metadata).__name__}"
+        )
+    return metadata
 
 
 def ruleset_from_json(document: str) -> RuleSet[AttributeRule]:

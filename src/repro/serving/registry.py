@@ -356,17 +356,21 @@ class ModelRegistry:
         seed: Optional[int] = None,
         prefer: str = "rules",
         backend: str = "numpy",
+        extractor: Optional[str] = None,
         replace: bool = False,
     ) -> ServableModel:
         """Load a cached artifact addressed by ``function``/``seed``.
 
-        Delegates key resolution to :meth:`ArtifactCache.find_one`, so a
-        missing or ambiguous task surfaces as a clear :class:`ServingError`.
+        ``extractor`` narrows the lookup to entries produced by one
+        extraction strategy — the natural address in a mixed-extractor sweep,
+        where "function 2" alone matches one entry per strategy.  Delegates
+        key resolution to :meth:`ArtifactCache.find_one`, so a missing or
+        ambiguous task surfaces as a clear :class:`ServingError`.
         """
         if not isinstance(cache, ArtifactCache):
             cache = ArtifactCache(cache)
         try:
-            key = cache.find_one(function, seed=seed)
+            key = cache.find_one(function, seed=seed, extractor=extractor)
         except ExperimentError as exc:
             raise ServingError(str(exc)) from exc
         return self.load_artifact(

@@ -1,0 +1,160 @@
+"""Tests of the extractor-comparison workload (grid reduction + rendering)."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.compare import (
+    DEFAULT_COMPARISON_EXTRACTORS,
+    ExtractorComparison,
+    compare_extractors,
+    comparison_rows,
+)
+from repro.experiments.orchestrator import SweepResult, TaskOutcome
+from repro.experiments.reporting import format_extractor_table
+from repro.experiments.runner import FunctionExperimentResult
+from repro.metrics.rules_metrics import RuleSetComplexity
+
+
+def _result(function, extractor, fidelity=0.9, n_rules=5, seconds=1.5):
+    return FunctionExperimentResult(
+        function=function,
+        config_label="stub",
+        n_train=100,
+        n_test=100,
+        class_skew=0.6,
+        nn_train_accuracy=0.99,
+        nn_test_accuracy=0.97,
+        rule_train_accuracy=0.95,
+        rule_test_accuracy=0.94,
+        rule_fidelity=fidelity,
+        n_rules=n_rules,
+        rule_complexity=RuleSetComplexity(
+            name="stub",
+            n_rules=n_rules,
+            n_rules_per_class={"A": n_rules},
+            total_conditions=2 * n_rules,
+            mean_conditions_per_rule=2.0,
+        ),
+        initial_connections=100,
+        pruned_connections=10,
+        active_hidden_units=2,
+        relevant_inputs=4,
+        spurious_attributes=[],
+        neurorule_seconds=2.0,
+        c45_train_accuracy=0.93,
+        c45_test_accuracy=0.92,
+        c45_leaves=9,
+        c45rules_count=7,
+        c45rules_test_accuracy=0.91,
+        c45_seconds=0.4,
+        c45rules_seconds=0.5,
+        extractor=extractor,
+        extraction_seconds=seconds,
+    )
+
+
+def _outcome(function, seed, extractor, result=None, error=None):
+    return TaskOutcome(
+        function=function,
+        seed=seed,
+        cache_key="0" * 64,
+        cached=False,
+        seconds=1.0,
+        extractor=extractor,
+        result=result,
+        error=error,
+    )
+
+
+@pytest.fixture()
+def mixed_sweep():
+    """Two functions x two extractors; one cell has two seeds, one failed."""
+    return SweepResult(
+        outcomes=[
+            _outcome(1, 0, "neurorule", _result(1, "neurorule", fidelity=0.9, n_rules=4)),
+            _outcome(1, 1, "neurorule", _result(1, "neurorule", fidelity=1.0, n_rules=6)),
+            _outcome(1, 0, "covering", _result(1, "covering", fidelity=1.0, n_rules=20)),
+            _outcome(1, 1, "covering", _result(1, "covering", fidelity=1.0, n_rules=22)),
+            _outcome(4, 0, "neurorule", _result(4, "neurorule")),
+            _outcome(4, 1, "neurorule", _result(4, "neurorule")),
+            _outcome(4, 0, "covering", error="boom"),
+            _outcome(4, 1, "covering", error="boom"),
+        ]
+    )
+
+
+class TestComparisonRows:
+    def test_one_row_per_cell_in_function_major_order(self, mixed_sweep):
+        rows = comparison_rows(mixed_sweep, [1, 4], ["neurorule", "covering"])
+        assert [(r["function"], r["extractor"]) for r in rows] == [
+            (1, "neurorule"),
+            (1, "covering"),
+            (4, "neurorule"),
+            (4, "covering"),
+        ]
+
+    def test_metrics_average_over_seeds(self, mixed_sweep):
+        rows = comparison_rows(mixed_sweep, [1, 4], ["neurorule", "covering"])
+        cell = rows[0]
+        assert cell["n_seeds"] == 2
+        assert cell["fidelity"] == pytest.approx(0.95)
+        assert cell["n_rules"] == pytest.approx(5.0)
+
+    def test_failed_cell_keeps_its_row_with_nan_metrics(self, mixed_sweep):
+        rows = comparison_rows(mixed_sweep, [1, 4], ["neurorule", "covering"])
+        failed = rows[3]
+        assert failed["n_seeds"] == 0
+        assert failed["fidelity"] != failed["fidelity"]  # NaN
+
+    def test_unrequested_outcomes_ignored(self, mixed_sweep):
+        rows = comparison_rows(mixed_sweep, [1], ["covering"])
+        assert len(rows) == 1
+        assert rows[0]["extractor"] == "covering"
+
+
+class TestFormatExtractorTable:
+    def test_renders_all_cells_and_marks_failures(self, mixed_sweep):
+        rows = comparison_rows(mixed_sweep, [1, 4], ["neurorule", "covering"])
+        text = format_extractor_table(rows)
+        assert "fidelity" in text and "#rules" in text
+        assert "neurorule" in text and "covering" in text
+        assert "n/a" in text  # the failed (4, covering) cell
+        assert "95.0" in text  # fidelity rendered as a percentage
+
+    def test_empty_rows_rejected(self):
+        with pytest.raises(ExperimentError, match="no extractor-comparison rows"):
+            format_extractor_table([])
+
+
+class TestCompareExtractors:
+    def test_default_strategy_list_covers_the_zoo(self):
+        assert DEFAULT_COMPARISON_EXTRACTORS == (
+            "neurorule",
+            "c45-surrogate",
+            "covering",
+        )
+
+    def test_rejects_empty_extractor_list(self):
+        with pytest.raises(ExperimentError, match="at least one extractor"):
+            compare_extractors([1], extractors=[])
+
+    def test_to_dict_round_trips_to_json(self, mixed_sweep):
+        import json
+
+        comparison = ExtractorComparison(
+            functions=[1, 4],
+            extractors=["neurorule", "covering"],
+            sweep=mixed_sweep,
+            rows=comparison_rows(mixed_sweep, [1, 4], ["neurorule", "covering"]),
+        )
+        payload = comparison.to_dict()
+        # NaN cells survive the dump (json allows them by default) and the
+        # task rows carry the extractor axis.
+        text = json.dumps(payload)
+        assert "extractor" in text
+        assert payload["functions"] == [1, 4]
+        assert len(payload["sweep"]["tasks"]) == 8
+        assert {t["extractor"] for t in payload["sweep"]["tasks"]} == {
+            "neurorule",
+            "covering",
+        }

@@ -1,0 +1,180 @@
+"""Tests of the extractor axis through config, orchestrator and artifacts."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.orchestrator import (
+    ARTIFACT_VERSION,
+    SweepTask,
+    build_tasks,
+    run_sweep,
+)
+from repro.serving import reference_ruleset
+from repro.rules.serialization import ruleset_to_json
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return ExperimentConfig.quick(
+        n_train=100,
+        n_test=100,
+        training_iterations=60,
+        retrain_iterations=20,
+        pruning_rounds=20,
+        label="axis-tiny",
+    )
+
+
+class TestConfigExtractorField:
+    def test_default_strategy_is_the_papers(self):
+        assert ExperimentConfig.quick().extractor == "neurorule"
+
+    def test_unknown_extractor_rejected_at_construction(self):
+        with pytest.raises(ExperimentError, match="extractor"):
+            ExperimentConfig.quick(extractor="boosted-stumps")
+
+    def test_with_extractor_returns_self_when_unchanged(self, tiny_config):
+        assert tiny_config.with_extractor("neurorule") is tiny_config
+        changed = tiny_config.with_extractor("covering")
+        assert changed is not tiny_config
+        assert changed.extractor == "covering"
+        assert changed.n_train == tiny_config.n_train
+
+    def test_extractor_is_part_of_the_cache_identity(self, tiny_config):
+        assert tiny_config.to_dict()["extractor"] == "neurorule"
+        base = SweepTask(function=1, seed=0, config=tiny_config)
+        variant = SweepTask(
+            function=1, seed=0, config=tiny_config.with_extractor("covering")
+        )
+        assert base.cache_key() != variant.cache_key()
+
+    def test_build_extractor_matches_the_configured_name(self, tiny_config):
+        for name in ("neurorule", "c45-surrogate", "covering"):
+            extractor = tiny_config.with_extractor(name).build_extractor()
+            assert extractor.name == name
+
+
+class TestBuildTasksExtractorAxis:
+    def test_grid_is_function_by_seed_by_extractor(self, tiny_config):
+        tasks = build_tasks(
+            [1, 2], tiny_config, seeds=2, extractors=["covering", "c45-surrogate"]
+        )
+        assert len(tasks) == 8
+        assert [(t.function, t.seed, t.extractor) for t in tasks[:4]] == [
+            (1, 0, "covering"),
+            (1, 0, "c45-surrogate"),
+            (1, 1, "covering"),
+            (1, 1, "c45-surrogate"),
+        ]
+
+    def test_no_extractor_list_keeps_the_base_strategy(self, tiny_config):
+        tasks = build_tasks([1], tiny_config, seeds=1)
+        assert [t.extractor for t in tasks] == ["neurorule"]
+
+    def test_duplicate_extractors_deduped_order_preserved(self, tiny_config):
+        tasks = build_tasks(
+            [1], tiny_config, seeds=1, extractors=["covering", "covering", "neurorule"]
+        )
+        assert [t.extractor for t in tasks] == ["covering", "neurorule"]
+
+    def test_empty_extractor_list_rejected(self, tiny_config):
+        with pytest.raises(ExperimentError, match="no extractors"):
+            build_tasks([1], tiny_config, seeds=1, extractors=[])
+
+    def test_unknown_extractor_rejected(self, tiny_config):
+        with pytest.raises(ExperimentError, match="extractor"):
+            build_tasks([1], tiny_config, seeds=1, extractors=["nope"])
+
+
+class TestArtifactProvenance:
+    def test_artifact_version_bumped_for_the_zoo(self):
+        # The config dict gained `extractor` and rules.json gained the
+        # provenance block; pre-zoo entries must not be served as current.
+        assert ARTIFACT_VERSION == 2
+
+    def test_fabricated_entry_falls_back_to_config_extractor(
+        self, artifact_cache, fabricate_entry
+    ):
+        key = fabricate_entry(artifact_cache, function=1, seed=0)
+        # The fabricated rules.json has no provenance block; the entry's
+        # config (which always records the extractor field) answers instead.
+        assert artifact_cache.entry_extractor(key) == "neurorule"
+
+    def test_rules_provenance_preferred_over_config(
+        self, artifact_cache, fabricate_entry
+    ):
+        key = fabricate_entry(artifact_cache, function=1, seed=0)
+        rules_path = artifact_cache.entry_dir(key) / "rules.json"
+        rules_path.write_text(
+            ruleset_to_json(
+                reference_ruleset(1),
+                extractor={"name": "covering", "params": {"max_rules": 1000}},
+            )
+            + "\n"
+        )
+        assert artifact_cache.entry_extractor(key) == "covering"
+
+    def test_find_filters_by_extractor(self, artifact_cache, fabricate_entry):
+        config = ExperimentConfig.quick(label="find-test")
+        neurorule_key = fabricate_entry(artifact_cache, function=1, seed=0, config=config)
+        covering_key = fabricate_entry(
+            artifact_cache,
+            function=1,
+            seed=0,
+            config=config.with_extractor("covering"),
+        )
+        assert neurorule_key != covering_key
+        assert set(artifact_cache.find(function=1)) == {neurorule_key, covering_key}
+        assert artifact_cache.find(function=1, extractor="covering") == [covering_key]
+        assert artifact_cache.find_one(1, extractor="neurorule") == neurorule_key
+
+    def test_ambiguous_find_one_suggests_the_extractor_filter(
+        self, artifact_cache, fabricate_entry
+    ):
+        config = ExperimentConfig.quick(label="ambig-test")
+        fabricate_entry(artifact_cache, function=1, seed=0, config=config)
+        fabricate_entry(
+            artifact_cache,
+            function=1,
+            seed=0,
+            config=config.with_extractor("covering"),
+        )
+        with pytest.raises(ExperimentError, match="extractor"):
+            artifact_cache.find_one(1)
+
+
+class TestSweepWithExtractorAxis:
+    """One real (tiny) sweep through a pedagogical strategy, end to end."""
+
+    def test_covering_sweep_stores_provenance_and_resumes(
+        self, tiny_config, tmp_path
+    ):
+        from repro.experiments.orchestrator import ArtifactCache
+
+        cache_dir = tmp_path / "cache"
+        sweep = run_sweep(
+            [1], config=tiny_config, cache_dir=cache_dir, extractors=["covering"]
+        )
+        assert len(sweep.outcomes) == 1
+        outcome = sweep.outcomes[0]
+        assert outcome.ok
+        assert outcome.extractor == "covering"
+        assert outcome.result.extractor == "covering"
+        assert outcome.result.extraction_seconds > 0.0
+
+        cache = ArtifactCache(cache_dir)
+        assert cache.entry_extractor(outcome.cache_key) == "covering"
+        document = (cache.entry_dir(outcome.cache_key) / "rules.json").read_text()
+        payload = json.loads(document)
+        assert payload["extractor"]["name"] == "covering"
+        assert payload["extractor"]["params"] == {"max_rules": 1000}
+
+        resumed = run_sweep(
+            [1], config=tiny_config, cache_dir=cache_dir, extractors=["covering"]
+        )
+        assert resumed.cache_hits == 1
+        assert resumed.outcomes[0].extractor == "covering"
+        assert resumed.outcomes[0].result.extractor == "covering"

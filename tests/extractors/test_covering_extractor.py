@@ -1,0 +1,101 @@
+"""Tests of the sequential-covering extractor (the REAL-style strategy)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExtractionError
+from repro.extractors import create_extractor
+from repro.extractors.covering import SequentialCoveringExtractor
+from repro.rules.serialization import ruleset_to_json
+
+
+def _covers(columns, values, row) -> bool:
+    return all(row[int(c)] == v for c, v in zip(columns, values))
+
+
+class TestCoverClass:
+    """Unit tests of the vectorised shrink-from-seed loop."""
+
+    def test_xor_needs_two_rules(self):
+        positives = np.array([[1, 0], [0, 1]], dtype=bool)
+        negatives = np.array([[0, 0], [1, 1]], dtype=bool)
+        rules = SequentialCoveringExtractor()._cover_class(positives, negatives)
+        assert len(rules) == 2
+        for row in positives:
+            assert any(_covers(c, v, row) for c, v in rules)
+        for row in negatives:
+            assert not any(_covers(c, v, row) for c, v in rules)
+
+    def test_irrelevant_columns_dropped(self):
+        # Column 0 decides the class; columns 1-2 are noise the rule must not pin.
+        positives = np.array([[1, 0, 1], [1, 1, 0]], dtype=bool)
+        negatives = np.array([[0, 0, 1], [0, 1, 0]], dtype=bool)
+        rules = SequentialCoveringExtractor()._cover_class(positives, negatives)
+        assert len(rules) == 1
+        columns, values = rules[0]
+        assert columns.tolist() == [0]
+        assert values.tolist() == [1]
+
+    def test_no_negatives_yields_the_empty_rule(self):
+        positives = np.array([[1, 0], [0, 1]], dtype=bool)
+        negatives = positives[:0]
+        rules = SequentialCoveringExtractor()._cover_class(positives, negatives)
+        assert len(rules) == 1
+        columns, _ = rules[0]
+        assert columns.size == 0  # unconditionally true: covers everything
+
+    def test_contradictory_oracle_rejected(self):
+        same = np.array([[1, 0]], dtype=bool)
+        with pytest.raises(ExtractionError, match="contradictory"):
+            SequentialCoveringExtractor()._cover_class(same, same.copy())
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(7)
+        matrix = rng.integers(0, 2, size=(40, 6)).astype(bool)
+        labels = matrix[:, 0] ^ matrix[:, 3]
+        positives, negatives = matrix[labels], matrix[~labels]
+        first = SequentialCoveringExtractor()._cover_class(positives, negatives)
+        second = SequentialCoveringExtractor()._cover_class(positives, negatives)
+        assert [(c.tolist(), v.tolist()) for c, v in first] == [
+            (c.tolist(), v.tolist()) for c, v in second
+        ]
+
+
+class TestExtraction:
+    def test_invalid_max_rules_rejected(self):
+        with pytest.raises(ExtractionError, match="max_rules"):
+            SequentialCoveringExtractor(max_rules=0)
+        with pytest.raises(ExtractionError, match="max_rules"):
+            create_extractor("covering", max_rules=-3)
+
+    def test_perfect_fidelity_on_training_data(self, pruned_boolean_network):
+        """Consistency by construction: the rules replay the oracle exactly."""
+        result = create_extractor("covering").extract(
+            pruned_boolean_network["pruning"].network,
+            pruned_boolean_network["dataset"],
+            encoder=pruned_boolean_network["encoder"],
+        )
+        assert result.fidelity == 1.0
+
+    def test_emits_attribute_rules_for_downstream_backends(
+        self, pruned_boolean_network
+    ):
+        result = create_extractor("covering").extract(
+            pruned_boolean_network["pruning"].network,
+            pruned_boolean_network["dataset"],
+            encoder=pruned_boolean_network["encoder"],
+        )
+        ruleset = result.ruleset
+        assert not ruleset.is_binary  # servable and SQL-able as-is
+        assert ruleset.name == "Sequential covering"
+        assert set(ruleset.classes) == set(pruned_boolean_network["classes"])
+
+    def test_extraction_is_deterministic(self, pruned_boolean_network):
+        args = (
+            pruned_boolean_network["pruning"].network,
+            pruned_boolean_network["dataset"],
+        )
+        encoder = pruned_boolean_network["encoder"]
+        first = create_extractor("covering").extract(*args, encoder=encoder)
+        second = create_extractor("covering").extract(*args, encoder=encoder)
+        assert ruleset_to_json(first.ruleset) == ruleset_to_json(second.ruleset)

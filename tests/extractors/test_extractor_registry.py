@@ -1,0 +1,59 @@
+"""Tests of the extractor registry and the ``Extractor`` protocol."""
+
+import pytest
+
+from repro.exceptions import ExtractionError, ReproError
+from repro.extractors import (
+    BaseExtractor,
+    Extractor,
+    available_extractors,
+    create_extractor,
+)
+from repro.extractors.registry import register_extractor
+
+
+class TestRegistry:
+    def test_zoo_contains_all_three_strategies(self):
+        names = available_extractors()
+        assert names == sorted(names)
+        for expected in ("neurorule", "c45-surrogate", "covering"):
+            assert expected in names
+
+    def test_create_returns_fresh_instances(self):
+        first = create_extractor("covering")
+        second = create_extractor("covering")
+        assert first is not second
+        assert first.name == second.name == "covering"
+
+    def test_every_registered_extractor_satisfies_the_protocol(self):
+        for name in available_extractors():
+            extractor = create_extractor(name)
+            assert isinstance(extractor, Extractor)
+            assert extractor.name == name
+            assert isinstance(extractor.params(), dict)
+
+    def test_unknown_name_lists_known_strategies(self):
+        with pytest.raises(ExtractionError, match="covering"):
+            create_extractor("gradient-boosting")
+
+    def test_extraction_error_is_a_repro_error(self):
+        with pytest.raises(ReproError):
+            create_extractor("nope")
+
+    def test_constructor_kwargs_forwarded(self):
+        extractor = create_extractor("covering", max_rules=7)
+        assert extractor.params() == {"max_rules": 7}
+
+    def test_duplicate_registration_rejected(self):
+        class Clash(BaseExtractor):
+            name = "covering"
+
+        with pytest.raises(ExtractionError, match="already registered"):
+            register_extractor(Clash)
+
+    def test_unnamed_registration_rejected(self):
+        class Nameless(BaseExtractor):
+            name = ""
+
+        with pytest.raises(ExtractionError, match="name"):
+            register_extractor(Nameless)

@@ -522,3 +522,92 @@ class TestDbCommands:
         with pytest.raises(SystemExit, match="rule models"):
             main(["predict", "--network", "net.json", "--backend", "sql",
                   "--input", "x.jsonl"])
+
+
+class TestExtractorsCommand:
+    """The extractor zoo on the command line: list, compare, lookups."""
+
+    def test_extractors_list_names_every_strategy(self, capsys):
+        assert main(["extractors", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in ("neurorule", "c45-surrogate", "covering"):
+            assert name in out
+        assert "registered extractor(s)" in out
+
+    def test_extractors_list_params_are_json(self, capsys):
+        assert main(["extractors", "list", "--params"]) == 0
+        out = capsys.readouterr().out
+        assert '"max_rules": 1000' in out
+
+    def test_compare_unknown_extractor_reports_error(self, capsys):
+        code = main(
+            ["extractors", "compare", "--functions", "1", "--extractors", "nope"]
+        )
+        assert code == 2
+        assert "unknown extractor" in capsys.readouterr().err
+
+    def test_compare_end_to_end_tiny(self, tmp_path, capsys):
+        out = tmp_path / "comparison.json"
+        code = main(
+            [
+                "extractors", "compare",
+                "--functions", "1",
+                "--extractors", "covering",
+                "--n-train", "100", "--n-test", "100",
+                "--training-iterations", "60",
+                "--retrain-iterations", "20",
+                "--pruning-rounds", "20",
+                "--cache-dir", str(tmp_path / "cache"),
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "Extractor comparison" in stdout
+        assert "covering" in stdout
+        payload = json.loads(out.read_text())
+        assert payload["extractors"] == ["covering"]
+        assert payload["rows"][0]["function"] == 1
+        assert payload["rows"][0]["n_seeds"] == 1
+        assert payload["sweep"]["tasks"][0]["extractor"] == "covering"
+
+    def test_sweep_accepts_extractor_flag(self):
+        args = build_parser().parse_args(["sweep", "--extractor", "covering"])
+        assert args.extractor == "covering"
+
+    def test_cache_listing_reports_extractor(
+        self, tmp_path, capsys, artifact_cache, fabricate_entry
+    ):
+        fabricate_entry(artifact_cache, function=2, seed=0)
+        assert main(["cache", "--cache-dir", str(artifact_cache.root)]) == 0
+        out = capsys.readouterr().out
+        assert "extractor neurorule" in out
+
+    def test_predict_extractor_flag_disambiguates(
+        self, tmp_path, jsonl_input, artifact_cache, fabricate_entry
+    ):
+        from repro.experiments.config import ExperimentConfig
+
+        path, data = jsonl_input
+        config = ExperimentConfig.quick(label="cli-disambig")
+        fabricate_entry(artifact_cache, function=1, seed=0, config=config)
+        fabricate_entry(
+            artifact_cache,
+            function=1,
+            seed=0,
+            config=config.with_extractor("covering"),
+        )
+        out = tmp_path / "labels.jsonl"
+        # Ambiguous without the filter: two entries match function 1.
+        assert main(
+            ["predict", "--cache-dir", str(artifact_cache.root),
+             "--function", "1", "--input", str(path), "--out", str(out)]
+        ) == 2
+        # ...resolved by --extractor.
+        assert main(
+            ["predict", "--cache-dir", str(artifact_cache.root),
+             "--function", "1", "--extractor", "covering",
+             "--input", str(path), "--out", str(out)]
+        ) == 0
+        labels = [json.loads(l)["label"] for l in out.read_text().splitlines()]
+        assert labels == data.labels
