@@ -192,7 +192,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 f"(rules test {100.0 * outcome.result.rule_test_accuracy:.1f}%)"
             )
         else:
-            print(f"  function {outcome.function} seed {outcome.seed}: FAILED")
+            kind = f" ({outcome.error_type})" if outcome.error_type else ""
+            print(
+                f"  function {outcome.function} seed {outcome.seed}: FAILED{kind}"
+            )
     rows = sweep.aggregate()
     if rows:
         print()
@@ -821,12 +824,10 @@ def _cmd_db_stats(args: argparse.Namespace) -> int:
 def _cmd_db_sql(args: argparse.Namespace) -> int:
     from repro.data.agrawal import agrawal_schema
     from repro.db.dialect import dialect_for
+    from repro.db.queries import classification_preview_sql
     from repro.db.schema import label_index_ddl, schema_ddl
     from repro.exceptions import DatabaseError
-    from repro.rules.serialization import (
-        ruleset_to_case_expression,
-        ruleset_to_sql,
-    )
+    from repro.rules.serialization import ruleset_to_sql
 
     try:
         dialect = dialect_for(args.dialect)
@@ -838,11 +839,7 @@ def _cmd_db_sql(args: argparse.Namespace) -> int:
         schema_ddl(schema, args.table, args.class_column, dialect) + ";",
         label_index_ddl(args.table, args.class_column, dialect) + ";",
         *ruleset_to_sql(ruleset, args.table, dialect=dialect),
-        (
-            f"SELECT *,\n"
-            f"{ruleset_to_case_expression(ruleset, dialect=dialect)}\n"
-            f"FROM {dialect.quote_qualified(args.table)};"
-        ),
+        classification_preview_sql(ruleset, args.table, dialect=dialect) + ";",
     ]
     print(f"-- dialect: {dialect.name}")
     for statement in statements:
@@ -985,6 +982,32 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--pruning-rounds", type=int, default=None, help="override pruning rounds"
     )
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    from repro.analysis import checker_catalogue, run_analysis
+
+    if args.list_rules:
+        for name, description, severity in checker_catalogue():
+            print(f"{name}  [{severity.value}]")
+            print(f"    {description}")
+        return 0
+    rules = None
+    if args.rules:
+        rules = [token.strip() for token in args.rules.split(",") if token.strip()]
+    report = run_analysis(args.paths, checkers=rules, strict=args.strict)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    failed = report.failed
+    if args.race:
+        from repro.analysis.racecheck import run_racecheck
+
+        race = run_racecheck(threads=args.race_threads)
+        print(race.render())
+        failed = failed or not race.ok
+    return 1 if failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -1356,6 +1379,50 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_db_rules_arguments(db_sql, required=True)
     db_sql.set_defaults(handler=_cmd_db_sql)
+
+    analyze = commands.add_parser(
+        "analyze",
+        help="run the codebase-aware static-analysis rules over a source "
+        "tree (and optionally the dynamic race harness)",
+    )
+    analyze.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    analyze.add_argument(
+        "--strict",
+        action="store_true",
+        help="warnings fail the run too, not just errors (what CI uses)",
+    )
+    analyze.add_argument(
+        "--rules",
+        help="comma-separated rule ids to run (default: every registered rule)",
+    )
+    analyze.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue (id, severity, description) and exit",
+    )
+    analyze.add_argument(
+        "--race",
+        action="store_true",
+        help="also run the dynamic race harness (multithreaded serving and "
+        "db stress with lock-ownership tracing)",
+    )
+    analyze.add_argument(
+        "--race-threads",
+        type=positive_int,
+        default=4,
+        help="stress threads for --race (default: 4)",
+    )
+    analyze.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the analysis report as JSON instead of text",
+    )
+    analyze.set_defaults(handler=_cmd_analyze)
     return parser
 
 

@@ -1,0 +1,40 @@
+"""Pip-independent, codebase-aware static analysis (``python -m repro analyze``).
+
+The framework mirrors the extractor zoo: checkers are classes registered
+under kebab-case rule ids (:func:`register_checker`), instantiated by name
+(:func:`create_checker`), and run over a parsed tree by
+:func:`run_analysis`.  Findings carry (path, line, rule, severity, message)
+and can be silenced in place with ``# repro: ignore[rule-id] <why>``.
+
+The static rules are paired with a dynamic race harness
+(:mod:`repro.analysis.racecheck`) that stresses the serving and db layers
+under real thread traffic.
+"""
+
+from repro.analysis.base import (
+    BaseChecker,
+    available_checkers,
+    checker_catalogue,
+    create_checker,
+    register_checker,
+)
+from repro.analysis.context import AnalysisContext, SourceModule, load_context
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.runner import AnalysisReport, run_analysis
+from repro.analysis.suppressions import SuppressionIndex
+
+__all__ = [
+    "AnalysisContext",
+    "AnalysisReport",
+    "BaseChecker",
+    "Finding",
+    "Severity",
+    "SourceModule",
+    "SuppressionIndex",
+    "available_checkers",
+    "checker_catalogue",
+    "create_checker",
+    "load_context",
+    "register_checker",
+    "run_analysis",
+]

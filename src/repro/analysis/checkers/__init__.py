@@ -1,0 +1,19 @@
+"""The rule catalogue: importing this package registers every checker."""
+
+from repro.analysis.checkers import (  # noqa: F401  (imported for registration)
+    excepts,
+    hot_path,
+    locks,
+    registry_completeness,
+    seeds,
+    sql_safety,
+)
+
+__all__ = [
+    "excepts",
+    "hot_path",
+    "locks",
+    "registry_completeness",
+    "seeds",
+    "sql_safety",
+]

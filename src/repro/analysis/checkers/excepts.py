@@ -1,0 +1,72 @@
+"""``broad-except``: catch what can actually fail, let the rest escape.
+
+A bare ``except:`` / ``except Exception:`` / ``except BaseException:`` that
+never re-raises turns every bug — typos, assertion failures, corrupted
+state — into a silently handled "expected failure".  The orchestrator's
+error isolation used to work exactly that way, and debugging a sweep whose
+tasks fail with a swallowed ``AttributeError`` is how this rule earned its
+place.
+
+A broad handler is exempt when it contains a bare ``raise`` (the exception
+still propagates — the handler only observes it); handlers that forward the
+exception some other way (``Future.set_exception``) suppress the rule with a
+justification.  This is a warning-severity rule: it fails the analysis only
+under ``--strict``, which is what CI runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.base import BaseChecker, dotted_name, register_checker
+from repro.analysis.context import AnalysisContext, SourceModule
+from repro.analysis.findings import Finding, Severity
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _is_broad(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    name = dotted_name(handler.type)
+    return name.split(".")[-1] in _BROAD
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise) and node.exc is None:
+            return True
+    return False
+
+
+@register_checker
+class BroadExceptChecker(BaseChecker):
+    """Over-broad exception handlers that never re-raise."""
+
+    name = "broad-except"
+    description = (
+        "bare/Exception/BaseException handler with no re-raise; narrow it to "
+        "the failure types the block can actually produce"
+    )
+    severity = Severity.WARNING
+
+    def check(
+        self, module: SourceModule, context: AnalysisContext
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if not _is_broad(node):
+                continue
+            if _reraises(node):
+                continue
+            caught = "bare except" if node.type is None else dotted_name(node.type)
+            yield self.finding(
+                module,
+                node,
+                f"over-broad handler ({caught}) never re-raises; catch the "
+                "specific failure types (ReproError, OSError, ValueError, …) "
+                "and let KeyboardInterrupt/SystemExit and genuine bugs "
+                "propagate",
+            )

@@ -1,0 +1,138 @@
+"""``registry-completeness``: pluggable pieces must actually be plugged in.
+
+Two registries carry identity in this codebase, and both fail *silently*
+when an entry is forgotten:
+
+* an ``Extractor`` subclass that is never ``@register_extractor``-decorated
+  simply does not exist to the CLI, the sweep grid or ``ExperimentConfig``
+  validation — no error, just an invisible strategy;
+* a dataclass field that never reaches ``to_dict()`` is invisible to the
+  artifact cache's content-addressed keys — two *different* configurations
+  hash identically and one silently serves the other's cached results.
+
+Both are checked structurally: every class whose bases name
+``BaseExtractor`` must carry the ``register_extractor`` decorator, and every
+field of a dataclass that defines ``to_dict`` must be *referenced* inside
+that method (``asdict``/``vars``/``dataclasses.fields`` count as referencing
+everything).  "Referenced" rather than "is a key" keeps renamed output keys
+legal while still catching the add-a-field-forget-the-dict mistake.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.analysis.base import BaseChecker, dotted_name, register_checker
+from repro.analysis.context import AnalysisContext, SourceModule
+from repro.analysis.findings import Finding
+
+#: Base-class names whose subclasses must be registered.
+REGISTERED_BASES = {"BaseExtractor"}
+
+#: Decorator names that count as registration.
+REGISTERING_DECORATORS = {"register_extractor"}
+
+#: Functions that serialise every field at once.
+_SERIALISE_ALL = {"asdict", "dataclasses.asdict", "vars", "fields", "dataclasses.fields"}
+
+
+def _decorator_names(cls: ast.ClassDef) -> Set[str]:
+    names: Set[str] = set()
+    for decorator in cls.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = dotted_name(target)
+        if name:
+            names.add(name.split(".")[-1])
+    return names
+
+
+def _is_dataclass(cls: ast.ClassDef) -> bool:
+    return "dataclass" in _decorator_names(cls)
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> List[ast.AnnAssign]:
+    fields: List[ast.AnnAssign] = []
+    for item in cls.body:
+        if isinstance(item, ast.AnnAssign) and isinstance(item.target, ast.Name):
+            # ClassVar annotations are not fields.
+            annotation = dotted_name(item.annotation) or (
+                dotted_name(item.annotation.value)
+                if isinstance(item.annotation, ast.Subscript)
+                else ""
+            )
+            if annotation.split(".")[-1] == "ClassVar":
+                continue
+            fields.append(item)
+    return fields
+
+
+def _find_method(cls: ast.ClassDef, name: str) -> Optional[ast.FunctionDef]:
+    for item in cls.body:
+        if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)) and item.name == name:
+            return item
+    return None
+
+
+@register_checker
+class RegistryCompletenessChecker(BaseChecker):
+    """Extractors registered; every dataclass field serialised by to_dict."""
+
+    name = "registry-completeness"
+    description = (
+        "a BaseExtractor subclass missing @register_extractor, or a "
+        "dataclass field never referenced by its own to_dict()"
+    )
+
+    def check(
+        self, module: SourceModule, context: AnalysisContext
+    ) -> Iterable[Finding]:
+        for cls in (n for n in ast.walk(module.tree) if isinstance(n, ast.ClassDef)):
+            base_names = {dotted_name(base).split(".")[-1] for base in cls.bases}
+
+            if base_names & REGISTERED_BASES and not cls.name.startswith("_"):
+                if not (_decorator_names(cls) & REGISTERING_DECORATORS):
+                    yield self.finding(
+                        module,
+                        cls,
+                        f"extractor class {cls.name} subclasses BaseExtractor "
+                        "but is not @register_extractor-decorated — it is "
+                        "invisible to the registry, the CLI and the sweep "
+                        "grid",
+                    )
+
+            if _is_dataclass(cls):
+                to_dict = _find_method(cls, "to_dict")
+                if to_dict is None:
+                    continue
+                fields = _dataclass_fields(cls)
+                if not fields:
+                    continue
+                body_names: Set[str] = set()
+                serialises_all = False
+                for node in ast.walk(to_dict):
+                    if isinstance(node, ast.Call):
+                        called = dotted_name(node.func)
+                        if called.split(".")[-1] in {
+                            name.split(".")[-1] for name in _SERIALISE_ALL
+                        }:
+                            serialises_all = True
+                    if (
+                        isinstance(node, ast.Attribute)
+                        and isinstance(node.value, ast.Name)
+                        and node.value.id == "self"
+                    ):
+                        body_names.add(node.attr)
+                if serialises_all:
+                    continue
+                for field_node in _dataclass_fields(cls):
+                    field_name = field_node.target.id  # type: ignore[union-attr]
+                    if field_name not in body_names:
+                        yield self.finding(
+                            module,
+                            field_node,
+                            f"dataclass field {cls.name}.{field_name} is "
+                            "never referenced by to_dict() — it will be "
+                            "missing from serialised artifacts and "
+                            "content-addressed cache keys",
+                        )

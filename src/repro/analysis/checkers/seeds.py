@@ -1,0 +1,140 @@
+"""``seed-discipline``: every random draw must trace back to an explicit seed.
+
+The reproduction's whole value rests on bit-identical replays: the columnar
+and scalar Agrawal paths must agree per seed, cache keys hash seeds, and the
+equivalence tests replay seeded streams.  One unseeded draw anywhere breaks
+that chain silently.  The discipline is mechanical:
+
+* ``np.random.default_rng()`` must be called *with* a seed/``SeedSequence``/
+  ``Generator`` argument (``default_rng(None)`` is allowed only when the
+  ``None`` flows in from a caller-supplied parameter — spelled literally, it
+  is flagged, because a literal ``None`` is an unseeded RNG someone typed);
+* the legacy global-state NumPy API (``np.random.rand``, ``np.random.seed``,
+  ``np.random.shuffle``, …) is banned outright — global state cannot be
+  threaded through worker processes;
+* the stdlib :mod:`random` module's global functions are banned for the same
+  reason.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Set
+
+from repro.analysis.base import BaseChecker, dotted_name, register_checker
+from repro.analysis.context import AnalysisContext, SourceModule
+from repro.analysis.findings import Finding
+
+#: The legacy numpy.random global-state API (module-level draws + seeding).
+LEGACY_NUMPY_RANDOM: Set[str] = {
+    "seed",
+    "rand",
+    "randn",
+    "randint",
+    "random",
+    "random_sample",
+    "ranf",
+    "sample",
+    "choice",
+    "shuffle",
+    "permutation",
+    "uniform",
+    "normal",
+    "standard_normal",
+    "binomial",
+    "poisson",
+    "beta",
+    "gamma",
+    "exponential",
+    "lognormal",
+    "multinomial",
+    "bytes",
+    "get_state",
+    "set_state",
+}
+
+#: Stdlib ``random`` global functions (the module RNG is process-global).
+STDLIB_RANDOM: Set[str] = {
+    "random",
+    "randint",
+    "randrange",
+    "uniform",
+    "choice",
+    "choices",
+    "shuffle",
+    "sample",
+    "seed",
+    "gauss",
+    "normalvariate",
+    "betavariate",
+    "expovariate",
+    "getrandbits",
+}
+
+_NUMPY_PREFIXES = ("np.random.", "numpy.random.")
+
+
+@register_checker
+class SeedDisciplineChecker(BaseChecker):
+    """No unseeded or global-state randomness anywhere in the tree."""
+
+    name = "seed-discipline"
+    description = (
+        "np.random.default_rng() without a seed argument, the legacy "
+        "np.random global-state API, or stdlib random.* global draws"
+    )
+
+    def check(
+        self, module: SourceModule, context: AnalysisContext
+    ) -> Iterable[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if not name:
+                continue
+            if name.endswith(".default_rng") and any(
+                name == prefix + "default_rng" for prefix in _NUMPY_PREFIXES
+            ):
+                if not node.args and not node.keywords:
+                    yield self.finding(
+                        module,
+                        node,
+                        "np.random.default_rng() called without a seed; "
+                        "thread an explicit seed/SeedSequence/Generator "
+                        "through to every draw",
+                    )
+                elif (
+                    len(node.args) == 1
+                    and isinstance(node.args[0], ast.Constant)
+                    and node.args[0].value is None
+                ):
+                    yield self.finding(
+                        module,
+                        node,
+                        "np.random.default_rng(None) is an unseeded RNG "
+                        "spelled explicitly; pass a real seed or accept one "
+                        "from the caller",
+                    )
+                continue
+            for prefix in _NUMPY_PREFIXES:
+                if name.startswith(prefix):
+                    attr = name[len(prefix):]
+                    if attr in LEGACY_NUMPY_RANDOM:
+                        yield self.finding(
+                            module,
+                            node,
+                            f"legacy global-state API np.random.{attr}(); "
+                            "draw from an explicitly seeded "
+                            "np.random.Generator instead",
+                        )
+                    break
+            else:
+                if name.startswith("random.") and name[len("random."):] in STDLIB_RANDOM:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"stdlib {name}() draws from the process-global RNG; "
+                        "use an explicitly seeded np.random.Generator (or "
+                        "random.Random(seed)) instead",
+                    )

@@ -1,0 +1,137 @@
+"""``sql-safety``: SQL strings may only be assembled in the sanctioned layer.
+
+Every statement this system executes is rendered by the :mod:`repro.db`
+package (or the dialect-aware rule renderers in
+:mod:`repro.rules.serialization`), whose interpolations all flow through
+:class:`~repro.db.dialect.SqlDialect` — quoted identifiers, escaped
+literals.  SQL built anywhere else by f-string / ``%`` / ``.format`` /
+string concatenation bypasses that discipline, and is exactly how the bare
+``TRUE`` predicates and unquoted-identifier bugs of earlier PRs slipped in.
+
+The rule: an expression that *formats text into a SQL statement* outside the
+sanctioned modules is an error.  "Looks like SQL" is a keyword heuristic
+over the literal fragments (``SELECT`` … ``FROM``, ``INSERT INTO``,
+``CREATE TABLE``, …), so plain constant strings — docstrings, log messages —
+never trigger; only interpolation does.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.analysis.base import BaseChecker, register_checker
+from repro.analysis.context import AnalysisContext, SourceModule
+from repro.analysis.findings import Finding
+
+#: Modules allowed to assemble SQL: the db backend and the dialect-aware
+#: rule renderers.  Matching is suffix-based so the rule works whether the
+#: analysis root is ``src/``, ``src/repro/`` or the repo root.
+SANCTIONED_MODULE_SUFFIXES: Tuple[str, ...] = (
+    "repro/db/dialect.py",
+    "repro/db/schema.py",
+    "repro/db/store.py",
+    "repro/db/predictor.py",
+    "repro/db/queries.py",
+    "repro/db/__init__.py",
+    "repro/rules/serialization.py",
+)
+
+#: Statement-shaped SQL fragments.  Single keywords (``SELECT`` alone) are
+#: deliberately not enough: the trigger needs a construct no English prose
+#: or format template plausibly contains.  Matching is case-*sensitive* —
+#: every statement this codebase renders spells its keywords uppercase, and
+#: requiring that keeps prose like "select a table from the menu" immune.
+_SQL_FRAGMENT = re.compile(
+    r"(\bSELECT\b[\s\S]*\bFROM\b"
+    r"|\bINSERT\s+INTO\b"
+    r"|\bCREATE\s+(?:TEMP\s+|TEMPORARY\s+)?(?:TABLE|INDEX|VIEW)\b"
+    r"|\bDROP\s+(?:TABLE|INDEX|VIEW)\b"
+    r"|\bDELETE\s+FROM\b"
+    r"|\bUPDATE\s+\S+\s+SET\b"
+    r"|\bGROUP\s+BY\b"
+    r"|\bORDER\s+BY\s+\S+"
+    r"|\bWHERE\s+\S+\s*[=<>]"
+    r")"
+)
+
+
+def looks_like_sql(text: str) -> bool:
+    return bool(_SQL_FRAGMENT.search(text))
+
+
+def _joinedstr_literal_text(node: ast.JoinedStr) -> str:
+    parts: List[str] = []
+    for value in node.values:
+        if isinstance(value, ast.Constant) and isinstance(value.value, str):
+            parts.append(value.value)
+        else:
+            parts.append(" ")  # keep word boundaries where values interpolate
+    return "".join(parts)
+
+
+def _constant_str(node: ast.AST) -> str:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if isinstance(node, ast.JoinedStr):
+        return _joinedstr_literal_text(node)
+    return ""
+
+
+def _iter_sql_formatting(tree: ast.Module) -> Iterator[Tuple[ast.AST, str]]:
+    """Yield ``(node, how)`` for every expression formatting text into SQL."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.JoinedStr):
+            if node.values and any(
+                isinstance(v, ast.FormattedValue) for v in node.values
+            ):
+                if looks_like_sql(_joinedstr_literal_text(node)):
+                    yield node, "f-string"
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Mod):
+            if looks_like_sql(_constant_str(node.left)):
+                yield node, "%-formatting"
+        elif isinstance(node, ast.BinOp) and isinstance(node.op, ast.Add):
+            # Concatenation counts when either operand is a literal SQL
+            # fragment and the other side is computed.
+            left, right = _constant_str(node.left), _constant_str(node.right)
+            if (left and not right and looks_like_sql(left)) or (
+                right and not left and looks_like_sql(right)
+            ):
+                yield node, "string concatenation"
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "format"
+        ):
+            if looks_like_sql(_constant_str(node.func.value)):
+                yield node, ".format()"
+
+
+def is_sanctioned(relpath: str) -> bool:
+    return any(relpath.endswith(suffix) for suffix in SANCTIONED_MODULE_SUFFIXES)
+
+
+@register_checker
+class SqlSafetyChecker(BaseChecker):
+    """SQL may only be assembled inside the sanctioned db/renderer modules."""
+
+    name = "sql-safety"
+    description = (
+        "SQL built by f-string/%/.format/concatenation outside the "
+        "SqlDialect-sanctioned modules (repro.db.*, repro.rules.serialization)"
+    )
+
+    def check(
+        self, module: SourceModule, context: AnalysisContext
+    ) -> Iterable[Finding]:
+        if is_sanctioned(module.relpath):
+            return
+        for node, how in _iter_sql_formatting(module.tree):
+            yield self.finding(
+                module,
+                node,
+                f"SQL assembled with {how} outside the sanctioned db layer; "
+                "render statements through repro.db helpers (SqlDialect "
+                "quoting/literals) instead",
+            )

@@ -1,0 +1,135 @@
+"""What an analysis run sees: every module, parsed once, plus suppressions.
+
+Checkers are codebase-aware — several rules reason across files (is every
+``BaseExtractor`` subclass registered?  is SQL built outside the sanctioned
+layer?) — so the runner parses the whole tree up front into one
+:class:`AnalysisContext` and hands the same context to every checker.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterator, List, Optional, Sequence, Union
+
+from repro.analysis.suppressions import SuppressionIndex
+from repro.exceptions import AnalysisError
+
+PathLike = Union[str, Path]
+
+#: Module-level marker declaring a file hot (see the hot-path-purity
+#: checker).  Matching is textual so fixture files can opt in.
+HOT_MARKER = "# repro: hot-path"
+
+
+@dataclass
+class SourceModule:
+    """One parsed source file under analysis."""
+
+    path: Path
+    #: Path relative to the analysis root, with ``/`` separators — the form
+    #: findings report and path-scoped rules match against.
+    relpath: str
+    source: str
+    tree: ast.Module
+    suppressions: SuppressionIndex
+
+    @property
+    def is_declared_hot(self) -> bool:
+        return HOT_MARKER in self.source
+
+    def lines(self) -> List[str]:
+        return self.source.splitlines()
+
+
+@dataclass
+class AnalysisContext:
+    """Every module of one analysis run, plus the root they were found under."""
+
+    root: Path
+    modules: List[SourceModule] = field(default_factory=list)
+
+    def __iter__(self) -> Iterator[SourceModule]:
+        return iter(self.modules)
+
+    def __len__(self) -> int:
+        return len(self.modules)
+
+    def module(self, relpath: str) -> Optional[SourceModule]:
+        for module in self.modules:
+            if module.relpath == relpath:
+                return module
+        return None
+
+
+def _iter_python_files(path: Path) -> Iterator[Path]:
+    if path.is_file():
+        yield path
+        return
+    for candidate in sorted(path.rglob("*.py")):
+        if "__pycache__" in candidate.parts:
+            continue
+        yield candidate
+
+
+def load_context(
+    paths: Sequence[PathLike], root: Optional[PathLike] = None
+) -> AnalysisContext:
+    """Parse every ``.py`` file under ``paths`` into one context.
+
+    ``root`` anchors the relative paths findings report; it defaults to the
+    sole requested path when one directory was given, else the current
+    working directory.  A file that does not parse is an analysis error —
+    the tree under analysis is expected to at least be syntactically valid.
+    """
+    resolved = [Path(p) for p in paths]
+    if not resolved:
+        raise AnalysisError("no paths to analyze")
+    for path in resolved:
+        if not path.exists():
+            raise AnalysisError(f"no such file or directory: {path}")
+    if root is not None:
+        base = Path(root)
+    elif len(resolved) == 1 and resolved[0].is_dir():
+        base = resolved[0]
+    else:
+        base = Path(".")
+    base = base.resolve()
+
+    modules: List[SourceModule] = []
+    seen = set()
+    for path in resolved:
+        for file_path in _iter_python_files(path):
+            absolute = file_path.resolve()
+            if absolute in seen:
+                continue
+            seen.add(absolute)
+            try:
+                source = file_path.read_text(encoding="utf-8")
+            except OSError as exc:
+                raise AnalysisError(f"cannot read {file_path}: {exc}") from exc
+            try:
+                tree = ast.parse(source, filename=str(file_path))
+            except SyntaxError as exc:
+                raise AnalysisError(
+                    f"cannot parse {file_path}: {exc.msg} (line {exc.lineno})"
+                ) from exc
+            try:
+                suppressions = SuppressionIndex.from_source(source)
+            except AnalysisError as exc:
+                raise AnalysisError(f"{file_path}: {exc}") from exc
+            try:
+                relpath = absolute.relative_to(base).as_posix()
+            except ValueError:
+                relpath = file_path.as_posix()
+            modules.append(
+                SourceModule(
+                    path=file_path,
+                    relpath=relpath,
+                    source=source,
+                    tree=tree,
+                    suppressions=suppressions,
+                )
+            )
+    return AnalysisContext(root=base, modules=modules)

@@ -1,0 +1,59 @@
+"""Structured findings: what every checker emits.
+
+A :class:`Finding` pins one diagnosed problem to a file and line, names the
+rule that raised it and carries a severity.  Severities are deliberately a
+two-level scale: ``error`` findings always fail an analysis run, ``warning``
+findings fail only under ``--strict`` (the CI gate runs strict, so both are
+enforced on the shipped tree — the distinction exists for local triage).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, Tuple
+
+
+class Severity(str, Enum):
+    """How severe a finding is; orders ``ERROR`` above ``WARNING``."""
+
+    ERROR = "error"
+    WARNING = "warning"
+
+    @property
+    def rank(self) -> int:
+        return 0 if self is Severity.ERROR else 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnosed problem: file, line, rule id, severity, message.
+
+    ``path`` is the analysis-root-relative path (stable across machines, so
+    findings are comparable in CI logs and test fixtures); ``line`` is
+    1-based, as editors count.
+    """
+
+    path: str
+    line: int
+    rule: str
+    severity: Severity
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.severity.rank, self.rule)
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: {self.severity.value}[{self.rule}] "
+            f"{self.message}"
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "message": self.message,
+        }

@@ -1,0 +1,114 @@
+"""Run the checker zoo over a tree and collect a report.
+
+:func:`run_analysis` is the one entry point the CLI, CI and the meta-tests
+share: parse the tree once, run every (or a selected subset of) registered
+checker over it, drop suppressed findings, and return an
+:class:`AnalysisReport` whose :meth:`~AnalysisReport.failed` property
+implements the gating contract — errors always fail, warnings fail only
+under strict mode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import repro.analysis.checkers  # noqa: F401  (registers the rule catalogue)
+from repro.analysis.base import available_checkers, create_checker
+from repro.analysis.context import AnalysisContext, load_context
+from repro.analysis.findings import Finding, Severity
+from repro.exceptions import AnalysisError
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class AnalysisReport:
+    """Every surviving finding of one analysis run, plus run metadata."""
+
+    findings: List[Finding]
+    n_modules: int
+    n_suppressed: int
+    checkers: List[str]
+    strict: bool = False
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    @property
+    def failed(self) -> bool:
+        """The gating contract: errors fail; warnings fail under strict."""
+        if self.errors:
+            return True
+        return self.strict and bool(self.warnings)
+
+    def render(self) -> str:
+        lines = [finding.render() for finding in self.findings]
+        suppressed = (
+            f", {self.n_suppressed} suppressed" if self.n_suppressed else ""
+        )
+        lines.append(
+            f"{len(self.errors)} error(s), {len(self.warnings)} warning(s)"
+            f"{suppressed} — {self.n_modules} module(s), "
+            f"{len(self.checkers)} rule(s)"
+        )
+        return "\n".join(lines)
+
+    def to_dict(self) -> Dict:
+        return {
+            "findings": [finding.to_dict() for finding in self.findings],
+            "errors": len(self.errors),
+            "warnings": len(self.warnings),
+            "suppressed": self.n_suppressed,
+            "modules": self.n_modules,
+            "checkers": self.checkers,
+            "strict": self.strict,
+            "failed": self.failed,
+        }
+
+
+def run_analysis(
+    paths: Sequence[PathLike],
+    checkers: Optional[Sequence[str]] = None,
+    strict: bool = False,
+    root: Optional[PathLike] = None,
+    context: Optional[AnalysisContext] = None,
+) -> AnalysisReport:
+    """Analyze ``paths`` with the selected checkers (default: all registered).
+
+    ``context`` lets tests inject a pre-built context; otherwise the tree is
+    parsed fresh.  Unknown checker names fail fast with the known catalogue.
+    """
+    if context is None:
+        context = load_context(paths, root=root)
+    names = list(checkers) if checkers is not None else available_checkers()
+    if not names:
+        raise AnalysisError("no checkers selected")
+    instances = [create_checker(name) for name in names]
+
+    findings: List[Finding] = []
+    n_suppressed = 0
+    modules_by_path = {module.relpath: module for module in context}
+    for checker in instances:
+        for finding in checker.check_project(context):
+            module = modules_by_path.get(finding.path)
+            if module is not None and module.suppressions.suppresses(
+                finding.line, finding.rule
+            ):
+                n_suppressed += 1
+                continue
+            findings.append(finding)
+    findings.sort(key=Finding.sort_key)
+    return AnalysisReport(
+        findings=findings,
+        n_modules=len(context),
+        n_suppressed=n_suppressed,
+        checkers=names,
+        strict=strict,
+    )

@@ -1,0 +1,113 @@
+"""``# repro: ignore[rule-id]`` — per-line finding suppression.
+
+The analyzer is codebase-aware but still heuristic, and some violations are
+deliberate (a reference implementation kept next to its vectorised twin, a
+broad except that forwards the exception through a ``Future``).  Those sites
+carry an inline directive naming the rule(s) they silence, ideally followed
+by a justification::
+
+    labels = [model.predict_record(r) for r in records]  # repro: ignore[hot-path-purity] reference path, measured against the batch path
+
+A directive on its own line suppresses the *next* source line (so a long
+statement can carry its justification above itself); a trailing directive
+suppresses its own line.  Several rules can be silenced at once with
+``ignore[rule-a, rule-b]``, and ``ignore[*]`` silences every rule — use it
+only for generated code.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Set
+
+from repro.exceptions import AnalysisError
+
+#: The directive grammar.  Anything after the closing bracket is the
+#: human-readable justification and is not parsed.
+_DIRECTIVE = re.compile(r"#\s*repro:\s*ignore\[([^\]]*)\]")
+
+#: Rule ids are kebab-case tokens (or the ``*`` wildcard).
+_RULE_ID = re.compile(r"^(\*|[a-z][a-z0-9]*(-[a-z0-9]+)*)$")
+
+WILDCARD = "*"
+
+
+def _parse_rules(raw: str, line: int) -> FrozenSet[str]:
+    rules: Set[str] = set()
+    for part in raw.split(","):
+        rule = part.strip()
+        if not rule:
+            continue
+        if not _RULE_ID.match(rule):
+            raise AnalysisError(
+                f"line {line}: malformed rule id {rule!r} in suppression "
+                "directive (expected kebab-case names, e.g. ignore[sql-safety])"
+            )
+        rules.add(rule)
+    if not rules:
+        raise AnalysisError(
+            f"line {line}: empty suppression directive — name the rule(s) "
+            "being silenced, e.g. `# repro: ignore[sql-safety] reason`"
+        )
+    return frozenset(rules)
+
+
+class SuppressionIndex:
+    """The suppression directives of one source file, queryable by line."""
+
+    def __init__(self, by_line: Dict[int, FrozenSet[str]]) -> None:
+        self._by_line = by_line
+
+    @classmethod
+    def from_source(cls, source: str) -> "SuppressionIndex":
+        """Tokenise ``source`` and index every directive.
+
+        Tokenising (rather than regexing raw lines) means directives inside
+        string literals are not honoured — a fixture file can *contain* the
+        directive text without suppressing anything.
+        """
+        by_line: Dict[int, FrozenSet[str]] = {}
+        standalone: Dict[int, FrozenSet[str]] = {}
+        code_lines: Set[int] = set()
+        try:
+            tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+        except (tokenize.TokenError, SyntaxError, IndentationError) as exc:
+            raise AnalysisError(f"cannot tokenise source: {exc}") from exc
+        for token in tokens:
+            if token.type == tokenize.COMMENT:
+                match = _DIRECTIVE.search(token.string)
+                if match is None:
+                    continue
+                line = token.start[0]
+                rules = _parse_rules(match.group(1), line)
+                if line in code_lines:
+                    by_line[line] = by_line.get(line, frozenset()) | rules
+                else:
+                    standalone[line] = standalone.get(line, frozenset()) | rules
+            elif token.type not in (
+                tokenize.NL,
+                tokenize.NEWLINE,
+                tokenize.INDENT,
+                tokenize.DEDENT,
+                tokenize.ENDMARKER,
+            ):
+                for line in range(token.start[0], token.end[0] + 1):
+                    code_lines.add(line)
+        # A standalone directive guards the next line that holds code.
+        for line, rules in standalone.items():
+            target = line + 1
+            while target not in code_lines and target <= line + 10:
+                target += 1
+            by_line[target] = by_line.get(target, frozenset()) | rules
+        return cls(by_line)
+
+    def suppresses(self, line: int, rule: str) -> bool:
+        rules = self._by_line.get(line)
+        if not rules:
+            return False
+        return rule in rules or WILDCARD in rules
+
+    def __len__(self) -> int:
+        return len(self._by_line)

@@ -344,6 +344,8 @@ class AgrawalGenerator:
         records: List[Record] = []
         labels: List[str] = []
         for _ in range(n):
+            # repro: ignore[hot-path-purity] deliberate per-record reference
+            # path: property tests diff it against the vectorised generate().
             clean = self._sample_record()
             labels.append(self._labeller(clean))
             records.append(self._perturb(clean))
@@ -367,6 +369,8 @@ class AgrawalGenerator:
         records: List[Record] = []
         labels: List[str] = []
         for _ in range(n):
+            # repro: ignore[hot-path-purity] deliberate per-record reference
+            # path: property tests diff it against the vectorised generate().
             clean = self._sample_record()
             records.append(clean)
             labels.append(self._labeller(clean))

@@ -314,13 +314,17 @@ class SqlRulePredictor:
     def _connection(self) -> sqlite3.Connection:
         if self.store is not None:
             return self.store.connection
-        if self._own_connection is None:
-            # Shared across the serving layer's dispatch threads; every use
-            # happens under self._lock.
-            self._own_connection = sqlite3.connect(
-                ":memory:", check_same_thread=False
-            )
-        return self._own_connection
+        # Lazy init under the lock (RLock, so callers already holding it
+        # re-enter freely): two dispatch threads racing here must not each
+        # open a connection and strand one with the staging table.
+        with self._lock:
+            if self._own_connection is None:
+                # Shared across the serving layer's dispatch threads; every
+                # use happens under self._lock.
+                self._own_connection = sqlite3.connect(
+                    ":memory:", check_same_thread=False
+                )
+            return self._own_connection
 
     def _staging_rows(
         self, data: Union[Dataset, Sequence[Record]]
@@ -387,9 +391,10 @@ class SqlRulePredictor:
 
     def close(self) -> None:
         """Release the private connection (bound stores are left open)."""
-        if self._own_connection is not None:
-            self._own_connection.close()
-            self._own_connection = None
+        with self._lock:
+            if self._own_connection is not None:
+                self._own_connection.close()
+                self._own_connection = None
 
     def __enter__(self) -> "SqlRulePredictor":
         return self

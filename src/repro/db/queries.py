@@ -151,6 +151,23 @@ def rule_quality(store: TupleStore, ruleset: "RuleSet[AttributeRule]") -> List[S
     return qualities
 
 
+def classification_preview_sql(
+    ruleset: "RuleSet[AttributeRule]",
+    table: str,
+    dialect: SqlDialect = SQLITE,
+) -> str:
+    """Every stored column plus the ``CASE``-predicted label, as one query.
+
+    The ``db sql`` transcript ends with this statement so the emitted script
+    is runnable end to end: create, insert, then see each tuple next to its
+    rule-predicted class.
+    """
+    from repro.rules.serialization import ruleset_to_case_expression
+
+    case = ruleset_to_case_expression(ruleset, dialect=dialect)
+    return f"SELECT *,\n{case}\nFROM {dialect.quote_qualified(table)}"
+
+
 def confusion_sql(
     ruleset: "RuleSet[AttributeRule]",
     table: str,

@@ -160,9 +160,12 @@ class TupleStore:
         return self._connection
 
     def close(self) -> None:
-        if self._connection is not None:
-            self._connection.close()
-            self._connection = None
+        # Under the lock so a close racing with an in-flight query (or a
+        # bound predictor's scan) cannot yank the connection mid-statement.
+        with self.lock:
+            if self._connection is not None:
+                self._connection.close()
+                self._connection = None
 
     def __enter__(self) -> "TupleStore":
         return self

@@ -77,3 +77,8 @@ class DatabaseError(ReproError):
     """Raised by the in-database backend: invalid SQL identifiers or
     dialects, a tuple store whose table does not match its schema, or rows
     that cannot be loaded into (or classified inside) the database."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the static-analysis subsystem: unknown checker names,
+    unparseable source files, or malformed suppression directives."""

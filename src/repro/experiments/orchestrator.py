@@ -40,9 +40,28 @@ from statistics import mean, pstdev
 from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
-from repro.exceptions import ExperimentError
+from repro.exceptions import ExperimentError, ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import FunctionExperimentResult, run_function_experiment
+
+#: The failure types one sweep task can legitimately produce: the library's
+#: own errors, data/shape problems from a bad configuration, filesystem
+#: trouble from the artifact cache, and resource exhaustion.  Deliberately
+#: NOT ``Exception``: KeyboardInterrupt/SystemExit always propagate, and an
+#: unexpected class (a genuine bug) aborts the sweep loudly instead of being
+#: filed away as one more "failed task" row.
+TASK_FAILURE_TYPES = (
+    ReproError,
+    ValueError,
+    TypeError,
+    KeyError,
+    IndexError,
+    AttributeError,
+    ArithmeticError,
+    OSError,
+    RuntimeError,
+    MemoryError,
+)
 
 #: Bump to invalidate every existing cache entry when the artifact layout or
 #: the experiment pipeline changes incompatibly.
@@ -110,6 +129,7 @@ class TaskOutcome:
     extractor: str = "neurorule"
     result: Optional[FunctionExperimentResult] = None
     error: Optional[str] = field(default=None, repr=False)
+    error_type: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -270,7 +290,10 @@ class ArtifactCache:
         if rules_path.is_file():
             try:
                 metadata = ruleset_extractor_metadata(rules_path.read_text())
-            except Exception:
+            except (OSError, ValueError, AttributeError, ReproError):
+                # Unreadable file, malformed JSON, or a payload of the wrong
+                # shape (a list where serialization expects a mapping) — all
+                # mean "no recorded provenance", so fall through to config.
                 metadata = None
             if metadata and isinstance(metadata.get("name"), str):
                 return metadata["name"]
@@ -398,7 +421,7 @@ def _execute_task(
             extractor=task.extractor,
             result=result.without_models(),
         )
-    except Exception:
+    except TASK_FAILURE_TYPES as exc:
         if not capture_errors:
             raise
         return TaskOutcome(
@@ -409,6 +432,7 @@ def _execute_task(
             seconds=perf_counter() - started,
             extractor=task.extractor,
             error=traceback.format_exc(),
+            error_type=type(exc).__name__,
         )
 
 
@@ -494,6 +518,7 @@ class SweepResult:
                     "seconds": round(o.seconds, 6),
                     "ok": o.ok,
                     "error": o.error,
+                    "error_type": o.error_type,
                     "result": o.result.to_dict() if o.result is not None else None,
                 }
                 for o in self.outcomes

@@ -409,6 +409,9 @@ class PredictionService:
                     f"model {model_name!r} returned {len(labels)} labels for a "
                     f"batch of {len(batch.records)} records"
                 )
+        # repro: ignore[broad-except] the exception is forwarded, not dropped:
+        # set_exception re-raises it in every caller blocked on this batch's
+        # future, and a narrower catch would hang those callers forever.
         except BaseException as exc:
             self._observe(model_name, len(batch.records), perf_counter() - started, error=True)
             batch.future.set_exception(exc)

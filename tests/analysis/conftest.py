@@ -1,0 +1,28 @@
+"""Shared harness for the analysis tests: snippet-in, report-out.
+
+Checker fixtures write a small source file at a chosen relative path (several
+rules are path-aware — sanctioned SQL modules, hot-path modules) and run the
+real analyzer over it, so every test exercises the same parse → check →
+suppress pipeline the CLI uses.
+"""
+
+from __future__ import annotations
+
+from textwrap import dedent
+
+import pytest
+
+from repro.analysis import run_analysis
+
+
+@pytest.fixture
+def analyze_snippet(tmp_path):
+    def run(relpath, source, rules=None, strict=False):
+        path = tmp_path / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(dedent(source), encoding="utf-8")
+        return run_analysis(
+            [tmp_path], checkers=rules, strict=strict, root=tmp_path
+        )
+
+    return run

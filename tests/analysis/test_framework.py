@@ -1,0 +1,145 @@
+"""The checker registry, context loader and report gating contract."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import (
+    BaseChecker,
+    Finding,
+    Severity,
+    available_checkers,
+    checker_catalogue,
+    create_checker,
+    load_context,
+    register_checker,
+    run_analysis,
+)
+from repro.exceptions import AnalysisError, ReproError
+
+EXPECTED_RULES = {
+    "broad-except",
+    "hot-path-purity",
+    "lock-discipline",
+    "registry-completeness",
+    "seed-discipline",
+    "sql-safety",
+}
+
+
+def test_the_shipped_rule_catalogue_is_registered():
+    assert set(available_checkers()) >= EXPECTED_RULES
+    catalogue = {name: severity for name, _, severity in checker_catalogue()}
+    assert catalogue["broad-except"] is Severity.WARNING
+    assert catalogue["sql-safety"] is Severity.ERROR
+
+
+def test_create_checker_by_name_and_unknown_name():
+    checker = create_checker("sql-safety")
+    assert checker.name == "sql-safety"
+    with pytest.raises(AnalysisError, match="unknown checker"):
+        create_checker("no-such-rule")
+
+
+def test_register_checker_requires_a_name():
+    with pytest.raises(AnalysisError, match="non-empty string"):
+
+        @register_checker
+        class Nameless(BaseChecker):
+            pass
+
+
+def test_register_checker_rejects_duplicate_names():
+    with pytest.raises(AnalysisError, match="already registered"):
+
+        @register_checker
+        class Impostor(BaseChecker):
+            name = "sql-safety"
+
+
+def test_analysis_error_is_a_repro_error():
+    assert issubclass(AnalysisError, ReproError)
+
+
+def test_finding_render_and_ordering():
+    finding = Finding(
+        path="repro/x.py",
+        line=7,
+        rule="sql-safety",
+        severity=Severity.ERROR,
+        message="boom",
+    )
+    assert finding.render() == "repro/x.py:7: error[sql-safety] boom"
+    later = Finding(
+        path="repro/x.py",
+        line=9,
+        rule="sql-safety",
+        severity=Severity.ERROR,
+        message="boom",
+    )
+    assert sorted([later, finding], key=Finding.sort_key) == [finding, later]
+
+
+def test_load_context_uses_posix_relative_paths(tmp_path):
+    target = tmp_path / "pkg" / "mod.py"
+    target.parent.mkdir()
+    target.write_text("x = 1\n", encoding="utf-8")
+    context = load_context([tmp_path])
+    assert [module.relpath for module in context] == ["pkg/mod.py"]
+
+
+def test_load_context_rejects_unparseable_source(tmp_path):
+    (tmp_path / "bad.py").write_text("def broken(:\n", encoding="utf-8")
+    with pytest.raises(AnalysisError, match="cannot parse"):
+        load_context([tmp_path])
+
+
+def test_load_context_rejects_missing_paths(tmp_path):
+    with pytest.raises(AnalysisError, match="no such file"):
+        load_context([tmp_path / "nowhere"])
+
+
+def test_warnings_gate_only_under_strict(analyze_snippet):
+    source = """\
+        def f():
+            try:
+                g()
+            except Exception:
+                pass
+    """
+    relaxed = analyze_snippet("pkg/mod.py", source, rules=["broad-except"])
+    assert len(relaxed.warnings) == 1
+    assert not relaxed.errors
+    assert not relaxed.failed
+
+    strict = analyze_snippet(
+        "pkg/mod.py", source, rules=["broad-except"], strict=True
+    )
+    assert strict.failed
+
+
+def test_errors_always_gate(analyze_snippet):
+    report = analyze_snippet(
+        "pkg/mod.py",
+        """\
+            table = "t"
+            QUERY = f"SELECT * FROM {table}"
+        """,
+        rules=["sql-safety"],
+    )
+    assert report.failed
+
+
+def test_report_to_dict_shape(analyze_snippet):
+    report = analyze_snippet("pkg/mod.py", "x = 1\n", strict=True)
+    payload = report.to_dict()
+    assert payload["failed"] is False
+    assert payload["strict"] is True
+    assert payload["findings"] == []
+    assert set(payload["checkers"]) >= EXPECTED_RULES
+
+
+def test_run_analysis_rejects_unknown_rule(tmp_path):
+    (tmp_path / "mod.py").write_text("x = 1\n", encoding="utf-8")
+    with pytest.raises(AnalysisError, match="unknown checker"):
+        run_analysis([tmp_path], checkers=["no-such-rule"])

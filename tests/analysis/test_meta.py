@@ -1,0 +1,65 @@
+"""Meta-tests: the shipped tree passes its own analyzer, via API and CLI."""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+from repro.analysis import run_analysis
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_shipped_tree_is_clean_under_strict_analysis():
+    report = run_analysis([REPO_ROOT / "src"], strict=True)
+    assert report.findings == [], report.render()
+    assert not report.failed
+    # Justified suppressions exist in-tree (reference paths, forwarded
+    # exceptions); the analyzer must be seeing and honouring them.
+    assert report.n_suppressed > 0
+
+
+def _run_cli(*argv: str) -> subprocess.CompletedProcess:
+    env = dict(os.environ)
+    src = str(REPO_ROOT / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        cwd=REPO_ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+
+
+def test_cli_analyze_strict_exits_zero_on_shipped_tree():
+    result = _run_cli("analyze", "src", "--strict")
+    assert result.returncode == 0, result.stdout + result.stderr
+    assert "0 error(s), 0 warning(s)" in result.stdout
+
+
+def test_cli_analyze_fails_on_a_violating_tree(tmp_path):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        'table = "t"\nQUERY = f"SELECT * FROM {table}"\n', encoding="utf-8"
+    )
+    result = _run_cli("analyze", str(bad))
+    assert result.returncode == 1
+    assert "error[sql-safety]" in result.stdout
+
+
+def test_cli_list_rules_names_the_catalogue():
+    result = _run_cli("analyze", "--list-rules")
+    assert result.returncode == 0
+    for rule in (
+        "sql-safety",
+        "hot-path-purity",
+        "seed-discipline",
+        "lock-discipline",
+        "registry-completeness",
+        "broad-except",
+    ):
+        assert rule in result.stdout

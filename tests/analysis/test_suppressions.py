@@ -1,0 +1,74 @@
+"""The suppression directive grammar and its line-targeting rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import SuppressionIndex
+from repro.exceptions import AnalysisError
+
+
+def test_trailing_directive_suppresses_its_own_line():
+    index = SuppressionIndex.from_source(
+        "x = 1\n"
+        "y = do_thing()  # repro: ignore[sql-safety] justified here\n"
+    )
+    assert index.suppresses(2, "sql-safety")
+    assert not index.suppresses(1, "sql-safety")
+    assert not index.suppresses(2, "hot-path-purity")
+
+
+def test_standalone_directive_guards_the_next_code_line():
+    index = SuppressionIndex.from_source(
+        "# repro: ignore[hot-path-purity] reference path\n"
+        "value = compute()\n"
+    )
+    assert index.suppresses(2, "hot-path-purity")
+    assert not index.suppresses(1, "hot-path-purity")
+
+
+def test_standalone_directive_skips_blank_and_comment_lines():
+    index = SuppressionIndex.from_source(
+        "# repro: ignore[seed-discipline] replayed stream\n"
+        "\n"
+        "# an ordinary comment\n"
+        "rng = make()\n"
+    )
+    assert index.suppresses(4, "seed-discipline")
+
+
+def test_wildcard_silences_every_rule():
+    index = SuppressionIndex.from_source("x = f()  # repro: ignore[*] generated\n")
+    assert index.suppresses(1, "sql-safety")
+    assert index.suppresses(1, "lock-discipline")
+
+
+def test_multiple_rules_in_one_directive():
+    index = SuppressionIndex.from_source(
+        "x = f()  # repro: ignore[sql-safety, broad-except] both deliberate\n"
+    )
+    assert index.suppresses(1, "sql-safety")
+    assert index.suppresses(1, "broad-except")
+    assert not index.suppresses(1, "seed-discipline")
+
+
+def test_malformed_rule_id_is_an_error():
+    with pytest.raises(AnalysisError, match="malformed rule id"):
+        SuppressionIndex.from_source("x = 1  # repro: ignore[SQL Safety]\n")
+
+
+def test_empty_directive_is_an_error():
+    with pytest.raises(AnalysisError, match="empty suppression directive"):
+        SuppressionIndex.from_source("x = 1  # repro: ignore[]\n")
+
+
+def test_directive_inside_a_string_literal_is_not_honoured():
+    index = SuppressionIndex.from_source(
+        'text = "# repro: ignore[sql-safety] not a comment"\n'
+    )
+    assert not index.suppresses(1, "sql-safety")
+
+
+def test_ordinary_comments_are_ignored():
+    index = SuppressionIndex.from_source("x = 1  # plain comment\n")
+    assert len(index) == 0
