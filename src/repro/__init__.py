@@ -58,7 +58,7 @@ from repro.data.schema import CategoricalAttribute, ContinuousAttribute, Schema
 from repro.exceptions import ReproError
 from repro.inference import BatchPredictor, NetworkBatchPredictor, compile_ruleset
 
-__version__ = "1.5.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "AgrawalGenerator",

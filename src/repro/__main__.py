@@ -34,6 +34,12 @@ Subcommands:
     Measure the micro-batched :class:`PredictionService` against a naive
     per-record prediction loop on generated Agrawal tuples.
 
+``pipeline``
+    Run generate → classify → store end-to-end through the columnar chunk
+    fabric: multi-process generation into shared-memory chunks, rule
+    classification on the chunk columns (labels stay index arrays), and a
+    raw-page bulk write into SQLite — zero row dicts anywhere on the path.
+
 ``db``
     In-database mining over a SQLite tuple store: ``db load`` bulk-loads a
     CSV/JSONL export (or generated tuples) into a schema-typed relation,
@@ -60,6 +66,8 @@ Examples::
         --input tuples.csv --out labels.jsonl
     python -m repro predict --reference-function 1 --input tuples.jsonl
     python -m repro serve-bench --n 50000 --out BENCH_serving.json
+    python -m repro pipeline --n 1000000 --function 1 --processes 4 \\
+        --db labelled.db --out pipeline.json
     python -m repro db load --db tuples.db --input tuples.jsonl
     python -m repro db classify --db tuples.db --reference-function 2 \\
         --out labels.jsonl
@@ -570,6 +578,42 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(
         f"naive per-record loop: {naive_seconds:.3f}s — micro-batched service: "
         f"{stream_seconds:.3f}s — speedup {speedup:.1f}x"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_pipeline(args: argparse.Namespace) -> int:
+    from dataclasses import asdict
+
+    from repro.pipeline import run_pipeline
+
+    result = run_pipeline(
+        args.n,
+        function=args.function,
+        perturbation=args.perturbation,
+        seed=args.seed,
+        chunk_size=args.chunk_size,
+        processes=args.processes,
+        workers=args.workers,
+        db_path=args.db,
+        table=args.table,
+        store_method=args.method,
+        model_function=args.model_function,
+        drop=args.drop,
+        index_label=args.index_label,
+    )
+    print(result.describe(), file=sys.stderr)
+    rendered = ", ".join(
+        f"{label}: {n}" for label, n in result.class_distribution.items()
+    )
+    print(f"class distribution: {rendered}", file=sys.stderr)
+    report = dict(
+        asdict(result), tuples_per_second=round(result.tuples_per_second, 0)
     )
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
@@ -1255,6 +1299,88 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None, help="write the benchmark report to this JSON file"
     )
     bench.set_defaults(handler=_cmd_serve_bench)
+
+    pipeline = commands.add_parser(
+        "pipeline",
+        help="generate -> classify -> store through the columnar chunk "
+        "fabric (zero-copy hand-offs, optional multi-process generation)",
+    )
+    pipeline.add_argument(
+        "--n",
+        type=positive_int,
+        default=1_000_000,
+        help="tuples to push through the pipeline (default: 1000000)",
+    )
+    pipeline.add_argument(
+        "--function",
+        type=positive_int,
+        default=1,
+        help="Agrawal function generating the tuples (default: 1)",
+    )
+    pipeline.add_argument(
+        "--perturbation",
+        type=float,
+        default=0.0,
+        help="perturbation factor of the generator (default: 0)",
+    )
+    pipeline.add_argument(
+        "--seed", type=int, default=7, help="generator seed (default: 7)"
+    )
+    pipeline.add_argument(
+        "--chunk-size",
+        type=positive_int,
+        default=200_000,
+        help="tuples per chunk at every hand-off (default: 200000)",
+    )
+    pipeline.add_argument(
+        "--processes",
+        type=positive_int,
+        default=1,
+        help="generation worker processes; 1 = sequential (default: 1)",
+    )
+    pipeline.add_argument(
+        "--workers",
+        type=positive_int,
+        default=2,
+        help="classification threads of the service (default: 2)",
+    )
+    pipeline.add_argument(
+        "--db",
+        default=":memory:",
+        help="target SQLite file; a fresh file takes the raw-page bulk "
+        "writer, :memory: falls back to driver rows (default: :memory:)",
+    )
+    pipeline.add_argument(
+        "--table", default="tuples", help="relation name (default: tuples)"
+    )
+    pipeline.add_argument(
+        "--method",
+        choices=("auto", "rows", "raw"),
+        default="auto",
+        help="store path: raw page writer, driver rows, or auto (default)",
+    )
+    pipeline.add_argument(
+        "--model-function",
+        type=positive_int,
+        default=None,
+        help="reference rule set classifying the stream (default: --function;"
+        " must be one of the functions with ground-truth rules, 1-4)",
+    )
+    pipeline.add_argument(
+        "--drop",
+        action="store_true",
+        help="replace the target table if it already holds tuples",
+    )
+    pipeline.add_argument(
+        "--index-label",
+        action="store_true",
+        help="build the label index during the run (off by default: it "
+        "costs about as much as the raw page write itself)",
+    )
+    pipeline.add_argument(
+        "--out", default=None, help="write the pipeline report to this JSON file"
+    )
+    pipeline.set_defaults(handler=_cmd_pipeline)
 
     db = commands.add_parser(
         "db",

@@ -1,6 +1,6 @@
 """``hot-path-purity``: benchmarked modules must stay vectorised.
 
-Five subsystems carry published speedups (BENCH_*.json) that depend on
+Six subsystems carry published speedups (BENCH_*.json) that depend on
 per-*batch* — never per-record — Python work.  The modules on that hot path
 are declared below (and any module can opt in with a ``# repro: hot-path``
 marker comment); inside them this rule flags the three regressions that have
@@ -33,6 +33,12 @@ DEFAULT_HOT_SUFFIXES: Tuple[str, ...] = (
     "repro/serving/service.py",
     "repro/db/predictor.py",
     "repro/data/agrawal.py",
+    # The chunk fabric (PR 9): generation fan-out -> chunk serving ->
+    # raw-page bulk load, benchmarked end to end in BENCH_pipeline.json.
+    "repro/data/chunks.py",
+    "repro/data/fanout.py",
+    "repro/db/fastload.py",
+    "repro/pipeline.py",
 )
 
 #: Whole packages on the hot path.

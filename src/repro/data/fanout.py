@@ -1,0 +1,155 @@
+"""N-process chunk fan-out: parallel producers, shared-memory hand-off.
+
+The generation side of the pipeline is embarrassingly parallel — each chunk
+of an Agrawal workload is an independent draw from its own seed child — but a
+naive process pool pays to pickle every produced row back to the parent.
+:class:`ChunkFanout` keeps the pool and kills the pickling: workers build
+their :class:`~repro.data.chunks.Chunk` locally, park its columns in a
+shared-memory segment via :func:`~repro.data.chunks.chunk_to_shared`, and
+send only the tiny :class:`~repro.data.chunks.SharedChunkMeta` descriptor
+back; the parent maps the segment into zero-copy arrays with
+:func:`~repro.data.chunks.chunk_from_shared`.
+
+Results are yielded **in job order** regardless of completion order, with a
+bounded number of jobs in flight, so a consumer that falls behind bounds the
+pool's shared-memory footprint instead of letting it grow with ``n``.
+
+Producers must be *top-level callables* (pickled by reference under every
+start method); each job is ``(args, kwargs)`` for one producer call returning
+a :class:`Chunk`.
+"""
+# repro: hot-path
+
+from __future__ import annotations
+
+import multiprocessing
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.data.chunks import (
+    Chunk,
+    SharedChunkMeta,
+    chunk_from_shared,
+    chunk_to_shared,
+    release_shared_chunk,
+)
+from repro.data.schema import Schema
+from repro.exceptions import DataGenerationError
+
+__all__ = ["ChunkFanout", "fanout_chunks"]
+
+#: Jobs in flight beyond the worker count: enough to keep every worker busy
+#: while the parent consumes, small enough to bound shared-memory usage.
+_PREFETCH = 2
+
+
+def _run_job(
+    producer: Callable[..., Chunk],
+    args: Tuple[Any, ...],
+    kwargs: Dict[str, Any],
+) -> SharedChunkMeta:
+    """Worker entry point: build the chunk, park it in shared memory."""
+    chunk = producer(*args, **kwargs)
+    if not isinstance(chunk, Chunk):
+        raise DataGenerationError(
+            f"fan-out producer returned {type(chunk).__name__}, expected Chunk"
+        )
+    return chunk_to_shared(chunk)
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    """Prefer fork (cheap startup, inherited imports); fall back to default."""
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+class ChunkFanout:
+    """A process pool that maps picklable jobs to shared-memory chunks.
+
+    Parameters
+    ----------
+    schema:
+        Schema the produced chunks conform to (needed to map segments back
+        into typed column arrays on the consumer side).
+    processes:
+        Worker process count (must be >= 1).
+    prefetch:
+        Extra jobs kept in flight beyond ``processes``.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        processes: int,
+        prefetch: int = _PREFETCH,
+    ) -> None:
+        if processes < 1:
+            raise DataGenerationError(
+                f"fan-out needs at least one process, got {processes}"
+            )
+        if prefetch < 0:
+            raise DataGenerationError(f"prefetch must be >= 0, got {prefetch}")
+        self.schema = schema
+        self.processes = processes
+        self.prefetch = prefetch
+
+    def imap(
+        self,
+        producer: Callable[..., Chunk],
+        jobs: Sequence[Tuple[Tuple[Any, ...], Dict[str, Any]]],
+    ) -> Iterator[Chunk]:
+        """Yield ``producer(*args, **kwargs)`` chunks in job order.
+
+        At most ``processes + prefetch`` jobs are in flight at once; the
+        parent maps each finished segment lazily, right before yielding it,
+        so unconsumed results stay as compact shared-memory descriptors.
+        """
+        if not jobs:
+            return
+        window = self.processes + self.prefetch
+        with ProcessPoolExecutor(
+            max_workers=self.processes, mp_context=_pool_context()
+        ) as pool:
+            futures: Dict[int, Any] = {}
+            submitted = 0
+            delivered = 0
+            try:
+                while delivered < len(jobs):
+                    while submitted < len(jobs) and len(futures) < window:
+                        args, kwargs = jobs[submitted]
+                        futures[submitted] = pool.submit(
+                            _run_job, producer, args, kwargs
+                        )
+                        submitted += 1
+                    head = futures.pop(delivered)
+                    meta = head.result()
+                    delivered += 1
+                    yield chunk_from_shared(self.schema, meta)
+            finally:
+                # A consumer that stops early (or a failed job) must not
+                # leak the segments of the jobs still in flight.
+                for future in futures.values():
+                    future.cancel()
+                pending = [f for f in futures.values() if not f.cancelled()]
+                while pending:
+                    done, pending_set = wait(pending, return_when=FIRST_COMPLETED)
+                    pending = list(pending_set)
+                    for future in done:
+                        exc = future.exception()
+                        if exc is None:
+                            release_shared_chunk(
+                                chunk_from_shared(self.schema, future.result())
+                            )
+
+
+def fanout_chunks(
+    schema: Schema,
+    producer: Callable[..., Chunk],
+    jobs: Sequence[Tuple[Tuple[Any, ...], Dict[str, Any]]],
+    processes: int,
+    prefetch: int = _PREFETCH,
+) -> Iterator[Chunk]:
+    """One-call convenience wrapper around :meth:`ChunkFanout.imap`."""
+    return ChunkFanout(schema, processes, prefetch).imap(producer, jobs)

@@ -19,10 +19,11 @@ explanation instead of silently mis-evaluating.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Mapping, Optional, Sequence, TYPE_CHECKING
+from typing import Iterable, List, Mapping, Optional, Sequence, TYPE_CHECKING, Union
 
 import numpy as np
 
+from repro.data.chunks import Chunk
 from repro.data.dataset import Dataset, Record
 from repro.exceptions import ReproError
 
@@ -41,7 +42,9 @@ class BatchInput:
     n: int
     records: Optional[List[Record]] = None
     matrix: Optional[np.ndarray] = None
-    dataset: Optional[Dataset] = None
+    #: The dataset *or chunk* the caller passed; both expose ``.records``
+    #: lazily and encode columnar through ``transform_matrix``.
+    dataset: Optional[Union[Dataset, Chunk]] = None
 
     def require_records(self, context: str) -> List[Record]:
         if self.records is None:
@@ -90,8 +93,8 @@ def normalize_batch_input(data, encoder: Optional["TupleEncoder"] = None) -> Bat
 
     Accepted forms:
 
-    * :class:`Dataset` — records (and, with an ``encoder``, a matrix on
-      demand);
+    * :class:`Dataset` or :class:`~repro.data.chunks.Chunk` — records (and,
+      with an ``encoder``, a matrix on demand);
     * 2-D :class:`numpy.ndarray` — an encoded matrix;
     * iterable of mappings — records (generators are materialised);
     * iterable of 1-D numeric vectors — stacked into an encoded matrix;
@@ -99,9 +102,9 @@ def normalize_batch_input(data, encoder: Optional["TupleEncoder"] = None) -> Bat
 
     Everything else raises :class:`ReproError`.
     """
-    if isinstance(data, Dataset):
+    if isinstance(data, (Dataset, Chunk)):
         # records stays None here; require_records materialises it on demand
-        # (for columnar datasets the common paths never need it).
+        # (for columnar datasets and chunks the common paths never need it).
         return BatchInput(n=len(data), dataset=data)
     if isinstance(data, np.ndarray):
         matrix = _matrix_from_array(data)

@@ -23,8 +23,10 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.data.chunks import Chunk
 from repro.data.dataset import Record
 from repro.exceptions import ServingError
+from repro.inference.predictor import indices_from_labels
 from repro.preprocessing.encoder import TupleEncoder
 from repro.rules.ruleset import RuleSet
 
@@ -100,6 +102,37 @@ class ServableModel:
                 return ruleset.compiled().predict_batch(list(records))
             return ruleset.predict_batch(list(records), encoder=self.encoder)
         return self.predictor.predict_batch(list(records))
+
+    def predict_codes(self, chunk: Chunk) -> Tuple[np.ndarray, Tuple[str, ...]]:
+        """Class-*index* predictions for a columnar chunk.
+
+        The chunk-fabric hot path: labels stay an ``int64`` code array
+        indexing the returned class tuple — no per-record dicts and no label
+        strings are materialised for compiled rule sets (attribute rules
+        evaluate on the chunk's columns directly, binary rules on its encoded
+        matrix).  Predictors without an index path fall back to
+        :meth:`predict_batch` and one vectorised label→code conversion.
+        """
+        if isinstance(self.predictor, RuleSet):
+            ruleset = self.predictor
+            if not ruleset.rules:
+                # Empty set: everything is the default class, no evaluation.
+                classes = self.classes or tuple(chunk.classes)
+                if ruleset.default_class not in classes:
+                    classes = classes + (ruleset.default_class,)
+                codes = np.full(
+                    len(chunk), classes.index(ruleset.default_class), dtype=np.int64
+                )
+                return codes, tuple(classes)
+            compiled = ruleset.compiled()
+            if ruleset.is_binary:
+                assert self.encoder is not None  # enforced in __post_init__
+                matrix = self.encoder.transform_matrix(chunk)
+                return compiled.predict_indices(matrix), tuple(compiled.classes)
+            return compiled.predict_indices(chunk), tuple(compiled.classes)
+        labels = self.predict_batch(chunk.records)
+        classes = self.classes or tuple(chunk.classes)
+        return indices_from_labels(labels, classes), tuple(classes)
 
     def predict_record(self, record: Record) -> str:
         """The per-record reference path (no batching, no compilation)."""

@@ -29,13 +29,15 @@ import threading
 from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
-from itertools import islice
+from itertools import chain, islice
 from time import monotonic, perf_counter
 from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
-from repro.data.dataset import Record
+from repro.data.chunks import Chunk
+from repro.data.columnar import ColumnarDataset
+from repro.data.dataset import Dataset, Record
 from repro.exceptions import ServingError
 from repro.serving.models import ServableModel
 from repro.serving.registry import ModelRegistry
@@ -272,17 +274,112 @@ class PredictionService:
         """Submit one record and block for its label (latency path)."""
         return self.submit(model_name, record).result(timeout)
 
+    # -- chunk fabric ---------------------------------------------------------
+
+    def submit_chunk(
+        self, model_name: str, chunk: Chunk
+    ) -> "Future[Tuple[np.ndarray, Tuple[str, ...]]]":
+        """Queue one columnar chunk; resolves to ``(label_codes, classes)``.
+
+        A chunk is already a batch, so it bypasses the micro-batcher
+        entirely and is dispatched to the pool as one
+        :meth:`ServableModel.predict_codes
+        <repro.serving.models.ServableModel.predict_codes>` call — labels
+        stay ``int64`` class indexes, no record dicts and no label strings
+        on the way through.
+        """
+        model = self.registry.get(model_name)
+        with self._lock:
+            if self._closed:
+                raise ServingError("cannot submit to a closed PredictionService")
+        future: "Future[Tuple[np.ndarray, Tuple[str, ...]]]" = Future()
+        self._pool.submit(self._run_chunk, model_name, model, chunk, future)
+        return future
+
+    def predict_chunks(
+        self,
+        model_name: str,
+        chunks: Iterable[Chunk],
+        window: Optional[int] = None,
+    ) -> Iterator[Chunk]:
+        """Classify a chunk stream, yielding *labelled* chunks in order.
+
+        The chunk-fabric counterpart of :meth:`predict_stream_batches`: each
+        input chunk comes back as the same zero-copy columns with a fresh
+        label-code array attached (``chunk.with_label_codes``).  At most
+        ``window`` chunks (default ``workers + 2``) are in flight at once,
+        so a generation stream pipelines through the dispatch pool in
+        bounded memory with labels kept as index arrays end-to-end.
+        """
+        if window is None:
+            window = self.config.workers + 2
+        if window < 1:
+            raise ServingError(f"chunk window must be >= 1, got {window}")
+        in_flight: Deque[
+            Tuple[Chunk, "Future[Tuple[np.ndarray, Tuple[str, ...]]]"]
+        ] = deque()
+        for chunk in chunks:
+            in_flight.append((chunk, self.submit_chunk(model_name, chunk)))
+            while len(in_flight) >= window:
+                done_chunk, future = in_flight.popleft()
+                codes, classes = future.result()
+                yield done_chunk.with_label_codes(codes, classes)
+        while in_flight:
+            done_chunk, future = in_flight.popleft()
+            codes, classes = future.result()
+            yield done_chunk.with_label_codes(codes, classes)
+
+    def _run_chunk(
+        self,
+        model_name: str,
+        model: ServableModel,
+        chunk: Chunk,
+        future: "Future[Tuple[np.ndarray, Tuple[str, ...]]]",
+    ) -> None:
+        started = perf_counter()
+        try:
+            codes, classes = model.predict_codes(chunk)
+            if len(codes) != len(chunk):
+                raise ServingError(
+                    f"model {model_name!r} returned {len(codes)} codes for a "
+                    f"chunk of {len(chunk)} tuples"
+                )
+        # repro: ignore[broad-except] the exception is forwarded, not dropped:
+        # set_exception re-raises it in every caller blocked on this chunk's
+        # future, and a narrower catch would hang those callers forever.
+        except BaseException as exc:
+            self._observe(model_name, len(chunk), perf_counter() - started, error=True)
+            future.set_exception(exc)
+            return
+        self._observe(model_name, len(chunk), perf_counter() - started)
+        future.set_result((codes, classes))
+
+    def _stream_chunk_labels(
+        self, model_name: str, chunks: Iterable[Chunk], window: Optional[int]
+    ) -> Iterator[np.ndarray]:
+        """Label arrays for a chunk stream (strings materialised per batch)."""
+        for labelled in self.predict_chunks(model_name, chunks, window=window):
+            yield labelled.label_array()
+
     def predict_stream_batches(
         self,
         model_name: str,
-        records: Iterable[Record],
+        records: Union[Iterable[Record], Iterable[Chunk], Dataset, Chunk],
         window: Optional[int] = None,
         chunk_size: Optional[int] = None,
     ) -> Iterator[np.ndarray]:
         """Classify a record stream, yielding label arrays in submission order.
 
-        The input iterator is pulled ``chunk_size`` records at a time into
-        :meth:`submit_many`, and at most ``window`` records (default
+        Columnar inputs — a :class:`Chunk`, a
+        :class:`~repro.data.columnar.ColumnarDataset`, or an iterable of
+        either — are routed through the chunk fabric
+        (:meth:`predict_chunks`): no per-record dicts are built, labels
+        travel as index arrays, and each yielded array covers one chunk.
+        ``window`` then counts in-flight *chunks* (default ``workers + 2``).
+
+        True record streams take the micro-batching path: the input iterator
+        is pulled ``chunk_size`` records at a time into :meth:`submit_many`,
+        and at most ``window`` records (default
         ``config.effective_stream_window``) are in flight at once — so a
         multi-million-tuple file streams through in bounded memory, with new
         input admitted only as results are consumed from the head of the
@@ -290,6 +387,36 @@ class PredictionService:
         records; concatenated, the arrays reproduce the input order exactly,
         regardless of how the thread pool interleaves batch completions.
         """
+        if isinstance(records, Chunk):
+            return self._stream_chunk_labels(model_name, (records,), window)
+        if isinstance(records, ColumnarDataset):
+            return self._stream_chunk_labels(
+                model_name, (Chunk.from_dataset(records),), window
+            )
+        if not isinstance(records, Dataset):
+            iterator = iter(records)
+            head = next(iterator, None)
+            if head is None:
+                return iter(())
+            if isinstance(head, (Chunk, ColumnarDataset)):
+                chunks = (
+                    item if isinstance(item, Chunk) else Chunk.from_dataset(item)
+                    for item in chain((head,), iterator)
+                )
+                return self._stream_chunk_labels(model_name, chunks, window)
+            records = chain((head,), iterator)
+        return self._predict_stream_records(model_name, records, window, chunk_size)
+
+    def _predict_stream_records(
+        self,
+        model_name: str,
+        records: Union[Iterable[Record], Dataset],
+        window: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Iterator[np.ndarray]:
+        """The micro-batching dict-record path of :meth:`predict_stream_batches`."""
+        if isinstance(records, Dataset):
+            records = records.records
         if window is None:
             window = self.config.effective_stream_window
         if window < 1:

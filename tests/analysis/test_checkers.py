@@ -138,6 +138,36 @@ def test_hot_path_applies_to_declared_hot_modules_by_path(analyze_snippet):
     assert _hits(report, "hot-path-purity") == [(4, "hot-path-purity")]
 
 
+def test_hot_path_chunk_fabric_modules_are_declared_hot(analyze_snippet):
+    # The PR-9 chunk fabric is registered by path: per-record work in any
+    # fabric module fires without an explicit ``# repro: hot-path`` marker.
+    for relpath in (
+        "repro/data/chunks.py",
+        "repro/data/fanout.py",
+        "repro/db/fastload.py",
+        "repro/pipeline.py",
+    ):
+        report = analyze_snippet(
+            relpath,
+            """\
+                def run(model, records):
+                    labels = []
+                    for r in records:
+                        labels.append(model.predict_record(r))
+                    return labels
+            """,
+            rules=["hot-path-purity"],
+        )
+        # The fixture accumulates snippets in one tree, so keep only the
+        # findings from this iteration's file.
+        hits = [
+            (f.line, f.rule)
+            for f in report.findings
+            if str(f.path).endswith(relpath)
+        ]
+        assert hits == [(4, "hot-path-purity")], relpath
+
+
 def test_hot_path_vectorised_code_is_clean(analyze_snippet):
     report = analyze_snippet(
         "pkg/engine.py",

@@ -102,7 +102,7 @@ class TestLoad:
             store.load(chunk)
 
     def test_non_dataset_chunk_rejected(self, store):
-        with pytest.raises(DatabaseError, match="iterable of Datasets"):
+        with pytest.raises(DatabaseError, match="iterable of them"):
             store.load([{"salary": 1.0}])  # type: ignore[list-item]
 
     def test_bad_batch_size_rejected(self, store, small_data):

@@ -335,6 +335,45 @@ class TestServeBenchCommand:
         assert report["service_stats"]["records"] == 2000
 
 
+class TestPipelineCommand:
+    """The chunk-fabric pipeline: generate -> classify -> store."""
+
+    def test_pipeline_into_file(self, tmp_path, capsys):
+        db = tmp_path / "pipe.db"
+        out = tmp_path / "pipeline.json"
+        code = main(
+            ["pipeline", "--n", "2000", "--function", "1", "--seed", "5",
+             "--chunk-size", "500", "--db", str(db), "--out", str(out)]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "tuples/s sustained" in err
+        report = json.loads(out.read_text())
+        assert report["n_tuples"] == 2000
+        assert report["tuples_per_second"] > 0
+        assert sum(report["class_distribution"].values()) == 2000
+        # The written file is a live tuple store.
+        from repro.data.agrawal import agrawal_schema
+        from repro.db.store import TupleStore
+
+        with TupleStore(agrawal_schema(), path=db) as store:
+            assert store.count() == 2000
+
+    def test_pipeline_unsupported_model_function(self, capsys):
+        code = main(["pipeline", "--n", "100", "--function", "5"])
+        assert code != 0
+        assert "no reference rule set" in capsys.readouterr().err
+
+    def test_pipeline_multiprocess(self, tmp_path, capsys):
+        db = tmp_path / "pipe.db"
+        code = main(
+            ["pipeline", "--n", "2000", "--chunk-size", "500",
+             "--processes", "2", "--db", str(db)]
+        )
+        assert code == 0
+        assert "2000 function-1 tuple(s)" in capsys.readouterr().err
+
+
 class TestDbCommands:
     """The in-database round trip: load -> classify -> stats -> sql."""
 
