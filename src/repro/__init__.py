@@ -43,6 +43,10 @@ Sub-packages
     The model-serving subsystem: the artifact-backed :class:`ModelRegistry`,
     the micro-batched :class:`PredictionService` and the CLI behind
     ``python -m repro predict``.
+``repro.obs``
+    The observability layer: thread-sharded metrics, span tracing across
+    threads and worker processes, JSONL/Prometheus/table exporters
+    (``--trace`` / ``--metrics-out`` and ``python -m repro obs``).
 """
 
 from repro.core.neurorule import NeuroRuleClassifier, NeuroRuleConfig
@@ -58,7 +62,7 @@ from repro.data.schema import CategoricalAttribute, ContinuousAttribute, Schema
 from repro.exceptions import ReproError
 from repro.inference import BatchPredictor, NetworkBatchPredictor, compile_ruleset
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "AgrawalGenerator",

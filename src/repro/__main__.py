@@ -84,6 +84,7 @@ from pathlib import Path
 from time import perf_counter
 from typing import List, Optional, Sequence
 
+from repro import obs
 from repro.exceptions import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.orchestrator import ArtifactCache, run_sweep
@@ -149,6 +150,62 @@ def positive_int(text: str) -> int:
     if value < 1:
         raise argparse.ArgumentTypeError(f"must be at least 1, got {value}")
     return value
+
+
+def _add_obs_arguments(parser: argparse.ArgumentParser) -> None:
+    """Telemetry flags shared by the data-plane commands.
+
+    Both are opt-in: without them the run pays nothing for tracing (spans
+    still time their regions — the subsystems use them as stopwatches — but
+    nothing is recorded) and the metrics registry is never rendered.
+    """
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="FILE",
+        help="record the span trace and write it as JSON Lines to this file "
+        "(inspect with `python -m repro obs report --trace FILE`)",
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        metavar="FILE",
+        help="write the metrics registry in Prometheus text format to this "
+        "file when the command finishes",
+    )
+
+
+def _obs_begin(args: argparse.Namespace) -> None:
+    """Enable span recording before the handler runs, if asked for."""
+    if getattr(args, "trace", None):
+        obs.enable_tracing()
+
+
+def _obs_finish(args: argparse.Namespace) -> None:
+    """Flush telemetry after the handler, even when it failed.
+
+    Runs from ``main``'s ``finally`` so an early ``return 1`` or a raised
+    :class:`ReproError` still leaves the partial trace on disk — usually the
+    most interesting one.
+    """
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        written = obs.write_trace_jsonl(obs.export_spans(), trace_path)
+        print(f"wrote {written} trace records to {trace_path}", file=sys.stderr)
+    metrics_path = getattr(args, "metrics_out", None)
+    if metrics_path:
+        obs.write_metrics(obs.registry(), metrics_path)
+        print(f"wrote metrics to {metrics_path}", file=sys.stderr)
+
+
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    """Summarise a JSONL span trace as an aligned per-span-name table."""
+    records = obs.read_trace_jsonl(args.trace)
+    if not records:
+        print(f"no trace records in {args.trace}", file=sys.stderr)
+        return 1
+    print(obs.format_trace_table(records, limit=args.limit))
+    return 0
 
 
 def _build_config(args: argparse.Namespace) -> ExperimentConfig:
@@ -1096,6 +1153,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--out", default=None, help="write the full sweep summary to this JSON file"
     )
+    _add_obs_arguments(sweep)
     sweep.set_defaults(handler=_cmd_sweep)
 
     cache = commands.add_parser("cache", help="list the entries of an artifact cache")
@@ -1298,6 +1356,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--out", default=None, help="write the benchmark report to this JSON file"
     )
+    _add_obs_arguments(bench)
     bench.set_defaults(handler=_cmd_serve_bench)
 
     pipeline = commands.add_parser(
@@ -1380,6 +1439,7 @@ def build_parser() -> argparse.ArgumentParser:
     pipeline.add_argument(
         "--out", default=None, help="write the pipeline report to this JSON file"
     )
+    _add_obs_arguments(pipeline)
     pipeline.set_defaults(handler=_cmd_pipeline)
 
     db = commands.add_parser(
@@ -1549,16 +1609,45 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the analysis report as JSON instead of text",
     )
     analyze.set_defaults(handler=_cmd_analyze)
+
+    obs_cmd = commands.add_parser(
+        "obs",
+        help="inspect telemetry captured by --trace / --metrics-out",
+    )
+    obs_commands = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_report = obs_commands.add_parser(
+        "report",
+        help="summarise a JSON Lines span trace as a per-span-name table",
+    )
+    obs_report.add_argument(
+        "--trace",
+        required=True,
+        metavar="FILE",
+        help="trace file written by a command's --trace flag",
+    )
+    obs_report.add_argument(
+        "--limit",
+        type=positive_int,
+        default=None,
+        help="show only the N most expensive span names (default: all)",
+    )
+    obs_report.set_defaults(handler=_cmd_obs_report)
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    recording = args.handler is not _cmd_obs_report
+    if recording:
+        _obs_begin(args)
     try:
         return args.handler(args)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    finally:
+        if recording:
+            _obs_finish(args)
 
 
 if __name__ == "__main__":

@@ -7,6 +7,7 @@ from repro.analysis.checkers import (  # noqa: F401  (imported for registration)
     registry_completeness,
     seeds,
     sql_safety,
+    telemetry_clock,
 )
 
 __all__ = [
@@ -16,4 +17,5 @@ __all__ = [
     "registry_completeness",
     "seeds",
     "sql_safety",
+    "telemetry_clock",
 ]

@@ -1,0 +1,122 @@
+"""``telemetry-clock``: hot modules read clocks through :mod:`repro.obs`.
+
+PR 10 routed every hot-path timestamp through one timebase
+(:mod:`repro.obs.clock`: ``now``/``monotonic``/``wall``) so that span
+durations, queue-wait histograms and wall-attribution numbers from different
+subsystems — and different *processes*, since ``perf_counter`` reads the
+system-wide ``CLOCK_MONOTONIC`` on Linux — are directly comparable.  A stray
+``time.perf_counter()`` in a hot module silently reintroduces a second
+stopwatch: its readings never line up with the trace, and the next
+refactoring that swaps the timebase (or freezes it in tests) misses it.
+
+This rule flags any call to the :mod:`time` clocks — ``time()``,
+``perf_counter()``, ``monotonic()`` and their ``_ns`` variants — inside a
+module on the benchmarked hot path (the same roster
+:mod:`repro.analysis.checkers.hot_path` enforces, including the
+``# repro: hot-path`` opt-in marker).  Both spellings are caught:
+dotted calls through ``import time`` (under any alias) and bare calls
+through ``from time import perf_counter`` (under any alias).
+
+:mod:`repro.obs` itself is exempt: the clock module is *where* the sanctioned
+helpers wrap :mod:`time`, so it is the one place those calls belong.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Set
+
+from repro.analysis.base import BaseChecker, dotted_name, register_checker
+from repro.analysis.checkers.hot_path import is_hot_module
+from repro.analysis.context import AnalysisContext, SourceModule
+from repro.analysis.findings import Finding
+
+#: The clock functions of :mod:`time` that hot modules must not call
+#: directly; every one has a :mod:`repro.obs.clock` counterpart.
+CLOCK_FUNCTIONS: Set[str] = {
+    "time",
+    "perf_counter",
+    "monotonic",
+    "perf_counter_ns",
+    "monotonic_ns",
+}
+
+#: Path fragment of the one package allowed to touch :mod:`time` clocks.
+OBS_PACKAGE_FRAGMENT = "repro/obs/"
+
+
+def _clock_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Map local names bound by ``from time import ...`` to clock names.
+
+    ``from time import perf_counter as tick`` yields ``{"tick":
+    "perf_counter"}``; non-clock imports from :mod:`time` (``sleep``,
+    ``struct_time``, …) are ignored.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ImportFrom) and node.module == "time":
+            for alias in node.names:
+                if alias.name in CLOCK_FUNCTIONS:
+                    aliases[alias.asname or alias.name] = alias.name
+    return aliases
+
+
+def _time_module_aliases(tree: ast.Module) -> Set[str]:
+    """Local names the :mod:`time` module itself is bound to."""
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "time":
+                    names.add(alias.asname or alias.name)
+    return names
+
+
+@register_checker
+class TelemetryClockChecker(BaseChecker):
+    """Hot modules read clocks through repro.obs, not :mod:`time` directly."""
+
+    name = "telemetry-clock"
+    description = (
+        "direct time.time()/perf_counter()/monotonic() call in a hot module; "
+        "import the clock from repro.obs.clock so every subsystem shares one "
+        "timebase"
+    )
+
+    def check(
+        self, module: SourceModule, context: AnalysisContext
+    ) -> Iterable[Finding]:
+        if OBS_PACKAGE_FRAGMENT in module.relpath.replace("\\", "/"):
+            return
+        if not is_hot_module(module):
+            return
+
+        bare = _clock_aliases(module.tree)
+        modules = _time_module_aliases(module.tree)
+
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            # Dotted form: time.perf_counter() under any module alias.
+            if isinstance(func, ast.Attribute) and func.attr in CLOCK_FUNCTIONS:
+                dotted = dotted_name(func)
+                head, _, _ = dotted.rpartition(".")
+                if head in modules:
+                    yield self.finding(
+                        module,
+                        node,
+                        f"direct {dotted}() in a hot module; use the shared "
+                        "timebase (repro.obs.clock.now/monotonic/wall, or an "
+                        "obs.trace span as the stopwatch)",
+                    )
+            # Bare form: perf_counter() bound by `from time import ...`.
+            elif isinstance(func, ast.Name) and func.id in bare:
+                yield self.finding(
+                    module,
+                    node,
+                    f"direct {func.id}() (from time import {bare[func.id]}) in "
+                    "a hot module; use the shared timebase "
+                    "(repro.obs.clock.now/monotonic/wall, or an obs.trace "
+                    "span as the stopwatch)",
+                )

@@ -52,6 +52,7 @@ from typing import (
 
 import numpy as np
 
+from repro import obs
 from repro.data.columnar import ColumnarDataset
 from repro.data.dataset import Dataset, Record
 from repro.data.schema import Schema
@@ -508,6 +509,7 @@ def chunk_to_shared(chunk: Chunk) -> SharedChunkMeta:
     except Exception:  # repro: ignore[broad-except] best-effort tracker opt-out
         pass
     segment.close()
+    obs.event("shm.create", segment=meta.name, bytes=total, rows=len(chunk))
     return meta
 
 
@@ -521,6 +523,7 @@ def chunk_from_shared(schema: Schema, meta: SharedChunkMeta) -> Chunk:
     # does), so no unregister dance is needed on the consumer side.
     segment = shared_memory.SharedMemory(name=meta.name)
     weakref.finalize(segment, _release_segment, segment.name)
+    obs.event("shm.attach", segment=meta.name, rows=meta.n)
     names = schema.attribute_names
     columns: Dict[str, np.ndarray] = {}
     offset = 0
@@ -547,6 +550,12 @@ def _release_segment(name: str) -> None:
     try:
         segment.unlink()
     except FileNotFoundError:
+        pass
+    try:
+        # Finalizers can fire during interpreter teardown, after the tracer
+        # module has been torn down; losing the event then is fine.
+        obs.event("shm.release", segment=name)
+    except Exception:  # repro: ignore[broad-except] telemetry never breaks cleanup
         pass
 
 

@@ -17,6 +17,13 @@ pool's shared-memory footprint instead of letting it grow with ``n``.
 Producers must be *top-level callables* (pickled by reference under every
 start method); each job is ``(args, kwargs)`` for one producer call returning
 a :class:`Chunk`.
+
+Telemetry rides the same channel as the data: when tracing is enabled, each
+worker wraps its producer call in a ``fanout.produce`` span, exports its
+span buffer as plain dicts, and returns them *next to* the
+:class:`~repro.data.chunks.SharedChunkMeta`; the parent adopts them under
+its ``fanout.imap`` span, so the trace shows per-worker chunk production —
+pid, job index, rows — inside the one process-wide tree.
 """
 # repro: hot-path
 
@@ -26,6 +33,7 @@ import multiprocessing
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.data.chunks import (
     Chunk,
     SharedChunkMeta,
@@ -47,14 +55,26 @@ def _run_job(
     producer: Callable[..., Chunk],
     args: Tuple[Any, ...],
     kwargs: Dict[str, Any],
-) -> SharedChunkMeta:
-    """Worker entry point: build the chunk, park it in shared memory."""
-    chunk = producer(*args, **kwargs)
-    if not isinstance(chunk, Chunk):
-        raise DataGenerationError(
-            f"fan-out producer returned {type(chunk).__name__}, expected Chunk"
-        )
-    return chunk_to_shared(chunk)
+    capture: bool = False,
+    job: Optional[int] = None,
+) -> Tuple[SharedChunkMeta, Optional[List[Dict[str, Any]]]]:
+    """Worker entry point: build the chunk, park it in shared memory.
+
+    With ``capture`` the worker's span buffer comes back with the segment
+    descriptor (``capture`` is passed explicitly rather than relying on the
+    fork-inherited enabled flag, so spawn-based pools capture too).
+    """
+    if capture:
+        obs.enable_tracing()
+    with obs.trace("fanout.produce", job=job) as span:
+        chunk = producer(*args, **kwargs)
+        if not isinstance(chunk, Chunk):
+            raise DataGenerationError(
+                f"fan-out producer returned {type(chunk).__name__}, expected Chunk"
+            )
+        span.set(rows=len(chunk))
+        meta = chunk_to_shared(chunk)
+    return meta, (obs.export_spans(clear=True) if capture else None)
 
 
 def _pool_context() -> multiprocessing.context.BaseContext:
@@ -109,6 +129,17 @@ class ChunkFanout:
         if not jobs:
             return
         window = self.processes + self.prefetch
+        capture = obs.tracing_enabled()
+        # Detached (non-stacked) span: it brackets generator yields, so it
+        # must not become the parent of consumer-side spans pulled between
+        # them.  Worker span buffers are adopted underneath it.
+        fanout_span = obs.trace(
+            "fanout.imap",
+            stacked=False,
+            jobs=len(jobs),
+            processes=self.processes,
+        )
+        fanout_span.__enter__()
         with ProcessPoolExecutor(
             max_workers=self.processes, mp_context=_pool_context()
         ) as pool:
@@ -120,11 +151,13 @@ class ChunkFanout:
                     while submitted < len(jobs) and len(futures) < window:
                         args, kwargs = jobs[submitted]
                         futures[submitted] = pool.submit(
-                            _run_job, producer, args, kwargs
+                            _run_job, producer, args, kwargs, capture, submitted
                         )
                         submitted += 1
                     head = futures.pop(delivered)
-                    meta = head.result()
+                    meta, spans = head.result()
+                    if spans:
+                        obs.adopt_spans(spans, parent_id=fanout_span.span_id)
                     delivered += 1
                     yield chunk_from_shared(self.schema, meta)
             finally:
@@ -139,9 +172,11 @@ class ChunkFanout:
                     for future in done:
                         exc = future.exception()
                         if exc is None:
-                            release_shared_chunk(
-                                chunk_from_shared(self.schema, future.result())
-                            )
+                            meta, spans = future.result()
+                            if spans:
+                                obs.adopt_spans(spans, parent_id=fanout_span.span_id)
+                            release_shared_chunk(chunk_from_shared(self.schema, meta))
+                fanout_span.close()
 
 
 def fanout_chunks(

@@ -52,6 +52,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.data.chunks import Chunk
 from repro.data.schema import Schema
 from repro.db.dialect import SQLITE, SqlDialect
@@ -169,6 +170,12 @@ class RawSqliteWriter:
         """Encode everything appended so far and write the database file."""
         if not self._parts:
             raise DatabaseError("raw writer has no chunks to write")
+        # Detached span (no context stack entry): when assembly aborts with
+        # RawLoadUnsupported the span is simply dropped, never mis-parented.
+        # It splits the raw load into its two phases: page *assembly* below
+        # vs. the file *write* at the bottom.
+        assemble_span = obs.trace("fastload.assemble", stacked=False, rows=self._n)
+        assemble_span.__enter__()
         names = self.schema.attribute_names
         nattr = len(names)
         columns = [
@@ -409,15 +416,18 @@ class RawSqliteWriter:
 
         # ---- page 1: db header + sqlite_master ---------------------------
         page1 = self._build_page1(root, npages)
+        assemble_span.set(pages=npages)
+        assemble_span.close()
 
         # Unbuffered + memoryview: each write is one os.write straight out
         # of the page buffer — tobytes() would copy the (possibly hundreds
         # of MB) leaf buffer once, and BufferedWriter would copy it again.
-        with open(self.path, "wb", buffering=0) as handle:
-            handle.write(page1.data)
-            handle.write(flat_pages.data)
-            for page in interior_pages:
-                handle.write(page.data)
+        with obs.trace("fastload.write", stacked=False, rows=n, pages=npages):
+            with open(self.path, "wb", buffering=0) as handle:
+                handle.write(page1.data)
+                handle.write(flat_pages.data)
+                for page in interior_pages:
+                    handle.write(page.data)
         self._parts = []
         return n
 

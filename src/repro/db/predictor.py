@@ -30,6 +30,7 @@ from typing import Iterator, List, Optional, Sequence, Tuple, TYPE_CHECKING, Uni
 
 import numpy as np
 
+from repro import obs
 from repro.data.dataset import Dataset, Record
 from repro.data.schema import Schema
 from repro.db.dialect import SQLITE, SqlDialect
@@ -175,14 +176,16 @@ class SqlRulePredictor:
         select = classification_sql(
             self.ruleset, STAGING_TABLE, dialect=self.dialect
         )
-        with self._lock:
-            connection = self._connection()
-            try:
-                connection.execute(staging_ddl)
-                insert_in_batches(connection, insert, rows, self.batch_size)
-                labels = self._fetch_labels(connection, select, n)
-            finally:
-                connection.execute(drop_table_ddl(STAGING_TABLE, self.dialect))
+        with obs.trace("sql.classify", mode="staged", rows=n):
+            with self._lock:
+                connection = self._connection()
+                try:
+                    connection.execute(staging_ddl)
+                    insert_in_batches(connection, insert, rows, self.batch_size)
+                    labels = self._fetch_labels(connection, select, n)
+                finally:
+                    connection.execute(drop_table_ddl(STAGING_TABLE, self.dialect))
+        obs.counter("repro_sql_rows_total", "Rows classified by SQL pushdown").inc(n)
         return labels
 
     def predict(self, data: Union[Dataset, Sequence[Record]]) -> List[str]:
@@ -202,12 +205,18 @@ class SqlRulePredictor:
         label column the ``CASE`` scan produced.
         """
         store = self._require_store()
-        with self._lock:
-            store._require_table()
-            select = classification_sql(
-                self.ruleset, store.table, dialect=self.dialect
-            )
-            return self._fetch_labels(store.connection, select, store.count())
+        with obs.trace("sql.classify", mode="stored") as span:
+            with self._lock:
+                store._require_table()
+                select = classification_sql(
+                    self.ruleset, store.table, dialect=self.dialect
+                )
+                labels = self._fetch_labels(store.connection, select, store.count())
+            span.set(rows=len(labels))
+        obs.counter("repro_sql_rows_total", "Rows classified by SQL pushdown").inc(
+            len(labels)
+        )
+        return labels
 
     def classify_into(self, table: str = "labels", drop: bool = False) -> int:
         """Materialise the pushdown labels into a relation *inside* the DB.
@@ -261,7 +270,11 @@ class SqlRulePredictor:
             # transaction was already open, persist the labels explicitly.
             if connection.in_transaction:
                 connection.commit()
-            return int(row[0])
+            written = int(row[0])
+        obs.counter("repro_sql_rows_total", "Rows classified by SQL pushdown").inc(
+            written
+        )
+        return written
 
     def iter_classified(
         self, fetch_size: int = DEFAULT_FETCH_SIZE

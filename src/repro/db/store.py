@@ -26,6 +26,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.data.chunks import Chunk
 from repro.data.columnar import ColumnarDataset
 from repro.data.dataset import Dataset, Record
@@ -299,11 +300,24 @@ class TupleStore:
                 self._require_table()
             return 0
         chunks = itertools.chain((first,), stream)
-        if method == "raw" or (
+        raw = method == "raw" or (
             method == "auto" and isinstance(first, Chunk) and self._raw_eligible()
-        ):
-            return self._load_raw(chunks, batch_size, fallback=method == "auto")
-        return self._load_rows(chunks, batch_size)
+        )
+        # The span drives the whole consume-and-write loop, so with a lazy
+        # input stream it is wall attribution of the store stage (upstream
+        # production nests inside it as its own spans).
+        with obs.trace(
+            "db.load", table=self.table, method="raw" if raw else "rows"
+        ) as span:
+            if raw:
+                inserted = self._load_raw(chunks, batch_size, fallback=method == "auto")
+            else:
+                inserted = self._load_rows(chunks, batch_size)
+            span.set(rows=inserted)
+        obs.counter("repro_store_rows_total", "Rows loaded into tuple stores").inc(
+            inserted
+        )
+        return inserted
 
     def _load_rows(
         self,

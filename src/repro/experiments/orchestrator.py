@@ -37,9 +37,9 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from pathlib import Path
 from statistics import mean, pstdev
-from time import perf_counter
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
+from repro import obs
 from repro.exceptions import ExperimentError, ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.runner import FunctionExperimentResult, run_function_experiment
@@ -119,7 +119,13 @@ class SweepTask:
 
 @dataclass
 class TaskOutcome:
-    """What happened to one sweep task (success, cache hit, or failure)."""
+    """What happened to one sweep task (success, cache hit, or failure).
+
+    ``seconds`` comes from the task's ``sweep.task`` obs span — the same
+    measurement that appears in a ``--trace`` dump.  ``spans`` carries the
+    worker process's exported span records back across the pool boundary;
+    :func:`run_sweep` adopts them into the parent trace and clears the field.
+    """
 
     function: int
     seed: int
@@ -130,6 +136,7 @@ class TaskOutcome:
     result: Optional[FunctionExperimentResult] = None
     error: Optional[str] = field(default=None, repr=False)
     error_type: Optional[str] = None
+    spans: Optional[List[Dict]] = field(default=None, repr=False)
 
     @property
     def ok(self) -> bool:
@@ -365,7 +372,10 @@ class ArtifactCache:
 # ---------------------------------------------------------------------------
 
 def _execute_task(
-    task: SweepTask, cache_dir: Optional[str], capture_errors: bool = True
+    task: SweepTask,
+    cache_dir: Optional[str],
+    capture_errors: bool = True,
+    export_spans: bool = False,
 ) -> TaskOutcome:
     """Run one task, serving and feeding the artifact cache.
 
@@ -376,64 +386,79 @@ def _execute_task(
     poison the pool; without it the original exception propagates — across
     the pool boundary too, since :class:`ProcessPoolExecutor` re-raises the
     worker's exception from ``Future.result``.
+
+    ``export_spans`` (set for pool workers when the parent is tracing) turns
+    tracing on in this process and ships the recorded spans back on
+    ``TaskOutcome.spans``.
     """
     key = task.cache_key()
     cache = ArtifactCache(cache_dir) if cache_dir is not None else None
-    started = perf_counter()
-    try:
-        if cache is not None:
-            try:
-                cached = cache.load_result(key)
-            except ExperimentError as exc:
-                # A corrupt entry (crash mid-write, incompatible schema) is a
-                # miss, not a permanent failure: evict it and recompute — the
-                # eviction also lets the fresh store() rename into place.
-                warnings.warn(
-                    f"evicting corrupt cache entry and recomputing: {exc}",
-                    UserWarning,
-                    stacklevel=2,
+    if export_spans:
+        obs.enable_tracing()
+    span = obs.trace(
+        "sweep.task", function=task.function, seed=task.seed, extractor=task.extractor
+    )
+    with span:
+        try:
+            outcome: Optional[TaskOutcome] = None
+            if cache is not None:
+                try:
+                    cached = cache.load_result(key)
+                except ExperimentError as exc:
+                    # A corrupt entry (crash mid-write, incompatible schema) is a
+                    # miss, not a permanent failure: evict it and recompute — the
+                    # eviction also lets the fresh store() rename into place.
+                    warnings.warn(
+                        f"evicting corrupt cache entry and recomputing: {exc}",
+                        UserWarning,
+                        stacklevel=2,
+                    )
+                    cache.invalidate(key)
+                    cached = None
+                if cached is not None:
+                    outcome = TaskOutcome(
+                        function=task.function,
+                        seed=task.seed,
+                        cache_key=key,
+                        cached=True,
+                        seconds=span.seconds,
+                        extractor=task.extractor,
+                        result=cached,
+                    )
+            if outcome is None:
+                result = run_function_experiment(
+                    task.function,
+                    task.effective_config(),
+                    keep_models=cache is not None,
                 )
-                cache.invalidate(key)
-                cached = None
-            if cached is not None:
-                return TaskOutcome(
+                if cache is not None:
+                    cache.store(task, result)
+                outcome = TaskOutcome(
                     function=task.function,
                     seed=task.seed,
                     cache_key=key,
-                    cached=True,
-                    seconds=perf_counter() - started,
+                    cached=False,
+                    seconds=span.seconds,
                     extractor=task.extractor,
-                    result=cached,
+                    result=result.without_models(),
                 )
-        result = run_function_experiment(
-            task.function,
-            task.effective_config(),
-            keep_models=cache is not None,
-        )
-        if cache is not None:
-            cache.store(task, result)
-        return TaskOutcome(
-            function=task.function,
-            seed=task.seed,
-            cache_key=key,
-            cached=False,
-            seconds=perf_counter() - started,
-            extractor=task.extractor,
-            result=result.without_models(),
-        )
-    except TASK_FAILURE_TYPES as exc:
-        if not capture_errors:
-            raise
-        return TaskOutcome(
-            function=task.function,
-            seed=task.seed,
-            cache_key=key,
-            cached=False,
-            seconds=perf_counter() - started,
-            extractor=task.extractor,
-            error=traceback.format_exc(),
-            error_type=type(exc).__name__,
-        )
+        except TASK_FAILURE_TYPES as exc:
+            if not capture_errors:
+                raise
+            outcome = TaskOutcome(
+                function=task.function,
+                seed=task.seed,
+                cache_key=key,
+                cached=False,
+                seconds=span.seconds,
+                extractor=task.extractor,
+                error=traceback.format_exc(),
+                error_type=type(exc).__name__,
+            )
+        span.set(cached=outcome.cached, ok=outcome.ok)
+    if export_spans:
+        outcome.spans = obs.export_spans(clear=True)
+    return outcome
 
 
 # ---------------------------------------------------------------------------
@@ -609,19 +634,38 @@ def run_sweep(
     cache_path = str(cache_dir) if cache_dir is not None else None
 
     outcomes: List[TaskOutcome] = []
-    if processes == 1 or len(tasks) == 1:
-        for task in tasks:
-            outcomes.append(_execute_task(task, cache_path, keep_going))
-    else:
-        with ProcessPoolExecutor(max_workers=min(processes, len(tasks))) as pool:
-            futures = [
-                pool.submit(_execute_task, task, cache_path, keep_going)
-                for task in tasks
-            ]
-            try:
-                for future in futures:
-                    outcomes.append(future.result())
-            except BaseException:
-                pool.shutdown(wait=False, cancel_futures=True)
-                raise
+    with obs.trace("sweep.run", tasks=len(tasks), processes=processes):
+        if processes == 1 or len(tasks) == 1:
+            for task in tasks:
+                outcomes.append(
+                    _note_outcome(_execute_task(task, cache_path, keep_going))
+                )
+        else:
+            capture = obs.tracing_enabled()
+            with ProcessPoolExecutor(max_workers=min(processes, len(tasks))) as pool:
+                futures = [
+                    pool.submit(_execute_task, task, cache_path, keep_going, capture)
+                    for task in tasks
+                ]
+                try:
+                    for future in futures:
+                        outcomes.append(_note_outcome(future.result()))
+                except BaseException:
+                    pool.shutdown(wait=False, cancel_futures=True)
+                    raise
     return SweepResult(outcomes=outcomes)
+
+
+def _note_outcome(outcome: TaskOutcome) -> TaskOutcome:
+    """Telemetry per collected task: cache counters + worker-span adoption."""
+    obs.counter(
+        "repro_sweep_cache_total",
+        "Sweep artifact-cache lookups by result",
+        result="hit" if outcome.cached else "miss",
+    ).inc()
+    if outcome.spans:
+        # Worker spans join the parent trace under the current sweep.run
+        # span; clear the payload so the records exist exactly once.
+        obs.adopt_spans(outcome.spans)
+        outcome.spans = None
+    return outcome

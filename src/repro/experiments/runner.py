@@ -10,11 +10,11 @@ thin layers on top of this runner.
 
 from __future__ import annotations
 
-import time
 import warnings
 from dataclasses import asdict, dataclass, field, fields
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.baselines.c45 import C45Classifier, C45Rules
 from repro.core.neurorule import NeuroRuleClassifier
 from repro.data.agrawal import AgrawalGenerator
@@ -167,14 +167,18 @@ def run_function_experiment(
     train, test = data["train"], data["test"]
 
     # Train/prune once, then articulate with the configured extractor.
-    started = time.perf_counter()
-    classifier = NeuroRuleClassifier(
-        config.neurorule_config(),
-        encoder=agrawal_encoder(),
-        extractor=config.build_extractor(),
-    )
-    classifier.fit(train)
-    neurorule_seconds = time.perf_counter() - started
+    # Spans are the stopwatches (repro.obs): the same numbers a --trace dump
+    # shows per stage are what the result tables report.
+    with obs.trace(
+        "experiment.neurorule", function=function, extractor=config.extractor
+    ) as neurorule_span:
+        classifier = NeuroRuleClassifier(
+            config.neurorule_config(),
+            encoder=agrawal_encoder(),
+            extractor=config.build_extractor(),
+        )
+        classifier.fit(train)
+    neurorule_seconds = neurorule_span.seconds
 
     assert classifier.extractor_result_ is not None
     assert classifier.pruning_result_ is not None
@@ -194,12 +198,12 @@ def run_function_experiment(
     # C4.5 / C4.5rules baselines on exactly the same data, timed separately:
     # C4.5rules does its own tree induction plus rule generalisation, so
     # folding both fits under one "C4.5" timer overstated the tree baseline.
-    started = time.perf_counter()
-    c45 = C45Classifier().fit(train)
-    c45_seconds = time.perf_counter() - started
-    started = time.perf_counter()
-    c45rules = C45Rules().fit(train)
-    c45rules_seconds = time.perf_counter() - started
+    with obs.trace("experiment.c45", function=function) as c45_span:
+        c45 = C45Classifier().fit(train)
+    c45_seconds = c45_span.seconds
+    with obs.trace("experiment.c45rules", function=function) as c45rules_span:
+        c45rules = C45Rules().fit(train)
+    c45rules_seconds = c45rules_span.seconds
 
     # All test-set evaluation runs through the batch-inference pipeline:
     # one label array per model, compared against the truth array once.

@@ -28,11 +28,11 @@ concrete extractor only implements :meth:`BaseExtractor._extract_ruleset`.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.data.dataset import Dataset
 from repro.exceptions import ExtractionError
 from repro.metrics.classification import majority_label
@@ -167,16 +167,21 @@ class BaseExtractor:
                 f"encoder produces {encoder.n_inputs} inputs but the network "
                 f"has {network.n_inputs}"
             )
-        started = perf_counter()
-        encoded = self._encode(dataset, encoder, network)
-        network_labels = np.asarray(
-            [class_labels[int(i)] for i in network.predict_indices(encoded)],
-            dtype=object,
-        )
-        ruleset, details = self._extract_ruleset(
-            network, dataset, encoded, network_labels, class_labels, encoder
-        )
-        seconds = perf_counter() - started
+        # The span is the stopwatch: ExtractorResult.seconds (and through it
+        # `extractors compare`'s extraction_seconds) is the same measurement
+        # a --trace dump shows as extractor.extract.
+        with obs.trace(
+            "extractor.extract", extractor=self.name, rows=len(dataset)
+        ) as span:
+            encoded = self._encode(dataset, encoder, network)
+            network_labels = np.asarray(
+                [class_labels[int(i)] for i in network.predict_indices(encoded)],
+                dtype=object,
+            )
+            ruleset, details = self._extract_ruleset(
+                network, dataset, encoded, network_labels, class_labels, encoder
+            )
+        seconds = span.seconds
 
         rule_labels = self._rule_labels(ruleset, dataset, encoded, encoder)
         truth = np.asarray(dataset.labels, dtype=object)

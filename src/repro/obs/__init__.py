@@ -1,0 +1,174 @@
+"""``repro.obs`` — the telemetry spine: tracing, metrics, profiling.
+
+One process-wide :class:`~repro.obs.metrics.MetricsRegistry` and one
+:class:`~repro.obs.tracing.Tracer`, shared by every subsystem
+(generate→classify→serve→store), with module-level conveniences so call
+sites stay one line::
+
+    from repro import obs
+
+    with obs.trace("db.load", method=method) as span:
+        rows = do_load()
+        span.set(rows=rows)
+    obs.counter("repro_store_rows_total").inc(rows)
+
+Metrics are always on (updates are lock-free per-thread shards, cost is a
+float add).  Tracing is opt-in: :func:`enable_tracing` turns span recording
+on, but ``trace(...)`` spans *time* their region regardless, so subsystems
+use ``span.seconds`` as their stopwatch unconditionally.  Forked fan-out
+workers inherit the enabled flag and start with clean buffers — their spans
+come back through the result channel and are stitched in with
+:func:`adopt_spans`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.clock import monotonic, now, to_wall, wall
+from repro.obs.exporters import (
+    format_trace_table,
+    read_trace_jsonl,
+    summarise_spans,
+    write_metrics,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import Span, Tracer
+
+#: The process-wide instances every subsystem reports to.
+_REGISTRY = MetricsRegistry()
+_TRACER = Tracer()
+
+if hasattr(os, "register_at_fork"):  # fork-based fan-out workers
+    os.register_at_fork(after_in_child=_TRACER._after_fork)
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide metrics registry."""
+    return _REGISTRY
+
+
+def tracer() -> Tracer:
+    """The process-wide tracer."""
+    return _TRACER
+
+
+# -- metrics conveniences -----------------------------------------------------
+
+def counter(name: str, help: str = "", **labels) -> Counter:
+    return _REGISTRY.counter(name, help, **labels)
+
+
+def gauge(name: str, help: str = "", **labels) -> Gauge:
+    return _REGISTRY.gauge(name, help, **labels)
+
+
+def histogram(
+    name: str,
+    help: str = "",
+    buckets: Sequence[float] = DEFAULT_BUCKETS,
+    **labels,
+) -> Histogram:
+    return _REGISTRY.histogram(name, help, buckets=buckets, **labels)
+
+
+def render_prometheus() -> str:
+    return _REGISTRY.render_prometheus()
+
+
+def metrics_snapshot() -> Dict[str, float]:
+    return _REGISTRY.snapshot()
+
+
+def reset_metrics() -> None:
+    _REGISTRY.reset()
+
+
+# -- tracing conveniences -----------------------------------------------------
+
+def trace(
+    name: str,
+    parent_id: Optional[int] = None,
+    stacked: bool = True,
+    **attrs,
+) -> Span:
+    """A span context manager on the process-wide tracer."""
+    return _TRACER.trace(name, parent_id=parent_id, stacked=stacked, **attrs)
+
+
+def event(name: str, **attrs) -> None:
+    """A point-in-time event on the current span (no-op when disabled)."""
+    _TRACER.event(name, **attrs)
+
+
+def enable_tracing() -> None:
+    _TRACER.enable()
+
+
+def disable_tracing() -> None:
+    _TRACER.disable()
+
+
+def tracing_enabled() -> bool:
+    return _TRACER.enabled
+
+
+def export_spans(clear: bool = True) -> List[Dict[str, Any]]:
+    """Finished records as dicts (what fan-out workers return to the parent)."""
+    return _TRACER.export(clear=clear)
+
+
+def adopt_spans(
+    records: Iterable[Dict[str, Any]],
+    parent_id: Optional[int] = None,
+) -> List[Dict[str, Any]]:
+    """Stitch records exported by another process into this tracer."""
+    return _TRACER.adopt(records, parent_id=parent_id)
+
+
+def reset_tracing() -> None:
+    _TRACER.reset()
+
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "adopt_spans",
+    "counter",
+    "disable_tracing",
+    "enable_tracing",
+    "event",
+    "export_spans",
+    "format_trace_table",
+    "gauge",
+    "histogram",
+    "metrics_snapshot",
+    "monotonic",
+    "now",
+    "read_trace_jsonl",
+    "registry",
+    "render_prometheus",
+    "reset_metrics",
+    "reset_tracing",
+    "summarise_spans",
+    "to_wall",
+    "trace",
+    "tracer",
+    "tracing_enabled",
+    "wall",
+    "write_metrics",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,48 @@
+"""The sanctioned clocks of the telemetry layer.
+
+Every duration the repro measures — span timings, batch latencies, stage
+waits — must come from **one monotonic timebase** so numbers from different
+subsystems (and different processes: ``perf_counter`` reads the system-wide
+``CLOCK_MONOTONIC`` on Linux, which forked fan-out workers share) are
+directly comparable and immune to wall-clock jumps.  This module is that
+timebase; the ``telemetry-clock`` analysis rule enforces that hot-path
+modules import their clocks from here instead of calling ``time.time()`` /
+``time.perf_counter()`` directly.
+
+* :func:`now` — high-resolution monotonic seconds, for durations.
+* :func:`monotonic` — the coarser deadline clock (condition-variable waits).
+* :func:`wall` — epoch seconds, **for export timestamps only**, never for
+  measuring.
+* :func:`to_wall` — project a :func:`now` reading onto the wall clock so
+  exported traces carry absolute timestamps.
+"""
+
+from __future__ import annotations
+
+import time
+
+#: High-resolution monotonic clock for durations (bound once so calls are a
+#: single C-function dispatch, nothing wrapped).
+now = time.perf_counter
+
+#: Deadline clock: coarser, cheap, and what Condition.wait timeouts expect.
+monotonic = time.monotonic
+
+
+def wall() -> float:
+    """Epoch seconds — export/metadata timestamps only, never durations."""
+    return time.time()
+
+
+#: One wall/monotonic anchor taken at import, used to stamp exported spans
+#: with absolute times without ever measuring against the wall clock.
+_ANCHOR_WALL = wall()
+_ANCHOR_NOW = now()
+
+
+def to_wall(monotonic_seconds: float) -> float:
+    """Project a :func:`now` reading onto the wall clock (for exports)."""
+    return _ANCHOR_WALL + (monotonic_seconds - _ANCHOR_NOW)
+
+
+__all__ = ["monotonic", "now", "to_wall", "wall"]

@@ -1,0 +1,162 @@
+"""Exporters: JSONL traces, Prometheus metrics, and a human trace table.
+
+Three sinks for the telemetry the rest of :mod:`repro.obs` collects:
+
+* :func:`write_trace_jsonl` / :func:`read_trace_jsonl` — one JSON object per
+  line, each a span or event dict straight from
+  :meth:`~repro.obs.tracing.Tracer.export`; greppable, streamable, and what
+  ``python -m repro obs report`` reads back.
+* :func:`write_metrics` — the registry's Prometheus text exposition to a
+  file (content comes from
+  :meth:`~repro.obs.metrics.MetricsRegistry.render_prometheus`).
+* :func:`format_trace_table` — the per-stage profile humans actually read:
+  spans aggregated by name with count, total/mean seconds, p50/p95, max,
+  and share of the root span's duration.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.obs.metrics import MetricsRegistry
+
+_PathLike = Union[str, Path]
+
+
+def write_trace_jsonl(records: Iterable[Dict[str, Any]], path: _PathLike) -> int:
+    """Dump exported span/event records as JSON Lines; returns the count."""
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    n = 0
+    with open(target, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record, sort_keys=True, default=str))
+            handle.write("\n")
+            n += 1
+    return n
+
+
+def read_trace_jsonl(path: _PathLike) -> List[Dict[str, Any]]:
+    """Load a JSONL trace dump back into record dicts (blank lines skipped)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+def write_metrics(registry: MetricsRegistry, path: _PathLike) -> str:
+    """Render the registry in Prometheus text format and write it to ``path``."""
+    text = registry.render_prometheus()
+    target = Path(path)
+    if target.parent != Path("."):
+        target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text, encoding="utf-8")
+    return text
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolated percentile of an already-sorted sample."""
+    if not sorted_values:
+        return 0.0
+    if len(sorted_values) == 1:
+        return sorted_values[0]
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] + fraction * (sorted_values[high] - sorted_values[low])
+
+
+def summarise_spans(records: Iterable[Dict[str, Any]]) -> List[Dict[str, Any]]:
+    """Aggregate span records by name: count, totals, percentiles, share.
+
+    ``share`` is each name's total seconds over the trace's root-span
+    duration (the longest parentless span), so nested spans can legitimately
+    sum past 100% while top-level stages partition it.
+    """
+    by_name: Dict[str, List[float]] = {}
+    root_seconds = 0.0
+    order: List[str] = []
+    for record in records:
+        if record.get("type") != "span":
+            continue
+        name = str(record.get("name", "?"))
+        seconds = float(record.get("seconds", 0.0))
+        if name not in by_name:
+            by_name[name] = []
+            order.append(name)
+        by_name[name].append(seconds)
+        if record.get("parent") is None and seconds > root_seconds:
+            root_seconds = seconds
+    rows: List[Dict[str, Any]] = []
+    for name in order:
+        samples = sorted(by_name[name])
+        total = sum(samples)
+        rows.append(
+            {
+                "name": name,
+                "count": len(samples),
+                "total_seconds": total,
+                "mean_seconds": total / len(samples),
+                "p50_seconds": _percentile(samples, 0.50),
+                "p95_seconds": _percentile(samples, 0.95),
+                "max_seconds": samples[-1],
+                "share": total / root_seconds if root_seconds > 0 else 0.0,
+            }
+        )
+    rows.sort(key=lambda row: row["total_seconds"], reverse=True)
+    return rows
+
+
+def format_trace_table(
+    records: Iterable[Dict[str, Any]],
+    limit: Optional[int] = None,
+) -> str:
+    """The per-stage profile as an aligned text table."""
+    rows = summarise_spans(records)
+    if limit is not None:
+        rows = rows[:limit]
+    if not rows:
+        return "(no spans recorded)"
+    header = ("span", "count", "total s", "mean s", "p50 s", "p95 s", "max s", "share")
+    body = [
+        (
+            row["name"],
+            str(row["count"]),
+            f"{row['total_seconds']:.3f}",
+            f"{row['mean_seconds']:.4f}",
+            f"{row['p50_seconds']:.4f}",
+            f"{row['p95_seconds']:.4f}",
+            f"{row['max_seconds']:.4f}",
+            f"{row['share'] * 100.0:.1f}%",
+        )
+        for row in rows
+    ]
+    widths = [
+        max(len(header[i]), max(len(line[i]) for line in body))
+        for i in range(len(header))
+    ]
+
+    def fmt(cells) -> str:
+        first = cells[0].ljust(widths[0])
+        rest = [cells[i].rjust(widths[i]) for i in range(1, len(cells))]
+        return "  ".join([first] + rest)
+
+    lines = [fmt(header), fmt(tuple("-" * w for w in widths))]
+    lines.extend(fmt(line) for line in body)
+    return "\n".join(lines)
+
+
+__all__ = [
+    "format_trace_table",
+    "read_trace_jsonl",
+    "summarise_spans",
+    "write_metrics",
+    "write_trace_jsonl",
+]

@@ -1,0 +1,411 @@
+"""The metrics registry: counters, gauges and histograms, shard-per-thread.
+
+The data plane this library instruments moves hundreds of thousands of
+tuples per second through thread pools; a metrics layer that takes a lock
+per increment would show up in the benchmarks it exists to protect.  The
+design here keeps the hot path lock-free:
+
+* every metric hands each **thread its own shard** (a tiny cell object
+  registered once, on the thread's first touch);
+* hot-path updates mutate only the calling thread's cell — counters bump a
+  single float, histograms **swap one tuple reference** so a concurrent
+  reader always sees a complete observation, never a half-updated one;
+* reads (:attr:`Counter.value`, Prometheus rendering, snapshots) merge the
+  shards under the metric's lock, which only ever contends with shard
+  *registration*, never with updates.
+
+Metrics are named like Prometheus series and may carry label sets; the
+registry deduplicates on ``(name, labels)`` so every call site gets the same
+underlying metric.  :meth:`MetricsRegistry.render_prometheus` emits the
+standard text exposition format.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_right
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.exceptions import ReproError
+
+#: Default histogram buckets (seconds): micro-batch latencies up to slow
+#: bulk-load phases.  Upper bounds, exclusive of +Inf which is implicit.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0005,
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+)
+
+_LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Dict[str, object]) -> _LabelItems:
+    return tuple(sorted((key, str(value)) for key, value in labels.items()))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(items: _LabelItems, extra: _LabelItems = ()) -> str:
+    pairs = list(items) + list(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{key}="{_escape_label(value)}"' for key, value in pairs)
+    return "{" + body + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+class _CounterCell:
+    """One thread's shard of a counter: only its owner thread writes it."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+
+class _HistogramCell:
+    """One thread's histogram shard.
+
+    ``state`` is an immutable ``(count, total, minimum, maximum, buckets)``
+    tuple replaced wholesale on every observation — a reader merging shards
+    sees each observation entirely or not at all (one reference load is
+    atomic under the GIL), never a count without its sum.
+    """
+
+    __slots__ = ("state",)
+
+    def __init__(self, n_buckets: int) -> None:
+        self.state = (0, 0.0, float("inf"), float("-inf"), (0,) * n_buckets)
+
+
+class Counter:
+    """A monotonically increasing count, sharded per thread."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Dict] = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels: _LabelItems = _label_items(labels or {})
+        self._lock = threading.Lock()
+        self._cells: List[_CounterCell] = []
+        self._local = threading.local()
+
+    def _cell(self) -> _CounterCell:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = _CounterCell()
+            with self._lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        return cell
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (lock-free: touches only this thread's shard)."""
+        self._cell().value += amount
+
+    @property
+    def value(self) -> float:
+        """Merged total over every thread's shard."""
+        with self._lock:
+            cells = list(self._cells)
+        return sum(cell.value for cell in cells)
+
+    def sample_lines(self) -> List[str]:
+        return [f"{self.name}{_render_labels(self.labels)} {_format_value(self.value)}"]
+
+
+class Gauge:
+    """A point-in-time value (last write wins across threads)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Optional[Dict] = None) -> None:
+        self.name = name
+        self.help = help
+        self.labels: _LabelItems = _label_items(labels or {})
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def set_max(self, value: float) -> None:
+        """Raise the gauge to ``value`` if it is a new maximum."""
+        with self._lock:
+            if value > self._value:
+                self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def sample_lines(self) -> List[str]:
+        return [f"{self.name}{_render_labels(self.labels)} {_format_value(self.value)}"]
+
+
+class Histogram:
+    """Fixed-bucket distribution, sharded per thread, merged on read."""
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Dict] = None,
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        bounds = tuple(sorted(float(b) for b in buckets))
+        if not bounds:
+            raise ReproError(f"histogram {name!r} needs at least one bucket bound")
+        self.name = name
+        self.help = help
+        self.labels: _LabelItems = _label_items(labels or {})
+        self.bounds = bounds
+        self._lock = threading.Lock()
+        self._cells: List[_HistogramCell] = []
+        self._local = threading.local()
+
+    def _cell(self) -> _HistogramCell:
+        cell = getattr(self._local, "cell", None)
+        if cell is None:
+            cell = _HistogramCell(len(self.bounds))
+            with self._lock:
+                self._cells.append(cell)
+            self._local.cell = cell
+        return cell
+
+    def observe(self, value: float) -> None:
+        """Record one observation (lock-free single-reference swap)."""
+        cell = self._cell()
+        count, total, minimum, maximum, buckets = cell.state
+        index = bisect_right(self.bounds, value)
+        if index < len(buckets):
+            buckets = buckets[:index] + (buckets[index] + 1,) + buckets[index + 1 :]
+        cell.state = (
+            count + 1,
+            total + value,
+            value if value < minimum else minimum,
+            value if value > maximum else maximum,
+            buckets,
+        )
+
+    def _merged(self) -> Tuple[int, float, float, float, Tuple[int, ...]]:
+        with self._lock:
+            cells = list(self._cells)
+        count, total = 0, 0.0
+        minimum, maximum = float("inf"), float("-inf")
+        buckets = [0] * len(self.bounds)
+        for cell in cells:
+            c_count, c_total, c_min, c_max, c_buckets = cell.state
+            count += c_count
+            total += c_total
+            minimum = min(minimum, c_min)
+            maximum = max(maximum, c_max)
+            for i, b in enumerate(c_buckets):
+                buckets[i] += b
+        return count, total, minimum, maximum, tuple(buckets)
+
+    @property
+    def count(self) -> int:
+        return self._merged()[0]
+
+    @property
+    def sum(self) -> float:
+        return self._merged()[1]
+
+    @property
+    def mean(self) -> float:
+        count, total = self._merged()[:2]
+        return total / count if count else 0.0
+
+    @property
+    def max(self) -> float:
+        count, _, _, maximum, _ = self._merged()
+        return maximum if count else 0.0
+
+    @property
+    def min(self) -> float:
+        count, _, minimum, _, _ = self._merged()
+        return minimum if count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-interpolated quantile estimate (0 when unobserved)."""
+        if not 0.0 <= q <= 1.0:
+            raise ReproError(f"quantile must be in [0, 1], got {q}")
+        count, _, minimum, maximum, buckets = self._merged()
+        if count == 0:
+            return 0.0
+        target = q * count
+        seen = 0
+        for index, bucket_count in enumerate(buckets):
+            if bucket_count == 0:
+                seen += bucket_count
+                continue
+            if seen + bucket_count >= target:
+                low = max(self.bounds[index - 1] if index else 0.0, minimum)
+                high = min(self.bounds[index], maximum)
+                fraction = (target - seen) / bucket_count
+                return low + fraction * max(high - low, 0.0)
+            seen += bucket_count
+        # Everything beyond the last bound lives in the implicit +Inf bucket.
+        return maximum
+
+    def sample_lines(self) -> List[str]:
+        count, total, _, _, buckets = self._merged()
+        lines: List[str] = []
+        cumulative = 0
+        for bound, bucket_count in zip(self.bounds, buckets):
+            cumulative += bucket_count
+            labels = _render_labels(self.labels, (("le", _format_value(bound)),))
+            lines.append(f"{self.name}_bucket{labels} {cumulative}")
+        labels = _render_labels(self.labels, (("le", "+Inf"),))
+        lines.append(f"{self.name}_bucket{labels} {count}")
+        lines.append(f"{self.name}_sum{_render_labels(self.labels)} {_format_value(total)}")
+        lines.append(f"{self.name}_count{_render_labels(self.labels)} {count}")
+        return lines
+
+
+class MetricsRegistry:
+    """Named metric factory + exporter: one instance per process.
+
+    ``counter``/``gauge``/``histogram`` are idempotent: the first call for a
+    ``(name, labels)`` pair creates the metric, later calls return the same
+    object, so call sites can look their handles up inline without module
+    globals.  A name is bound to one metric kind; reusing it as another kind
+    is an error (it would corrupt the Prometheus exposition).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[Tuple[str, _LabelItems], object] = {}
+        self._kinds: Dict[str, str] = {}
+        self._help: Dict[str, str] = {}
+
+    def _check_kind(self, name: str, kind: str) -> None:
+        existing = self._kinds.get(name)
+        if existing is not None and existing != kind:
+            raise ReproError(
+                f"metric {name!r} is already registered as a {existing}, "
+                f"cannot re-register as a {kind}"
+            )
+
+    def _get(self, kind: str, name: str, help: str, labels: Optional[Dict], factory):
+        key = (name, _label_items(labels or {}))
+        metric = self._metrics.get(key)
+        if metric is not None:
+            self._check_kind(name, kind)
+            return metric
+        with self._lock:
+            metric = self._metrics.get(key)
+            if metric is not None:
+                self._check_kind(name, kind)
+                return metric
+            self._check_kind(name, kind)
+            metric = factory()
+            self._metrics[key] = metric
+            self._kinds[name] = kind
+            if help:
+                self._help.setdefault(name, help)
+            return metric
+
+    def counter(self, name: str, help: str = "", **labels) -> Counter:
+        return self._get(
+            "counter", name, help, labels, lambda: Counter(name, help, labels)
+        )
+
+    def gauge(self, name: str, help: str = "", **labels) -> Gauge:
+        return self._get("gauge", name, help, labels, lambda: Gauge(name, help, labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+        **labels,
+    ) -> Histogram:
+        return self._get(
+            "histogram",
+            name,
+            help,
+            labels,
+            lambda: Histogram(name, help, labels, buckets),
+        )
+
+    def metrics(self) -> List[object]:
+        """Every registered metric, ordered by (name, labels)."""
+        with self._lock:
+            items = sorted(self._metrics.items(), key=lambda kv: kv[0])
+        return [metric for _, metric in items]
+
+    def snapshot(self) -> Dict[str, float]:
+        """Merged scalar values keyed ``name{labels}`` (histograms: sum)."""
+        result: Dict[str, float] = {}
+        for metric in self.metrics():
+            key = f"{metric.name}{_render_labels(metric.labels)}"
+            if isinstance(metric, Histogram):
+                result[key + "_count"] = float(metric.count)
+                result[key + "_sum"] = metric.sum
+            else:
+                result[key] = metric.value
+        return result
+
+    def render_prometheus(self) -> str:
+        """The Prometheus text exposition format over every metric."""
+        lines: List[str] = []
+        seen_header = set()
+        for metric in self.metrics():
+            if metric.name not in seen_header:
+                seen_header.add(metric.name)
+                help_text = self._help.get(metric.name, "")
+                if help_text:
+                    lines.append(f"# HELP {metric.name} {help_text}")
+                lines.append(f"# TYPE {metric.name} {metric.kind}")
+            lines.extend(metric.sample_lines())
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def reset(self) -> None:
+        """Drop every metric (tests and fresh CLI runs)."""
+        with self._lock:
+            self._metrics.clear()
+            self._kinds.clear()
+            self._help.clear()
+
+
+def merge_counters(counters: Iterable[Counter]) -> float:
+    """Summed value of several counters (e.g. one per label set)."""
+    return sum(counter.value for counter in counters)
+
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "merge_counters",
+]

@@ -28,14 +28,20 @@ measure how long the driving thread waited on each stage's iterator
 (``classify_seconds`` excludes the generate time nested inside its pulls,
 ``store_seconds`` is the remainder of the total).  The headline number is
 ``tuples_per_second`` — sustained end-to-end throughput over the whole run.
+
+Stage attribution is built on :mod:`repro.obs` spans: every pull from a
+stage iterator is a ``pipeline.generate.wait`` / ``pipeline.classify.wait``
+span under the run's ``pipeline.run`` root, so enabling tracing
+(``--trace``) yields a per-chunk wait profile of the same numbers the
+:class:`PipelineResult` reports in aggregate.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from time import perf_counter
 from typing import Dict, Iterable, Iterator, Optional
 
+from repro import obs
 from repro.data.agrawal import AgrawalGenerator
 from repro.data.chunks import Chunk
 from repro.db.store import TupleStore
@@ -87,24 +93,37 @@ class PipelineResult:
         )
 
 
+#: Sentinel distinguishing exhaustion from a yielded chunk in the timed pull.
+_DONE = object()
+
+
 class _StageTimer:
-    """Accumulates the wall-clock time spent pulling from one iterator."""
+    """Accumulates the wall-clock time spent pulling from one iterator.
 
-    __slots__ = ("seconds",)
+    Each pull is an obs span (``pipeline.<stage>.wait``), so the aggregate
+    ``seconds`` the :class:`PipelineResult` reports and the per-chunk trace
+    are the same measurement.  With tracing disabled the span degenerates to
+    two clock reads — exactly the hand-rolled stopwatch this replaces.
+    """
 
-    def __init__(self) -> None:
+    __slots__ = ("seconds", "span_name")
+
+    def __init__(self, span_name: str) -> None:
         self.seconds = 0.0
+        self.span_name = span_name
 
     def wrap(self, chunks: Iterable[Chunk]) -> Iterator[Chunk]:
         iterator = iter(chunks)
+        index = 0
         while True:
-            started = perf_counter()
-            try:
-                chunk = next(iterator)
-            except StopIteration:
-                self.seconds += perf_counter() - started
+            with obs.trace(self.span_name, chunk=index) as span:
+                chunk = next(iterator, _DONE)
+                if chunk is not _DONE:
+                    span.set(rows=len(chunk))
+            self.seconds += span.seconds
+            if chunk is _DONE:
                 return
-            self.seconds += perf_counter() - started
+            index += 1
             yield chunk
 
 
@@ -174,22 +193,33 @@ def run_pipeline(
         )
     )
 
-    generate_timer = _StageTimer()
-    classify_timer = _StageTimer()
-    started = perf_counter()
-    with TupleStore(generator.schema, path=db_path, table=table) as store:
-        store.create(drop=drop, index_label=index_label)
-        with PredictionService(registry, ServiceConfig(workers=workers)) as service:
-            generated = generate_timer.wrap(
-                generator.iter_chunks(n, chunk_size=chunk_size, processes=processes)
-            )
-            labelled = classify_timer.wrap(
-                service.predict_chunks(f"reference-f{model_function}", generated)
-            )
-            loaded = store.load(labelled, method=store_method)
-        total_seconds = perf_counter() - started
-        # Outside the timed region: a convenience read, not pipeline work.
-        distribution = store.class_distribution()
+    generate_timer = _StageTimer("pipeline.generate.wait")
+    classify_timer = _StageTimer("pipeline.classify.wait")
+    with obs.trace(
+        "pipeline.run",
+        n=n,
+        function=function,
+        chunk_size=chunk_size,
+        processes=processes,
+        workers=workers,
+    ) as run_span:
+        with TupleStore(generator.schema, path=db_path, table=table) as store:
+            store.create(drop=drop, index_label=index_label)
+            with PredictionService(registry, ServiceConfig(workers=workers)) as service:
+                generated = generate_timer.wrap(
+                    generator.iter_chunks(n, chunk_size=chunk_size, processes=processes)
+                )
+                labelled = classify_timer.wrap(
+                    service.predict_chunks(f"reference-f{model_function}", generated)
+                )
+                loaded = store.load(labelled, method=store_method)
+            run_span.close()
+            total_seconds = run_span.seconds
+            # Outside the timed region: a convenience read, not pipeline work.
+            distribution = store.class_distribution()
+    obs.counter(
+        "repro_pipeline_tuples_total", "Tuples pushed end-to-end through run_pipeline"
+    ).inc(loaded)
     if loaded != n:
         raise ReproError(f"pipeline stored {loaded} of {n} tuple(s)")
 

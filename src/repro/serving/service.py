@@ -30,15 +30,16 @@ from collections import deque
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass
 from itertools import chain, islice
-from time import monotonic, perf_counter
 from typing import Deque, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import obs
 from repro.data.chunks import Chunk
 from repro.data.columnar import ColumnarDataset
 from repro.data.dataset import Dataset, Record
 from repro.exceptions import ServingError
+from repro.obs.clock import monotonic
 from repro.serving.models import ServableModel
 from repro.serving.registry import ModelRegistry
 
@@ -76,7 +77,13 @@ class ServiceConfig:
 
 @dataclass
 class ModelStats:
-    """Throughput/latency counters for one served model."""
+    """Throughput/latency counters for one served model.
+
+    These are the service's *per-instance*, lock-guarded counters (every
+    mutation happens under the service lock, which is what the race harness
+    verifies); the service also publishes the same observations as
+    process-wide :mod:`repro.obs` series (``repro_serve_*``) for export.
+    """
 
     model: str
     records: int = 0
@@ -93,6 +100,18 @@ class ModelStats:
         self.batch_seconds += seconds
         self.max_batch_seconds = max(self.max_batch_seconds, seconds)
         self.max_batch_records = max(self.max_batch_records, n_records)
+
+    def copy(self) -> "ModelStats":
+        """A field-complete snapshot; call while holding the owning lock."""
+        return ModelStats(
+            model=self.model,
+            records=self.records,
+            batches=self.batches,
+            errors=self.errors,
+            batch_seconds=self.batch_seconds,
+            max_batch_seconds=self.max_batch_seconds,
+            max_batch_records=self.max_batch_records,
+        )
 
     @property
     def mean_batch_size(self) -> float:
@@ -199,7 +218,7 @@ class PredictionService:
             self._pending.clear()
             self._wakeup.notify_all()
         for name, batch in due:
-            self._dispatch(name, batch)
+            self._dispatch(name, batch, reason="close")
         self._flusher.join(timeout=5.0)
         self._pool.shutdown(wait=True)
 
@@ -336,23 +355,24 @@ class PredictionService:
         chunk: Chunk,
         future: "Future[Tuple[np.ndarray, Tuple[str, ...]]]",
     ) -> None:
-        started = perf_counter()
-        try:
-            codes, classes = model.predict_codes(chunk)
-            if len(codes) != len(chunk):
-                raise ServingError(
-                    f"model {model_name!r} returned {len(codes)} codes for a "
-                    f"chunk of {len(chunk)} tuples"
-                )
-        # repro: ignore[broad-except] the exception is forwarded, not dropped:
-        # set_exception re-raises it in every caller blocked on this chunk's
-        # future, and a narrower catch would hang those callers forever.
-        except BaseException as exc:
-            self._observe(model_name, len(chunk), perf_counter() - started, error=True)
-            future.set_exception(exc)
-            return
-        self._observe(model_name, len(chunk), perf_counter() - started)
-        future.set_result((codes, classes))
+        with obs.trace("serve.chunk", model=model_name, rows=len(chunk)) as span:
+            try:
+                codes, classes = model.predict_codes(chunk)
+                if len(codes) != len(chunk):
+                    raise ServingError(
+                        f"model {model_name!r} returned {len(codes)} codes for a "
+                        f"chunk of {len(chunk)} tuples"
+                    )
+            # repro: ignore[broad-except] the exception is forwarded, not dropped:
+            # set_exception re-raises it in every caller blocked on this chunk's
+            # future, and a narrower catch would hang those callers forever.
+            except BaseException as exc:
+                span.set(error=True)
+                self._observe(model_name, len(chunk), span.seconds, error=True)
+                future.set_exception(exc)
+                return
+            self._observe(model_name, len(chunk), span.seconds)
+            future.set_result((codes, classes))
 
     def _stream_chunk_labels(
         self, model_name: str, chunks: Iterable[Chunk], window: Optional[int]
@@ -463,14 +483,15 @@ class PredictionService:
         """Classify an already-assembled batch synchronously (still recorded
         in the model's statistics, but bypassing the micro-batcher)."""
         model = self.registry.get(model_name)
-        started = perf_counter()
-        try:
-            labels = model.predict_batch(records)
-        except BaseException:
-            self._observe(model_name, len(records), perf_counter() - started, error=True)
-            raise
-        self._observe(model_name, len(records), perf_counter() - started)
-        return labels
+        with obs.trace("serve.batch", model=model_name, rows=len(records)) as span:
+            try:
+                labels = model.predict_batch(records)
+            except BaseException:
+                span.set(error=True)
+                self._observe(model_name, len(records), span.seconds, error=True)
+                raise
+            self._observe(model_name, len(records), span.seconds)
+            return labels
 
     def flush(self, model_name: Optional[str] = None) -> None:
         """Dispatch pending partial batches now (all models when unnamed)."""
@@ -482,25 +503,24 @@ class PredictionService:
                 batch = self._pending.pop(model_name, None)
                 due = [(model_name, batch)] if batch is not None else []
         for name, batch in due:
-            self._dispatch(name, batch)
+            self._dispatch(name, batch, reason="explicit")
 
     # -- statistics -----------------------------------------------------------
 
     def stats(self, model_name: str) -> ModelStats:
-        """Statistics recorded so far for ``model_name`` (zeroes if unserved)."""
+        """Statistics recorded so far for ``model_name`` (zeroes if unserved).
+
+        The snapshot is taken in one critical section on the service lock —
+        the same lock every ``observe`` runs under — so the returned copy is
+        a consistent point-in-time view: a concurrent batch is counted
+        entirely or not at all, never with its records visible but its batch
+        or seconds missing.
+        """
         with self._lock:
-            if model_name not in self._stats:
+            stats = self._stats.get(model_name)
+            if stats is None:
                 return ModelStats(model=model_name)
-            stats = self._stats[model_name]
-            return ModelStats(
-                model=stats.model,
-                records=stats.records,
-                batches=stats.batches,
-                errors=stats.errors,
-                batch_seconds=stats.batch_seconds,
-                max_batch_seconds=stats.max_batch_seconds,
-                max_batch_records=stats.max_batch_records,
-            )
+            return stats.copy()
 
     def stats_snapshot(self) -> Dict[str, Dict[str, float]]:
         """``to_dict`` of every served model's statistics, keyed by name."""
@@ -517,34 +537,69 @@ class PredictionService:
             if stats is None:
                 stats = self._stats[model_name] = ModelStats(model=model_name)
             stats.observe(n_records, seconds, error=error)
+        # Registry series mirror the lock-guarded counters; updates are
+        # lock-free per-thread shards, so this adds no contention per batch.
+        obs.counter(
+            "repro_serve_records_total", "Records classified", model=model_name
+        ).inc(n_records)
+        obs.counter(
+            "repro_serve_batches_total", "Micro-batches executed", model=model_name
+        ).inc()
+        if error:
+            obs.counter(
+                "repro_serve_errors_total", "Failed micro-batches", model=model_name
+            ).inc()
+        obs.histogram(
+            "repro_serve_batch_seconds", "Batch execute latency", model=model_name
+        ).observe(seconds)
 
     def _dispatch(
-        self, model_name: str, batch: _PendingBatch, model: Optional[ServableModel] = None
+        self,
+        model_name: str,
+        batch: _PendingBatch,
+        model: Optional[ServableModel] = None,
+        reason: str = "full",
     ) -> None:
         if model is None:
             model = self.registry.get(model_name)
+        # Queue wait: how long the batch's *oldest* record sat between
+        # submission and dispatch — the latency micro-batching trades away.
+        obs.histogram(
+            "repro_serve_queue_wait_seconds",
+            "Oldest-record wait between submit and dispatch",
+            model=model_name,
+        ).observe(max(monotonic() - batch.first_at, 0.0))
+        obs.counter(
+            "repro_serve_flush_total",
+            "Micro-batch dispatches by trigger",
+            model=model_name,
+            reason=reason,
+        ).inc()
         self._pool.submit(self._run_batch, model_name, model, batch)
 
     def _run_batch(
         self, model_name: str, model: ServableModel, batch: _PendingBatch
     ) -> None:
-        started = perf_counter()
-        try:
-            labels = model.predict_batch(batch.records)
-            if len(labels) != len(batch.records):
-                raise ServingError(
-                    f"model {model_name!r} returned {len(labels)} labels for a "
-                    f"batch of {len(batch.records)} records"
-                )
-        # repro: ignore[broad-except] the exception is forwarded, not dropped:
-        # set_exception re-raises it in every caller blocked on this batch's
-        # future, and a narrower catch would hang those callers forever.
-        except BaseException as exc:
-            self._observe(model_name, len(batch.records), perf_counter() - started, error=True)
-            batch.future.set_exception(exc)
-            return
-        self._observe(model_name, len(batch.records), perf_counter() - started)
-        batch.future.set_result(labels)
+        with obs.trace(
+            "serve.batch", model=model_name, rows=len(batch.records)
+        ) as span:
+            try:
+                labels = model.predict_batch(batch.records)
+                if len(labels) != len(batch.records):
+                    raise ServingError(
+                        f"model {model_name!r} returned {len(labels)} labels for a "
+                        f"batch of {len(batch.records)} records"
+                    )
+            # repro: ignore[broad-except] the exception is forwarded, not dropped:
+            # set_exception re-raises it in every caller blocked on this batch's
+            # future, and a narrower catch would hang those callers forever.
+            except BaseException as exc:
+                span.set(error=True)
+                self._observe(model_name, len(batch.records), span.seconds, error=True)
+                batch.future.set_exception(exc)
+                return
+            self._observe(model_name, len(batch.records), span.seconds)
+            batch.future.set_result(labels)
 
     def _flush_loop(self) -> None:
         """Background thread enforcing the ``max_delay`` flush bound."""
@@ -566,4 +621,4 @@ class PredictionService:
                     timeout = None if deadline is None else max(deadline - now, 0.0)
                     self._wakeup.wait(timeout)
             for name, batch in due:
-                self._dispatch(name, batch)
+                self._dispatch(name, batch, reason="delay")

@@ -495,3 +495,125 @@ def test_broad_except_suppression(analyze_snippet):
     )
     assert report.findings == []
     assert report.n_suppressed == 1
+
+
+# ---------------------------------------------------------------------------
+# telemetry-clock
+# ---------------------------------------------------------------------------
+
+def test_telemetry_clock_flags_time_clocks_in_marked_hot_module(analyze_snippet):
+    report = analyze_snippet(
+        "pkg/engine.py",
+        """\
+            # repro: hot-path
+            import time
+            from time import monotonic
+
+            def run(batch):
+                started = time.perf_counter()
+                deadline = monotonic() + 1.0
+                stamp = time.time()
+                ticks = time.monotonic_ns()
+                return started, deadline, stamp, ticks
+        """,
+        rules=["telemetry-clock"],
+    )
+    assert _hits(report, "telemetry-clock") == [
+        (6, "telemetry-clock"),   # time.perf_counter()
+        (7, "telemetry-clock"),   # bare monotonic() from `from time import`
+        (8, "telemetry-clock"),   # time.time()
+        (9, "telemetry-clock"),   # time.monotonic_ns()
+    ]
+
+
+def test_telemetry_clock_sees_through_aliases(analyze_snippet):
+    report = analyze_snippet(
+        "repro/serving/service.py",
+        """\
+            import time as t
+            from time import perf_counter as tick
+
+            def wait_seconds(batch):
+                return t.monotonic() - tick()
+        """,
+        rules=["telemetry-clock"],
+    )
+    hits = [
+        (f.line, f.rule)
+        for f in report.findings
+        if str(f.path).endswith("repro/serving/service.py")
+    ]
+    assert hits == [(5, "telemetry-clock"), (5, "telemetry-clock")]
+
+
+def test_telemetry_clock_silent_off_the_hot_path(analyze_snippet):
+    report = analyze_snippet(
+        "pkg/report.py",
+        """\
+            import time
+
+            def run():
+                return time.perf_counter()
+        """,
+        rules=["telemetry-clock"],
+    )
+    assert report.findings == []
+
+
+def test_telemetry_clock_obs_helpers_and_non_clock_time_are_clean(analyze_snippet):
+    report = analyze_snippet(
+        "pkg/engine.py",
+        """\
+            # repro: hot-path
+            import time
+            from repro.obs.clock import monotonic, now
+
+            def run(batch):
+                started = now()
+                deadline = monotonic() + 1.0
+                time.sleep(0.0)
+                return started, deadline
+        """,
+        rules=["telemetry-clock"],
+    )
+    assert report.findings == []
+
+
+def test_telemetry_clock_obs_package_itself_is_exempt(analyze_snippet):
+    # repro.obs.clock is where the sanctioned helpers wrap the time module;
+    # the rule must not flag its own implementation.
+    report = analyze_snippet(
+        "repro/obs/clock.py",
+        """\
+            import time
+
+            now = time.perf_counter
+
+            def wall():
+                return time.time()
+        """,
+        rules=["telemetry-clock"],
+    )
+    hits = [
+        (f.line, f.rule)
+        for f in report.findings
+        if str(f.path).endswith("repro/obs/clock.py")
+    ]
+    assert hits == []
+
+
+def test_telemetry_clock_suppression(analyze_snippet):
+    report = analyze_snippet(
+        "pkg/engine.py",
+        """\
+            # repro: hot-path
+            import time
+
+            def run(batch):
+                # repro: ignore[telemetry-clock] comparing timebases in a test
+                return time.perf_counter()
+        """,
+        rules=["telemetry-clock"],
+    )
+    assert report.findings == []
+    assert report.n_suppressed == 1

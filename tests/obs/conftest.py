@@ -1,0 +1,23 @@
+"""Shared fixtures for the telemetry tests.
+
+The process-wide registry and tracer are deliberately global (subsystems
+look their handles up inline), so every test starts and ends from a clean
+slate — otherwise one test's spans leak into the next's export.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    obs.reset_metrics()
+    obs.reset_tracing()
+    obs.disable_tracing()
+    yield
+    obs.reset_metrics()
+    obs.reset_tracing()
+    obs.disable_tracing()

@@ -1,0 +1,104 @@
+"""Tests of the trace/metrics exporters and the human trace table."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.exporters import (
+    format_trace_table,
+    read_trace_jsonl,
+    summarise_spans,
+    write_metrics,
+    write_trace_jsonl,
+)
+from repro.obs.metrics import MetricsRegistry
+
+
+def _span(name, seconds, parent=None, span_id=1):
+    return {
+        "type": "span",
+        "id": span_id,
+        "parent": parent,
+        "name": name,
+        "start": 0.0,
+        "end": seconds,
+        "seconds": seconds,
+        "attrs": {},
+        "events": [],
+    }
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        obs.enable_tracing()
+        with obs.trace("work", rows=5):
+            pass
+        records = obs.export_spans()
+        path = tmp_path / "nested" / "trace.jsonl"
+        written = write_trace_jsonl(records, path)
+        assert written == 1
+        assert read_trace_jsonl(path) == records
+
+    def test_lines_are_individually_parseable(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_trace_jsonl([_span("a", 1.0), _span("b", 2.0, span_id=2)], path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert json.loads(line)["type"] == "span"
+
+
+class TestMetricsFile:
+    def test_write_metrics_returns_and_persists_the_text(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "help").inc(3)
+        path = tmp_path / "metrics.prom"
+        text = write_metrics(registry, path)
+        assert path.read_text() == text
+        assert "c_total 3" in text
+
+
+class TestSummary:
+    def test_aggregates_by_name_with_share_of_root(self):
+        records = [
+            _span("root", 10.0, span_id=1),
+            _span("stage", 4.0, parent=1, span_id=2),
+            _span("stage", 2.0, parent=1, span_id=3),
+        ]
+        rows = summarise_spans(records)
+        assert [row["name"] for row in rows] == ["root", "stage"]
+        stage = rows[1]
+        assert stage["count"] == 2
+        assert stage["total_seconds"] == pytest.approx(6.0)
+        assert stage["mean_seconds"] == pytest.approx(3.0)
+        assert stage["max_seconds"] == pytest.approx(4.0)
+        assert stage["share"] == pytest.approx(0.6)
+
+    def test_events_are_ignored(self):
+        records = [
+            _span("root", 1.0),
+            {"type": "event", "name": "shm.release", "at": 0.5, "attrs": {}},
+        ]
+        assert [row["name"] for row in summarise_spans(records)] == ["root"]
+
+    def test_table_renders_and_limits(self):
+        records = [
+            _span("root", 10.0, span_id=1),
+            _span("stage", 4.0, parent=1, span_id=2),
+        ]
+        table = format_trace_table(records)
+        lines = table.splitlines()
+        assert lines[0].split() == [
+            "span", "count", "total", "s", "mean", "s",
+            "p50", "s", "p95", "s", "max", "s", "share",
+        ]
+        assert lines[2].startswith("root")
+        assert "100.0%" in lines[2]
+        limited = format_trace_table(records, limit=1)
+        assert "stage" not in limited
+
+    def test_empty_trace_renders_placeholder(self):
+        assert format_trace_table([]) == "(no spans recorded)"

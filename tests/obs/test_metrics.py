@@ -1,0 +1,184 @@
+"""Tests of the sharded metrics registry (counters, gauges, histograms)."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_counters,
+)
+
+
+class TestCounter:
+    def test_inc_and_value(self):
+        counter = Counter("c_total")
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == pytest.approx(3.5)
+
+    def test_concurrent_increments_never_lose_updates(self):
+        counter = Counter("c_total")
+        n_threads, per_thread = 8, 10_000
+
+        def work():
+            for _ in range(per_thread):
+                counter.inc()
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == n_threads * per_thread
+
+    def test_merge_counters(self):
+        a, b = Counter("c_total"), Counter("c_total")
+        a.inc(2)
+        b.inc(3)
+        assert merge_counters([a, b]) == pytest.approx(5.0)
+
+
+class TestGauge:
+    def test_set_add_and_set_max(self):
+        gauge = Gauge("g")
+        gauge.set(5.0)
+        gauge.add(2.0)
+        assert gauge.value == pytest.approx(7.0)
+        gauge.set_max(3.0)
+        assert gauge.value == pytest.approx(7.0)
+        gauge.set_max(11.0)
+        assert gauge.value == pytest.approx(11.0)
+
+
+class TestHistogram:
+    def test_rejects_empty_buckets(self):
+        with pytest.raises(ReproError):
+            Histogram("h_seconds", buckets=())
+
+    def test_observe_statistics(self):
+        hist = Histogram("h_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        assert hist.count == 4
+        assert hist.sum == pytest.approx(6.05)
+        assert hist.mean == pytest.approx(6.05 / 4)
+        assert hist.min == pytest.approx(0.05)
+        assert hist.max == pytest.approx(5.0)
+
+    def test_quantile_is_bucket_bounded(self):
+        hist = Histogram("h_seconds", buckets=(0.1, 1.0, 10.0))
+        for value in (0.05, 0.5, 0.5, 5.0):
+            hist.observe(value)
+        median = hist.quantile(0.5)
+        assert 0.1 <= median <= 1.0  # both middle observations fall there
+        assert hist.quantile(0.0) <= hist.quantile(1.0)
+        with pytest.raises(ReproError):
+            hist.quantile(1.5)
+
+    def test_unobserved_histogram_is_all_zero(self):
+        hist = Histogram("h_seconds")
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.quantile(0.95) == 0.0
+
+    def test_values_beyond_last_bound_count_in_inf_bucket(self):
+        hist = Histogram("h_seconds", buckets=(1.0,))
+        hist.observe(100.0)
+        lines = hist.sample_lines()
+        assert 'h_seconds_bucket{le="1"} 0' in lines
+        assert 'h_seconds_bucket{le="+Inf"} 1' in lines
+
+    def test_concurrent_observations_are_never_torn(self):
+        hist = Histogram("h_seconds", buckets=DEFAULT_BUCKETS)
+        n_threads, per_thread = 4, 5_000
+        stop = threading.Event()
+        torn = []
+
+        def write():
+            for _ in range(per_thread):
+                hist.observe(0.001)
+
+        def read():
+            while not stop.is_set():
+                # One merged read: every shard cell is a single immutable
+                # tuple, so count and sum stay proportional even mid-write.
+                count, total = hist._merged()[:2]
+                # Each observation adds exactly 0.001; a torn read would
+                # break the proportionality between count and sum.
+                if count and abs(total / count - 0.001) > 1e-9:
+                    torn.append((count, total))
+
+        writers = [threading.Thread(target=write) for _ in range(n_threads)]
+        reader = threading.Thread(target=read)
+        reader.start()
+        for t in writers:
+            t.start()
+        for t in writers:
+            t.join()
+        stop.set()
+        reader.join()
+        assert torn == []
+        assert hist.count == n_threads * per_thread
+
+
+class TestRegistry:
+    def test_factories_are_idempotent(self):
+        registry = MetricsRegistry()
+        first = registry.counter("c_total", "help text")
+        second = registry.counter("c_total")
+        assert first is second
+
+    def test_label_sets_are_distinct_metrics(self):
+        registry = MetricsRegistry()
+        a = registry.counter("c_total", model="a")
+        b = registry.counter("c_total", model="b")
+        assert a is not b
+        a.inc(1)
+        b.inc(2)
+        snapshot = registry.snapshot()
+        assert snapshot['c_total{model="a"}'] == 1
+        assert snapshot['c_total{model="b"}'] == 2
+
+    def test_name_bound_to_one_kind(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total")
+        with pytest.raises(ReproError, match="already registered"):
+            registry.gauge("c_total")
+
+    def test_render_prometheus_format(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", "counts things", model="a").inc(2)
+        registry.histogram("h_seconds", "times things", buckets=(1.0,)).observe(0.5)
+        text = registry.render_prometheus()
+        lines = text.splitlines()
+        assert "# HELP c_total counts things" in lines
+        assert "# TYPE c_total counter" in lines
+        assert 'c_total{model="a"} 2' in lines
+        assert "# TYPE h_seconds histogram" in lines
+        assert 'h_seconds_bucket{le="1"} 1' in lines
+        assert 'h_seconds_bucket{le="+Inf"} 1' in lines
+        assert "h_seconds_sum 0.5" in lines
+        assert "h_seconds_count 1" in lines
+        assert text.endswith("\n")
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total", path='a"b\\c\nd').inc()
+        text = registry.render_prometheus()
+        assert 'path="a\\"b\\\\c\\nd"' in text
+
+    def test_reset_drops_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c_total").inc()
+        registry.reset()
+        assert registry.metrics() == []
+        # The name is free to be a different kind after reset.
+        registry.gauge("c_total").set(1.0)

@@ -1,0 +1,103 @@
+"""Span propagation across the generation fan-out process boundary.
+
+Worker processes trace their own ``fanout.produce`` spans and ship them back
+through the result channel alongside the shared-memory chunk handle; the
+parent adopts them under its ``fanout.imap`` span.  These tests pin the
+contract end to end: the adopted spans nest correctly, carry per-worker
+attribution (pid + job index), and the shared-memory lifecycle shows up as
+``shm.*`` events in the same trace.
+"""
+
+from __future__ import annotations
+
+import gc
+import glob
+import os
+
+from repro import obs
+from repro.data.agrawal import AgrawalGenerator
+
+N = 30_000
+CHUNK = 5_000
+
+
+def _traced_fanout(processes=2, n=N):
+    obs.enable_tracing()
+    generator = AgrawalGenerator(function=3, perturbation=0.05, seed=21)
+    chunks = list(generator.iter_chunks(n, chunk_size=CHUNK, processes=processes))
+    del chunks
+    gc.collect()  # release the shared segments so shm.release events land
+    return obs.export_spans()
+
+
+def _spans(records, name):
+    return [r for r in records if r.get("type") == "span" and r["name"] == name]
+
+
+def _events(records):
+    """Every event in the trace: standalone records plus span-attached."""
+    events = [r for r in records if r.get("type") == "event"]
+    for record in records:
+        if record.get("type") == "span":
+            events.extend(record.get("events", ()))
+    return events
+
+
+class TestSpanPropagation:
+    def test_worker_spans_adopt_under_the_fanout_span(self):
+        records = _traced_fanout()
+        (imap,) = _spans(records, "fanout.imap")
+        produces = _spans(records, "fanout.produce")
+        assert len(produces) == N // CHUNK
+        assert all(span["parent"] == imap["id"] for span in produces)
+        ids = [r["id"] for r in records if r.get("type") == "span"]
+        assert len(ids) == len(set(ids)), "adopted span ids must be remapped"
+
+    def test_worker_spans_carry_per_worker_attribution(self):
+        records = _traced_fanout()
+        produces = _spans(records, "fanout.produce")
+        # Every produce span names its job and the worker pid that ran it —
+        # and the work really happened in other processes.
+        jobs = sorted(span["attrs"]["job"] for span in produces)
+        assert jobs == list(range(N // CHUNK))
+        assert all(span["attrs"]["rows"] == CHUNK for span in produces)
+        worker_pids = {span["pid"] for span in produces}
+        assert os.getpid() not in worker_pids
+        (imap,) = _spans(records, "fanout.imap")
+        assert imap["pid"] == os.getpid()
+
+    def test_worker_timestamps_land_inside_the_fanout_window(self):
+        # perf_counter reads the system-wide monotonic clock on Linux, so a
+        # forked worker's span times are directly comparable to the parent's.
+        records = _traced_fanout()
+        (imap,) = _spans(records, "fanout.imap")
+        for span in _spans(records, "fanout.produce"):
+            assert span["start"] >= imap["start"] - 1e-3
+            assert span["end"] <= imap["end"] + 1e-3
+
+    def test_shm_lifecycle_appears_as_events(self):
+        records = _traced_fanout(n=2 * CHUNK)
+        events = _events(records)
+        names = {event["name"] for event in events}
+        assert {"shm.create", "shm.attach", "shm.release"} <= names
+        created = {
+            e["attrs"]["segment"] for e in events if e["name"] == "shm.create"
+        }
+        released = {
+            e["attrs"]["segment"] for e in events if e["name"] == "shm.release"
+        }
+        assert len(created) == 2
+        assert created <= released, "every created segment must be released"
+        # And the kernel agrees: nothing of ours is left in /dev/shm.
+        leftovers = {
+            os.path.basename(p) for p in glob.glob("/dev/shm/psm_*")
+        }
+        assert not (created & leftovers)
+
+    def test_untraced_fanout_ships_no_span_payloads(self):
+        generator = AgrawalGenerator(function=3, perturbation=0.05, seed=21)
+        chunks = list(
+            generator.iter_chunks(2 * CHUNK, chunk_size=CHUNK, processes=2)
+        )
+        assert len(chunks) == 2
+        assert obs.export_spans() == []

@@ -1,0 +1,160 @@
+"""Tests of the span tracer: nesting, recording, adoption, events."""
+
+from __future__ import annotations
+
+import threading
+
+from repro import obs
+
+
+def _spans(records):
+    return [r for r in records if r["type"] == "span"]
+
+
+def _by_name(records, name):
+    return [r for r in _spans(records) if r["name"] == name]
+
+
+class TestDisabled:
+    def test_spans_still_time_but_record_nothing(self):
+        with obs.trace("work") as span:
+            pass
+        assert span.seconds >= 0.0
+        assert obs.export_spans() == []
+
+    def test_disabled_span_ids_are_zero(self):
+        with obs.trace("outer") as outer:
+            with obs.trace("inner") as inner:
+                assert outer.span_id == 0
+                assert inner.span_id == 0
+
+
+class TestRecording:
+    def test_nesting_builds_the_parent_chain(self):
+        obs.enable_tracing()
+        with obs.trace("outer"):
+            with obs.trace("inner"):
+                pass
+        records = obs.export_spans()
+        (outer,) = _by_name(records, "outer")
+        (inner,) = _by_name(records, "inner")
+        assert outer["parent"] is None
+        assert inner["parent"] == outer["id"]
+        # Children close first, so they export first.
+        assert records.index(inner) < records.index(outer)
+
+    def test_attrs_set_and_events(self):
+        obs.enable_tracing()
+        with obs.trace("work", rows=10) as span:
+            span.set(pages=3)
+            span.event("milestone", step=1)
+        (record,) = obs.export_spans()
+        assert record["attrs"] == {"rows": 10, "pages": 3}
+        (event,) = record["events"]
+        assert event["name"] == "milestone"
+        assert event["attrs"] == {"step": 1}
+        assert record["start"] <= event["at"] <= record["end"]
+
+    def test_standalone_event_outside_any_span(self):
+        obs.enable_tracing()
+        obs.event("shm.release", segment="x")
+        (record,) = obs.export_spans()
+        assert record["type"] == "event"
+        assert record["name"] == "shm.release"
+
+    def test_event_attaches_to_the_open_span(self):
+        obs.enable_tracing()
+        with obs.trace("work"):
+            obs.event("checkpoint")
+        (record,) = obs.export_spans()
+        assert record["type"] == "span"
+        assert [e["name"] for e in record["events"]] == ["checkpoint"]
+
+    def test_detached_span_parents_but_does_not_stack(self):
+        obs.enable_tracing()
+        with obs.trace("outer"):
+            detached = obs.trace("region", stacked=False)
+            detached.__enter__()
+            with obs.trace("inner"):
+                pass
+            detached.close()
+        records = obs.export_spans()
+        (outer,) = _by_name(records, "outer")
+        (region,) = _by_name(records, "region")
+        (inner,) = _by_name(records, "inner")
+        assert region["parent"] == outer["id"]
+        # The detached region never occupied the stack, so the nested span
+        # parents to ``outer``, not to the suspended region.
+        assert inner["parent"] == outer["id"]
+
+    def test_close_is_idempotent(self):
+        obs.enable_tracing()
+        span = obs.trace("work")
+        span.__enter__()
+        span.close()
+        end = span.end
+        span.close()
+        assert span.end == end
+        assert len(obs.export_spans()) == 1
+
+    def test_export_clears_by_default(self):
+        obs.enable_tracing()
+        with obs.trace("work"):
+            pass
+        assert len(obs.export_spans()) == 1
+        assert obs.export_spans() == []
+
+    def test_threads_have_independent_stacks(self):
+        obs.enable_tracing()
+        ready = threading.Event()
+
+        def worker():
+            with obs.trace("thread.work"):
+                ready.set()
+
+        with obs.trace("main.work"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        records = obs.export_spans()
+        (thread_span,) = _by_name(records, "thread.work")
+        # The worker thread's stack is empty, so its span is a root.
+        assert thread_span["parent"] is None
+
+
+class TestAdoption:
+    def test_adopt_remaps_ids_and_reparents_roots(self):
+        obs.enable_tracing()
+        # Simulate a worker process: its tracer numbers spans from 1.
+        worker = obs.tracing.Tracer()
+        worker.enable()
+        with worker.trace("produce"):
+            with worker.trace("encode"):
+                pass
+        payload = worker.export()
+
+        with obs.trace("fanout") as fanout_span:
+            obs.adopt_spans(payload, parent_id=fanout_span.span_id)
+        records = obs.export_spans()
+        (fanout,) = _by_name(records, "fanout")
+        (produce,) = _by_name(records, "produce")
+        (encode,) = _by_name(records, "encode")
+        assert produce["parent"] == fanout["id"]
+        assert encode["parent"] == produce["id"]
+        # Remapping keeps ids unique even though the worker also started at 1.
+        ids = [r["id"] for r in _spans(records)]
+        assert len(ids) == len(set(ids))
+
+    def test_adopt_defaults_to_the_current_span(self):
+        obs.enable_tracing()
+        worker = obs.tracing.Tracer()
+        worker.enable()
+        with worker.trace("produce"):
+            pass
+        payload = worker.export()
+        with obs.trace("fanout"):
+            obs.adopt_spans(payload)
+        records = obs.export_spans()
+        (fanout,) = _by_name(records, "fanout")
+        (produce,) = _by_name(records, "produce")
+        assert produce["parent"] == fanout["id"]

@@ -268,3 +268,43 @@ class TestErrorsAndStats:
             for t in threads:
                 t.join()
         assert not errors
+
+    def test_stats_snapshot_is_atomic_under_traffic(self, registry, records):
+        """stats() must never expose a half-updated ModelStats.
+
+        Every batch the service dispatches has exactly ``batch_size``
+        records (the submissions are multiples of it and max_delay is far
+        away), and ``_observe`` updates ``records`` and ``batches`` under
+        one lock — so any *consistent* snapshot satisfies
+        ``records == batches * batch_size`` exactly.  A stats() that read
+        the live object, or copied it field by field outside the lock,
+        intermittently breaks the equation.
+        """
+        batch_size = 50
+        torn = []
+        stop = threading.Event()
+
+        def hammer():
+            while not stop.is_set():
+                stats = service.stats("f1")
+                if stats.records != stats.batches * batch_size:
+                    torn.append((stats.records, stats.batches))
+
+        with PredictionService(
+            registry,
+            ServiceConfig(max_batch_size=batch_size, max_delay=30.0, workers=2),
+        ) as service:
+            reader = threading.Thread(target=hammer)
+            reader.start()
+            try:
+                for _ in range(5):
+                    groups = service.submit_many("f1", records[0][:2000])
+                    for future, _offset, _count in groups:
+                        future.result(timeout=10.0)
+            finally:
+                stop.set()
+                reader.join()
+            final = service.stats("f1")
+        assert torn == []
+        assert final.records == 5 * 2000
+        assert final.batches == 5 * 2000 // batch_size
